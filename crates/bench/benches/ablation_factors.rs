@@ -1,0 +1,69 @@
+//! Ablation: empirical check of the theoretical reduction factors.
+//!
+//! Theorems 2/3 predict that each constraint multiplies the number of
+//! admissible join results by 3/4 (linear) or 7/8 (bushy); Theorems 6/7
+//! predict time-work factors of 3/4 and 21/27. Theorems 8/9 claim those
+//! factors are optimal for this family of partitioning schemes — so the
+//! measured ratios should sit *at* the prediction, not below it.
+
+use mpq_bench::*;
+use mpq_cost::Objective;
+use mpq_dp::optimize_partition;
+use mpq_model::JoinGraph;
+use mpq_partition::{partition_constraints, AdmissibleSets, PlanSpace};
+
+fn main() {
+    let full = full_scale();
+    let configs: Vec<(PlanSpace, usize)> = if full {
+        vec![(PlanSpace::Linear, 20), (PlanSpace::Bushy, 15)]
+    } else {
+        vec![(PlanSpace::Linear, 14), (PlanSpace::Bushy, 12)]
+    };
+    println!("Ablation: measured vs predicted reduction factors per constraint");
+    for (space, tables) in configs {
+        let batch = query_batch(tables, JoinGraph::Star, 0xAB1F, 1);
+        let q = &batch[0];
+        let max_l = space.max_constraints(tables).min(6) as u32;
+        let mut rows = Vec::new();
+        let mut prev_sets = f64::NAN;
+        let mut prev_work = f64::NAN;
+        for l in 0..=max_l {
+            let partitions = 1u64 << l;
+            let constraints = partition_constraints(tables, space, 0, partitions);
+            let adm = AdmissibleSets::new(&constraints);
+            let out = optimize_partition(q, space, Objective::Single, &constraints);
+            let sets = adm.len() as f64;
+            // splits × operand combinations ≈ the 3^n-style work measure of
+            // Theorem 7; splits alone suffice for the ratio.
+            let work = out.stats.splits_tried as f64;
+            let set_factor = sets / prev_sets;
+            let work_factor = work / prev_work;
+            rows.push(vec![
+                l.to_string(),
+                fmt_num(sets),
+                if set_factor.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{set_factor:.4}")
+                },
+                fmt_num(work),
+                if work_factor.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{work_factor:.4}")
+                },
+            ]);
+            prev_sets = sets;
+            prev_work = work;
+        }
+        print_table(
+            &format!(
+                "{space:?} {tables} tables (predicted set factor {:.4}, work factor {:.4})",
+                space.set_reduction_factor(),
+                space.time_reduction_factor()
+            ),
+            &["l", "adm. sets", "set factor", "splits", "work factor"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 1: MPQ vs SMA — optimization time and network traffic for
+//! single-objective optimization over linear and bushy plan spaces.
+//!
+//! Paper configuration: Linear 8 & 16 tables, Bushy 9 & 15 tables, star
+//! join graphs, workers 1..128, median of 20 queries. Scaled default:
+//! Linear 8 & 12, Bushy 9 & 12, workers 1..32, median of 3 queries
+//! (`MPQ_FULL=1` restores paper sizes).
+//!
+//! Expected shape (paper): MPQ beats SMA by up to four orders of magnitude
+//! in time; SMA ships megabytes (intermediate-result sharing) while MPQ
+//! ships kilobytes; SMA stops benefiting from parallelism beyond ~4-8
+//! workers.
+
+use mpq_bench::*;
+use mpq_cost::Objective;
+use mpq_model::JoinGraph;
+use mpq_partition::PlanSpace;
+
+fn main() {
+    let full = full_scale();
+    let configs: Vec<(&str, PlanSpace, usize, u64)> = if full {
+        vec![
+            ("Linear 8", PlanSpace::Linear, 8, 16),
+            ("Linear 16", PlanSpace::Linear, 16, 128),
+            ("Bushy 9", PlanSpace::Bushy, 9, 8),
+            ("Bushy 15", PlanSpace::Bushy, 15, 32),
+        ]
+    } else {
+        vec![
+            ("Linear 8", PlanSpace::Linear, 8, 16),
+            ("Linear 12", PlanSpace::Linear, 12, 32),
+            ("Bushy 9", PlanSpace::Bushy, 9, 8),
+            ("Bushy 12", PlanSpace::Bushy, 12, 16),
+        ]
+    };
+    println!("Figure 1 reproduction: MPQ vs SMA, one cost metric (star queries)");
+    println!("(scaled run: {}; set MPQ_FULL=1 for paper sizes)", !full);
+    for (label, space, tables, max_workers) in configs {
+        let batch = query_batch(tables, JoinGraph::Star, 0xF161, queries_per_point());
+        let mut rows = Vec::new();
+        for w in worker_counts(1, max_workers) {
+            let mpq = run_mpq_point(&batch, space, Objective::Single, w);
+            let sma = run_sma_point(&batch, space, Objective::Single, w as usize);
+            rows.push(vec![
+                w.to_string(),
+                fmt_num(mpq.time_ms),
+                fmt_num(sma.time_ms),
+                fmt_num(mpq.net_bytes),
+                fmt_num(sma.net_bytes),
+            ]);
+        }
+        print_table(
+            &format!("{label} ({} queries/point)", queries_per_point()),
+            &[
+                "workers",
+                "MPQ time(ms)",
+                "SMA time(ms)",
+                "MPQ net(B)",
+                "SMA net(B)",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 2: MPQ scaling for sufficiently large search spaces, one cost
+//! metric — total time, max worker time (W-Time), per-worker memory in
+//! relations, and network bytes, as the worker count doubles.
+//!
+//! Paper configuration: Linear 20 & 24, Bushy 15 & 18, workers 1..128.
+//! Scaled default: Linear 16 & 18, Bushy 12 & 14, workers 1..64.
+//!
+//! Expected shape (paper): steady scaling at the theoretical factors —
+//! time and memory shrink by ~3/4 per doubling for linear spaces and by
+//! ~21/27 (time) / ~7/8 (memory) for bushy spaces; network bytes grow
+//! linearly in the worker count and depend only marginally on query size;
+//! W-Time stays close to total time (negligible master overhead).
+
+use mpq_bench::*;
+use mpq_cost::Objective;
+use mpq_model::JoinGraph;
+use mpq_partition::PlanSpace;
+
+fn main() {
+    let full = full_scale();
+    let configs: Vec<(&str, PlanSpace, usize, u64)> = if full {
+        vec![
+            ("Linear 20", PlanSpace::Linear, 20, 128),
+            ("Linear 24", PlanSpace::Linear, 24, 128),
+            ("Bushy 15", PlanSpace::Bushy, 15, 32),
+            ("Bushy 18", PlanSpace::Bushy, 18, 64),
+        ]
+    } else {
+        vec![
+            ("Linear 16", PlanSpace::Linear, 16, 64),
+            ("Linear 18", PlanSpace::Linear, 18, 64),
+            ("Bushy 12", PlanSpace::Bushy, 12, 16),
+            ("Bushy 14", PlanSpace::Bushy, 14, 16),
+        ]
+    };
+    println!("Figure 2 reproduction: MPQ scaling, one cost metric (star queries)");
+    println!("(scaled run: {}; set MPQ_FULL=1 for paper sizes)", !full);
+    for (label, space, tables, max_workers) in configs {
+        let batch = query_batch(tables, JoinGraph::Star, 0xF162, queries_per_point());
+        let mut rows = Vec::new();
+        let mut prev_time = f64::NAN;
+        for w in worker_counts(1, max_workers) {
+            let p = run_mpq_point(&batch, space, Objective::Single, w);
+            let factor = if prev_time.is_nan() {
+                f64::NAN
+            } else {
+                p.w_time_ms / prev_time
+            };
+            prev_time = p.w_time_ms;
+            rows.push(vec![
+                w.to_string(),
+                fmt_num(p.time_ms),
+                fmt_num(p.w_time_ms),
+                if factor.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{factor:.3}")
+                },
+                fmt_num(p.memory_relations),
+                fmt_num(p.net_bytes),
+            ]);
+        }
+        let predicted = space.time_reduction_factor();
+        print_table(
+            &format!("{label} (predicted W-time factor per doubling: {predicted:.3})"),
+            &[
+                "workers",
+                "time(ms)",
+                "W-time(ms)",
+                "factor",
+                "mem(rel)",
+                "net(B)",
+            ],
+            &rows,
+        );
+    }
+}

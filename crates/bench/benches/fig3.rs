@@ -1,0 +1,85 @@
+//! Figure 3: impact of the join-graph structure (chain / star / cycle) on
+//! optimization time for SMA (8 and 12 tables) and MPQ (12 tables).
+//!
+//! Both algorithms run the classical DP over all table subsets (cross
+//! products allowed), so the join graph must have negligible impact — the
+//! paper reports overlapping averages with tight 95% confidence intervals.
+//! Scaled default uses SMA at 8 & 10 tables and MPQ at 12
+//! (`MPQ_FULL=1`: SMA 8 & 12, MPQ 12, workers up to 128).
+
+use mpq_bench::*;
+use mpq_cost::Objective;
+use mpq_model::JoinGraph;
+use mpq_partition::PlanSpace;
+
+fn main() {
+    let full = full_scale();
+    let workers: Vec<u64> = if full {
+        vec![2, 16, 128]
+    } else {
+        vec![2, 8, 32]
+    };
+    let sma_sizes: Vec<usize> = if full { vec![8, 12] } else { vec![8, 10] };
+    let graphs = [JoinGraph::Chain, JoinGraph::Star, JoinGraph::Cycle];
+    println!("Figure 3 reproduction: join-graph structure vs optimization time");
+    println!(
+        "cells: mean ms ± 95% CI over {} queries",
+        queries_per_point()
+    );
+
+    for &tables in &sma_sizes {
+        let mut rows = Vec::new();
+        for &w in &workers {
+            let mut cells = vec![w.to_string()];
+            for g in graphs {
+                let batch = query_batch(tables, g, 0xF163, queries_per_point());
+                let opt = SmaOptimizer::new(SmaConfig {
+                    latency: experiment_latency(),
+                });
+                let samples: Vec<f64> = batch
+                    .iter()
+                    .map(|q| {
+                        opt.optimize(q, PlanSpace::Linear, Objective::Single, w as usize)
+                            .metrics
+                            .total_micros as f64
+                            / 1e3
+                    })
+                    .collect();
+                cells.push(format!("{:.1}±{:.1}", mean(&samples), ci95(&samples)));
+            }
+            rows.push(cells);
+        }
+        print_table(
+            &format!("SMA-{tables} tables"),
+            &["workers", "chain", "star", "cycle"],
+            &rows,
+        );
+    }
+
+    let mut rows = Vec::new();
+    for &w in &workers {
+        let mut cells = vec![w.to_string()];
+        for g in graphs {
+            let batch = query_batch(12, g, 0xF163, queries_per_point());
+            let opt = MpqOptimizer::new(MpqConfig {
+                latency: experiment_latency(),
+            });
+            let samples: Vec<f64> = batch
+                .iter()
+                .map(|q| {
+                    opt.optimize(q, PlanSpace::Linear, Objective::Single, w)
+                        .metrics
+                        .total_micros as f64
+                        / 1e3
+                })
+                .collect();
+            cells.push(format!("{:.1}±{:.1}", mean(&samples), ci95(&samples)));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "MPQ-12 tables",
+        &["workers", "chain", "star", "cycle"],
+        &rows,
+    );
+}

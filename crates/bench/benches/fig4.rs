@@ -1,0 +1,78 @@
+//! Figure 4: MPQ vs SMA for multi-objective query optimization (two cost
+//! metrics: execution time and buffer space, α = 10).
+//!
+//! Paper configuration: Linear 10 and Bushy 9, workers 1..128. These sizes
+//! are small enough to run unscaled; the scaled default only reduces the
+//! worker range and query count.
+//!
+//! Expected shape (paper): same tendencies as single-objective — MPQ far
+//! cheaper in time and bytes; MPQ's network traffic is higher than in the
+//! single-objective case because each worker returns a Pareto *set*; SMA
+//! degrades once workers exceed ~8.
+
+use mpq_bench::*;
+use mpq_cost::Objective;
+use mpq_model::JoinGraph;
+use mpq_partition::PlanSpace;
+
+fn main() {
+    let full = full_scale();
+    let objective = Objective::Multi { alpha: 10.0 };
+    let configs: Vec<(&str, PlanSpace, usize, u64)> = vec![
+        (
+            "Linear 10",
+            PlanSpace::Linear,
+            10,
+            if full { 32 } else { 16 },
+        ),
+        ("Bushy 9", PlanSpace::Bushy, 9, 8),
+    ];
+    println!("Figure 4 reproduction: MPQ vs SMA, two cost metrics (α = 10)");
+    for (label, space, tables, max_workers) in configs {
+        let batch = query_batch(tables, JoinGraph::Star, 0xF164, queries_per_point());
+        let mut rows = Vec::new();
+        for w in worker_counts(1, max_workers) {
+            let mpq = run_mpq_point(&batch, space, objective, w);
+            let sma = run_sma_point(&batch, space, objective, w as usize);
+            rows.push(vec![
+                w.to_string(),
+                fmt_num(mpq.time_ms),
+                fmt_num(sma.time_ms),
+                fmt_num(mpq.net_bytes),
+                fmt_num(sma.net_bytes),
+            ]);
+        }
+        print_table(
+            &format!("{label} ({} queries/point)", queries_per_point()),
+            &[
+                "workers",
+                "MPQ time(ms)",
+                "SMA time(ms)",
+                "MPQ net(B)",
+                "SMA net(B)",
+            ],
+            &rows,
+        );
+    }
+
+    // The paper also reports the median number of complete Pareto-optimal
+    // plans (21 for Linear 12, 16 for Bushy 9).
+    let mut rows = Vec::new();
+    for (label, space, tables) in [
+        ("Linear 12", PlanSpace::Linear, 12),
+        ("Bushy 9", PlanSpace::Bushy, 9),
+    ] {
+        let batch = query_batch(tables, JoinGraph::Star, 0xF164, queries_per_point());
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        let mut sizes: Vec<f64> = batch
+            .iter()
+            .map(|q| opt.optimize(q, space, objective, 1).plans.len() as f64)
+            .collect();
+        rows.push(vec![label.to_string(), fmt_num(median(&mut sizes))]);
+    }
+    print_table(
+        "Median Pareto-set size (paper: 21 for Linear 12, 16 for Bushy 9)",
+        &["space", "median plans"],
+        &rows,
+    );
+}

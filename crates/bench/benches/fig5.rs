@@ -1,0 +1,45 @@
+//! Figure 5: MPQ scaling for multi-objective optimization (two cost
+//! metrics, α = 10) on queries large enough to exploit high parallelism.
+//!
+//! Paper configuration: Linear 16, 18, 20 tables, workers 16..256.
+//! Scaled default: Linear 12, 14, 16, workers 4..64.
+//!
+//! Expected shape (paper): steady scaling up to the maximum worker count
+//! without diminishing returns; W-Time tracks total time; memory per
+//! worker decreases steadily; network grows linearly in workers.
+
+use mpq_bench::*;
+use mpq_cost::Objective;
+use mpq_model::JoinGraph;
+use mpq_partition::PlanSpace;
+
+fn main() {
+    let full = full_scale();
+    let objective = Objective::Multi { alpha: 10.0 };
+    let (sizes, min_w, max_w): (Vec<usize>, u64, u64) = if full {
+        (vec![16, 18, 20], 16, 256)
+    } else {
+        (vec![12, 14, 16], 4, 64)
+    };
+    println!("Figure 5 reproduction: MPQ scaling, two cost metrics (α = 10)");
+    println!("(scaled run: {}; set MPQ_FULL=1 for paper sizes)", !full);
+    for tables in sizes {
+        let batch = query_batch(tables, JoinGraph::Star, 0xF165, queries_per_point());
+        let mut rows = Vec::new();
+        for w in worker_counts(min_w, max_w) {
+            let p = run_mpq_point(&batch, PlanSpace::Linear, objective, w);
+            rows.push(vec![
+                w.to_string(),
+                fmt_num(p.time_ms),
+                fmt_num(p.w_time_ms),
+                fmt_num(p.memory_relations),
+                fmt_num(p.net_bytes),
+            ]);
+        }
+        print_table(
+            &format!("Linear {tables} ({} queries/point)", queries_per_point()),
+            &["workers", "time(ms)", "W-time(ms)", "mem(rel)", "net(B)"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the optimizer's hot kernels: dense-index
+//! lookup, admissible-set enumeration, the per-partition DP, and the wire
+//! codec. These guard the constant factors behind the paper-level
+//! experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpq_cluster::Wire;
+use mpq_cost::Objective;
+use mpq_dp::{optimize_partition, optimize_serial};
+use mpq_model::{JoinGraph, TableSet, WorkloadConfig, WorkloadGenerator};
+use mpq_partition::{partition_constraints, AdmissibleSets, PlanSpace};
+use std::hint::black_box;
+
+fn bench_dense_index(c: &mut Criterion) {
+    let constraints = partition_constraints(16, PlanSpace::Linear, 5, 64);
+    let adm = AdmissibleSets::new(&constraints);
+    let sets: Vec<TableSet> = (0..adm.len()).step_by(7).map(|i| adm.set_at(i)).collect();
+    c.bench_function("dense_index_of", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &s in &sets {
+                acc ^= adm.index_of(black_box(s)).unwrap_or(0);
+            }
+            acc
+        })
+    });
+    c.bench_function("dense_set_at", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in (0..adm.len()).step_by(7) {
+                acc ^= adm.set_at(black_box(i)).bits();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_admissible_enumeration(c: &mut Criterion) {
+    c.bench_function("admissible_sets_build_linear18_l6", |b| {
+        let constraints = partition_constraints(18, PlanSpace::Linear, 21, 64);
+        b.iter(|| AdmissibleSets::new(black_box(&constraints)).len())
+    });
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let q = WorkloadGenerator::new(WorkloadConfig::with_graph(12, JoinGraph::Star), 7).next_query();
+    c.bench_function("dp_serial_linear12", |b| {
+        b.iter(|| optimize_serial(black_box(&q), PlanSpace::Linear, Objective::Single))
+    });
+    let constraints = partition_constraints(12, PlanSpace::Linear, 3, 16);
+    c.bench_function("dp_partition_linear12_l4", |b| {
+        b.iter(|| {
+            optimize_partition(
+                black_box(&q),
+                PlanSpace::Linear,
+                Objective::Single,
+                &constraints,
+            )
+        })
+    });
+    let qb =
+        WorkloadGenerator::new(WorkloadConfig::with_graph(10, JoinGraph::Star), 8).next_query();
+    c.bench_function("dp_serial_bushy10", |b| {
+        b.iter(|| optimize_serial(black_box(&qb), PlanSpace::Bushy, Objective::Single))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let q = WorkloadGenerator::new(WorkloadConfig::with_graph(20, JoinGraph::Star), 9).next_query();
+    c.bench_function("codec_query_encode", |b| {
+        b.iter(|| black_box(&q).to_bytes())
+    });
+    let bytes = q.to_bytes();
+    c.bench_function("codec_query_decode", |b| {
+        b.iter(|| mpq_model::Query::from_bytes(black_box(&bytes)).unwrap())
+    });
+    let plan = optimize_serial(&q, PlanSpace::Linear, Objective::Single)
+        .plans
+        .remove(0);
+    c.bench_function("codec_plan_roundtrip", |b| {
+        b.iter_batched(
+            || plan.clone(),
+            |p| mpq_plan::Plan::from_bytes(&p.to_bytes()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dense_index,
+    bench_admissible_enumeration,
+    bench_dp,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Speedup numbers reported in the text of Section 6.2.
+//!
+//! The paper compares the optimization time of MPQ on one worker
+//! (excluding master/communication overhead — the classical serial
+//! algorithm) against the full parallel version (including overheads):
+//!
+//! * single-objective, left-deep: 8.1× at 24 tables / 128 workers, 7.2× at
+//!   20 tables / 128 workers; bushy: 3.2× at 15 tables / 32 workers, 4.8×
+//!   at 18 tables / 64 workers;
+//! * multi-objective, left-deep: 5.1× at 16 tables, 5.5× at 18, 9.4× at
+//!   20.
+//!
+//! Scaled default shrinks the query sizes (the machine is one box, not 100
+//! nodes); the measured speedups should grow with query size and worker
+//! count in the same pattern.
+
+use mpq_bench::*;
+use mpq_cost::Objective;
+use mpq_dp::optimize_serial;
+use mpq_model::JoinGraph;
+use mpq_partition::PlanSpace;
+
+fn main() {
+    let full = full_scale();
+    let single: Vec<(PlanSpace, usize, u64)> = if full {
+        vec![
+            (PlanSpace::Linear, 20, 128),
+            (PlanSpace::Linear, 24, 128),
+            (PlanSpace::Bushy, 15, 32),
+            (PlanSpace::Bushy, 18, 64),
+        ]
+    } else {
+        vec![
+            (PlanSpace::Linear, 16, 64),
+            (PlanSpace::Linear, 18, 64),
+            (PlanSpace::Bushy, 12, 16),
+            (PlanSpace::Bushy, 14, 16),
+        ]
+    };
+    let multi: Vec<(usize, u64)> = if full {
+        vec![(16, 128), (18, 128), (20, 256)]
+    } else {
+        vec![(12, 32), (14, 64), (16, 64)]
+    };
+
+    println!("Speedup reproduction (Section 6.2 text)");
+    let opt = MpqOptimizer::new(MpqConfig {
+        latency: experiment_latency(),
+    });
+
+    let mut rows = Vec::new();
+    for (space, tables, workers) in single {
+        let batch = query_batch(tables, JoinGraph::Star, 0x59EED, queries_per_point());
+        let mut speedups: Vec<f64> = batch
+            .iter()
+            .map(|q| {
+                let serial = optimize_serial(q, space, Objective::Single);
+                let par = opt.optimize(q, space, Objective::Single, workers);
+                serial.stats.optimize_micros as f64 / par.metrics.total_micros.max(1) as f64
+            })
+            .collect();
+        rows.push(vec![
+            format!("{space:?} {tables}"),
+            workers.to_string(),
+            format!("{:.2}x", median(&mut speedups)),
+        ]);
+    }
+    print_table(
+        "single-objective speedup vs serial (paper: 7.2-8.1x linear, 3.2-4.8x bushy)",
+        &["config", "workers", "median speedup"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for (tables, workers) in multi {
+        let objective = Objective::Multi { alpha: 10.0 };
+        let batch = query_batch(tables, JoinGraph::Star, 0x59EED, queries_per_point());
+        let mut speedups: Vec<f64> = batch
+            .iter()
+            .map(|q| {
+                let serial = optimize_serial(q, PlanSpace::Linear, objective);
+                let par = opt.optimize(q, PlanSpace::Linear, objective, workers);
+                serial.stats.optimize_micros as f64 / par.metrics.total_micros.max(1) as f64
+            })
+            .collect();
+        rows.push(vec![
+            format!("Linear {tables}"),
+            workers.to_string(),
+            format!("{:.2}x", median(&mut speedups)),
+        ]);
+    }
+    print_table(
+        "multi-objective speedup vs serial (paper: 5.1x @16, 5.5x @18, 9.4x @20)",
+        &["config", "workers", "median speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,85 @@
+//! Table 1: minimal degree of parallelism required to reach approximation
+//! precision α within a fixed optimization-time budget (two cost metrics,
+//! linear plan space).
+//!
+//! Paper configuration: budgets 10/30/60 s, 14-20 tables,
+//! α ∈ {1.01, 1.05, 1.25, 1.5, 2, 5, 10}, workers up to 128, a cell is
+//! the minimal parallelism solving ≥ 8 of 15 test cases in budget (∞ if
+//! even the maximum failed). Scaled default: budgets 100/300/600 ms,
+//! 10-14 tables, workers up to 32 (`MPQ_FULL=1` restores paper scale).
+//!
+//! Expected shape (paper): smaller α (higher precision) and larger queries
+//! need more workers; some cells stay ∞; for a fixed budget the required
+//! parallelism decreases as α grows.
+
+use mpq_bench::*;
+use mpq_cost::Objective;
+use mpq_model::JoinGraph;
+use mpq_partition::PlanSpace;
+
+fn main() {
+    let full = full_scale();
+    let alphas = [1.01, 1.05, 1.25, 1.5, 2.0, 5.0, 10.0];
+    let (budgets_ms, sizes, max_workers): (Vec<f64>, Vec<usize>, u64) = if full {
+        (
+            vec![10_000.0, 30_000.0, 60_000.0],
+            vec![14, 16, 18, 20],
+            128,
+        )
+    } else {
+        (vec![100.0, 300.0, 600.0], vec![10, 12, 14], 32)
+    };
+    let cases = if full { 15 } else { 5 };
+    let needed = cases / 2 + 1; // majority, like the paper's 8 of 15
+
+    println!("Table 1 reproduction: minimal parallelism for precision α in budget");
+    println!("(scaled run: {}; set MPQ_FULL=1 for paper scale)", !full);
+    let opt = MpqOptimizer::new(MpqConfig {
+        latency: experiment_latency(),
+    });
+
+    for &budget in &budgets_ms {
+        let mut rows = Vec::new();
+        for &tables in &sizes {
+            let batch = query_batch(tables, JoinGraph::Star, 0x7AB1, cases);
+            let mut cells = vec![tables.to_string()];
+            for &alpha in &alphas {
+                let objective = Objective::Multi { alpha };
+                // Probe worker counts in descending order: if even the
+                // maximum misses the budget the cell is ∞ and no cheaper
+                // probe is needed; otherwise descend until the budget is
+                // first missed.
+                let mut minimal: Option<u64> = None;
+                let mut w = max_workers;
+                loop {
+                    let solved = batch
+                        .iter()
+                        .filter(|q| {
+                            let out = opt.optimize(q, PlanSpace::Linear, objective, w);
+                            out.metrics.total_micros as f64 / 1e3 <= budget
+                        })
+                        .count();
+                    if solved >= needed {
+                        minimal = Some(w);
+                        if w == 1 {
+                            break;
+                        }
+                        w /= 2;
+                    } else {
+                        break;
+                    }
+                }
+                cells.push(match minimal {
+                    Some(w) => w.to_string(),
+                    None => "inf".to_string(),
+                });
+            }
+            rows.push(cells);
+        }
+        let header: Vec<String> = std::iter::once("tables".to_string())
+            .chain(alphas.iter().map(|a| format!("α={a}")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        print_table(&format!("budget {budget} ms"), &header_refs, &rows);
+    }
+}

@@ -1,0 +1,264 @@
+//! Shared experiment harness for the paper-reproduction benchmarks.
+//!
+//! Every bench binary in `benches/` regenerates one table or figure of the
+//! paper. Default parameters are scaled down so that
+//! `cargo bench --workspace` finishes in minutes on one machine; set
+//! `MPQ_FULL=1` to run paper-sized queries and worker counts (see
+//! EXPERIMENTS.md for the mapping). Results are printed as aligned text
+//! tables whose rows mirror the paper's plots.
+
+use mpq_cluster::LatencyModel;
+use mpq_cost::Objective;
+use mpq_model::{JoinGraph, Query, WorkloadConfig, WorkloadGenerator};
+use mpq_partition::PlanSpace;
+
+pub use mpq_algo::{MpqConfig, MpqOptimizer, MpqOutcome};
+pub use mpq_sma::{SmaConfig, SmaOptimizer, SmaOutcome};
+
+/// Whether paper-scale parameters were requested via `MPQ_FULL=1`.
+pub fn full_scale() -> bool {
+    std::env::var("MPQ_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Number of random queries per data point (the paper uses 20; scaled
+/// default is 3).
+pub fn queries_per_point() -> usize {
+    if full_scale() {
+        20
+    } else {
+        3
+    }
+}
+
+/// The latency model used by all experiments: cluster-like delays, so task
+/// assignment and transfers carry realistic overhead.
+pub fn experiment_latency() -> LatencyModel {
+    LatencyModel::cluster_like()
+}
+
+/// Generates the query batch for one data point.
+pub fn query_batch(tables: usize, graph: JoinGraph, seed: u64, count: usize) -> Vec<Query> {
+    WorkloadGenerator::new(WorkloadConfig::with_graph(tables, graph), seed).batch(count)
+}
+
+/// Median of a sample (destructive; f64, NaN-free inputs expected).
+pub fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty sample");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty sample");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Half-width of the 95% confidence interval (normal approximation).
+pub fn ci95(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    1.96 * (var / values.len() as f64).sqrt()
+}
+
+/// Powers of two from 1 (or `from`) up to `max` inclusive.
+pub fn worker_counts(from: u64, max: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut w = from.max(1);
+    while w <= max {
+        v.push(w);
+        w *= 2;
+    }
+    v
+}
+
+/// One measured data point of an MPQ run, aggregated over a query batch by
+/// medians (as in the paper's Figures 1, 2, 4, 5).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpqPoint {
+    /// Median total optimization time, ms.
+    pub time_ms: f64,
+    /// Median max-over-workers pure optimization time, ms.
+    pub w_time_ms: f64,
+    /// Median network bytes.
+    pub net_bytes: f64,
+    /// Median max-over-workers stored relations.
+    pub memory_relations: f64,
+}
+
+/// Runs MPQ on each query of `batch` with `workers` workers and reports
+/// the median metrics.
+pub fn run_mpq_point(
+    batch: &[Query],
+    space: PlanSpace,
+    objective: Objective,
+    workers: u64,
+) -> MpqPoint {
+    let opt = MpqOptimizer::new(MpqConfig {
+        latency: experiment_latency(),
+    });
+    let mut time = Vec::new();
+    let mut wtime = Vec::new();
+    let mut net = Vec::new();
+    let mut mem = Vec::new();
+    for q in batch {
+        let out = opt.optimize(q, space, objective, workers);
+        time.push(out.metrics.total_micros as f64 / 1e3);
+        wtime.push(out.metrics.max_worker_micros as f64 / 1e3);
+        net.push(out.metrics.network.total_bytes() as f64);
+        mem.push(out.metrics.max_worker_stored_sets as f64);
+    }
+    MpqPoint {
+        time_ms: median(&mut time),
+        w_time_ms: median(&mut wtime),
+        net_bytes: median(&mut net),
+        memory_relations: median(&mut mem),
+    }
+}
+
+/// One measured data point of an SMA run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmaPoint {
+    /// Median total optimization time, ms.
+    pub time_ms: f64,
+    /// Median network bytes.
+    pub net_bytes: f64,
+    /// Median replica memory (relations).
+    pub memory_relations: f64,
+}
+
+/// Runs SMA on each query of `batch` with `workers` workers and reports
+/// the median metrics.
+pub fn run_sma_point(
+    batch: &[Query],
+    space: PlanSpace,
+    objective: Objective,
+    workers: usize,
+) -> SmaPoint {
+    let opt = SmaOptimizer::new(SmaConfig {
+        latency: experiment_latency(),
+    });
+    let mut time = Vec::new();
+    let mut net = Vec::new();
+    let mut mem = Vec::new();
+    for q in batch {
+        let out = opt.optimize(q, space, objective, workers);
+        time.push(out.metrics.total_micros as f64 / 1e3);
+        net.push(out.metrics.network.total_bytes() as f64);
+        mem.push(out.metrics.replica_stats.stored_sets as f64);
+    }
+    SmaPoint {
+        time_ms: median(&mut time),
+        net_bytes: median(&mut net),
+        memory_relations: median(&mut mem),
+    }
+}
+
+/// Pretty-prints a table: a header row and aligned numeric rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Formats a float with engineering-style precision for table cells.
+pub fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn mean_and_ci() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(ci95(&[5.0]), 0.0);
+        assert!(ci95(&[1.0, 2.0, 3.0]) > 0.0);
+        assert_eq!(ci95(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn worker_count_series() {
+        assert_eq!(worker_counts(1, 8), vec![1, 2, 4, 8]);
+        assert_eq!(worker_counts(16, 8), Vec::<u64>::new());
+        assert_eq!(worker_counts(2, 2), vec![2]);
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(0.5), "0.5000");
+        assert_eq!(fmt_num(12.345), "12.35");
+        assert_eq!(fmt_num(1234.0), "1234");
+        assert!(fmt_num(2.5e7).contains('e'));
+    }
+
+    #[test]
+    fn mpq_point_runs() {
+        let batch = query_batch(6, JoinGraph::Star, 1, 2);
+        let p = run_mpq_point(&batch, PlanSpace::Linear, Objective::Single, 4);
+        assert!(p.time_ms > 0.0);
+        assert!(p.net_bytes > 0.0);
+        assert!(p.memory_relations > 0.0);
+    }
+
+    #[test]
+    fn sma_point_runs() {
+        let batch = query_batch(5, JoinGraph::Star, 2, 2);
+        let p = run_sma_point(&batch, PlanSpace::Linear, Objective::Single, 2);
+        assert!(p.time_ms > 0.0);
+        assert!(p.net_bytes > 0.0);
+    }
+}

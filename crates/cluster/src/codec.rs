@@ -1,0 +1,699 @@
+//! Binary wire format.
+//!
+//! A small, explicit, length-checked binary codec. Fixed-width
+//! little-endian primitives; collections are length-prefixed with `u32`.
+//! Every type that crosses the simulated network implements [`Wire`];
+//! the byte counts produced here are the "Network (bytes)" series of the
+//! paper's figures, so the format is deliberately compact (a query costs
+//! `O(b_q)`, a plan `O(b_p)` — both linear in the query size).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
+use mpq_dp::WorkerStats;
+use mpq_model::{Catalog, JoinGraph, Predicate, Query, TableSet, TableStats};
+use mpq_partition::PlanSpace;
+use mpq_plan::{Plan, PlanEntry, PlanNode};
+use std::fmt;
+
+/// Error produced when decoding a malformed or truncated message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes remained than the decoder needed.
+    Truncated {
+        /// Bytes required by the read.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// An enum discriminant byte had no defined meaning.
+    BadTag {
+        /// The offending discriminant.
+        tag: u8,
+        /// The type being decoded.
+        ty: &'static str,
+    },
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow(u64),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated message: needed {needed} bytes, had {available}"
+                )
+            }
+            DecodeError::BadTag { tag, ty } => write!(f, "invalid tag {tag} for {ty}"),
+            DecodeError::LengthOverflow(n) => write!(f, "length prefix {n} exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Sanity cap on decoded collection lengths (defense against corrupted
+/// length prefixes).
+const MAX_LEN: u64 = 1 << 28;
+
+/// Streaming encoder over a growable buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(256),
+        }
+    }
+
+    /// Finalizes and returns the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Writes a `u32` (little endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Writes a `u64` (little endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Writes an `f64` (IEEE-754 bits, little endian).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Writes a collection length prefix.
+    pub fn put_len(&mut self, len: usize) {
+        self.put_u32(u32::try_from(len).expect("collection too large to encode"));
+    }
+}
+
+/// Cursor-style decoder over received bytes.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn need(&self, n: usize) -> Result<(), DecodeError> {
+        if self.buf.len() < n {
+            Err(DecodeError::Truncated {
+                needed: n,
+                available: self.buf.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        self.need(1)?;
+        let v = self.buf[0];
+        self.buf = &self.buf[1..];
+        Ok(v)
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        self.need(4)?;
+        let mut b = self.buf;
+        let v = b.get_u32_le();
+        self.buf = b;
+        Ok(v)
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        self.need(8)?;
+        let mut b = self.buf;
+        let v = b.get_u64_le();
+        self.buf = b;
+        Ok(v)
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        self.need(8)?;
+        let mut b = self.buf;
+        let v = b.get_f64_le();
+        self.buf = b;
+        Ok(v)
+    }
+
+    /// Reads a collection length prefix.
+    pub fn get_len(&mut self) -> Result<usize, DecodeError> {
+        let v = self.get_u32()? as u64;
+        if v > MAX_LEN {
+            return Err(DecodeError::LengthOverflow(v));
+        }
+        Ok(v as usize)
+    }
+}
+
+/// Types that can cross the simulated network.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+    /// Decodes one value, consuming bytes from `dec`.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: encodes `self` into a fresh byte buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Convenience: decodes a value from `buf`, requiring full consumption.
+    fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(buf);
+        let v = Self::decode(&mut dec)?;
+        Ok(v)
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_u64()
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_f64()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_len(self.len());
+        for v in self {
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.get_len()?;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for TableSet {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.bits());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TableSet(dec.get_u64()?))
+    }
+}
+
+impl Wire for TableStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.cardinality);
+        enc.put_f64(self.tuple_bytes);
+        enc.put_f64(self.join_domain);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TableStats {
+            cardinality: dec.get_f64()?,
+            tuple_bytes: dec.get_f64()?,
+            join_domain: dec.get_f64()?,
+        })
+    }
+}
+
+impl Wire for Predicate {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.left as u8);
+        enc.put_u8(self.right as u8);
+        enc.put_f64(self.selectivity);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Predicate {
+            left: dec.get_u8()? as usize,
+            right: dec.get_u8()? as usize,
+            selectivity: dec.get_f64()?,
+        })
+    }
+}
+
+impl Wire for JoinGraph {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            JoinGraph::Chain => 0,
+            JoinGraph::Star => 1,
+            JoinGraph::Cycle => 2,
+            JoinGraph::Clique => 3,
+        });
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(JoinGraph::Chain),
+            1 => Ok(JoinGraph::Star),
+            2 => Ok(JoinGraph::Cycle),
+            3 => Ok(JoinGraph::Clique),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "JoinGraph",
+            }),
+        }
+    }
+}
+
+impl Wire for Query {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_len(self.catalog.len());
+        for (_, s) in self.catalog.iter() {
+            s.encode(enc);
+        }
+        self.predicates.encode(enc);
+        self.graph.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.get_len()?;
+        let mut stats = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            stats.push(TableStats::decode(dec)?);
+        }
+        Ok(Query {
+            catalog: Catalog::from_stats(stats),
+            predicates: Vec::<Predicate>::decode(dec)?,
+            graph: JoinGraph::decode(dec)?,
+        })
+    }
+}
+
+impl Wire for CostVector {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.time);
+        enc.put_f64(self.buffer);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(CostVector {
+            time: dec.get_f64()?,
+            buffer: dec.get_f64()?,
+        })
+    }
+}
+
+impl Wire for Order {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.to_code());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Order::from_code(dec.get_u8()?))
+    }
+}
+
+impl Wire for ScanOp {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            ScanOp::Full => 0,
+        });
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(ScanOp::Full),
+            tag => Err(DecodeError::BadTag { tag, ty: "ScanOp" }),
+        }
+    }
+}
+
+impl Wire for JoinOp {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            JoinOp::NestedLoop => 0,
+            JoinOp::Hash => 1,
+            JoinOp::SortMerge => 2,
+        });
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(JoinOp::NestedLoop),
+            1 => Ok(JoinOp::Hash),
+            2 => Ok(JoinOp::SortMerge),
+            tag => Err(DecodeError::BadTag { tag, ty: "JoinOp" }),
+        }
+    }
+}
+
+impl Wire for PlanSpace {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            PlanSpace::Linear => 0,
+            PlanSpace::Bushy => 1,
+        });
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(PlanSpace::Linear),
+            1 => Ok(PlanSpace::Bushy),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "PlanSpace",
+            }),
+        }
+    }
+}
+
+impl Wire for Objective {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Objective::Single => enc.put_u8(0),
+            Objective::Multi { alpha } => {
+                enc.put_u8(1);
+                enc.put_f64(*alpha);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(Objective::Single),
+            1 => Ok(Objective::Multi {
+                alpha: dec.get_f64()?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "Objective",
+            }),
+        }
+    }
+}
+
+impl Wire for Plan {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Plan::Scan {
+                table,
+                op,
+                cost,
+                cardinality,
+            } => {
+                enc.put_u8(0);
+                enc.put_u8(*table);
+                op.encode(enc);
+                cost.encode(enc);
+                enc.put_f64(*cardinality);
+            }
+            Plan::Join {
+                op,
+                left,
+                right,
+                cost,
+                cardinality,
+                order,
+            } => {
+                enc.put_u8(1);
+                op.encode(enc);
+                cost.encode(enc);
+                enc.put_f64(*cardinality);
+                order.encode(enc);
+                left.encode(enc);
+                right.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(Plan::Scan {
+                table: dec.get_u8()?,
+                op: ScanOp::decode(dec)?,
+                cost: CostVector::decode(dec)?,
+                cardinality: dec.get_f64()?,
+            }),
+            1 => Ok(Plan::Join {
+                op: JoinOp::decode(dec)?,
+                cost: CostVector::decode(dec)?,
+                cardinality: dec.get_f64()?,
+                order: Order::decode(dec)?,
+                left: Box::new(Plan::decode(dec)?),
+                right: Box::new(Plan::decode(dec)?),
+            }),
+            tag => Err(DecodeError::BadTag { tag, ty: "Plan" }),
+        }
+    }
+}
+
+impl Wire for PlanNode {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            PlanNode::Scan { table, op } => {
+                enc.put_u8(0);
+                enc.put_u8(*table);
+                op.encode(enc);
+            }
+            PlanNode::Join {
+                op,
+                left,
+                left_idx,
+                right,
+                right_idx,
+            } => {
+                enc.put_u8(1);
+                op.encode(enc);
+                left.encode(enc);
+                enc.put_u32(*left_idx);
+                right.encode(enc);
+                enc.put_u32(*right_idx);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(PlanNode::Scan {
+                table: dec.get_u8()?,
+                op: ScanOp::decode(dec)?,
+            }),
+            1 => Ok(PlanNode::Join {
+                op: JoinOp::decode(dec)?,
+                left: TableSet::decode(dec)?,
+                left_idx: dec.get_u32()?,
+                right: TableSet::decode(dec)?,
+                right_idx: dec.get_u32()?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "PlanNode",
+            }),
+        }
+    }
+}
+
+impl Wire for PlanEntry {
+    fn encode(&self, enc: &mut Encoder) {
+        self.cost.encode(enc);
+        self.order.encode(enc);
+        self.node.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(PlanEntry {
+            cost: CostVector::decode(dec)?,
+            order: Order::decode(dec)?,
+            node: PlanNode::decode(dec)?,
+        })
+    }
+}
+
+impl Wire for WorkerStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.stored_sets);
+        enc.put_u64(self.total_entries);
+        enc.put_u64(self.splits_tried);
+        enc.put_u64(self.plans_generated);
+        enc.put_u64(self.optimize_micros);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(WorkerStats {
+            stored_sets: dec.get_u64()?,
+            total_entries: dec.get_u64()?,
+            splits_tried: dec.get_u64()?,
+            plans_generated: dec.get_u64()?,
+            optimize_micros: dec.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&42u64);
+        roundtrip(&3.25f64);
+        roundtrip(&vec![1u64, 2, 3]);
+        roundtrip(&Vec::<u64>::new());
+    }
+
+    #[test]
+    fn model_types_roundtrip() {
+        roundtrip(&TableSet::from_tables([0, 5, 63]));
+        roundtrip(&TableStats {
+            cardinality: 123.0,
+            tuple_bytes: 99.0,
+            join_domain: 7.0,
+        });
+        roundtrip(&Predicate {
+            left: 3,
+            right: 9,
+            selectivity: 0.015625,
+        });
+        for g in JoinGraph::ALL {
+            roundtrip(&g);
+        }
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = WorkloadGenerator::new(WorkloadConfig::paper_default(12), 5).next_query();
+        roundtrip(&q);
+    }
+
+    #[test]
+    fn cost_types_roundtrip() {
+        roundtrip(&CostVector::new(1.5, 2.5));
+        roundtrip(&Order::None);
+        roundtrip(&Order::OnAttribute(17));
+        roundtrip(&ScanOp::Full);
+        for op in mpq_cost::JOIN_OPS {
+            roundtrip(&op);
+        }
+        roundtrip(&PlanSpace::Linear);
+        roundtrip(&PlanSpace::Bushy);
+        roundtrip(&Objective::Single);
+        roundtrip(&Objective::Multi { alpha: 10.0 });
+    }
+
+    #[test]
+    fn plan_roundtrip() {
+        let q = WorkloadGenerator::new(WorkloadConfig::paper_default(6), 8).next_query();
+        let out = mpq_dp::optimize_serial(&q, PlanSpace::Bushy, Objective::Single);
+        roundtrip(&out.plans[0]);
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = PlanEntry::join(
+            JoinOp::SortMerge,
+            TableSet::from_tables([0, 1]),
+            7,
+            TableSet::singleton(2),
+            0,
+            CostVector::new(5.0, 6.0),
+            Order::OnAttribute(1),
+        );
+        roundtrip(&e);
+        roundtrip(&WorkerStats {
+            stored_sets: 1,
+            total_entries: 2,
+            splits_tried: 3,
+            plans_generated: 4,
+            optimize_micros: 5,
+        });
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let q = WorkloadGenerator::new(WorkloadConfig::paper_default(4), 1).next_query();
+        let bytes = q.to_bytes();
+        for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Query::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        assert!(matches!(
+            JoinGraph::from_bytes(&[9]),
+            Err(DecodeError::BadTag {
+                tag: 9,
+                ty: "JoinGraph"
+            })
+        ));
+        assert!(JoinOp::from_bytes(&[7]).is_err());
+        assert!(Plan::from_bytes(&[2]).is_err());
+    }
+
+    #[test]
+    fn length_overflow_rejected() {
+        // A Vec<u64> with a bogus huge length prefix.
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX);
+        let bytes = enc.finish();
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(DecodeError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn query_size_linear_in_tables() {
+        // b_q must grow linearly in n (Theorem 1's premise).
+        let q8 = WorkloadGenerator::new(WorkloadConfig::paper_default(8), 2).next_query();
+        let q16 = WorkloadGenerator::new(WorkloadConfig::paper_default(16), 2).next_query();
+        let b8 = q8.to_bytes().len();
+        let b16 = q16.to_bytes().len();
+        assert!(b16 < 3 * b8, "encoding must stay linear: {b8} -> {b16}");
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::Truncated {
+            needed: 8,
+            available: 3,
+        };
+        assert!(e.to_string().contains("truncated"));
+        let e = DecodeError::BadTag { tag: 5, ty: "X" };
+        assert!(e.to_string().contains("tag 5"));
+    }
+}

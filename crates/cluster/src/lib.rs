@@ -1,0 +1,30 @@
+//! Simulated shared-nothing cluster substrate.
+//!
+//! The paper evaluates on a 100-node Spark/Yarn cluster; this crate
+//! reproduces the *shared-nothing discipline* of that environment on one
+//! machine so that the algorithmic properties under test — communication
+//! rounds, bytes on the wire, per-worker state — are exercised by real code
+//! paths:
+//!
+//! * Worker nodes are OS threads with **fully private state**: the only way
+//!   data moves between the master and a worker is a serialized message.
+//! * Every message is encoded through the binary [`codec`], its size is
+//!   added to the [`NetworkMetrics`] byte counters, and it is decoded on
+//!   the receiving side — nothing crosses by reference.
+//! * A configurable [`LatencyModel`] charges task-assignment overhead and
+//!   transfer latency per message, mimicking the "high network latency and
+//!   task assignment overheads" of the paper's Spark setup.
+//!
+//! The [`runtime::Cluster`] is protocol-agnostic: the MPQ algorithm
+//! (`mpq-algo`) and the SMA baseline (`mpq-sma`) implement their own
+//! message types on top of [`codec::Wire`].
+
+pub mod codec;
+pub mod latency;
+pub mod metrics;
+pub mod runtime;
+
+pub use codec::{DecodeError, Decoder, Encoder, Wire};
+pub use latency::LatencyModel;
+pub use metrics::{NetworkMetrics, NetworkSnapshot};
+pub use runtime::{Cluster, Control, WorkerCtx, WorkerLogic};

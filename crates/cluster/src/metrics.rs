@@ -1,0 +1,129 @@
+//! Network accounting.
+//!
+//! Every byte crossing the simulated network is counted here; the totals
+//! are the "Network (bytes)" series of Figures 1, 2, 4 and 5. Counters are
+//! atomic because workers send concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe network counters for one cluster.
+#[derive(Debug, Default)]
+pub struct NetworkMetrics {
+    master_to_worker_bytes: AtomicU64,
+    worker_to_master_bytes: AtomicU64,
+    messages: AtomicU64,
+    rounds: AtomicU64,
+}
+
+impl NetworkMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a master → worker message of `bytes` bytes.
+    pub fn record_to_worker(&self, bytes: u64) {
+        self.master_to_worker_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker → master message of `bytes` bytes.
+    pub fn record_to_master(&self, bytes: u64) {
+        self.worker_to_master_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the start of a new coordination round (the MPQ algorithm has
+    /// exactly one; SMA has one per join-result cardinality).
+    pub fn record_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.master_to_worker_bytes.store(0, Ordering::Relaxed);
+        self.worker_to_master_bytes.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+        self.rounds.store(0, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        NetworkSnapshot {
+            master_to_worker_bytes: self.master_to_worker_bytes.load(Ordering::Relaxed),
+            worker_to_master_bytes: self.worker_to_master_bytes.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the [`NetworkMetrics`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkSnapshot {
+    /// Bytes sent from the master to workers.
+    pub master_to_worker_bytes: u64,
+    /// Bytes sent from workers to the master.
+    pub worker_to_master_bytes: u64,
+    /// Total number of messages.
+    pub messages: u64,
+    /// Number of coordination rounds.
+    pub rounds: u64,
+}
+
+impl NetworkSnapshot {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.master_to_worker_bytes + self.worker_to_master_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = NetworkMetrics::new();
+        m.record_to_worker(100);
+        m.record_to_worker(50);
+        m.record_to_master(7);
+        m.record_round();
+        let s = m.snapshot();
+        assert_eq!(s.master_to_worker_bytes, 150);
+        assert_eq!(s.worker_to_master_bytes, 7);
+        assert_eq!(s.total_bytes(), 157);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.rounds, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = NetworkMetrics::new();
+        m.record_to_worker(1);
+        m.reset();
+        assert_eq!(m.snapshot(), NetworkSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        use std::sync::Arc;
+        let m = Arc::new(NetworkMetrics::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_to_master(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().worker_to_master_bytes, 8000);
+    }
+}

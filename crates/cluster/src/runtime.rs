@@ -1,0 +1,321 @@
+//! The threaded node runtime.
+//!
+//! A [`Cluster`] owns one OS thread per worker node. Workers hold fully
+//! private state (their [`WorkerLogic`] value moves into the thread) and
+//! interact with the master exclusively through serialized, byte-counted,
+//! latency-charged messages. The master-side protocol runs on the caller's
+//! thread via [`Cluster::send`] / [`Cluster::recv`].
+
+use crate::latency::LatencyModel;
+use crate::metrics::NetworkMetrics;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a worker wants to happen after handling a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep the worker alive and wait for the next message.
+    Continue,
+    /// Terminate the worker thread.
+    Shutdown,
+}
+
+/// Worker-side handle for replying to the master.
+pub struct WorkerCtx {
+    worker_id: usize,
+    to_master: Sender<(usize, Envelope)>,
+    metrics: Arc<NetworkMetrics>,
+    latency: LatencyModel,
+}
+
+impl WorkerCtx {
+    /// This worker's node id (0-based).
+    pub fn worker_id(&self) -> usize {
+        self.worker_id
+    }
+
+    /// Sends a serialized reply to the master. The payload size is counted
+    /// and the transfer delay is charged on the master side.
+    pub fn send_to_master(&self, payload: Bytes) {
+        self.metrics.record_to_master(payload.len() as u64);
+        let delay = self.latency.delay(payload.len(), false);
+        // The channel being closed means the master is gone (cluster drop
+        // mid-protocol); the reply is moot then.
+        let _ = self
+            .to_master
+            .send((self.worker_id, Envelope { payload, delay }));
+    }
+}
+
+/// Per-node protocol logic, supplied by the algorithm crates.
+pub trait WorkerLogic: Send + 'static {
+    /// Handles one message from the master.
+    fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control;
+}
+
+/// Blanket implementation so simple protocols can be closures.
+impl<F> WorkerLogic for F
+where
+    F: FnMut(Bytes, &mut WorkerCtx) -> Control + Send + 'static,
+{
+    fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
+        self(payload, ctx)
+    }
+}
+
+struct Envelope {
+    payload: Bytes,
+    delay: Duration,
+}
+
+enum ToWorker {
+    Message(Envelope),
+    Shutdown,
+}
+
+/// A simulated shared-nothing cluster: `m` worker threads plus the
+/// master-side API on the calling thread.
+pub struct Cluster {
+    to_workers: Vec<Sender<ToWorker>>,
+    from_workers: Receiver<(usize, Envelope)>,
+    handles: Vec<JoinHandle<()>>,
+    metrics: Arc<NetworkMetrics>,
+    latency: LatencyModel,
+}
+
+impl Cluster {
+    /// Spawns `num_workers` worker threads. `factory(i)` builds the logic
+    /// value for worker `i`; it is moved into that worker's thread, so
+    /// workers cannot share state.
+    pub fn spawn<L, F>(num_workers: usize, latency: LatencyModel, mut factory: F) -> Cluster
+    where
+        L: WorkerLogic,
+        F: FnMut(usize) -> L,
+    {
+        assert!(num_workers >= 1, "a cluster needs at least one worker");
+        let metrics = Arc::new(NetworkMetrics::new());
+        let (master_tx, from_workers) = unbounded::<(usize, Envelope)>();
+        let mut to_workers = Vec::with_capacity(num_workers);
+        let mut handles = Vec::with_capacity(num_workers);
+        for id in 0..num_workers {
+            let (tx, rx) = unbounded::<ToWorker>();
+            to_workers.push(tx);
+            let mut logic = factory(id);
+            let mut ctx = WorkerCtx {
+                worker_id: id,
+                to_master: master_tx.clone(),
+                metrics: Arc::clone(&metrics),
+                latency,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("mpq-worker-{id}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            ToWorker::Message(env) => {
+                                if !env.delay.is_zero() {
+                                    std::thread::sleep(env.delay);
+                                }
+                                if logic.on_message(env.payload, &mut ctx) == Control::Shutdown {
+                                    break;
+                                }
+                            }
+                            ToWorker::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        Cluster {
+            to_workers,
+            from_workers,
+            handles,
+            metrics,
+            latency,
+        }
+    }
+
+    /// Number of worker nodes.
+    pub fn num_workers(&self) -> usize {
+        self.to_workers.len()
+    }
+
+    /// The shared network counters.
+    pub fn metrics(&self) -> &NetworkMetrics {
+        &self.metrics
+    }
+
+    /// Sends a serialized message to worker `id`. `is_assignment` marks
+    /// task-assignment messages, which carry extra launch overhead in the
+    /// latency model.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or the worker already shut down.
+    pub fn send(&self, id: usize, payload: Bytes, is_assignment: bool) {
+        self.metrics.record_to_worker(payload.len() as u64);
+        let delay = self.latency.delay(payload.len(), is_assignment);
+        self.to_workers[id]
+            .send(ToWorker::Message(Envelope { payload, delay }))
+            .expect("worker alive");
+    }
+
+    /// Sends the same payload to every worker (counted once per worker —
+    /// a cluster switch still delivers `m` copies).
+    pub fn broadcast(&self, payload: &Bytes, is_assignment: bool) {
+        for id in 0..self.num_workers() {
+            self.send(id, payload.clone(), is_assignment);
+        }
+    }
+
+    /// Receives the next worker reply, blocking. The reply's transfer
+    /// delay is charged here (master side).
+    ///
+    /// # Panics
+    /// Panics if every worker has shut down and no replies remain.
+    pub fn recv(&self) -> (usize, Bytes) {
+        let (id, env) = self.from_workers.recv().expect("workers alive");
+        if !env.delay.is_zero() {
+            std::thread::sleep(env.delay);
+        }
+        (id, env.payload)
+    }
+
+    /// Receives exactly `n` replies.
+    pub fn recv_n(&self, n: usize) -> Vec<(usize, Bytes)> {
+        (0..n).map(|_| self.recv()).collect()
+    }
+
+    /// Shuts every worker down and joins the threads.
+    pub fn shutdown(mut self) {
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo worker: replies with its payload.
+    fn echo() -> impl WorkerLogic {
+        |payload: Bytes, ctx: &mut WorkerCtx| {
+            ctx.send_to_master(payload);
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_one_worker() {
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo());
+        cluster.send(0, Bytes::from_static(b"hello"), true);
+        let (id, reply) = cluster.recv();
+        assert_eq!(id, 0);
+        assert_eq!(&reply[..], b"hello");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn bytes_are_counted_both_ways() {
+        let cluster = Cluster::spawn(2, LatencyModel::ZERO, |_| echo());
+        cluster.send(0, Bytes::from_static(b"abcd"), false);
+        cluster.send(1, Bytes::from_static(b"xy"), false);
+        let _ = cluster.recv_n(2);
+        let s = cluster.metrics().snapshot();
+        assert_eq!(s.master_to_worker_bytes, 6);
+        assert_eq!(s.worker_to_master_bytes, 6);
+        assert_eq!(s.messages, 4);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn broadcast_counts_per_worker() {
+        let cluster = Cluster::spawn(4, LatencyModel::ZERO, |_| echo());
+        cluster.broadcast(&Bytes::from_static(b"123"), false);
+        let _ = cluster.recv_n(4);
+        assert_eq!(cluster.metrics().snapshot().master_to_worker_bytes, 12);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn workers_have_private_state() {
+        // Each worker counts its own messages; counts must not mix.
+        let cluster = Cluster::spawn(2, LatencyModel::ZERO, |_| {
+            let mut count = 0u64;
+            move |_payload: Bytes, ctx: &mut WorkerCtx| {
+                count += 1;
+                ctx.send_to_master(Bytes::copy_from_slice(&count.to_le_bytes()));
+                Control::Continue
+            }
+        });
+        cluster.send(0, Bytes::from_static(b""), false);
+        cluster.send(0, Bytes::from_static(b""), false);
+        cluster.send(1, Bytes::from_static(b""), false);
+        let replies = cluster.recv_n(3);
+        let count_of = |id: usize| {
+            replies
+                .iter()
+                .filter(|(i, _)| *i == id)
+                .map(|(_, b)| u64::from_le_bytes(b[..8].try_into().unwrap()))
+                .max()
+                .unwrap()
+        };
+        assert_eq!(count_of(0), 2);
+        assert_eq!(count_of(1), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let latency = LatencyModel {
+            per_message_us: 20_000,
+            per_kib_us: 0,
+            task_launch_us: 0,
+        };
+        let cluster = Cluster::spawn(1, latency, |_| echo());
+        let t0 = std::time::Instant::now();
+        cluster.send(0, Bytes::from_static(b"x"), false);
+        let _ = cluster.recv();
+        // One delay on delivery to the worker, one on the reply.
+        assert!(t0.elapsed() >= Duration::from_micros(40_000));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn worker_can_request_shutdown() {
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| {
+            |_payload: Bytes, ctx: &mut WorkerCtx| {
+                ctx.send_to_master(Bytes::from_static(b"bye"));
+                Control::Shutdown
+            }
+        });
+        cluster.send(0, Bytes::from_static(b""), false);
+        let (_, reply) = cluster.recv();
+        assert_eq!(&reply[..], b"bye");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_threads() {
+        let cluster = Cluster::spawn(3, LatencyModel::ZERO, |_| echo());
+        drop(cluster); // must not hang or panic
+    }
+}

@@ -1,0 +1,25 @@
+//! Cardinality estimation and operator cost formulas.
+//!
+//! The paper (Section 6.1) uses "standard cost formulas [Steinbrunn et al.]
+//! to estimate the cost of standard join operators such as block-nested loop
+//! join, hash join, and sort-merge join", execution time as the first cost
+//! metric, and buffer-space consumption as the second metric for the
+//! multi-objective experiments. This crate implements exactly that:
+//!
+//! * [`cardinality`] — System-R style estimates under the independence
+//!   assumption; the estimate for a table set depends only on the set, never
+//!   on the plan producing it, which the dynamic program relies on.
+//! * [`operators`] — scan and join operator implementations
+//!   ([`JoinOp::NestedLoop`], [`JoinOp::Hash`], [`JoinOp::SortMerge`])
+//!   with their time and buffer cost formulas, and the sort orders they
+//!   require/produce (interesting orders, Section 5.4).
+//! * [`vector`] — fixed-arity cost vectors and (approximate) Pareto
+//!   domination used by single- and multi-objective pruning.
+
+pub mod cardinality;
+pub mod operators;
+pub mod vector;
+
+pub use cardinality::CardinalityEstimator;
+pub use operators::{JoinOp, Order, ScanOp, JOIN_OPS};
+pub use vector::{CostVector, Objective};

@@ -1,0 +1,45 @@
+//! The per-partition dynamic program — the `Worker` function of
+//! Algorithm 2.
+//!
+//! Given a query and a constraint set decoded from a partition ID, the
+//! worker
+//!
+//! 1. enumerates the admissible join results (`AdmJoinResults`,
+//!    crate `mpq-partition`),
+//! 2. seeds the memo with scan plans for every single table,
+//! 3. visits admissible sets in an order that guarantees subsets come
+//!    first, trying every constraint-respecting split of each set into two
+//!    operands (`TrySplits`, [`worker`]) and pruning dominated plans, and
+//! 4. reconstructs and returns the best complete plan(s) of the partition.
+//!
+//! Running the worker with an empty constraint set *is* the classical
+//! serial algorithm ("If we use one worker then MPQ is equivalent to the
+//! classical query optimization algorithms as it treats the same table sets
+//! in the same order", Section 6.2); [`optimize_serial`] exposes exactly
+//! that.
+//!
+//! Two memo layouts are provided (see [`memo`]): the **dense** mixed-radix
+//! layout (flat array, no hashing — the default) and a **hash-map** layout
+//! kept as an ablation baseline.
+
+pub mod memo;
+pub mod naive;
+pub mod parametric;
+pub mod reconstruct;
+pub mod stats;
+pub mod topdown;
+pub mod worker;
+
+pub use memo::{DenseMemo, HashMemo, MemoStore};
+pub use naive::{exhaustive_frontier, exhaustive_linear_best_time};
+pub use parametric::{
+    interpolate, merge_parametric, optimize_parametric, optimize_parametric_partition, pick_for,
+    ParametricOutcome, ParametricQuery,
+};
+pub use reconstruct::reconstruct_plan;
+pub use stats::WorkerStats;
+pub use topdown::optimize_partition_topdown;
+pub use worker::{
+    compute_entries_for_set, optimize_partition, optimize_partition_id, optimize_partition_with,
+    optimize_serial, PartitionOutcome,
+};

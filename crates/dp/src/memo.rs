@@ -1,0 +1,336 @@
+//! Memo tables: the `P` array of Algorithm 2.
+//!
+//! The memo maps each admissible table set to the list of surviving plan
+//! entries for that set. Single tables are stored separately — the paper
+//! notes that singleton sets need not be part of the admissible-set
+//! enumeration because scans are always constructed (Section 4.2).
+//!
+//! Two layouts:
+//!
+//! * [`DenseMemo`] — a flat `Vec` addressed by the dense mixed-radix index
+//!   of [`AdmissibleSets`]. O(1) lookup, no hashing, perfectly sized to the
+//!   partition: memory shrinks with the constraint count exactly as
+//!   Theorem 4 predicts. This is the default.
+//! * [`HashMemo`] — a `HashMap` keyed by the set bit-pattern with a cheap
+//!   multiplicative hasher. Kept as the ablation baseline
+//!   (`ablation_memo` bench) and as the layout the SMA baseline uses for
+//!   its replicated memo (SMA has no constraint structure to index by).
+
+use mpq_model::TableSet;
+use mpq_partition::AdmissibleSets;
+use mpq_plan::PlanEntry;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Cheap multiplicative hasher for `u64` set bit-patterns (Fibonacci
+/// hashing). Table sets are already well-distributed bit patterns, so a
+/// single multiply mixes them adequately; this avoids SipHash overhead on
+/// the hot path of the hash-memo ablation.
+#[derive(Default)]
+pub struct SetHasher(u64);
+
+impl Hasher for SetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+type SetHashBuilder = BuildHasherDefault<SetHasher>;
+
+static EMPTY_SLOT: Vec<PlanEntry> = Vec::new();
+
+/// Common interface of the memo layouts.
+pub trait MemoStore {
+    /// Plan entries stored for `set`. Singleton sets resolve to the scan
+    /// entries; unknown or empty sets resolve to an empty slice.
+    fn entries(&self, set: TableSet) -> &[PlanEntry];
+
+    /// Moves the slot for a non-singleton `set` out of the memo (the DP
+    /// takes a slot, inserts into it while reading child slots, and puts it
+    /// back — sidestepping aliasing between the slot and its children).
+    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry>;
+
+    /// Returns a slot taken with [`MemoStore::take_slot`].
+    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>);
+
+    /// Scan entries for single table `t`.
+    fn single_entries(&self, t: usize) -> &[PlanEntry];
+
+    /// Mutable access to the scan entries of table `t` (seeding).
+    fn single_slot_mut(&mut self, t: usize) -> &mut Vec<PlanEntry>;
+
+    /// Number of table sets (including single tables) with at least one
+    /// stored entry — the paper's "Memory (relations)" metric.
+    fn stored_sets(&self) -> u64;
+
+    /// Total number of stored entries.
+    fn total_entries(&self) -> u64;
+}
+
+/// Flat-array memo addressed by the dense mixed-radix index.
+pub struct DenseMemo {
+    adm: AdmissibleSets,
+    slots: Vec<Vec<PlanEntry>>,
+    singles: Vec<Vec<PlanEntry>>,
+}
+
+impl DenseMemo {
+    /// Creates an empty memo sized for the partition's admissible sets.
+    pub fn new(adm: AdmissibleSets) -> Self {
+        let n = adm.num_tables();
+        let total = adm.len();
+        DenseMemo {
+            adm,
+            slots: vec![Vec::new(); total],
+            singles: vec![Vec::new(); n],
+        }
+    }
+
+    /// The admissible-set index this memo is laid out by.
+    pub fn admissible(&self) -> &AdmissibleSets {
+        &self.adm
+    }
+
+    /// Direct slot access by dense index (hot path of the DP main loop,
+    /// avoiding a second `index_of`).
+    pub fn take_slot_at(&mut self, idx: usize) -> Vec<PlanEntry> {
+        std::mem::take(&mut self.slots[idx])
+    }
+
+    /// Companion of [`DenseMemo::take_slot_at`].
+    pub fn put_slot_at(&mut self, idx: usize, slot: Vec<PlanEntry>) {
+        self.slots[idx] = slot;
+    }
+}
+
+impl MemoStore for DenseMemo {
+    #[inline]
+    fn entries(&self, set: TableSet) -> &[PlanEntry] {
+        if set.len() == 1 {
+            return &self.singles[set.min_table().expect("non-empty")];
+        }
+        match self.adm.index_of(set) {
+            Some(i) => &self.slots[i],
+            None => &EMPTY_SLOT,
+        }
+    }
+
+    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry> {
+        let i = self.adm.index_of(set).expect("slot for admissible set");
+        std::mem::take(&mut self.slots[i])
+    }
+
+    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>) {
+        let i = self.adm.index_of(set).expect("slot for admissible set");
+        self.slots[i] = slot;
+    }
+
+    #[inline]
+    fn single_entries(&self, t: usize) -> &[PlanEntry] {
+        &self.singles[t]
+    }
+
+    fn single_slot_mut(&mut self, t: usize) -> &mut Vec<PlanEntry> {
+        &mut self.singles[t]
+    }
+
+    fn stored_sets(&self) -> u64 {
+        let sets = self.slots.iter().filter(|s| !s.is_empty()).count();
+        let singles = self.singles.iter().filter(|s| !s.is_empty()).count();
+        (sets + singles) as u64
+    }
+
+    fn total_entries(&self) -> u64 {
+        let a: usize = self.slots.iter().map(Vec::len).sum();
+        let b: usize = self.singles.iter().map(Vec::len).sum();
+        (a + b) as u64
+    }
+}
+
+/// Hash-map memo (ablation baseline; also used by the SMA replica).
+pub struct HashMemo {
+    map: HashMap<u64, Vec<PlanEntry>, SetHashBuilder>,
+    singles: Vec<Vec<PlanEntry>>,
+}
+
+impl HashMemo {
+    /// Creates an empty hash memo for an `n`-table query.
+    pub fn new(num_tables: usize) -> Self {
+        HashMemo {
+            map: HashMap::with_capacity_and_hasher(1024, SetHashBuilder::default()),
+            singles: vec![Vec::new(); num_tables],
+        }
+    }
+
+    /// Iterates over all non-singleton slots `(set, entries)`.
+    pub fn iter_sets(&self) -> impl Iterator<Item = (TableSet, &Vec<PlanEntry>)> {
+        self.map.iter().map(|(&bits, v)| (TableSet(bits), v))
+    }
+
+    /// Replaces (or creates) the slot for `set` wholesale — the SMA replica
+    /// applies broadcast deltas this way so that every node agrees on entry
+    /// indices.
+    pub fn replace_slot(&mut self, set: TableSet, entries: Vec<PlanEntry>) {
+        if set.len() == 1 {
+            self.singles[set.min_table().expect("non-empty")] = entries;
+        } else {
+            self.map.insert(set.bits(), entries);
+        }
+    }
+}
+
+impl MemoStore for HashMemo {
+    #[inline]
+    fn entries(&self, set: TableSet) -> &[PlanEntry] {
+        if set.len() == 1 {
+            return &self.singles[set.min_table().expect("non-empty")];
+        }
+        match self.map.get(&set.bits()) {
+            Some(v) => v,
+            None => &EMPTY_SLOT,
+        }
+    }
+
+    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry> {
+        self.map.remove(&set.bits()).unwrap_or_default()
+    }
+
+    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>) {
+        if !slot.is_empty() {
+            self.map.insert(set.bits(), slot);
+        }
+    }
+
+    #[inline]
+    fn single_entries(&self, t: usize) -> &[PlanEntry] {
+        &self.singles[t]
+    }
+
+    fn single_slot_mut(&mut self, t: usize) -> &mut Vec<PlanEntry> {
+        &mut self.singles[t]
+    }
+
+    fn stored_sets(&self) -> u64 {
+        let sets = self.map.values().filter(|s| !s.is_empty()).count();
+        let singles = self.singles.iter().filter(|s| !s.is_empty()).count();
+        (sets + singles) as u64
+    }
+
+    fn total_entries(&self) -> u64 {
+        let a: usize = self.map.values().map(Vec::len).sum();
+        let b: usize = self.singles.iter().map(Vec::len).sum();
+        (a + b) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_cost::{CostVector, ScanOp};
+    use mpq_partition::{partition_constraints, PlanSpace};
+
+    fn entry(time: f64) -> PlanEntry {
+        PlanEntry::scan(0, ScanOp::Full, CostVector::new(time, 0.0))
+    }
+
+    fn dense(n: usize, id: u64, m: u64) -> DenseMemo {
+        let cs = partition_constraints(n, PlanSpace::Linear, id, m);
+        DenseMemo::new(AdmissibleSets::new(&cs))
+    }
+
+    #[test]
+    fn dense_take_put_roundtrip() {
+        let mut memo = dense(4, 0, 2);
+        let set = TableSet::from_tables([0, 1]);
+        let mut slot = memo.take_slot(set);
+        assert!(slot.is_empty());
+        slot.push(entry(5.0));
+        memo.put_slot(set, slot);
+        assert_eq!(memo.entries(set).len(), 1);
+        assert_eq!(memo.stored_sets(), 1);
+        assert_eq!(memo.total_entries(), 1);
+    }
+
+    #[test]
+    fn dense_singles_are_separate() {
+        let mut memo = dense(4, 0, 2);
+        memo.single_slot_mut(2).push(entry(1.0));
+        assert_eq!(memo.single_entries(2).len(), 1);
+        assert_eq!(memo.entries(TableSet::singleton(2)).len(), 1);
+        // Table 1 is inadmissible as a set under Q0 ≺ Q1, but its scan is
+        // still reachable via the singles path.
+        memo.single_slot_mut(1).push(entry(2.0));
+        assert_eq!(memo.entries(TableSet::singleton(1)).len(), 1);
+    }
+
+    #[test]
+    fn dense_inadmissible_set_is_empty() {
+        let memo = dense(4, 0, 2); // Q0 ≺ Q1
+        assert!(memo.entries(TableSet::from_tables([1, 2])).is_empty());
+    }
+
+    #[test]
+    fn dense_index_fast_path_matches() {
+        let mut memo = dense(6, 1, 4);
+        let set = TableSet::from_tables([0, 1, 4]);
+        let idx = memo.admissible().index_of(set).unwrap();
+        let mut slot = memo.take_slot_at(idx);
+        slot.push(entry(9.0));
+        memo.put_slot_at(idx, slot);
+        assert_eq!(memo.entries(set).len(), 1);
+    }
+
+    #[test]
+    fn hash_memo_roundtrip() {
+        let mut memo = HashMemo::new(4);
+        let set = TableSet::from_tables([1, 3]);
+        let mut slot = memo.take_slot(set);
+        slot.push(entry(7.0));
+        memo.put_slot(set, slot);
+        assert_eq!(memo.entries(set).len(), 1);
+        memo.single_slot_mut(0).push(entry(1.0));
+        assert_eq!(memo.stored_sets(), 2);
+        assert_eq!(memo.total_entries(), 2);
+    }
+
+    #[test]
+    fn hash_memo_replace_slot() {
+        let mut memo = HashMemo::new(4);
+        let set = TableSet::from_tables([0, 1]);
+        memo.replace_slot(set, vec![entry(1.0), entry(2.0)]);
+        assert_eq!(memo.entries(set).len(), 2);
+        memo.replace_slot(set, vec![entry(3.0)]);
+        assert_eq!(memo.entries(set).len(), 1);
+        memo.replace_slot(TableSet::singleton(2), vec![entry(4.0)]);
+        assert_eq!(memo.single_entries(2).len(), 1);
+    }
+
+    #[test]
+    fn hash_memo_missing_is_empty() {
+        let memo = HashMemo::new(4);
+        assert!(memo.entries(TableSet::from_tables([0, 3])).is_empty());
+    }
+
+    #[test]
+    fn set_hasher_differentiates() {
+        use std::hash::BuildHasher;
+        let b = SetHashBuilder::default();
+        let h1 = b.hash_one(0b1010u64);
+        let h2 = b.hash_one(0b1011u64);
+        assert_ne!(h1, h2);
+    }
+}

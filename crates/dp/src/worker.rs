@@ -1,0 +1,657 @@
+//! The worker algorithm (Algorithm 2) and the split enumeration
+//! (Algorithm 5).
+//!
+//! `optimize_partition*` run the complete per-partition dynamic program:
+//! decode constraints → enumerate admissible join results → seed scans →
+//! bottom-up DP over admissible sets → reconstruct the partition-optimal
+//! plan(s).
+//!
+//! Split enumeration differs by plan space, as in the paper:
+//!
+//! * **Linear** ([`try_splits_linear`]): iterate the candidate inner (last
+//!   joined) table `u` over the members of the set and check the
+//!   precedence index in O(1) — complexity stays linear in the number of
+//!   *possible* splits, which the paper accepts because that number is
+//!   itself only linear in the set size.
+//! * **Bushy** ([`try_splits_bushy`]): build only the *admissible* operand
+//!   pairs as a Cartesian product of per-group admissible split parts —
+//!   never generating inadmissible splits, which is where the 21/27 time
+//!   factor of Theorem 7 comes from. A filter-after-enumerate variant
+//!   ([`try_splits_bushy_filtered`]) is kept for the `ablation_splits`
+//!   benchmark.
+
+use crate::memo::{DenseMemo, MemoStore};
+use crate::reconstruct::reconstruct_plan;
+use crate::stats::WorkerStats;
+use mpq_cost::{CardinalityEstimator, Objective, ScanOp, JOIN_OPS};
+use mpq_model::{Query, TableSet};
+use mpq_partition::{partition_constraints, AdmissibleSets, ConstraintSet, Grouping, PlanSpace};
+use mpq_plan::{Plan, PlanEntry, PruningPolicy};
+use std::time::Instant;
+
+/// Result of optimizing one plan-space partition.
+#[derive(Clone, Debug)]
+pub struct PartitionOutcome {
+    /// The partition-optimal complete plan(s): exactly one for
+    /// single-objective optimization, the partition's Pareto frontier for
+    /// multi-objective optimization.
+    pub plans: Vec<Plan>,
+    /// Counters describing the work performed.
+    pub stats: WorkerStats,
+}
+
+/// Optimizes the partition described by `constraints` using the default
+/// dense memo.
+pub fn optimize_partition(
+    query: &Query,
+    space: PlanSpace,
+    objective: Objective,
+    constraints: &ConstraintSet,
+) -> PartitionOutcome {
+    let adm = AdmissibleSets::new(constraints);
+    let mut memo = DenseMemo::new(adm.clone());
+    optimize_partition_with(query, space, objective, constraints, &adm, &mut memo)
+}
+
+/// Convenience wrapper: decodes `part_id` of `partitions` (Algorithm 3)
+/// and optimizes that partition.
+pub fn optimize_partition_id(
+    query: &Query,
+    space: PlanSpace,
+    objective: Objective,
+    part_id: u64,
+    partitions: u64,
+) -> PartitionOutcome {
+    let constraints = partition_constraints(query.num_tables(), space, part_id, partitions);
+    optimize_partition(query, space, objective, &constraints)
+}
+
+/// The classical serial optimizer: one partition, no constraints
+/// (equivalent to Selinger-style DP over the full space).
+pub fn optimize_serial(query: &Query, space: PlanSpace, objective: Objective) -> PartitionOutcome {
+    let grouping = Grouping::new(query.num_tables(), space);
+    let constraints = ConstraintSet::unconstrained(grouping);
+    optimize_partition(query, space, objective, &constraints)
+}
+
+/// Runs the dynamic program against a caller-provided memo (used by the
+/// memo-layout ablation and by tests).
+pub fn optimize_partition_with<M: MemoStore>(
+    query: &Query,
+    space: PlanSpace,
+    objective: Objective,
+    constraints: &ConstraintSet,
+    adm: &AdmissibleSets,
+    memo: &mut M,
+) -> PartitionOutcome {
+    let start = Instant::now();
+    let n = query.num_tables();
+    assert!(n >= 1, "query must join at least one table");
+    let mut est = CardinalityEstimator::new(query);
+    let policy = PruningPolicy::new(objective, n);
+    let mut stats = WorkerStats::default();
+
+    // Initialize best plans for single tables (Algorithm 2, lines 9-11).
+    for t in 0..n {
+        let cost = ScanOp::Full.cost(&mut est, t);
+        let entry = PlanEntry::scan(t as u8, ScanOp::Full, cost);
+        policy.try_insert(memo.single_slot_mut(t), entry);
+    }
+
+    // Scratch buffers reused across sets (no allocation in the hot loop).
+    let mut parts: Vec<u64> = Vec::new();
+    let mut group_bounds: Vec<(usize, usize)> = Vec::new();
+    let mut lefts: Vec<u64> = Vec::new();
+    let mut lefts_next: Vec<u64> = Vec::new();
+
+    // Ascending dense-index order visits every admissible subset of a set
+    // before the set itself, so iterating indices replaces the explicit
+    // iteration over result cardinalities of Algorithm 2.
+    for idx in 0..adm.len() {
+        let set = adm.set_at(idx);
+        if set.len() < 2 {
+            continue;
+        }
+        let mut slot = memo.take_slot(set);
+        match space {
+            PlanSpace::Linear => {
+                try_splits_linear(
+                    set,
+                    constraints,
+                    memo,
+                    &mut est,
+                    &policy,
+                    &mut slot,
+                    &mut stats,
+                );
+            }
+            PlanSpace::Bushy => {
+                enumerate_bushy_lefts(
+                    set,
+                    constraints,
+                    adm,
+                    &mut parts,
+                    &mut group_bounds,
+                    &mut lefts,
+                    &mut lefts_next,
+                );
+                try_splits_bushy(set, &lefts, memo, &mut est, &policy, &mut slot, &mut stats);
+            }
+        }
+        memo.put_slot(set, slot);
+    }
+
+    finish(query, memo, &mut est, &policy, stats, start)
+}
+
+/// Reconstructs the complete plans, applies the worker-side final prune
+/// and fills in the memory counters.
+fn finish<M: MemoStore>(
+    query: &Query,
+    memo: &M,
+    est: &mut CardinalityEstimator<'_>,
+    policy: &PruningPolicy,
+    mut stats: WorkerStats,
+    start: Instant,
+) -> PartitionOutcome {
+    let n = query.num_tables();
+    let full = TableSet::full(n);
+    let entries: Vec<PlanEntry> = memo.entries(full).to_vec();
+    let mut plans: Vec<Plan> = entries
+        .iter()
+        .map(|e| reconstruct_plan(memo, est, full, e))
+        .collect();
+    // Single-table queries: the "plan" is the scan itself.
+    if n == 1 {
+        plans = memo
+            .single_entries(0)
+            .iter()
+            .map(|e| reconstruct_plan(memo, est, TableSet::singleton(0), e))
+            .collect();
+    }
+    policy.final_prune(&mut plans);
+    stats.stored_sets = memo.stored_sets();
+    stats.total_entries = memo.total_entries();
+    stats.optimize_micros = start.elapsed().as_micros() as u64;
+    PartitionOutcome { plans, stats }
+}
+
+/// Generates and prunes every plan joining `left` with `right`
+/// (the `Join` + `Prune` core shared by all split enumerations): each
+/// surviving plan pair of the operands is combined with each applicable
+/// join operator.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn combine_operands(
+    left: TableSet,
+    right: TableSet,
+    left_entries: &[PlanEntry],
+    right_entries: &[PlanEntry],
+    est: &mut CardinalityEstimator<'_>,
+    policy: &PruningPolicy,
+    slot: &mut Vec<PlanEntry>,
+    stats: &mut WorkerStats,
+) {
+    for (li, le) in left_entries.iter().enumerate() {
+        for (ri, re) in right_entries.iter().enumerate() {
+            for op in JOIN_OPS {
+                let Some(app) = op.apply(est, left, right, le.order, re.order) else {
+                    continue;
+                };
+                let cost = le.cost.add(&re.cost).add(&app.cost);
+                stats.plans_generated += 1;
+                policy.try_insert(
+                    slot,
+                    PlanEntry::join(
+                        op,
+                        left,
+                        li as u32,
+                        right,
+                        ri as u32,
+                        cost,
+                        app.output_order,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `TrySplits[Linear]` (Algorithm 5, lines 3-12): try every member of
+/// `set` as the inner (last joined) operand, skipping tables that a
+/// constraint requires to precede another member.
+fn try_splits_linear<M: MemoStore>(
+    set: TableSet,
+    constraints: &ConstraintSet,
+    memo: &M,
+    est: &mut CardinalityEstimator<'_>,
+    policy: &PruningPolicy,
+    slot: &mut Vec<PlanEntry>,
+    stats: &mut WorkerStats,
+) {
+    for u in set.iter() {
+        // Algorithm 5 line 7: ∄ v ∈ U with (u ≺ v) ∈ C — O(1) via index.
+        if !constraints.may_join_last(u, set) {
+            continue;
+        }
+        let rest = set.remove(u);
+        let inner = TableSet::singleton(u);
+        stats.splits_tried += 1;
+        combine_operands(
+            rest,
+            inner,
+            memo.entries(rest),
+            memo.single_entries(u),
+            est,
+            policy,
+            slot,
+            stats,
+        );
+    }
+}
+
+/// Computes the memo slot for one table set with *unconstrained* split
+/// enumeration, reading operand plans from an existing memo. This is the
+/// work unit of the fine-grained SMA baseline, whose master assigns
+/// individual join results to workers (Section 6.1).
+pub fn compute_entries_for_set<M: MemoStore>(
+    space: PlanSpace,
+    set: TableSet,
+    memo: &M,
+    est: &mut CardinalityEstimator<'_>,
+    policy: &PruningPolicy,
+    stats: &mut WorkerStats,
+) -> Vec<PlanEntry> {
+    let mut slot = Vec::new();
+    match space {
+        PlanSpace::Linear => {
+            for u in set.iter() {
+                let rest = set.remove(u);
+                let inner = TableSet::singleton(u);
+                stats.splits_tried += 1;
+                combine_operands(
+                    rest,
+                    inner,
+                    memo.entries(rest),
+                    memo.single_entries(u),
+                    est,
+                    policy,
+                    &mut slot,
+                    stats,
+                );
+            }
+        }
+        PlanSpace::Bushy => {
+            for left in set.proper_subsets() {
+                let right = set.difference(left);
+                stats.splits_tried += 1;
+                combine_operands(
+                    left,
+                    right,
+                    memo.entries(left),
+                    memo.entries(right),
+                    est,
+                    policy,
+                    &mut slot,
+                    stats,
+                );
+            }
+        }
+    }
+    slot
+}
+
+/// Builds all admissible left operands of `set` into `lefts` as the
+/// Cartesian product of per-group admissible split parts (Algorithm 5,
+/// lines 15-32). `lefts` includes the empty and full set; the caller
+/// skips those.
+fn enumerate_bushy_lefts(
+    set: TableSet,
+    constraints: &ConstraintSet,
+    adm: &AdmissibleSets,
+    parts: &mut Vec<u64>,
+    group_bounds: &mut Vec<(usize, usize)>,
+    lefts: &mut Vec<u64>,
+    lefts_next: &mut Vec<u64>,
+) {
+    parts.clear();
+    group_bounds.clear();
+    for g in 0..adm.num_groups() {
+        let start = parts.len();
+        adm.admissible_split_parts(constraints, g, set, parts);
+        let end = parts.len();
+        // Groups disjoint from `set` contribute only the empty pattern.
+        if end - start > 1 || (end - start == 1 && parts[start] != 0) {
+            group_bounds.push((start, end));
+        } else {
+            parts.truncate(start);
+        }
+    }
+    lefts.clear();
+    lefts.push(0);
+    for &(s, e) in group_bounds.iter() {
+        lefts_next.clear();
+        for &l in lefts.iter() {
+            for &p in &parts[s..e] {
+                lefts_next.push(l | p);
+            }
+        }
+        std::mem::swap(lefts, lefts_next);
+    }
+    debug_assert!(lefts.iter().all(|&l| TableSet(l).is_subset_of(set)));
+}
+
+/// `TrySplits[Bushy]` (Algorithm 5, lines 33-39): join every admissible
+/// left operand with its complement.
+fn try_splits_bushy<M: MemoStore>(
+    set: TableSet,
+    lefts: &[u64],
+    memo: &M,
+    est: &mut CardinalityEstimator<'_>,
+    policy: &PruningPolicy,
+    slot: &mut Vec<PlanEntry>,
+    stats: &mut WorkerStats,
+) {
+    for &lbits in lefts {
+        if lbits == 0 || lbits == set.bits() {
+            continue;
+        }
+        let left = TableSet(lbits);
+        let right = set.difference(left);
+        let left_entries = memo.entries(left);
+        if left_entries.is_empty() {
+            continue;
+        }
+        let right_entries = memo.entries(right);
+        if right_entries.is_empty() {
+            continue;
+        }
+        stats.splits_tried += 1;
+        combine_operands(
+            left,
+            right,
+            left_entries,
+            right_entries,
+            est,
+            policy,
+            slot,
+            stats,
+        );
+    }
+}
+
+/// Ablation variant of the bushy split enumeration: enumerate *all*
+/// `2^|set|` splits and filter inadmissible ones afterwards. Complexity is
+/// linear in the number of possible rather than admissible splits — the
+/// approach the paper deliberately avoids for bushy spaces (Section 4.2).
+pub fn optimize_partition_bushy_filtered(
+    query: &Query,
+    objective: Objective,
+    constraints: &ConstraintSet,
+) -> PartitionOutcome {
+    let adm = AdmissibleSets::new(constraints);
+    let mut memo = DenseMemo::new(adm.clone());
+    let start = Instant::now();
+    let n = query.num_tables();
+    let mut est = CardinalityEstimator::new(query);
+    let policy = PruningPolicy::new(objective, n);
+    let mut stats = WorkerStats::default();
+    for t in 0..n {
+        let cost = ScanOp::Full.cost(&mut est, t);
+        policy.try_insert(
+            memo.single_slot_mut(t),
+            PlanEntry::scan(t as u8, ScanOp::Full, cost),
+        );
+    }
+    for idx in 0..adm.len() {
+        let set = adm.set_at(idx);
+        if set.len() < 2 {
+            continue;
+        }
+        let mut slot = memo.take_slot(set);
+        try_splits_bushy_filtered(set, &adm, &memo, &mut est, &policy, &mut slot, &mut stats);
+        memo.put_slot(set, slot);
+    }
+    finish(query, &memo, &mut est, &policy, stats, start)
+}
+
+/// Filter-after-enumerate bushy splits: every proper subset is generated
+/// and checked for admissibility.
+fn try_splits_bushy_filtered<M: MemoStore>(
+    set: TableSet,
+    adm: &AdmissibleSets,
+    memo: &M,
+    est: &mut CardinalityEstimator<'_>,
+    policy: &PruningPolicy,
+    slot: &mut Vec<PlanEntry>,
+    stats: &mut WorkerStats,
+) {
+    for left in set.proper_subsets() {
+        stats.splits_tried += 1;
+        let right = set.difference(left);
+        if !(left.len() == 1 || adm.is_admissible(left)) {
+            continue;
+        }
+        if !(right.len() == 1 || adm.is_admissible(right)) {
+            continue;
+        }
+        let left_entries = memo.entries(left);
+        if left_entries.is_empty() {
+            continue;
+        }
+        let right_entries = memo.entries(right);
+        if right_entries.is_empty() {
+            continue;
+        }
+        combine_operands(
+            left,
+            right,
+            left_entries,
+            right_entries,
+            est,
+            policy,
+            slot,
+            stats,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_model::{JoinGraph, WorkloadConfig, WorkloadGenerator};
+
+    fn query(n: usize, seed: u64) -> Query {
+        WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query()
+    }
+
+    #[test]
+    fn serial_linear_produces_left_deep_plan() {
+        let q = query(6, 1);
+        let out = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        assert_eq!(out.plans.len(), 1);
+        let p = &out.plans[0];
+        assert!(p.is_left_deep());
+        assert_eq!(p.tables(), q.all_tables());
+        assert_eq!(p.num_joins(), 5);
+        p.validate().expect("structurally valid plan");
+    }
+
+    #[test]
+    fn serial_bushy_covers_all_tables() {
+        let q = query(6, 2);
+        let out = optimize_serial(&q, PlanSpace::Bushy, Objective::Single);
+        assert_eq!(out.plans.len(), 1);
+        let p = &out.plans[0];
+        assert_eq!(p.tables(), q.all_tables());
+        p.validate().expect("structurally valid plan");
+    }
+
+    #[test]
+    fn bushy_never_worse_than_linear() {
+        for seed in 0..5 {
+            let q = query(7, seed);
+            let lin = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+            let bushy = optimize_serial(&q, PlanSpace::Bushy, Objective::Single);
+            assert!(
+                bushy.plans[0].cost().time <= lin.plans[0].cost().time + 1e-6,
+                "seed {seed}: bushy must contain the linear space"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_optima_cover_global_optimum_linear() {
+        for seed in 0..5 {
+            let q = query(6, seed);
+            let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+            let m = 8u64;
+            let best = (0..m)
+                .map(|id| {
+                    optimize_partition_id(&q, PlanSpace::Linear, Objective::Single, id, m).plans[0]
+                        .cost()
+                        .time
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (best - serial.plans[0].cost().time).abs()
+                    < 1e-6 * serial.plans[0].cost().time.max(1.0),
+                "seed {seed}: best-of-partitions {best} != serial {}",
+                serial.plans[0].cost().time
+            );
+        }
+    }
+
+    #[test]
+    fn partition_optima_cover_global_optimum_bushy() {
+        for seed in 0..3 {
+            let q = query(6, seed + 100);
+            let serial = optimize_serial(&q, PlanSpace::Bushy, Objective::Single);
+            let m = 4u64;
+            let best = (0..m)
+                .map(|id| {
+                    optimize_partition_id(&q, PlanSpace::Bushy, Objective::Single, id, m).plans[0]
+                        .cost()
+                        .time
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (best - serial.plans[0].cost().time).abs()
+                    < 1e-6 * serial.plans[0].cost().time.max(1.0),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn constrained_partition_respects_join_order() {
+        let q = query(4, 9);
+        // Partition 0 of 4: Q0 ≺ Q1 and Q2 ≺ Q3.
+        let out = optimize_partition_id(&q, PlanSpace::Linear, Objective::Single, 0, 4);
+        let order = out.plans[0].join_order().expect("left-deep");
+        let pos = |t: u8| order.iter().position(|&x| x == t).expect("table present");
+        assert!(pos(0) < pos(1), "Q0 must precede Q1 in {order:?}");
+        assert!(pos(2) < pos(3), "Q2 must precede Q3 in {order:?}");
+    }
+
+    #[test]
+    fn partition_work_shrinks_with_constraints() {
+        let q = query(8, 3);
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        let part = optimize_partition_id(&q, PlanSpace::Linear, Objective::Single, 0, 16);
+        assert!(part.stats.stored_sets < serial.stats.stored_sets);
+        assert!(part.stats.splits_tried < serial.stats.splits_tried);
+    }
+
+    #[test]
+    fn multi_objective_returns_frontier() {
+        let q = query(6, 4);
+        let out = optimize_serial(&q, PlanSpace::Linear, Objective::Multi { alpha: 1.0 });
+        assert!(!out.plans.is_empty());
+        // No plan on the returned frontier strictly dominates another.
+        for a in &out.plans {
+            for b in &out.plans {
+                if !std::ptr::eq(a, b) {
+                    assert!(!a.cost().strictly_dominates(&b.cost()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_objective_alpha_shrinks_frontier() {
+        let q = query(7, 5);
+        let exact = optimize_serial(&q, PlanSpace::Linear, Objective::Multi { alpha: 1.0 });
+        let coarse = optimize_serial(&q, PlanSpace::Linear, Objective::Multi { alpha: 10.0 });
+        assert!(coarse.plans.len() <= exact.plans.len());
+        assert!(coarse.stats.total_entries <= exact.stats.total_entries);
+    }
+
+    #[test]
+    fn single_table_query() {
+        let q = query(1, 6);
+        let out = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        assert_eq!(out.plans.len(), 1);
+        assert_eq!(out.plans[0].num_joins(), 0);
+    }
+
+    #[test]
+    fn two_table_query_both_spaces() {
+        let q = query(2, 7);
+        for space in [PlanSpace::Linear, PlanSpace::Bushy] {
+            let out = optimize_serial(&q, space, Objective::Single);
+            assert_eq!(out.plans[0].num_joins(), 1);
+        }
+    }
+
+    #[test]
+    fn hash_memo_matches_dense_memo() {
+        use crate::memo::HashMemo;
+        for seed in 0..3 {
+            let q = query(6, seed + 50);
+            let grouping = Grouping::new(q.num_tables(), PlanSpace::Bushy);
+            let constraints = ConstraintSet::unconstrained(grouping);
+            let adm = AdmissibleSets::new(&constraints);
+            let dense = optimize_partition(&q, PlanSpace::Bushy, Objective::Single, &constraints);
+            let mut hash = HashMemo::new(q.num_tables());
+            let hashed = optimize_partition_with(
+                &q,
+                PlanSpace::Bushy,
+                Objective::Single,
+                &constraints,
+                &adm,
+                &mut hash,
+            );
+            assert_eq!(dense.plans[0].cost().time, hashed.plans[0].cost().time);
+        }
+    }
+
+    #[test]
+    fn filtered_bushy_matches_product_bushy() {
+        for seed in 0..3 {
+            let q = query(6, seed + 70);
+            let constraints = partition_constraints(q.num_tables(), PlanSpace::Bushy, 1, 2);
+            let product = optimize_partition(&q, PlanSpace::Bushy, Objective::Single, &constraints);
+            let filtered = optimize_partition_bushy_filtered(&q, Objective::Single, &constraints);
+            assert_eq!(
+                product.plans[0].cost().time,
+                filtered.plans[0].cost().time,
+                "seed {seed}"
+            );
+            // The product enumeration tries at most as many splits.
+            assert!(product.stats.splits_tried <= filtered.stats.splits_tried);
+        }
+    }
+
+    #[test]
+    fn chain_and_star_have_same_set_counts() {
+        // Figure 3's premise: DP work depends on the query size, not the
+        // join graph shape (cross products are allowed).
+        let mut g1 = WorkloadGenerator::new(WorkloadConfig::with_graph(6, JoinGraph::Chain), 11);
+        let mut g2 = WorkloadGenerator::new(WorkloadConfig::with_graph(6, JoinGraph::Star), 11);
+        let a = optimize_serial(&g1.next_query(), PlanSpace::Linear, Objective::Single);
+        let b = optimize_serial(&g2.next_query(), PlanSpace::Linear, Objective::Single);
+        assert_eq!(a.stats.splits_tried, b.stats.splits_tried);
+        assert_eq!(a.stats.stored_sets, b.stats.stored_sets);
+    }
+}

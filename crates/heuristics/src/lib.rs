@@ -1,0 +1,33 @@
+//! Randomized and greedy join-ordering baselines.
+//!
+//! The paper's introduction contrasts its parallel dynamic program with
+//! randomized optimizers — "certainly it is easier to parallelize
+//! randomized query optimization algorithms such as iterated improvement
+//! or simulated annealing [Swami 1989; Ioannidis & Kang 1990]. We
+//! nevertheless focus on parallelizing the dynamic programming approach
+//! [because] unlike randomized algorithms, the dynamic programming
+//! approach formally guarantees to return optimal query plans."
+//!
+//! This crate provides those baselines over left-deep join orders so the
+//! quality gap can be measured (see the `randomized` bench):
+//!
+//! * [`order_cost`] — exact cost of a fixed join order under the shared
+//!   cost model, with operator choice and interesting orders solved by a
+//!   tiny per-prefix dynamic program;
+//! * [`IterativeImprovement`] — random restarts + steepest descent over a
+//!   swap/insert neighborhood;
+//! * [`SimulatedAnnealing`] — geometric cooling schedule;
+//! * [`greedy_min_result`] — the classic minimum-intermediate-result
+//!   heuristic.
+//!
+//! All algorithms are deterministic in their seed.
+
+pub mod annealing;
+pub mod greedy;
+pub mod improvement;
+pub mod order;
+
+pub use annealing::{SaConfig, SimulatedAnnealing};
+pub use greedy::greedy_min_result;
+pub use improvement::{IiConfig, IterativeImprovement};
+pub use order::{order_cost, order_to_plan};

@@ -1,0 +1,122 @@
+//! Table statistics and the catalog.
+//!
+//! Workers estimate plan costs from metadata only (Section 4.1 of the paper:
+//! "workers need access to metadata (e.g., cardinality and value distribution
+//! statistics) to estimate plan execution costs"). The catalog is the
+//! container for that metadata. In the shared-nothing setting it is either
+//! shipped with each query or pre-distributed to the workers; both modes are
+//! supported by the cluster substrate, which serializes [`TableStats`].
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a base table within one query: the consecutive numbering
+/// `Q_0 .. Q_{n-1}` shared by master and workers.
+pub type TableId = usize;
+
+/// Per-table statistics, following the benchmark-generation method of
+/// Steinbrunn et al. (VLDBJ 1997) used by the paper.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Number of tuples in the table.
+    pub cardinality: f64,
+    /// Width of one tuple in bytes (used for buffer-space costing).
+    pub tuple_bytes: f64,
+    /// Domain size of the table's join attribute. Equality-predicate
+    /// selectivity between two tables is `1 / max(domain_a, domain_b)`,
+    /// the standard System-R estimate.
+    pub join_domain: f64,
+}
+
+impl TableStats {
+    /// Creates statistics with the given cardinality, a default tuple width
+    /// of 100 bytes, and a join-attribute domain equal to the cardinality
+    /// (i.e. a key column).
+    pub fn with_cardinality(cardinality: f64) -> Self {
+        TableStats {
+            cardinality,
+            tuple_bytes: 100.0,
+            join_domain: cardinality,
+        }
+    }
+}
+
+/// The statistics catalog for one query: statistics for each of the `n`
+/// tables, indexed by [`TableId`].
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<TableStats>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog { tables: Vec::new() }
+    }
+
+    /// Creates a catalog from per-table statistics.
+    pub fn from_stats(tables: Vec<TableStats>) -> Self {
+        Catalog { tables }
+    }
+
+    /// Adds a table and returns its id.
+    pub fn add_table(&mut self, stats: TableStats) -> TableId {
+        self.tables.push(stats);
+        self.tables.len() - 1
+    }
+
+    /// Number of tables in the catalog.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Statistics for table `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn stats(&self, id: TableId) -> &TableStats {
+        &self.tables[id]
+    }
+
+    /// Iterates over `(id, stats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &TableStats)> {
+        self.tables.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        let a = c.add_table(TableStats::with_cardinality(1000.0));
+        let b = c.add_table(TableStats {
+            cardinality: 42.0,
+            tuple_bytes: 8.0,
+            join_domain: 10.0,
+        });
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats(a).cardinality, 1000.0);
+        assert_eq!(c.stats(a).join_domain, 1000.0);
+        assert_eq!(c.stats(b).tuple_bytes, 8.0);
+    }
+
+    #[test]
+    fn iter_order_matches_ids() {
+        let c = Catalog::from_stats(vec![
+            TableStats::with_cardinality(1.0),
+            TableStats::with_cardinality(2.0),
+        ]);
+        let ids: Vec<TableId> = c.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Query, catalog, statistics and workload model for the MPQ parallel query
+//! optimizer.
+//!
+//! This crate provides the problem-model substrate from Section 3 of
+//! Trummer & Koch, "Parallelizing Query Optimization on Shared-Nothing
+//! Architectures" (VLDB 2016):
+//!
+//! * [`TableSet`] — a compact bitset over the tables of one query. Table sets
+//!   are the currency of the Selinger dynamic program: every intermediate
+//!   join result is identified by the set of base tables it contains.
+//! * [`Catalog`] and [`TableStats`] — per-table statistics (cardinality,
+//!   tuple width, attribute domain sizes) used by the cost model.
+//! * [`Query`] and [`Predicate`] — a join query as a set of tables plus
+//!   equality join predicates with selectivities.
+//! * [`workload`] — the random query generator of Steinbrunn, Moerkotte &
+//!   Kemper (VLDBJ 1997), which the paper uses for all benchmark queries,
+//!   supporting chain, star, cycle and clique join graphs.
+//!
+//! Everything in this crate is deterministic given a seed, `Send + Sync`,
+//! and independent of the optimizer itself.
+
+pub mod catalog;
+pub mod query;
+pub mod tableset;
+pub mod workload;
+
+pub use catalog::{Catalog, TableId, TableStats};
+pub use query::{JoinGraph, Predicate, Query};
+pub use tableset::TableSet;
+pub use workload::{WorkloadConfig, WorkloadGenerator};

@@ -1,0 +1,454 @@
+//! Compact sets of query tables.
+//!
+//! The dynamic programming scheme parallelized by the paper enumerates
+//! *table sets*: subsets of the query's tables that can appear as
+//! intermediate join results. Queries in the paper's evaluation have at most
+//! 24 tables, so a single 64-bit word comfortably represents any set; all
+//! set operations are branch-free bit arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of query tables, represented as a 64-bit bitset.
+///
+/// Table `i` (with `0 <= i < 64`) is a member iff bit `i` is set. The
+/// numbering is the consecutive numbering `Q_0 .. Q_{n-1}` that Section 4.2
+/// of the paper requires all workers to share: partition constraints are
+/// expressed against this numbering, so it must be identical on the master
+/// and every worker.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct TableSet(pub u64);
+
+impl TableSet {
+    /// The empty set.
+    pub const EMPTY: TableSet = TableSet(0);
+
+    /// Maximum number of tables representable.
+    pub const MAX_TABLES: usize = 64;
+
+    /// Creates the empty table set.
+    #[inline]
+    pub const fn empty() -> Self {
+        TableSet(0)
+    }
+
+    /// Creates a singleton set containing only `table`.
+    ///
+    /// # Panics
+    /// Panics if `table >= 64`.
+    #[inline]
+    pub fn singleton(table: usize) -> Self {
+        assert!(table < Self::MAX_TABLES, "table index {table} out of range");
+        TableSet(1u64 << table)
+    }
+
+    /// Creates the full set `{0, .., n-1}` of the first `n` tables.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= Self::MAX_TABLES, "query size {n} out of range");
+        if n == Self::MAX_TABLES {
+            TableSet(u64::MAX)
+        } else {
+            TableSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a set from an iterator of table indices.
+    pub fn from_tables<I: IntoIterator<Item = usize>>(tables: I) -> Self {
+        let mut s = TableSet::empty();
+        for t in tables {
+            s = s.insert(t);
+        }
+        s
+    }
+
+    /// Number of tables in the set.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `table` is a member.
+    #[inline]
+    pub const fn contains(&self, table: usize) -> bool {
+        (self.0 >> table) & 1 == 1
+    }
+
+    /// Returns the set with `table` added.
+    #[inline]
+    pub fn insert(&self, table: usize) -> Self {
+        debug_assert!(table < Self::MAX_TABLES);
+        TableSet(self.0 | (1u64 << table))
+    }
+
+    /// Returns the set with `table` removed.
+    #[inline]
+    pub fn remove(&self, table: usize) -> Self {
+        debug_assert!(table < Self::MAX_TABLES);
+        TableSet(self.0 & !(1u64 << table))
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(&self, other: TableSet) -> Self {
+        TableSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersect(&self, other: TableSet) -> Self {
+        TableSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(&self, other: TableSet) -> Self {
+        TableSet(self.0 & !other.0)
+    }
+
+    /// Whether `self` is a subset of `other` (not necessarily proper).
+    #[inline]
+    pub const fn is_subset_of(&self, other: TableSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether the two sets share no table.
+    #[inline]
+    pub const fn is_disjoint(&self, other: TableSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Index of the lowest-numbered table in the set, or `None` if empty.
+    #[inline]
+    pub fn min_table(&self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterates over the member table indices in ascending order.
+    #[inline]
+    pub fn iter(&self) -> TableIter {
+        TableIter(self.0)
+    }
+
+    /// Iterates over all *non-empty proper* subsets of `self`.
+    ///
+    /// This is the classic `(sub - 1) & set` enumeration used by join
+    /// enumeration algorithms; it visits each of the `2^|self| - 2`
+    /// candidate operand splits exactly once.
+    #[inline]
+    pub fn proper_subsets(&self) -> SubsetIter {
+        SubsetIter::new(self.0)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Iterates over all `k`-element subsets of `{0, .., n-1}` in
+    /// ascending bit-pattern order (Gosper's hack). Used by optimizers that
+    /// enumerate join results by cardinality without constraint structure
+    /// (e.g. the SMA baseline).
+    ///
+    /// # Panics
+    /// Panics if `n > 63` (the enumeration needs one spare bit) or `k > n`.
+    pub fn subsets_of_size(n: usize, k: usize) -> KSubsetIter {
+        assert!(n <= 63, "k-subset enumeration supports at most 63 tables");
+        assert!(k <= n, "subset size {k} exceeds universe size {n}");
+        KSubsetIter::new(n, k)
+    }
+}
+
+/// Iterator over the `k`-element subsets of `{0, .., n-1}`.
+pub struct KSubsetIter {
+    cur: u64,
+    limit: u64,
+    done: bool,
+}
+
+impl KSubsetIter {
+    fn new(n: usize, k: usize) -> Self {
+        if k == 0 {
+            // Single subset: the empty set.
+            return KSubsetIter {
+                cur: 0,
+                limit: 1u64 << n,
+                done: false,
+            };
+        }
+        KSubsetIter {
+            cur: (1u64 << k) - 1,
+            limit: 1u64 << n,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for KSubsetIter {
+    type Item = TableSet;
+
+    fn next(&mut self) -> Option<TableSet> {
+        if self.done || self.cur >= self.limit {
+            self.done = true;
+            return None;
+        }
+        let v = self.cur;
+        if v == 0 {
+            self.done = true;
+            return Some(TableSet(0));
+        }
+        // Gosper's hack: next integer with the same popcount.
+        let c = v & v.wrapping_neg();
+        let r = v + c;
+        self.cur = (((r ^ v) >> 2) / c) | r;
+        Some(TableSet(v))
+    }
+}
+
+impl fmt::Debug for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<usize> for TableSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        TableSet::from_tables(iter)
+    }
+}
+
+/// Iterator over the members of a [`TableSet`].
+pub struct TableIter(u64);
+
+impl Iterator for TableIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let t = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(t)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TableIter {}
+
+/// Iterator over the non-empty proper subsets of a set.
+pub struct SubsetIter {
+    set: u64,
+    sub: u64,
+    done: bool,
+}
+
+impl SubsetIter {
+    fn new(set: u64) -> Self {
+        // Start at the first non-empty subset; a set with fewer than two
+        // members has no non-empty proper subset.
+        if set == 0 || set.count_ones() < 2 {
+            SubsetIter {
+                set,
+                sub: 0,
+                done: true,
+            }
+        } else {
+            let first = set & set.wrapping_neg();
+            SubsetIter {
+                set,
+                sub: first,
+                done: false,
+            }
+        }
+    }
+}
+
+impl Iterator for SubsetIter {
+    type Item = TableSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<TableSet> {
+        if self.done {
+            return None;
+        }
+        let cur = self.sub;
+        // Advance: next subset of `set` in the standard enumeration.
+        let next = (self.sub.wrapping_sub(self.set)) & self.set;
+        if next == self.set || next == 0 {
+            // The next value would be the full set (not proper) or wrap to
+            // the empty set; either way we are finished after yielding `cur`.
+            self.done = true;
+        } else {
+            self.sub = next;
+        }
+        Some(TableSet(cur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(TableSet::empty().is_empty());
+        assert_eq!(TableSet::full(5).len(), 5);
+        assert_eq!(TableSet::full(0), TableSet::empty());
+        assert_eq!(TableSet::full(64).len(), 64);
+    }
+
+    #[test]
+    fn singleton_membership() {
+        let s = TableSet::singleton(7);
+        assert!(s.contains(7));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn singleton_out_of_range_panics() {
+        let _ = TableSet::singleton(64);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let s = TableSet::empty().insert(3).insert(9).insert(3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(3), TableSet::singleton(9));
+        assert_eq!(s.remove(42), s);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TableSet::from_tables([0, 1, 2]);
+        let b = TableSet::from_tables([2, 3]);
+        assert_eq!(a.union(b), TableSet::from_tables([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), TableSet::singleton(2));
+        assert_eq!(a.difference(b), TableSet::from_tables([0, 1]));
+        assert!(!a.is_disjoint(b));
+        assert!(a.difference(b).is_disjoint(b));
+        assert!(TableSet::singleton(2).is_subset_of(a));
+        assert!(!b.is_subset_of(a));
+        assert!(a.is_subset_of(a));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = TableSet::from_tables([5, 1, 63, 0]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 1, 5, 63]);
+        assert_eq!(s.min_table(), Some(0));
+        assert_eq!(TableSet::empty().min_table(), None);
+    }
+
+    #[test]
+    fn proper_subsets_counts() {
+        // A k-element set has 2^k - 2 non-empty proper subsets.
+        for k in 0..6usize {
+            let s = TableSet::full(k);
+            let count = s.proper_subsets().count();
+            let expected = if k < 2 { 0 } else { (1usize << k) - 2 };
+            assert_eq!(count, expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn proper_subsets_are_proper_and_unique() {
+        let s = TableSet::from_tables([1, 4, 6, 9]);
+        let subs: Vec<TableSet> = s.proper_subsets().collect();
+        let mut seen = std::collections::HashSet::new();
+        for sub in &subs {
+            assert!(!sub.is_empty());
+            assert!(sub.is_subset_of(s));
+            assert_ne!(*sub, s);
+            assert!(seen.insert(sub.bits()), "duplicate subset {sub:?}");
+        }
+        assert_eq!(subs.len(), (1 << 4) - 2);
+    }
+
+    #[test]
+    fn complement_pairing_of_subsets() {
+        // Each proper subset's complement within the set is also yielded.
+        let s = TableSet::from_tables([0, 2, 3]);
+        let subs: std::collections::HashSet<u64> = s.proper_subsets().map(|x| x.bits()).collect();
+        for &b in &subs {
+            let comp = s.difference(TableSet(b));
+            assert!(subs.contains(&comp.bits()));
+        }
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = TableSet::from_tables([2, 0]);
+        assert_eq!(format!("{s:?}"), "{0,2}");
+    }
+
+    #[test]
+    fn k_subsets_have_binomial_counts() {
+        let binom = |n: u64, k: u64| -> u64 { (0..k).fold(1u64, |acc, i| acc * (n - i) / (i + 1)) };
+        for n in 1..=8usize {
+            for k in 0..=n {
+                let count = TableSet::subsets_of_size(n, k).count() as u64;
+                assert_eq!(count, binom(n as u64, k as u64), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_subsets_are_correct_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in TableSet::subsets_of_size(6, 3) {
+            assert_eq!(s.len(), 3);
+            assert!(s.is_subset_of(TableSet::full(6)));
+            assert!(seen.insert(s.bits()));
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn k_subsets_zero_k() {
+        let v: Vec<TableSet> = TableSet::subsets_of_size(5, 0).collect();
+        assert_eq!(v, vec![TableSet::empty()]);
+    }
+
+    #[test]
+    fn k_subsets_full_k() {
+        let v: Vec<TableSet> = TableSet::subsets_of_size(5, 5).collect();
+        assert_eq!(v, vec![TableSet::full(5)]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Random query generation after Steinbrunn, Moerkotte & Kemper
+//! (VLDBJ 1997), the method the paper uses for all benchmark queries
+//! ("We choose table cardinalities and attribute domain sizes by the method
+//! introduced by Steinbrunn et al. which is commonly used for query
+//! optimization benchmarks", Section 6.1).
+//!
+//! The generator draws, per table, a cardinality uniformly from
+//! `[10, 100_000]` and a join-attribute domain size uniformly from a range
+//! proportional to the cardinality; equality-predicate selectivity between
+//! tables `a` and `b` is `1 / max(domain_a, domain_b)`. Join graphs can be
+//! chains, stars, cycles or cliques. Everything is deterministic in the
+//! seed so experiments are reproducible and every worker of a simulated
+//! cluster can regenerate identical statistics.
+
+use crate::catalog::{Catalog, TableStats};
+use crate::query::{JoinGraph, Predicate, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Steinbrunn-style generator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of tables per query.
+    pub num_tables: usize,
+    /// Join graph shape (the paper defaults to star).
+    pub graph: JoinGraph,
+    /// Minimum table cardinality (Steinbrunn: 10).
+    pub min_cardinality: f64,
+    /// Maximum table cardinality (Steinbrunn: 100 000).
+    pub max_cardinality: f64,
+    /// Tuple width bounds in bytes, drawn uniformly.
+    pub min_tuple_bytes: f64,
+    /// See `min_tuple_bytes`.
+    pub max_tuple_bytes: f64,
+}
+
+impl WorkloadConfig {
+    /// The paper's default: star-shaped join graph, Steinbrunn statistics.
+    pub fn paper_default(num_tables: usize) -> Self {
+        WorkloadConfig {
+            num_tables,
+            graph: JoinGraph::Star,
+            min_cardinality: 10.0,
+            max_cardinality: 100_000.0,
+            min_tuple_bytes: 8.0,
+            max_tuple_bytes: 200.0,
+        }
+    }
+
+    /// Same statistics with an explicit graph shape (Figure 3 experiment).
+    pub fn with_graph(num_tables: usize, graph: JoinGraph) -> Self {
+        WorkloadConfig {
+            graph,
+            ..Self::paper_default(num_tables)
+        }
+    }
+}
+
+/// Deterministic random query generator.
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    rng: StdRng,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the given configuration and seed.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (zero tables, inverted
+    /// bounds, more than 64 tables).
+    pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        assert!(config.num_tables >= 1, "query must join at least one table");
+        assert!(config.num_tables <= 64, "at most 64 tables supported");
+        assert!(
+            config.min_cardinality >= 1.0 && config.min_cardinality <= config.max_cardinality,
+            "invalid cardinality bounds"
+        );
+        assert!(
+            config.min_tuple_bytes > 0.0 && config.min_tuple_bytes <= config.max_tuple_bytes,
+            "invalid tuple width bounds"
+        );
+        WorkloadGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Generates the next random query.
+    pub fn next_query(&mut self) -> Query {
+        let c = &self.config;
+        let mut stats = Vec::with_capacity(c.num_tables);
+        for _ in 0..c.num_tables {
+            let cardinality = self
+                .rng
+                .random_range(c.min_cardinality..=c.max_cardinality)
+                .round();
+            // Steinbrunn draws attribute domains as a fraction of the
+            // cardinality; we use [10%, 100%] which keeps selectivities in
+            // a realistic range and never exceeds the key domain.
+            let frac = self.rng.random_range(0.1..=1.0);
+            let join_domain = (cardinality * frac).max(2.0).round();
+            let tuple_bytes = self
+                .rng
+                .random_range(c.min_tuple_bytes..=c.max_tuple_bytes)
+                .round();
+            stats.push(TableStats {
+                cardinality,
+                tuple_bytes,
+                join_domain,
+            });
+        }
+        let catalog = Catalog::from_stats(stats);
+        let predicates = c
+            .graph
+            .edges(c.num_tables)
+            .into_iter()
+            .map(|(a, b)| {
+                let da = catalog.stats(a).join_domain;
+                let db = catalog.stats(b).join_domain;
+                Predicate {
+                    left: a,
+                    right: b,
+                    selectivity: 1.0 / da.max(db),
+                }
+            })
+            .collect();
+        Query {
+            catalog,
+            predicates,
+            graph: c.graph,
+        }
+    }
+
+    /// Generates a batch of `count` queries (the paper reports medians over
+    /// twenty random queries per data point).
+    pub fn batch(&mut self, count: usize) -> Vec<Query> {
+        (0..count).map(|_| self.next_query()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = WorkloadConfig::paper_default(8);
+        let q1 = WorkloadGenerator::new(cfg.clone(), 42).next_query();
+        let q2 = WorkloadGenerator::new(cfg, 42).next_query();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = WorkloadConfig::paper_default(8);
+        let q1 = WorkloadGenerator::new(cfg.clone(), 1).next_query();
+        let q2 = WorkloadGenerator::new(cfg, 2).next_query();
+        assert_ne!(q1, q2);
+    }
+
+    #[test]
+    fn statistics_within_bounds() {
+        let cfg = WorkloadConfig::paper_default(12);
+        let mut g = WorkloadGenerator::new(cfg.clone(), 7);
+        for q in g.batch(20) {
+            for (_, s) in q.catalog.iter() {
+                assert!(s.cardinality >= cfg.min_cardinality);
+                assert!(s.cardinality <= cfg.max_cardinality);
+                assert!(s.join_domain >= 2.0);
+                assert!(s.join_domain <= s.cardinality.max(2.0));
+                assert!(s.tuple_bytes >= cfg.min_tuple_bytes);
+                assert!(s.tuple_bytes <= cfg.max_tuple_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn selectivities_valid() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::paper_default(10), 3);
+        for q in g.batch(10) {
+            for p in &q.predicates {
+                assert!(p.selectivity > 0.0 && p.selectivity <= 0.5);
+                assert_ne!(p.left, p.right);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_shape_respected() {
+        for graph in JoinGraph::ALL {
+            let mut g = WorkloadGenerator::new(WorkloadConfig::with_graph(6, graph), 11);
+            let q = g.next_query();
+            assert_eq!(q.predicates.len(), graph.edges(6).len());
+            assert_eq!(q.graph, graph);
+        }
+    }
+
+    #[test]
+    fn batch_size() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::paper_default(4), 5);
+        assert_eq!(g.batch(20).len(), 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_tables() {
+        let mut cfg = WorkloadConfig::paper_default(4);
+        cfg.num_tables = 0;
+        let _ = WorkloadGenerator::new(cfg, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_bounds() {
+        let mut cfg = WorkloadConfig::paper_default(4);
+        cfg.max_cardinality = 5.0;
+        cfg.min_cardinality = 10.0;
+        let _ = WorkloadGenerator::new(cfg, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! **MPQ** — massively-parallel query optimization on shared-nothing
+//! architectures: the algorithm of Trummer & Koch (VLDB 2016).
+//!
+//! The protocol is Algorithm 1 of the paper, executed over the simulated
+//! shared-nothing cluster of `mpq-cluster`:
+//!
+//! 1. The master sends each worker **one** task message containing the
+//!    query (with its statistics), the plan space, the objective, and the
+//!    worker's partition-ID range — `O(m · b_q)` bytes in total.
+//! 2. Each worker decodes its partition IDs into join-order constraints
+//!    (Algorithm 3), runs the per-partition dynamic program of `mpq-dp`
+//!    over the admissible join results, and replies with its
+//!    partition-optimal plan(s) — `O(m · b_p)` bytes in total.
+//! 3. The master compares the `O(m)` returned plans (`FinalPrune`) and
+//!    reports the globally optimal plan, or the merged Pareto frontier for
+//!    multi-objective optimization.
+//!
+//! There is exactly **one communication round** and no worker↔worker
+//! traffic; the master's work is linear in `m` and the query size.
+//!
+//! Beyond the paper's pseudo-code, [`MpqOptimizer::optimize_weighted`]
+//! supports heterogeneous workers (footnote 1 of the paper): partition
+//! counts proportional to per-worker weights, each worker solving a
+//! contiguous range of partitions.
+
+pub mod message;
+pub mod optimizer;
+
+pub use message::{MasterMessage, WorkerReply};
+pub use optimizer::{MpqConfig, MpqMetrics, MpqOptimizer, MpqOutcome};

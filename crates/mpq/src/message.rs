@@ -1,0 +1,127 @@
+//! MPQ wire messages.
+//!
+//! One message type in each direction, matching the single communication
+//! round of the algorithm. The task message carries the query together
+//! with its statistics (the "send query-specific statistics with each
+//! query" mode of Section 4.1) plus three integers; the reply carries the
+//! partition-optimal plan(s) and the worker's counters.
+
+use mpq_cluster::{DecodeError, Decoder, Encoder, Wire};
+use mpq_cost::Objective;
+use mpq_dp::WorkerStats;
+use mpq_model::Query;
+use mpq_partition::PlanSpace;
+use mpq_plan::Plan;
+
+/// Task sent from the master to one worker (Algorithm 1, line 5).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MasterMessage {
+    /// The query to optimize, including per-table statistics.
+    pub query: Query,
+    /// Plan space to search.
+    pub space: PlanSpace,
+    /// Objective / pruning function to use.
+    pub objective: Objective,
+    /// First partition ID assigned to this worker (0-based).
+    pub first_partition: u64,
+    /// Number of consecutive partitions assigned to this worker
+    /// (1 for homogeneous workers; more under weighted assignment).
+    pub partition_count: u64,
+    /// Total number of plan-space partitions `m`.
+    pub total_partitions: u64,
+}
+
+impl Wire for MasterMessage {
+    fn encode(&self, enc: &mut Encoder) {
+        self.query.encode(enc);
+        self.space.encode(enc);
+        self.objective.encode(enc);
+        enc.put_u64(self.first_partition);
+        enc.put_u64(self.partition_count);
+        enc.put_u64(self.total_partitions);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(MasterMessage {
+            query: Query::decode(dec)?,
+            space: PlanSpace::decode(dec)?,
+            objective: Objective::decode(dec)?,
+            first_partition: dec.get_u64()?,
+            partition_count: dec.get_u64()?,
+            total_partitions: dec.get_u64()?,
+        })
+    }
+}
+
+/// Reply sent from a worker back to the master.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerReply {
+    /// Best plan(s) within the worker's partition(s): one plan for
+    /// single-objective optimization, a Pareto frontier otherwise.
+    pub plans: Vec<Plan>,
+    /// Work counters, aggregated over the worker's partitions.
+    pub stats: WorkerStats,
+}
+
+impl Wire for WorkerReply {
+    fn encode(&self, enc: &mut Encoder) {
+        self.plans.encode(enc);
+        self.stats.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(WorkerReply {
+            plans: Vec::<Plan>::decode(dec)?,
+            stats: WorkerStats::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn master_message_roundtrip() {
+        let query = WorkloadGenerator::new(WorkloadConfig::paper_default(8), 3).next_query();
+        let msg = MasterMessage {
+            query,
+            space: PlanSpace::Bushy,
+            objective: Objective::Multi { alpha: 10.0 },
+            first_partition: 5,
+            partition_count: 2,
+            total_partitions: 8,
+        };
+        let bytes = msg.to_bytes();
+        assert_eq!(MasterMessage::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn worker_reply_roundtrip() {
+        let query = WorkloadGenerator::new(WorkloadConfig::paper_default(5), 4).next_query();
+        let out = mpq_dp::optimize_serial(&query, PlanSpace::Linear, Objective::Single);
+        let reply = WorkerReply {
+            plans: out.plans.clone(),
+            stats: out.stats,
+        };
+        let bytes = reply.to_bytes();
+        assert_eq!(WorkerReply::from_bytes(&bytes).unwrap(), reply);
+    }
+
+    #[test]
+    fn task_message_size_linear_in_query() {
+        // The per-worker task is O(b_q): constant overhead past the query.
+        let q = WorkloadGenerator::new(WorkloadConfig::paper_default(10), 5).next_query();
+        let query_bytes = q.to_bytes().len();
+        let msg = MasterMessage {
+            query: q,
+            space: PlanSpace::Linear,
+            objective: Objective::Single,
+            first_partition: 0,
+            partition_count: 1,
+            total_partitions: 64,
+        };
+        assert!(msg.to_bytes().len() <= query_bytes + 32);
+    }
+}

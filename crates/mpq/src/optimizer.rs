@@ -1,0 +1,477 @@
+//! The MPQ master (Algorithm 1) and worker logic.
+
+use crate::message::{MasterMessage, WorkerReply};
+use bytes::Bytes;
+use mpq_cluster::{Cluster, Control, LatencyModel, NetworkSnapshot, Wire, WorkerCtx, WorkerLogic};
+use mpq_cost::Objective;
+use mpq_dp::{optimize_partition_id, WorkerStats};
+use mpq_model::Query;
+use mpq_partition::{effective_workers, PlanSpace};
+use mpq_plan::{Plan, PruningPolicy};
+use std::time::Instant;
+
+/// Configuration of the MPQ optimizer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpqConfig {
+    /// Latency/overhead model of the simulated network.
+    pub latency: LatencyModel,
+}
+
+/// Measurements of one optimization run, matching the series the paper
+/// plots.
+#[derive(Clone, Debug, Default)]
+pub struct MpqMetrics {
+    /// End-to-end optimization time at the master, in microseconds
+    /// ("Time" in Figures 1-5): task distribution + parallel optimization
+    /// + plan collection + final pruning.
+    pub total_micros: u64,
+    /// Maximum pure optimization time over all workers, in microseconds
+    /// ("W-Time" in Figures 2 and 5).
+    pub max_worker_micros: u64,
+    /// Maximum number of relations (table sets with stored plans) over all
+    /// workers ("Memory (relations)").
+    pub max_worker_stored_sets: u64,
+    /// Network counters ("Network (bytes)").
+    pub network: NetworkSnapshot,
+    /// Per-worker counters, indexed by worker id.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Number of plan-space partitions actually used (a power of two,
+    /// capped by the query size).
+    pub partitions: u64,
+    /// Number of worker nodes that received a task.
+    pub workers_used: usize,
+}
+
+/// Result of one MPQ optimization.
+#[derive(Clone, Debug)]
+pub struct MpqOutcome {
+    /// The globally optimal plan (single-objective) or the merged Pareto
+    /// frontier (multi-objective).
+    pub plans: Vec<Plan>,
+    /// Run measurements.
+    pub metrics: MpqMetrics,
+}
+
+/// The MPQ optimizer: spawns a simulated shared-nothing cluster per query
+/// and runs Algorithm 1 on it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpqOptimizer {
+    config: MpqConfig,
+}
+
+/// Worker-side logic: decode the task, optimize the assigned partition
+/// range, reply once.
+struct MpqWorker;
+
+impl WorkerLogic for MpqWorker {
+    fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
+        let msg = match MasterMessage::from_bytes(&payload) {
+            Ok(m) => m,
+            // A malformed task means a protocol bug; reply with an empty
+            // result so the master does not hang, then shut down.
+            Err(_) => {
+                ctx.send_to_master(
+                    WorkerReply {
+                        plans: Vec::new(),
+                        stats: WorkerStats::default(),
+                    }
+                    .to_bytes(),
+                );
+                return Control::Shutdown;
+            }
+        };
+        let policy = PruningPolicy::new(msg.objective, msg.query.num_tables());
+        let mut plans: Vec<Plan> = Vec::new();
+        let mut stats = WorkerStats::default();
+        for part_id in msg.first_partition..msg.first_partition + msg.partition_count {
+            let out = optimize_partition_id(
+                &msg.query,
+                msg.space,
+                msg.objective,
+                part_id,
+                msg.total_partitions,
+            );
+            plans.extend(out.plans);
+            // Times and work add up over sequential partitions; memory is
+            // the peak, i.e. the max over partitions.
+            stats.splits_tried += out.stats.splits_tried;
+            stats.plans_generated += out.stats.plans_generated;
+            stats.optimize_micros += out.stats.optimize_micros;
+            stats.stored_sets = stats.stored_sets.max(out.stats.stored_sets);
+            stats.total_entries = stats.total_entries.max(out.stats.total_entries);
+        }
+        // Worker-local prune across its partitions: completed plans, so
+        // orders no longer matter.
+        policy.final_prune(&mut plans);
+        ctx.send_to_master(WorkerReply { plans, stats }.to_bytes());
+        Control::Continue
+    }
+}
+
+impl MpqOptimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: MpqConfig) -> Self {
+        MpqOptimizer { config }
+    }
+
+    /// Optimizes `query` using up to `workers` homogeneous worker nodes
+    /// (Algorithm 1). The partition count is
+    /// [`effective_workers`]`(space, n, workers)` — the largest power of
+    /// two supported by both the worker count and the query size — with
+    /// exactly one partition per used worker.
+    pub fn optimize(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        workers: u64,
+    ) -> MpqOutcome {
+        let partitions = effective_workers(space, query.num_tables(), workers);
+        let assignment: Vec<(u64, u64)> = (0..partitions).map(|p| (p, 1)).collect();
+        self.run(query, space, objective, partitions, &assignment)
+    }
+
+    /// Optimizes with heterogeneous workers (footnote 1 of the paper): the
+    /// number of partitions treated by a worker is proportional to its
+    /// weight. `weights.len()` is the number of workers; weights must be
+    /// positive.
+    pub fn optimize_weighted(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        weights: &[f64],
+    ) -> MpqOutcome {
+        assert!(!weights.is_empty(), "at least one worker required");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let partitions = effective_workers(space, query.num_tables(), weights.len() as u64);
+        let assignment = proportional_assignment(weights, partitions);
+        self.run(query, space, objective, partitions, &assignment)
+    }
+
+    /// Oversubscribed mode: uses `partitions` plan-space partitions
+    /// (a power of two supported by the query) spread over `workers`
+    /// worker nodes, several consecutive partitions per worker. Useful
+    /// when the partition granularity should exceed the node count.
+    pub fn optimize_oversubscribed(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        workers: usize,
+        partitions: u64,
+    ) -> MpqOutcome {
+        assert!(workers >= 1, "at least one worker required");
+        let max = space.max_partitions(query.num_tables());
+        assert!(
+            partitions.is_power_of_two() && partitions <= max,
+            "partitions must be a power of two <= {max}"
+        );
+        let workers = workers.min(partitions as usize);
+        let weights = vec![1.0; workers];
+        let assignment = proportional_assignment(&weights, partitions);
+        self.run(query, space, objective, partitions, &assignment)
+    }
+
+    /// Runs Algorithm 1 with an explicit `(first_partition, count)`
+    /// assignment per worker.
+    fn run(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        partitions: u64,
+        assignment: &[(u64, u64)],
+    ) -> MpqOutcome {
+        let workers_used = assignment.len();
+        let cluster = Cluster::spawn(workers_used, self.config.latency, |_| MpqWorker);
+        let start = Instant::now();
+
+        // Phase 1: one task message per worker.
+        cluster.metrics().record_round();
+        for (worker, &(first, count)) in assignment.iter().enumerate() {
+            let msg = MasterMessage {
+                query: query.clone(),
+                space,
+                objective,
+                first_partition: first,
+                partition_count: count,
+                total_partitions: partitions,
+            };
+            cluster.send(worker, msg.to_bytes(), true);
+        }
+
+        // Phase 2: collect the partition-optimal plans.
+        let mut worker_stats = vec![WorkerStats::default(); workers_used];
+        let mut plans: Vec<Plan> = Vec::new();
+        for _ in 0..workers_used {
+            let (worker, payload) = cluster.recv();
+            let reply = WorkerReply::from_bytes(&payload)
+                .expect("worker replies are produced by this crate and must decode");
+            worker_stats[worker] = reply.stats;
+            plans.extend(reply.plans);
+        }
+
+        // Phase 3: FinalPrune over the O(m) collected plans.
+        let policy = PruningPolicy::new(objective, query.num_tables());
+        policy.final_prune(&mut plans);
+
+        let total_micros = start.elapsed().as_micros() as u64;
+        let network = cluster.metrics().snapshot();
+        cluster.shutdown();
+
+        let metrics = MpqMetrics {
+            total_micros,
+            max_worker_micros: worker_stats
+                .iter()
+                .map(|s| s.optimize_micros)
+                .max()
+                .unwrap_or(0),
+            max_worker_stored_sets: worker_stats
+                .iter()
+                .map(|s| s.stored_sets)
+                .max()
+                .unwrap_or(0),
+            network,
+            worker_stats,
+            partitions,
+            workers_used,
+        };
+        MpqOutcome { plans, metrics }
+    }
+}
+
+/// Splits `partitions` into contiguous per-worker ranges with sizes
+/// proportional to `weights` (largest-remainder rounding; every worker with
+/// positive weight gets at least zero, workers with zero share are
+/// dropped).
+fn proportional_assignment(weights: &[f64], partitions: u64) -> Vec<(u64, u64)> {
+    let total_w: f64 = weights.iter().sum();
+    let mut counts: Vec<u64> = weights
+        .iter()
+        .map(|w| ((w / total_w) * partitions as f64).floor() as u64)
+        .collect();
+    let mut assigned: u64 = counts.iter().sum();
+    // Largest remainders get the leftover partitions.
+    let mut rema: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, (w / total_w) * partitions as f64 - counts[i] as f64))
+        .collect();
+    rema.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+    let mut k = 0;
+    while assigned < partitions {
+        counts[rema[k % rema.len()].0] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    // Contiguous ranges, dropping zero-count workers.
+    let mut out = Vec::new();
+    let mut first = 0u64;
+    for &c in &counts {
+        if c > 0 {
+            out.push((first, c));
+            first += c;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_dp::optimize_serial;
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+
+    fn query(n: usize, seed: u64) -> Query {
+        WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query()
+    }
+
+    #[test]
+    fn mpq_matches_serial_linear() {
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        for seed in 0..4 {
+            let q = query(8, seed);
+            let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+            for workers in [1u64, 2, 4, 8, 16] {
+                let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, workers);
+                assert_eq!(out.plans.len(), 1);
+                let a = out.plans[0].cost().time;
+                let b = serial.plans[0].cost().time;
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.max(1.0),
+                    "seed {seed} workers {workers}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mpq_matches_serial_bushy() {
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        for seed in 0..3 {
+            let q = query(6, seed + 10);
+            let serial = optimize_serial(&q, PlanSpace::Bushy, Objective::Single);
+            for workers in [1u64, 2, 4] {
+                let out = opt.optimize(&q, PlanSpace::Bushy, Objective::Single, workers);
+                let a = out.plans[0].cost().time;
+                let b = serial.plans[0].cost().time;
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.max(1.0),
+                    "seed {seed} workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_rounds_down() {
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        let q = query(8, 1);
+        // 10 requested -> 8 used (largest power of two <= min(10, 16)).
+        let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 10);
+        assert_eq!(out.metrics.partitions, 8);
+        assert_eq!(out.metrics.workers_used, 8);
+    }
+
+    #[test]
+    fn network_linear_in_workers() {
+        // Theorem 1: bytes on the wire are O(m (b_q + b_p)).
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        let q = query(10, 2);
+        let b4 = opt
+            .optimize(&q, PlanSpace::Linear, Objective::Single, 4)
+            .metrics
+            .network
+            .total_bytes();
+        let b16 = opt
+            .optimize(&q, PlanSpace::Linear, Objective::Single, 16)
+            .metrics
+            .network
+            .total_bytes();
+        let ratio = b16 as f64 / b4 as f64;
+        assert!(
+            ratio > 3.0 && ratio < 5.0,
+            "4x workers must mean ~4x bytes, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn exactly_one_round_and_2m_messages() {
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        let q = query(8, 3);
+        let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 8);
+        assert_eq!(out.metrics.network.rounds, 1);
+        assert_eq!(out.metrics.network.messages, 16); // m tasks + m replies
+    }
+
+    #[test]
+    fn memory_decreases_with_workers() {
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        let q = query(12, 4);
+        let m1 = opt
+            .optimize(&q, PlanSpace::Linear, Objective::Single, 1)
+            .metrics
+            .max_worker_stored_sets;
+        let m16 = opt
+            .optimize(&q, PlanSpace::Linear, Objective::Single, 16)
+            .metrics
+            .max_worker_stored_sets;
+        assert!(
+            m16 < m1,
+            "per-worker memory must shrink with parallelism: {m1} -> {m16}"
+        );
+        // Theorem 2: each doubling removes 1/4 of the sets; 16 workers
+        // (4 constraints) leave (3/4)^4 ≈ 31.6% plus the n singletons.
+        let predicted = m1 as f64 * (3.0f64 / 4.0).powi(4);
+        let tolerance = 0.1 * m1 as f64;
+        assert!(
+            (m16 as f64 - predicted).abs() < tolerance,
+            "expected ≈{predicted}, got {m16}"
+        );
+    }
+
+    #[test]
+    fn multi_objective_merges_frontiers() {
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        let q = query(8, 5);
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Multi { alpha: 1.0 });
+        let out = opt.optimize(&q, PlanSpace::Linear, Objective::Multi { alpha: 1.0 }, 8);
+        // The parallel frontier must α-cover (here exactly cover) the
+        // serial frontier: for every serial plan some parallel plan is no
+        // worse in both metrics.
+        for sp in &serial.plans {
+            assert!(
+                out.plans.iter().any(|pp| pp.cost().dominates(&sp.cost())
+                    || (pp.cost().time <= sp.cost().time * (1.0 + 1e-9)
+                        && pp.cost().buffer <= sp.cost().buffer * (1.0 + 1e-9))),
+                "serial frontier point not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_assignment_covers_space() {
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        let q = query(8, 6);
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        // Three workers, one twice as fast: 16 partitions split ~8/4/4.
+        let out = opt.optimize_weighted(&q, PlanSpace::Linear, Objective::Single, &[2.0, 1.0, 1.0]);
+        let a = out.plans[0].cost().time;
+        let b = serial.plans[0].cost().time;
+        assert!((a - b).abs() <= 1e-9 * b.max(1.0));
+        assert!(out.metrics.workers_used <= 3);
+    }
+
+    #[test]
+    fn oversubscription_covers_space() {
+        let opt = MpqOptimizer::new(MpqConfig::default());
+        let q = query(8, 7);
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        let out = opt.optimize_oversubscribed(&q, PlanSpace::Linear, Objective::Single, 3, 16);
+        let a = out.plans[0].cost().time;
+        let b = serial.plans[0].cost().time;
+        assert!((a - b).abs() <= 1e-9 * b.max(1.0));
+        assert_eq!(out.metrics.partitions, 16);
+        assert_eq!(out.metrics.workers_used, 3);
+    }
+
+    #[test]
+    fn proportional_assignment_properties() {
+        let a = proportional_assignment(&[1.0, 1.0, 1.0, 1.0], 8);
+        assert_eq!(a, vec![(0, 2), (2, 2), (4, 2), (6, 2)]);
+        let a = proportional_assignment(&[3.0, 1.0], 8);
+        assert_eq!(a.iter().map(|&(_, c)| c).sum::<u64>(), 8);
+        assert_eq!(a[0].1, 6);
+        // Contiguity and full coverage.
+        let mut next = 0;
+        for &(first, count) in &a {
+            assert_eq!(first, next);
+            next = first + count;
+        }
+        assert_eq!(next, 8);
+    }
+
+    #[test]
+    fn latency_model_slows_total_but_not_worker_time() {
+        let q = query(8, 8);
+        let fast = MpqOptimizer::new(MpqConfig {
+            latency: LatencyModel::ZERO,
+        })
+        .optimize(&q, PlanSpace::Linear, Objective::Single, 4);
+        let slow = MpqOptimizer::new(MpqConfig {
+            latency: LatencyModel {
+                per_message_us: 20_000,
+                per_kib_us: 0,
+                task_launch_us: 0,
+            },
+        })
+        .optimize(&q, PlanSpace::Linear, Objective::Single, 4);
+        assert!(slow.metrics.total_micros >= fast.metrics.total_micros + 30_000);
+        assert_eq!(
+            slow.plans[0].cost().time,
+            fast.plans[0].cost().time,
+            "latency must not change the chosen plan"
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! Admissible join results and the dense memo index (Algorithm 4).
+//!
+//! An intermediate join result is admissible under a constraint set iff its
+//! intersection with every table group is an admissible *local* subset of
+//! that group:
+//!
+//! * unconstrained group: every local subset is admissible;
+//! * linear pair `{a, b}` with `a ≺ b`: `{b}` is excluded (3 of 4 remain);
+//! * bushy triple `{x, y, z}` with `x ⪯ y | z`: `{y, z}` is excluded
+//!   (7 of 8 remain).
+//!
+//! The admissible sets therefore form a Cartesian product over groups,
+//! which yields a **dense mixed-radix index**: number the admissible local
+//! subsets of each group `0 .. r_g - 1` in an inclusion-compatible order
+//! (by cardinality), and map a set to `Σ_g pos_g · stride_g`. The index is
+//! a bijection between admissible sets and `0 .. Π r_g`, giving the
+//! optimizer a flat-array memo with O(1), hash-free lookup — and because
+//! the per-group numbering is inclusion-compatible, ascending index order
+//! enumerates every admissible subset of a set before the set itself, which
+//! is exactly the order the dynamic program needs.
+
+use crate::constraints::{Constraint, ConstraintSet};
+use mpq_model::TableSet;
+
+/// Per-group indexing data.
+#[derive(Clone, Debug)]
+struct GroupIndex {
+    /// First table of the group (groups are consecutive table ranges).
+    base: u8,
+    /// Number of tables in the group.
+    size: u8,
+    /// Admissible local subsets as absolute bitmasks, ordered by
+    /// cardinality (inclusion-compatible).
+    locals: Vec<u64>,
+    /// `pos[p]` = position of the local pattern `p` (relative to `base`) in
+    /// `locals`, or `INVALID` if inadmissible. Indexed by the up-to-3-bit
+    /// local pattern.
+    pos: [u8; 8],
+    /// Mixed-radix stride of this group.
+    stride: usize,
+}
+
+const INVALID: u8 = 0xFF;
+
+/// The admissible join results of one plan-space partition, with the dense
+/// mixed-radix index described in the module docs.
+#[derive(Clone, Debug)]
+pub struct AdmissibleSets {
+    groups: Vec<GroupIndex>,
+    total: usize,
+    num_tables: usize,
+}
+
+impl AdmissibleSets {
+    /// Enumerates the admissible join results for `constraints`
+    /// (function `AdmJoinResults` of Algorithm 4, in indexed form).
+    pub fn new(constraints: &ConstraintSet) -> Self {
+        let grouping = constraints.grouping();
+        let mut groups = Vec::with_capacity(grouping.num_groups());
+        let mut stride = 1usize;
+        for (i, g) in grouping.iter().enumerate() {
+            let size = g.len() as u8;
+            let base = g.base;
+            let full: u8 = (1u8 << size) - 1;
+            // Collect admissible local patterns, ordered by cardinality so
+            // the mixed-radix order is inclusion-compatible.
+            let mut patterns: Vec<u8> = (0..=full).collect();
+            patterns.sort_by_key(|p| (p.count_ones(), *p));
+            let excluded: Option<u8> = constraints.group_constraint(i).map(|c| match c {
+                Constraint::Precedence { after, .. } => 1u8 << (after - base),
+                Constraint::BushyPrecedence { y, z, .. } => {
+                    (1u8 << (y - base)) | (1u8 << (z - base))
+                }
+            });
+            let mut locals = Vec::with_capacity(patterns.len());
+            let mut pos = [INVALID; 8];
+            for p in patterns {
+                if Some(p) == excluded {
+                    continue;
+                }
+                pos[p as usize] = locals.len() as u8;
+                locals.push((p as u64) << base);
+            }
+            groups.push(GroupIndex {
+                base,
+                size,
+                locals,
+                pos,
+                stride,
+            });
+            stride = stride
+                .checked_mul(groups.last().unwrap().locals.len())
+                .expect("index overflow");
+        }
+        AdmissibleSets {
+            groups,
+            total: stride,
+            num_tables: grouping.num_tables(),
+        }
+    }
+
+    /// Number of admissible sets, **including** the empty set and all
+    /// admissible singletons (the full Cartesian product `Π r_g`).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether there are no admissible sets (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of query tables.
+    pub fn num_tables(&self) -> usize {
+        self.num_tables
+    }
+
+    /// Dense index of `set`, or `None` if the set is inadmissible.
+    #[inline]
+    pub fn index_of(&self, set: TableSet) -> Option<usize> {
+        let bits = set.bits();
+        let mut idx = 0usize;
+        for g in &self.groups {
+            let pattern = ((bits >> g.base) & ((1u64 << g.size) - 1)) as usize;
+            let p = g.pos[pattern];
+            if p == INVALID {
+                return None;
+            }
+            idx += (p as usize) * g.stride;
+        }
+        Some(idx)
+    }
+
+    /// The admissible set with dense index `idx` (inverse of
+    /// [`AdmissibleSets::index_of`]).
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn set_at(&self, mut idx: usize) -> TableSet {
+        assert!(idx < self.total, "index {idx} out of range {}", self.total);
+        let mut bits = 0u64;
+        // Decode from the highest-stride group down.
+        for g in self.groups.iter().rev() {
+            let p = idx / g.stride;
+            idx %= g.stride;
+            bits |= g.locals[p];
+        }
+        TableSet(bits)
+    }
+
+    /// Whether `set` is admissible.
+    #[inline]
+    pub fn is_admissible(&self, set: TableSet) -> bool {
+        self.index_of(set).is_some()
+    }
+
+    /// Iterates over all admissible sets in ascending dense-index order
+    /// (every admissible subset of a set appears before the set).
+    pub fn iter(&self) -> impl Iterator<Item = TableSet> + '_ {
+        (0..self.total).map(|i| self.set_at(i))
+    }
+
+    /// Admissible local "left operand" patterns of `set` restricted to
+    /// group `grp`, for the bushy split enumeration (Algorithm 5,
+    /// `TrySplits[Bushy]`): all subsets `s` of `set ∩ group` such that both
+    /// `s` and its complement within `set ∩ group` avoid the excluded
+    /// pattern of the group's constraint. Results are absolute bitmasks
+    /// appended to `out`.
+    pub fn admissible_split_parts(
+        &self,
+        constraints: &ConstraintSet,
+        grp: usize,
+        set: TableSet,
+        out: &mut Vec<u64>,
+    ) {
+        let g = &self.groups[grp];
+        let local = ((set.bits() >> g.base) & ((1u64 << g.size) - 1)) as u8;
+        // Enumerate subsets s of `local` (including empty and full).
+        let mut s = local;
+        loop {
+            let comp = local & !s;
+            if local_part_ok(constraints, grp, g.base, s)
+                && local_part_ok(constraints, grp, g.base, comp)
+            {
+                out.push((s as u64) << g.base);
+            }
+            if s == 0 {
+                break;
+            }
+            s = (s - 1) & local;
+        }
+    }
+
+    /// Number of groups (needed by split enumeration).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Whether a local pattern is allowed as one side of a split: it must not
+/// contain the constraint's excluded combination (`y` without `x` for
+/// linear; `{y,z}` without `x` for bushy). The *operand* formed from these
+/// patterns is then itself an admissible join result, so its optimal plans
+/// are in the memo.
+fn local_part_ok(constraints: &ConstraintSet, grp: usize, base: u8, pattern: u8) -> bool {
+    match constraints.group_constraint(grp) {
+        None => true,
+        Some(Constraint::Precedence { before, after }) => {
+            // Pattern containing `after` without `before` is not an
+            // admissible join result (unless a singleton — but singleton
+            // operands are scans, which are always available; we still
+            // exclude them here because a left-deep split never routes
+            // through this function).
+            let b = (pattern >> (before - base)) & 1;
+            let a = (pattern >> (after - base)) & 1;
+            !(a == 1 && b == 0)
+        }
+        Some(Constraint::BushyPrecedence { x, y, z }) => {
+            let xb = (pattern >> (x - base)) & 1;
+            let yb = (pattern >> (y - base)) & 1;
+            let zb = (pattern >> (z - base)) & 1;
+            !(yb == 1 && zb == 1 && xb == 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::Grouping;
+    use crate::space::{partition_constraints, PlanSpace};
+
+    fn adm(n: usize, space: PlanSpace, part_id: u64, m: u64) -> AdmissibleSets {
+        AdmissibleSets::new(&partition_constraints(n, space, part_id, m))
+    }
+
+    #[test]
+    fn unconstrained_is_full_power_set() {
+        for n in [2usize, 3, 4, 6, 7] {
+            for space in [PlanSpace::Linear, PlanSpace::Bushy] {
+                let a = adm(n, space, 0, 1);
+                assert_eq!(a.len(), 1 << n, "n={n} {space:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_count_matches_theorem_2() {
+        // l constraints on an n-table query (n even): 3^l * 4^(n/2 - l).
+        let n = 8;
+        for l in 0..=4u32 {
+            let m = 1u64 << l;
+            let a = adm(n, PlanSpace::Linear, 0, m);
+            let expected = 3usize.pow(l) * 4usize.pow(4 - l);
+            assert_eq!(a.len(), expected, "l={l}");
+        }
+    }
+
+    #[test]
+    fn bushy_count_matches_theorem_3() {
+        // l constraints on an n-table query (n divisible by 3):
+        // 7^l * 8^(n/3 - l).
+        let n = 9;
+        for l in 0..=3u32 {
+            let m = 1u64 << l;
+            let a = adm(n, PlanSpace::Bushy, 0, m);
+            let expected = 7usize.pow(l) * 8usize.pow(3 - l);
+            assert_eq!(a.len(), expected, "l={l}");
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let a = adm(7, PlanSpace::Linear, 5, 8);
+        for i in 0..a.len() {
+            let s = a.set_at(i);
+            assert_eq!(a.index_of(s), Some(i));
+        }
+    }
+
+    #[test]
+    fn index_matches_brute_force_admissibility() {
+        let cs = partition_constraints(6, PlanSpace::Bushy, 1, 2);
+        let a = AdmissibleSets::new(&cs);
+        let mut count = 0;
+        for bits in 0u64..(1 << 6) {
+            let s = TableSet(bits);
+            let brute = cs.admits(s);
+            assert_eq!(a.is_admissible(s), brute, "set {s}");
+            if brute {
+                count += 1;
+            }
+        }
+        assert_eq!(a.len(), count);
+    }
+
+    #[test]
+    fn ascending_index_visits_subsets_first() {
+        let a = adm(8, PlanSpace::Linear, 3, 4);
+        // For a sample of pairs (i, j) with set_i ⊂ set_j, verify i < j.
+        let sets: Vec<TableSet> = a.iter().collect();
+        for (i, si) in sets.iter().enumerate() {
+            for (j, sj) in sets.iter().enumerate() {
+                if si != sj && si.is_subset_of(*sj) {
+                    assert!(i < j, "{si} (idx {i}) ⊂ {sj} (idx {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_set_always_admissible_and_last_friendly() {
+        for (n, space, m) in [(8, PlanSpace::Linear, 16), (9, PlanSpace::Bushy, 8)] {
+            for id in 0..m {
+                let a = adm(n, space, id, m);
+                assert!(
+                    a.is_admissible(TableSet::full(n)),
+                    "n={n} {space:?} id={id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_is_index_zero() {
+        let a = adm(6, PlanSpace::Linear, 2, 4);
+        assert_eq!(a.index_of(TableSet::empty()), Some(0));
+        assert_eq!(a.set_at(0), TableSet::empty());
+    }
+
+    #[test]
+    fn partitions_cover_power_set() {
+        // Union of admissible sets over all partitions = full power set.
+        let n = 6;
+        for (space, m) in [(PlanSpace::Linear, 8u64), (PlanSpace::Bushy, 4u64)] {
+            let parts: Vec<AdmissibleSets> = (0..m).map(|id| adm(n, space, id, m)).collect();
+            for bits in 0u64..(1 << n) {
+                let s = TableSet(bits);
+                assert!(
+                    parts.iter().any(|a| a.is_admissible(s)),
+                    "{s} missing from all {space:?} partitions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inadmissible_sets_rejected() {
+        // Constraint Q0 ≺ Q1 from partition 0 of 2.
+        let a = adm(4, PlanSpace::Linear, 0, 2);
+        assert!(!a.is_admissible(TableSet::from_tables([1])));
+        assert!(!a.is_admissible(TableSet::from_tables([1, 2])));
+        assert!(a.is_admissible(TableSet::from_tables([0, 1, 2])));
+    }
+
+    #[test]
+    fn split_parts_unconstrained_group_full_power_set() {
+        let cs = ConstraintSet::unconstrained(Grouping::new(6, PlanSpace::Bushy));
+        let a = AdmissibleSets::new(&cs);
+        let mut out = Vec::new();
+        a.admissible_split_parts(&cs, 0, TableSet::from_tables([0, 1, 2]), &mut out);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn split_parts_constrained_triple_excludes_six_of_eight() {
+        // Constraint Q0 ⪯ Q1 | Q2: with all three tables present, the parts
+        // {1,2} (violates directly) and {0} (complement {1,2} violates) are
+        // excluded — 6 of 8 remain, matching the 21/27 analysis in Thm 7.
+        let cs = partition_constraints(3, PlanSpace::Bushy, 0, 2);
+        let a = AdmissibleSets::new(&cs);
+        let mut out = Vec::new();
+        a.admissible_split_parts(&cs, 0, TableSet::full(3), &mut out);
+        assert_eq!(out.len(), 6);
+        assert!(!out.contains(&0b110)); // {1,2}
+        assert!(!out.contains(&0b001)); // {0}
+    }
+
+    #[test]
+    fn split_parts_partial_triple() {
+        // Only tables {1, 2} of the constrained triple are in the set — but
+        // then the set itself would be inadmissible; use {0, 2}: every
+        // subset of {0,2} is fine.
+        let cs = partition_constraints(3, PlanSpace::Bushy, 0, 2);
+        let a = AdmissibleSets::new(&cs);
+        let mut out = Vec::new();
+        a.admissible_split_parts(&cs, 0, TableSet::from_tables([0, 2]), &mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn leftover_group_is_unconstrained() {
+        // 7 tables, linear: three pairs plus leftover {6}.
+        let a = adm(7, PlanSpace::Linear, 0, 8);
+        assert_eq!(a.len(), 3 * 3 * 3 * 2);
+        assert!(a.is_admissible(TableSet::singleton(6)));
+    }
+}

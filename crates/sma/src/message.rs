@@ -1,0 +1,220 @@
+//! SMA wire messages.
+//!
+//! Unlike MPQ's single task/reply pair, SMA needs four master-side message
+//! kinds (initialization, per-level assignment, memo broadcast, final plan
+//! request) and two worker-side kinds (level results, final plans). The
+//! memo-delta messages are the exponential-traffic culprit.
+
+use mpq_cluster::{DecodeError, Decoder, Encoder, Wire};
+use mpq_cost::Objective;
+use mpq_dp::WorkerStats;
+use mpq_model::{Query, TableSet};
+use mpq_partition::PlanSpace;
+use mpq_plan::{Plan, PlanEntry};
+
+/// One memo slot crossing the network: the table set and its surviving
+/// plan entries, in canonical (producer) order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotUpdate {
+    /// The join result this slot belongs to.
+    pub set: TableSet,
+    /// Surviving entries for the set.
+    pub entries: Vec<PlanEntry>,
+}
+
+impl Wire for SlotUpdate {
+    fn encode(&self, enc: &mut Encoder) {
+        self.set.encode(enc);
+        self.entries.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SlotUpdate {
+            set: TableSet::decode(dec)?,
+            entries: Vec::<PlanEntry>::decode(dec)?,
+        })
+    }
+}
+
+/// Master → worker messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmaMasterMsg {
+    /// Start a query: workers build their memo replica and seed scans.
+    Init {
+        /// The query with statistics.
+        query: Query,
+        /// Plan space to search.
+        space: PlanSpace,
+        /// Objective / pruning function.
+        objective: Objective,
+    },
+    /// Compute plan entries for these (same-cardinality) join results.
+    Assign {
+        /// The table sets assigned to this worker for the current level.
+        sets: Vec<TableSet>,
+    },
+    /// Merge these slots into the replica (level broadcast).
+    Delta {
+        /// Slots produced by all workers during the current level.
+        slots: Vec<SlotUpdate>,
+    },
+    /// Reconstruct and return the final plan(s) for the full table set.
+    Finish,
+}
+
+impl Wire for SmaMasterMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SmaMasterMsg::Init {
+                query,
+                space,
+                objective,
+            } => {
+                enc.put_u8(0);
+                query.encode(enc);
+                space.encode(enc);
+                objective.encode(enc);
+            }
+            SmaMasterMsg::Assign { sets } => {
+                enc.put_u8(1);
+                sets.encode(enc);
+            }
+            SmaMasterMsg::Delta { slots } => {
+                enc.put_u8(2);
+                slots.encode(enc);
+            }
+            SmaMasterMsg::Finish => enc.put_u8(3),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(SmaMasterMsg::Init {
+                query: Query::decode(dec)?,
+                space: PlanSpace::decode(dec)?,
+                objective: Objective::decode(dec)?,
+            }),
+            1 => Ok(SmaMasterMsg::Assign {
+                sets: Vec::<TableSet>::decode(dec)?,
+            }),
+            2 => Ok(SmaMasterMsg::Delta {
+                slots: Vec::<SlotUpdate>::decode(dec)?,
+            }),
+            3 => Ok(SmaMasterMsg::Finish),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "SmaMasterMsg",
+            }),
+        }
+    }
+}
+
+/// Worker → master messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmaReply {
+    /// Results of one `Assign`: the computed slots plus the compute time.
+    LevelDone {
+        /// Slots computed by this worker.
+        slots: Vec<SlotUpdate>,
+        /// Pure compute time for the batch, microseconds.
+        micros: u64,
+    },
+    /// Response to `Finish`.
+    Final {
+        /// Complete plan(s) for the query.
+        plans: Vec<Plan>,
+        /// Memory/work counters of this worker's replica.
+        stats: WorkerStats,
+    },
+}
+
+impl Wire for SmaReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SmaReply::LevelDone { slots, micros } => {
+                enc.put_u8(0);
+                slots.encode(enc);
+                enc.put_u64(*micros);
+            }
+            SmaReply::Final { plans, stats } => {
+                enc.put_u8(1);
+                plans.encode(enc);
+                stats.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(SmaReply::LevelDone {
+                slots: Vec::<SlotUpdate>::decode(dec)?,
+                micros: dec.get_u64()?,
+            }),
+            1 => Ok(SmaReply::Final {
+                plans: Vec::<Plan>::decode(dec)?,
+                stats: WorkerStats::decode(dec)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "SmaReply",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_cost::{CostVector, ScanOp};
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn master_messages_roundtrip() {
+        let query = WorkloadGenerator::new(WorkloadConfig::paper_default(6), 1).next_query();
+        let msgs = vec![
+            SmaMasterMsg::Init {
+                query,
+                space: PlanSpace::Linear,
+                objective: Objective::Single,
+            },
+            SmaMasterMsg::Assign {
+                sets: vec![TableSet::from_tables([0, 1]), TableSet::from_tables([2, 3])],
+            },
+            SmaMasterMsg::Delta {
+                slots: vec![SlotUpdate {
+                    set: TableSet::from_tables([0, 1]),
+                    entries: vec![PlanEntry::scan(0, ScanOp::Full, CostVector::new(1.0, 2.0))],
+                }],
+            },
+            SmaMasterMsg::Finish,
+        ];
+        for msg in msgs {
+            let bytes = msg.to_bytes();
+            assert_eq!(SmaMasterMsg::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let r = SmaReply::LevelDone {
+            slots: vec![SlotUpdate {
+                set: TableSet::singleton(3),
+                entries: vec![],
+            }],
+            micros: 42,
+        };
+        assert_eq!(SmaReply::from_bytes(&r.to_bytes()).unwrap(), r);
+        let query = WorkloadGenerator::new(WorkloadConfig::paper_default(4), 2).next_query();
+        let out = mpq_dp::optimize_serial(&query, PlanSpace::Linear, Objective::Single);
+        let r = SmaReply::Final {
+            plans: out.plans,
+            stats: out.stats,
+        };
+        assert_eq!(SmaReply::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(SmaMasterMsg::from_bytes(&[9]).is_err());
+        assert!(SmaReply::from_bytes(&[7]).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! The SMA master protocol and worker logic.
+
+use crate::message::{SlotUpdate, SmaMasterMsg, SmaReply};
+use bytes::Bytes;
+use mpq_cluster::{Cluster, Control, LatencyModel, NetworkSnapshot, Wire, WorkerCtx, WorkerLogic};
+use mpq_cost::{CardinalityEstimator, Objective, ScanOp};
+use mpq_dp::{compute_entries_for_set, reconstruct_plan, HashMemo, MemoStore, WorkerStats};
+use mpq_model::{Query, TableSet};
+use mpq_partition::PlanSpace;
+use mpq_plan::{Plan, PlanEntry, PruningPolicy};
+use std::time::Instant;
+
+/// Configuration of the SMA baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmaConfig {
+    /// Latency/overhead model of the simulated network.
+    pub latency: LatencyModel,
+}
+
+/// Measurements of one SMA run.
+#[derive(Clone, Debug, Default)]
+pub struct SmaMetrics {
+    /// End-to-end optimization time at the master, microseconds.
+    pub total_micros: u64,
+    /// Maximum cumulative pure compute time over workers, microseconds.
+    pub max_worker_micros: u64,
+    /// Network counters — note the contrast with MPQ: these grow with the
+    /// memo size, i.e. exponentially in the query size.
+    pub network: NetworkSnapshot,
+    /// Per-worker cumulative compute time, microseconds.
+    pub worker_compute_micros: Vec<u64>,
+    /// Memory counters of the (fully replicated) memo on worker 0.
+    pub replica_stats: WorkerStats,
+    /// Number of coordination rounds (one per join-result cardinality).
+    pub rounds: u64,
+}
+
+/// Result of one SMA optimization.
+#[derive(Clone, Debug)]
+pub struct SmaOutcome {
+    /// The optimal plan (single-objective) or Pareto frontier.
+    pub plans: Vec<Plan>,
+    /// Run measurements.
+    pub metrics: SmaMetrics,
+}
+
+/// Worker state after `Init`.
+struct ReplicaState {
+    query: Query,
+    space: PlanSpace,
+    objective: Objective,
+    memo: HashMemo,
+}
+
+/// SMA worker logic: maintain a replicated memo, compute assigned slots,
+/// apply broadcast deltas.
+#[derive(Default)]
+struct SmaWorker {
+    state: Option<ReplicaState>,
+}
+
+impl WorkerLogic for SmaWorker {
+    fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
+        let msg = match SmaMasterMsg::from_bytes(&payload) {
+            Ok(m) => m,
+            Err(_) => {
+                // Protocol bug: reply empty so the master cannot deadlock.
+                ctx.send_to_master(
+                    SmaReply::LevelDone {
+                        slots: Vec::new(),
+                        micros: 0,
+                    }
+                    .to_bytes(),
+                );
+                return Control::Shutdown;
+            }
+        };
+        match msg {
+            SmaMasterMsg::Init {
+                query,
+                space,
+                objective,
+            } => {
+                let n = query.num_tables();
+                let mut memo = HashMemo::new(n);
+                let policy = PruningPolicy::new(objective, n);
+                let mut est = CardinalityEstimator::new(&query);
+                for t in 0..n {
+                    let cost = ScanOp::Full.cost(&mut est, t);
+                    policy.try_insert(
+                        memo.single_slot_mut(t),
+                        PlanEntry::scan(t as u8, ScanOp::Full, cost),
+                    );
+                }
+                drop(est);
+                self.state = Some(ReplicaState {
+                    query,
+                    space,
+                    objective,
+                    memo,
+                });
+                Control::Continue
+            }
+            SmaMasterMsg::Assign { sets } => {
+                let state = self.state.as_mut().expect("Init precedes Assign");
+                let t0 = Instant::now();
+                let policy = PruningPolicy::new(state.objective, state.query.num_tables());
+                let mut est = CardinalityEstimator::new(&state.query);
+                let mut stats = WorkerStats::default();
+                let slots: Vec<SlotUpdate> = sets
+                    .iter()
+                    .map(|&set| SlotUpdate {
+                        set,
+                        entries: compute_entries_for_set(
+                            state.space,
+                            set,
+                            &state.memo,
+                            &mut est,
+                            &policy,
+                            &mut stats,
+                        ),
+                    })
+                    .collect();
+                let micros = t0.elapsed().as_micros() as u64;
+                ctx.send_to_master(SmaReply::LevelDone { slots, micros }.to_bytes());
+                Control::Continue
+            }
+            SmaMasterMsg::Delta { slots } => {
+                let state = self.state.as_mut().expect("Init precedes Delta");
+                for s in slots {
+                    state.memo.replace_slot(s.set, s.entries);
+                }
+                Control::Continue
+            }
+            SmaMasterMsg::Finish => {
+                let state = self.state.as_ref().expect("Init precedes Finish");
+                let n = state.query.num_tables();
+                let policy = PruningPolicy::new(state.objective, n);
+                let mut est = CardinalityEstimator::new(&state.query);
+                let full = TableSet::full(n);
+                let entries: Vec<PlanEntry> = state.memo.entries(full).to_vec();
+                let mut plans: Vec<Plan> = entries
+                    .iter()
+                    .map(|e| reconstruct_plan(&state.memo, &mut est, full, e))
+                    .collect();
+                if n == 1 {
+                    plans = state
+                        .memo
+                        .single_entries(0)
+                        .iter()
+                        .map(|e| reconstruct_plan(&state.memo, &mut est, TableSet::singleton(0), e))
+                        .collect();
+                }
+                policy.final_prune(&mut plans);
+                let stats = WorkerStats {
+                    stored_sets: state.memo.stored_sets(),
+                    total_entries: state.memo.total_entries(),
+                    ..WorkerStats::default()
+                };
+                ctx.send_to_master(SmaReply::Final { plans, stats }.to_bytes());
+                Control::Continue
+            }
+        }
+    }
+}
+
+/// The SMA optimizer: level-synchronized parallel DP with a replicated
+/// memo, coordinated by the master.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmaOptimizer {
+    config: SmaConfig,
+}
+
+impl SmaOptimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: SmaConfig) -> Self {
+        SmaOptimizer { config }
+    }
+
+    /// Optimizes `query` over `workers` worker nodes.
+    pub fn optimize(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        workers: usize,
+    ) -> SmaOutcome {
+        assert!(workers >= 1, "at least one worker required");
+        let n = query.num_tables();
+        let cluster = Cluster::spawn(workers, self.config.latency, |_| SmaWorker::default());
+        let start = Instant::now();
+
+        // Initialization round: ship the query and statistics everywhere.
+        cluster.metrics().record_round();
+        let init = SmaMasterMsg::Init {
+            query: query.clone(),
+            space,
+            objective,
+        }
+        .to_bytes();
+        cluster.broadcast(&init, true);
+
+        let mut compute = vec![0u64; workers];
+
+        // One coordination round per join-result cardinality.
+        for k in 2..=n {
+            cluster.metrics().record_round();
+            let sets: Vec<TableSet> = TableSet::subsets_of_size(n, k).collect();
+            let participants = workers.min(sets.len());
+            // Contiguous chunks — fine-grained task lists, as in the
+            // prior algorithms SMA represents.
+            let chunk = sets.len().div_ceil(participants);
+            let mut sent = 0usize;
+            for (w, batch) in sets.chunks(chunk).enumerate() {
+                let msg = SmaMasterMsg::Assign {
+                    sets: batch.to_vec(),
+                };
+                cluster.send(w, msg.to_bytes(), true);
+                sent += 1;
+            }
+            // Collect level results and merge (sets are disjoint across
+            // workers, so merging is concatenation).
+            let mut level_slots: Vec<SlotUpdate> = Vec::new();
+            for _ in 0..sent {
+                let (w, payload) = cluster.recv();
+                match SmaReply::from_bytes(&payload).expect("worker reply decodes") {
+                    SmaReply::LevelDone { slots, micros } => {
+                        compute[w] += micros;
+                        level_slots.extend(slots);
+                    }
+                    SmaReply::Final { .. } => unreachable!("Final only follows Finish"),
+                }
+            }
+            // Broadcast the merged level so every replica stays consistent
+            // — this is the exponential-traffic step.
+            let delta = SmaMasterMsg::Delta { slots: level_slots }.to_bytes();
+            cluster.broadcast(&delta, false);
+        }
+
+        // Final round: any replica can produce the plan; ask worker 0.
+        cluster.metrics().record_round();
+        cluster.send(0, SmaMasterMsg::Finish.to_bytes(), false);
+        let (_, payload) = cluster.recv();
+        let (plans, replica_stats) =
+            match SmaReply::from_bytes(&payload).expect("worker reply decodes") {
+                SmaReply::Final { plans, stats } => (plans, stats),
+                SmaReply::LevelDone { .. } => unreachable!("Finish yields Final"),
+            };
+
+        let total_micros = start.elapsed().as_micros() as u64;
+        let network = cluster.metrics().snapshot();
+        let rounds = network.rounds;
+        cluster.shutdown();
+
+        SmaOutcome {
+            plans,
+            metrics: SmaMetrics {
+                total_micros,
+                max_worker_micros: compute.iter().copied().max().unwrap_or(0),
+                network,
+                worker_compute_micros: compute,
+                replica_stats,
+                rounds,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_dp::optimize_serial;
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+
+    fn query(n: usize, seed: u64) -> Query {
+        WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query()
+    }
+
+    #[test]
+    fn sma_matches_serial_linear() {
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        for seed in 0..3 {
+            let q = query(7, seed);
+            let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+            for workers in [1usize, 2, 4] {
+                let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, workers);
+                assert_eq!(out.plans.len(), 1);
+                let a = out.plans[0].cost().time;
+                let b = serial.plans[0].cost().time;
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.max(1.0),
+                    "seed {seed} workers {workers}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sma_matches_serial_bushy() {
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        let q = query(6, 11);
+        let serial = optimize_serial(&q, PlanSpace::Bushy, Objective::Single);
+        let out = opt.optimize(&q, PlanSpace::Bushy, Objective::Single, 3);
+        let a = out.plans[0].cost().time;
+        let b = serial.plans[0].cost().time;
+        assert!((a - b).abs() <= 1e-9 * b.max(1.0));
+    }
+
+    #[test]
+    fn sma_multi_objective_matches_serial_frontier() {
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        let q = query(6, 12);
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Multi { alpha: 1.0 });
+        let out = opt.optimize(&q, PlanSpace::Linear, Objective::Multi { alpha: 1.0 }, 4);
+        assert_eq!(out.plans.len(), serial.plans.len());
+        for sp in &serial.plans {
+            assert!(out
+                .plans
+                .iter()
+                .any(|pp| (pp.cost().time - sp.cost().time).abs() <= 1e-9 * sp.cost().time));
+        }
+    }
+
+    #[test]
+    fn sma_has_one_round_per_level() {
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        let q = query(6, 13);
+        let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 4);
+        // init + (n-1) levels + finish = n + 1 rounds.
+        assert_eq!(out.metrics.rounds, 7);
+    }
+
+    #[test]
+    fn sma_network_grows_with_workers() {
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        let q = query(8, 14);
+        let b1 = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 1);
+        let b4 = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 4);
+        assert!(
+            b4.metrics.network.total_bytes() > b1.metrics.network.total_bytes(),
+            "broadcasts to more replicas must cost more bytes"
+        );
+    }
+
+    #[test]
+    fn sma_replica_memory_does_not_shrink_with_workers() {
+        // The replicated memo is the scalability problem: every worker
+        // stores the full table-set space regardless of parallelism.
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        let q = query(8, 15);
+        let m1 = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 1);
+        let m4 = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 4);
+        assert_eq!(
+            m1.metrics.replica_stats.stored_sets,
+            m4.metrics.replica_stats.stored_sets
+        );
+    }
+
+    #[test]
+    fn sma_single_table_query() {
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        let q = query(1, 16);
+        let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 2);
+        assert_eq!(out.plans.len(), 1);
+        assert_eq!(out.plans[0].num_joins(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Scaling study: how optimization time, per-worker memory and network
+//! traffic evolve as the simulated cluster grows — a miniature of the
+//! paper's Figure 2, including the comparison against the SMA baseline's
+//! network behaviour.
+//!
+//! ```sh
+//! cargo run --release --example cluster_scaling
+//! ```
+
+use pqopt::prelude::*;
+
+fn main() {
+    let tables = 16;
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::paper_default(tables), 3);
+    let query = generator.next_query();
+
+    // A latency model in the spirit of the paper's Spark cluster: flat
+    // message latency, per-KiB transfer cost, task-launch overhead.
+    let latency = LatencyModel::cluster_like();
+    let mpq = MpqOptimizer::new(MpqConfig { latency });
+    let sma = SmaOptimizer::new(SmaConfig { latency });
+
+    println!("MPQ scaling on a {tables}-table star query (linear plan space)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12}",
+        "workers", "time (ms)", "W-time (ms)", "memory (rel)", "net (B)"
+    );
+    for workers in [1u64, 2, 4, 8, 16, 32, 64] {
+        let out = mpq.optimize(&query, PlanSpace::Linear, Objective::Single, workers);
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>14} {:>12}",
+            workers,
+            out.metrics.total_micros as f64 / 1e3,
+            out.metrics.max_worker_micros as f64 / 1e3,
+            out.metrics.max_worker_stored_sets,
+            out.metrics.network.total_bytes()
+        );
+    }
+
+    // SMA ships its replicated memo level by level: watch the bytes.
+    println!("\nSMA baseline on a 10-table query (larger sizes take minutes):");
+    let query10 = WorkloadGenerator::new(WorkloadConfig::paper_default(10), 3).next_query();
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "workers", "time (ms)", "net (B)", "rounds"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let out = sma.optimize(&query10, PlanSpace::Linear, Objective::Single, workers);
+        println!(
+            "{:>8} {:>12.1} {:>12} {:>8}",
+            workers,
+            out.metrics.total_micros as f64 / 1e3,
+            out.metrics.network.total_bytes(),
+            out.metrics.rounds
+        );
+    }
+    let mpq10 = mpq.optimize(&query10, PlanSpace::Linear, Objective::Single, 8);
+    println!(
+        "\nfor contrast, MPQ on the same 10-table query with 8 workers: \
+         {} bytes in {} round(s)",
+        mpq10.metrics.network.total_bytes(),
+        mpq10.metrics.network.rounds
+    );
+}

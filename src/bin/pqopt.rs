@@ -1,0 +1,282 @@
+//! `pqopt` — command-line front end to the MPQ parallel query optimizer.
+//!
+//! ```text
+//! pqopt optimize  [--tables N] [--graph star|chain|cycle|clique]
+//!                 [--space linear|bushy] [--workers M] [--seed S]
+//!                 [--multi ALPHA] [--execute]
+//! pqopt compare   [--tables N] [--workers M] [--seed S]       MPQ vs SMA
+//! pqopt scaling   [--tables N] [--max-workers M] [--seed S]   worker sweep
+//! pqopt partitions [--tables N] [--space linear|bushy] [--workers M]
+//!                 show the constraint sets of every partition
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use pqopt::dp::optimize_serial;
+use pqopt::exec::{execute, DataConfig, Database};
+use pqopt::model::JoinGraph;
+use pqopt::partition::partition_constraints;
+use pqopt::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "optimize" => cmd_optimize(&opts),
+        "compare" => cmd_compare(&opts),
+        "scaling" => cmd_scaling(&opts),
+        "partitions" => cmd_partitions(&opts),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: pqopt <optimize|compare|scaling|partitions> [options]
+options:
+  --tables N        number of tables to join        (default 10)
+  --graph G         star|chain|cycle|clique         (default star)
+  --space S         linear|bushy                    (default linear)
+  --workers M       simulated worker nodes          (default 8)
+  --max-workers M   upper end of the scaling sweep  (default 64)
+  --seed S          workload seed                   (default 0)
+  --multi ALPHA     multi-objective mode with approximation factor ALPHA
+  --execute         also run the chosen plan on synthetic data";
+
+struct Options {
+    tables: usize,
+    graph: JoinGraph,
+    space: PlanSpace,
+    workers: u64,
+    max_workers: u64,
+    seed: u64,
+    objective: Objective,
+    execute: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            tables: 10,
+            graph: JoinGraph::Star,
+            space: PlanSpace::Linear,
+            workers: 8,
+            max_workers: 64,
+            seed: 0,
+            objective: Objective::Single,
+            execute: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--tables" => o.tables = parse_num(&value("--tables")?)?,
+                "--workers" => o.workers = parse_num(&value("--workers")?)?,
+                "--max-workers" => o.max_workers = parse_num(&value("--max-workers")?)?,
+                "--seed" => o.seed = parse_num(&value("--seed")?)?,
+                "--multi" => {
+                    let alpha: f64 = value("--multi")?
+                        .parse()
+                        .map_err(|_| "ALPHA must be a number".to_string())?;
+                    if alpha < 1.0 {
+                        return Err("ALPHA must be >= 1".into());
+                    }
+                    o.objective = Objective::Multi { alpha };
+                }
+                "--graph" => {
+                    o.graph = match value("--graph")?.as_str() {
+                        "star" => JoinGraph::Star,
+                        "chain" => JoinGraph::Chain,
+                        "cycle" => JoinGraph::Cycle,
+                        "clique" => JoinGraph::Clique,
+                        g => return Err(format!("unknown graph `{g}`")),
+                    }
+                }
+                "--space" => {
+                    o.space = match value("--space")?.as_str() {
+                        "linear" => PlanSpace::Linear,
+                        "bushy" => PlanSpace::Bushy,
+                        s => return Err(format!("unknown plan space `{s}`")),
+                    }
+                }
+                "--execute" => o.execute = true,
+                f => return Err(format!("unknown flag `{f}`")),
+            }
+        }
+        if o.tables == 0 || o.tables > 24 {
+            return Err("--tables must be between 1 and 24".into());
+        }
+        Ok(o)
+    }
+
+    fn query(&self) -> Query {
+        WorkloadGenerator::new(
+            WorkloadConfig::with_graph(self.tables, self.graph),
+            self.seed,
+        )
+        .next_query()
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("`{s}` is not a valid number"))
+}
+
+fn cmd_optimize(o: &Options) {
+    let query = o.query();
+    let optimizer = MpqOptimizer::new(MpqConfig {
+        latency: LatencyModel::cluster_like(),
+    });
+    let out = optimizer.optimize(&query, o.space, o.objective, o.workers);
+    println!(
+        "{} tables, {:?} graph, {:?} space, {} partitions over {} workers",
+        o.tables, o.graph, o.space, out.metrics.partitions, out.metrics.workers_used
+    );
+    for (i, p) in out.plans.iter().enumerate() {
+        if out.plans.len() > 1 {
+            println!("\n-- frontier plan {} of {} --", i + 1, out.plans.len());
+        }
+        println!("{p}");
+    }
+    println!(
+        "total time:        {:.2} ms",
+        out.metrics.total_micros as f64 / 1e3
+    );
+    println!(
+        "max worker time:   {:.2} ms",
+        out.metrics.max_worker_micros as f64 / 1e3
+    );
+    println!(
+        "network:           {} bytes in {} round(s)",
+        out.metrics.network.total_bytes(),
+        out.metrics.network.rounds
+    );
+    println!(
+        "max worker memory: {} relations",
+        out.metrics.max_worker_stored_sets
+    );
+    if o.execute {
+        let db = Database::generate(
+            &query,
+            &DataConfig {
+                max_rows_per_table: 1000,
+                seed: o.seed,
+            },
+        );
+        let (rel, stats) = execute(&query, &out.plans[0], &db).expect("plan executes");
+        println!(
+            "executed: {} result rows, {} comparisons, {} intermediate rows",
+            rel.len(),
+            stats.work.comparisons,
+            stats.intermediate_rows
+        );
+    }
+}
+
+fn cmd_compare(o: &Options) {
+    let query = o.query();
+    let latency = LatencyModel::cluster_like();
+    let mpq =
+        MpqOptimizer::new(MpqConfig { latency }).optimize(&query, o.space, o.objective, o.workers);
+    let sma = SmaOptimizer::new(SmaConfig { latency }).optimize(
+        &query,
+        o.space,
+        o.objective,
+        o.workers as usize,
+    );
+    println!(
+        "{:<6} {:>12} {:>14} {:>8}",
+        "", "time (ms)", "network (B)", "rounds"
+    );
+    println!(
+        "{:<6} {:>12.2} {:>14} {:>8}",
+        "MPQ",
+        mpq.metrics.total_micros as f64 / 1e3,
+        mpq.metrics.network.total_bytes(),
+        mpq.metrics.network.rounds
+    );
+    println!(
+        "{:<6} {:>12.2} {:>14} {:>8}",
+        "SMA",
+        sma.metrics.total_micros as f64 / 1e3,
+        sma.metrics.network.total_bytes(),
+        sma.metrics.rounds
+    );
+    let a = mpq.plans[0].cost().time;
+    let b = sma.plans[0].cost().time;
+    assert!(
+        (a - b).abs() <= 1e-6 * b.max(1.0),
+        "optimizers disagree: {a} vs {b}"
+    );
+    println!("both found the same optimal plan cost: {a:.4e}");
+}
+
+fn cmd_scaling(o: &Options) {
+    let query = o.query();
+    let optimizer = MpqOptimizer::new(MpqConfig {
+        latency: LatencyModel::cluster_like(),
+    });
+    let serial = optimize_serial(&query, o.space, o.objective);
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12} {:>9}",
+        "workers", "time (ms)", "W-time (ms)", "memory (rel)", "net (B)", "speedup"
+    );
+    let mut w = 1u64;
+    while w <= o.max_workers {
+        let out = optimizer.optimize(&query, o.space, o.objective, w);
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>14} {:>12} {:>8.2}x",
+            w,
+            out.metrics.total_micros as f64 / 1e3,
+            out.metrics.max_worker_micros as f64 / 1e3,
+            out.metrics.max_worker_stored_sets,
+            out.metrics.network.total_bytes(),
+            serial.stats.optimize_micros as f64 / out.metrics.total_micros.max(1) as f64
+        );
+        w *= 2;
+    }
+}
+
+fn cmd_partitions(o: &Options) {
+    let workers = pqopt::partition::effective_workers(o.space, o.tables, o.workers);
+    println!(
+        "{} tables, {:?} space: {} partitions (log2 = {} constraints each)",
+        o.tables,
+        o.space,
+        workers,
+        workers.trailing_zeros()
+    );
+    for id in 0..workers {
+        let cs = partition_constraints(o.tables, o.space, id, workers);
+        let desc: Vec<String> = cs
+            .iter()
+            .map(|c| match c {
+                pqopt::partition::Constraint::Precedence { before, after } => {
+                    format!("Q{before} ≺ Q{after}")
+                }
+                pqopt::partition::Constraint::BushyPrecedence { x, y, z } => {
+                    format!("Q{x} ⪯ Q{y} | Q{z}")
+                }
+            })
+            .collect();
+        println!("  partition {id:>3}: {}", desc.join(", "));
+    }
+}

@@ -1,0 +1,241 @@
+//! End-to-end integration tests spanning all crates: the parallel
+//! optimizers must agree with the serial reference (and with each other)
+//! on every plan space, objective and degree of parallelism, while
+//! honoring the shared-nothing discipline.
+
+use pqopt::prelude::*;
+
+fn queries(n: usize, count: usize, seed: u64) -> Vec<Query> {
+    WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).batch(count)
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+        "{what}: {a} vs {b}"
+    );
+}
+
+#[test]
+fn mpq_equals_serial_across_worker_counts_linear() {
+    let opt = MpqOptimizer::new(MpqConfig::default());
+    for q in queries(10, 3, 1) {
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        for workers in [1u64, 2, 4, 8, 16, 32] {
+            let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, workers);
+            assert_close(
+                out.plans[0].cost().time,
+                serial.plans[0].cost().time,
+                &format!("{workers} workers"),
+            );
+            assert!(out.plans[0].is_left_deep());
+            out.plans[0].validate().expect("valid plan tree");
+        }
+    }
+}
+
+#[test]
+fn mpq_equals_serial_across_worker_counts_bushy() {
+    let opt = MpqOptimizer::new(MpqConfig::default());
+    for q in queries(9, 2, 2) {
+        let serial = optimize_serial(&q, PlanSpace::Bushy, Objective::Single);
+        for workers in [1u64, 2, 4, 8] {
+            let out = opt.optimize(&q, PlanSpace::Bushy, Objective::Single, workers);
+            assert_close(
+                out.plans[0].cost().time,
+                serial.plans[0].cost().time,
+                &format!("{workers} workers"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sma_and_mpq_agree() {
+    let mpq = MpqOptimizer::new(MpqConfig::default());
+    let sma = SmaOptimizer::new(SmaConfig::default());
+    for q in queries(8, 2, 3) {
+        for space in [PlanSpace::Linear, PlanSpace::Bushy] {
+            let a = mpq.optimize(&q, space, Objective::Single, 4);
+            let b = sma.optimize(&q, space, Objective::Single, 4);
+            assert_close(
+                a.plans[0].cost().time,
+                b.plans[0].cost().time,
+                &format!("{space:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_objective_parallel_covers_serial_frontier() {
+    let opt = MpqOptimizer::new(MpqConfig::default());
+    for q in queries(8, 2, 4) {
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Multi { alpha: 1.0 });
+        for workers in [2u64, 8, 16] {
+            let par = opt.optimize(
+                &q,
+                PlanSpace::Linear,
+                Objective::Multi { alpha: 1.0 },
+                workers,
+            );
+            // Exact mode: frontiers must match point for point.
+            assert_eq!(par.plans.len(), serial.plans.len(), "{workers} workers");
+            for sp in &serial.plans {
+                assert!(
+                    par.plans.iter().any(|p| {
+                        (p.cost().time - sp.cost().time).abs() <= 1e-9 * sp.cost().time
+                            && (p.cost().buffer - sp.cost().buffer).abs()
+                                <= 1e-9 * sp.cost().buffer.max(1.0)
+                    }),
+                    "missing frontier point at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_objective_alpha_guarantee_in_parallel() {
+    let opt = MpqOptimizer::new(MpqConfig::default());
+    let alpha = 10.0;
+    for q in queries(8, 2, 5) {
+        let exact = optimize_serial(&q, PlanSpace::Linear, Objective::Multi { alpha: 1.0 });
+        let approx = opt.optimize(&q, PlanSpace::Linear, Objective::Multi { alpha }, 8);
+        for target in &exact.plans {
+            assert!(
+                approx
+                    .plans
+                    .iter()
+                    .any(|p| p.cost().alpha_dominates(&target.cost(), alpha)),
+                "α-guarantee violated in parallel mode"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_partition_plan_respects_its_constraints() {
+    use pqopt::partition::partition_constraints;
+    let q = &queries(8, 1, 6)[0];
+    let m = 16u64;
+    for id in 0..m {
+        let out = pqopt::dp::optimize_partition_id(q, PlanSpace::Linear, Objective::Single, id, m);
+        let order = out.plans[0].join_order().expect("left-deep");
+        let pos = |t: u8| order.iter().position(|&x| x == t).unwrap();
+        for c in partition_constraints(8, PlanSpace::Linear, id, m).iter() {
+            if let pqopt::partition::Constraint::Precedence { before, after } = c {
+                assert!(
+                    pos(before) < pos(after),
+                    "partition {id}: {before} must precede {after} in {order:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bushy_partition_plans_respect_bushy_constraints() {
+    // x ⪯ y | z: on the path from z's leaf to the root, x must appear no
+    // later than y — equivalently no subtree join result contains y and z
+    // without x.
+    let q = &queries(9, 1, 7)[0];
+    let m = 8u64;
+    for id in 0..m {
+        let out = pqopt::dp::optimize_partition_id(q, PlanSpace::Bushy, Objective::Single, id, m);
+        let plan = &out.plans[0];
+        for c in pqopt::partition::partition_constraints(9, PlanSpace::Bushy, id, m).iter() {
+            if let pqopt::partition::Constraint::BushyPrecedence { x, y, z } = c {
+                assert_no_violating_subtree(plan, x as usize, y as usize, z as usize);
+            }
+        }
+    }
+}
+
+fn assert_no_violating_subtree(plan: &Plan, x: usize, y: usize, z: usize) {
+    let t = plan.tables();
+    assert!(
+        !(t.contains(y) && t.contains(z) && !t.contains(x)),
+        "subtree {t} violates {x} ⪯ {y} | {z}"
+    );
+    if let Plan::Join { left, right, .. } = plan {
+        assert_no_violating_subtree(left, x, y, z);
+        assert_no_violating_subtree(right, x, y, z);
+    }
+}
+
+#[test]
+fn weighted_and_oversubscribed_match_serial() {
+    let opt = MpqOptimizer::new(MpqConfig::default());
+    let q = &queries(10, 1, 8)[0];
+    let serial = optimize_serial(q, PlanSpace::Linear, Objective::Single);
+    let weighted = opt.optimize_weighted(
+        q,
+        PlanSpace::Linear,
+        Objective::Single,
+        &[4.0, 2.0, 1.0, 1.0],
+    );
+    assert_close(
+        weighted.plans[0].cost().time,
+        serial.plans[0].cost().time,
+        "weighted",
+    );
+    let over = opt.optimize_oversubscribed(q, PlanSpace::Linear, Objective::Single, 3, 32);
+    assert_close(
+        over.plans[0].cost().time,
+        serial.plans[0].cost().time,
+        "oversubscribed",
+    );
+}
+
+#[test]
+fn odd_table_counts_are_supported() {
+    // The paper assumes n divisible by 2 (linear) / 3 (bushy); the
+    // generalized grouping must still cover the space for leftover tables.
+    let opt = MpqOptimizer::new(MpqConfig::default());
+    for n in [5usize, 7, 9, 11] {
+        let q = &queries(n, 1, 9 + n as u64)[0];
+        for space in [PlanSpace::Linear, PlanSpace::Bushy] {
+            let serial = optimize_serial(q, space, Objective::Single);
+            let max_w = pqopt::partition::effective_workers(space, n, 64);
+            let out = opt.optimize(q, space, Objective::Single, max_w);
+            assert_close(
+                out.plans[0].cost().time,
+                serial.plans[0].cost().time,
+                &format!("n={n} {space:?} m={max_w}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_does_not_change_results() {
+    let q = &queries(8, 1, 10)[0];
+    let fast = MpqOptimizer::new(MpqConfig::default()).optimize(
+        q,
+        PlanSpace::Linear,
+        Objective::Single,
+        8,
+    );
+    let slow = MpqOptimizer::new(MpqConfig {
+        latency: LatencyModel::cluster_like(),
+    })
+    .optimize(q, PlanSpace::Linear, Objective::Single, 8);
+    assert_eq!(fast.plans[0].cost().time, slow.plans[0].cost().time);
+    assert_eq!(
+        fast.metrics.network.total_bytes(),
+        slow.metrics.network.total_bytes()
+    );
+}
+
+#[test]
+fn repeated_runs_are_deterministic_in_result() {
+    let opt = MpqOptimizer::new(MpqConfig::default());
+    let q = &queries(9, 1, 11)[0];
+    let a = opt.optimize(q, PlanSpace::Linear, Objective::Single, 8);
+    let b = opt.optimize(q, PlanSpace::Linear, Objective::Single, 8);
+    assert_eq!(
+        a.plans[0], b.plans[0],
+        "same query + same workers => same plan"
+    );
+}
