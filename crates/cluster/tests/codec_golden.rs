@@ -1,0 +1,385 @@
+//! Wire-format regression tests for the `mpq_cluster` codec.
+//!
+//! Two layers of protection:
+//!
+//! 1. **Property tests** — randomized values round-trip bit-exactly through
+//!    encode/decode, and every strict prefix of an encoding fails to decode
+//!    (no silent truncation).
+//! 2. **Golden byte vectors** — exact frozen encodings of hand-constructed
+//!    values, in the MV2S tradition (fixed-width little-endian primitives,
+//!    `u32` length prefixes). Any change to the wire format — field order,
+//!    widths, endianness, tags — fails these tests and forces a deliberate
+//!    format-version decision instead of a silent break.
+//!
+//! To regenerate the golden constants after an *intentional* format change:
+//! `cargo test -p mpq_cluster --test codec_golden -- --ignored --nocapture`
+//! and paste the printed constants below.
+
+use mpq_cluster::Wire;
+use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
+use mpq_dp::WorkerStats;
+use mpq_model::{Catalog, JoinGraph, Predicate, Query, TableSet, TableStats};
+use mpq_plan::{Plan, PlanEntry};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Fixed values under golden protection.
+// ---------------------------------------------------------------------------
+
+fn golden_query() -> Query {
+    Query {
+        catalog: Catalog::from_stats(vec![
+            TableStats {
+                cardinality: 1000.0,
+                tuple_bytes: 64.0,
+                join_domain: 100.0,
+            },
+            TableStats {
+                cardinality: 50000.0,
+                tuple_bytes: 128.0,
+                join_domain: 2500.0,
+            },
+            TableStats {
+                cardinality: 8.0,
+                tuple_bytes: 16.0,
+                join_domain: 2.0,
+            },
+        ]),
+        predicates: vec![
+            Predicate {
+                left: 0,
+                right: 1,
+                selectivity: 0.01,
+            },
+            Predicate {
+                left: 1,
+                right: 2,
+                selectivity: 0.5,
+            },
+        ],
+        graph: JoinGraph::Chain,
+    }
+}
+
+fn golden_plan() -> Plan {
+    Plan::Join {
+        op: JoinOp::Hash,
+        left: Box::new(Plan::Scan {
+            table: 0,
+            op: ScanOp::Full,
+            cost: CostVector::new(1000.0, 64.0),
+            cardinality: 1000.0,
+        }),
+        right: Box::new(Plan::Scan {
+            table: 1,
+            op: ScanOp::Full,
+            cost: CostVector::new(50000.0, 128.0),
+            cardinality: 50000.0,
+        }),
+        cost: CostVector::new(51500.0, 192.0),
+        cardinality: 500.0,
+        order: Order::OnAttribute(1),
+    }
+}
+
+fn golden_entry() -> PlanEntry {
+    PlanEntry::join(
+        JoinOp::SortMerge,
+        TableSet::from_tables([0, 1]),
+        7,
+        TableSet::singleton(2),
+        0,
+        CostVector::new(5.0, 6.0),
+        Order::OnAttribute(1),
+    )
+}
+
+fn golden_stats() -> WorkerStats {
+    WorkerStats {
+        stored_sets: 11,
+        total_entries: 22,
+        splits_tried: 33,
+        plans_generated: 44,
+        optimize_micros: 55,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen encodings. Regenerate only on a deliberate wire-format change.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_U64: &str = "efbeadde00000000";
+const GOLDEN_F64: &str = "000000000000f83f";
+const GOLDEN_VEC_U64: &str = "03000000010000000000000002000000000000000300000000000000";
+const GOLDEN_TABLESET: &str = "2100000000000080";
+const GOLDEN_TABLESTATS: &str = "0000000000408f4000000000000050400000000000005940";
+const GOLDEN_PREDICATE: &str = "0309000000000000903f";
+const GOLDEN_QUERY: &str = "030000000000000000408f400000000000005040000000000000594000000000006ae8\
+    400000000000006040000000000088a34000000000000020400000000000003040000000000000004002000000000\
+    17b14ae47e17a843f0102000000000000e03f00";
+const GOLDEN_COST_VECTOR: &str = "000000000000f83f0000000000000440";
+const GOLDEN_OBJECTIVE_MULTI: &str = "010000000000002440";
+const GOLDEN_PLAN: &str = "0101000000008025e94000000000000068400000000000407f400200000000000000004\
+    08f4000000000000050400000000000408f4000010000000000006ae840000000000000604000000000006ae840";
+const GOLDEN_PLAN_ENTRY: &str =
+    "000000000000144000000000000018400201020300000000000000070000000400000\
+    00000000000000000";
+const GOLDEN_WORKER_STATS: &str =
+    "0b00000000000000160000000000000021000000000000002c0000000000000037\
+    00000000000000";
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn assert_golden<T: Wire + PartialEq + std::fmt::Debug>(value: &T, expected_hex: &str, what: &str) {
+    let encoded = value.to_bytes();
+    assert_eq!(
+        hex(&encoded),
+        expected_hex,
+        "wire format of {what} changed — if intentional, regenerate the golden constants \
+         (see module docs); if not, you just broke cross-version compatibility"
+    );
+    let decoded = T::from_bytes(&encoded).expect("golden bytes decode");
+    assert_eq!(&decoded, value, "golden {what} did not round-trip");
+}
+
+#[test]
+fn golden_primitives() {
+    assert_golden(&0xDEAD_BEEFu64, GOLDEN_U64, "u64");
+    assert_golden(&1.5f64, GOLDEN_F64, "f64");
+    assert_golden(&vec![1u64, 2, 3], GOLDEN_VEC_U64, "Vec<u64>");
+}
+
+#[test]
+fn golden_model_types() {
+    assert_golden(
+        &TableSet::from_tables([0, 5, 63]),
+        GOLDEN_TABLESET,
+        "TableSet",
+    );
+    assert_golden(
+        &TableStats {
+            cardinality: 1000.0,
+            tuple_bytes: 64.0,
+            join_domain: 100.0,
+        },
+        GOLDEN_TABLESTATS,
+        "TableStats",
+    );
+    assert_golden(
+        &Predicate {
+            left: 3,
+            right: 9,
+            selectivity: 0.015625,
+        },
+        GOLDEN_PREDICATE,
+        "Predicate",
+    );
+    assert_golden(&golden_query(), GOLDEN_QUERY, "Query");
+}
+
+#[test]
+fn golden_cost_and_plan_types() {
+    assert_golden(&CostVector::new(1.5, 2.5), GOLDEN_COST_VECTOR, "CostVector");
+    assert_golden(
+        &Objective::Multi { alpha: 10.0 },
+        GOLDEN_OBJECTIVE_MULTI,
+        "Objective::Multi",
+    );
+    assert_golden(&golden_plan(), GOLDEN_PLAN, "Plan");
+    assert_golden(&golden_entry(), GOLDEN_PLAN_ENTRY, "PlanEntry");
+    assert_golden(&golden_stats(), GOLDEN_WORKER_STATS, "WorkerStats");
+}
+
+/// The golden query must stay byte-identical structurally: length prefix,
+/// per-table stats, predicates, graph tag — this pins the *layout*, not
+/// just the bytes.
+#[test]
+fn golden_query_layout() {
+    let bytes = golden_query().to_bytes();
+    // u32 LE table count.
+    assert_eq!(&bytes[..4], &[3, 0, 0, 0], "leading u32 LE table count");
+    // 3 tables x 3 f64 stats.
+    let stats_end = 4 + 3 * 24;
+    assert_eq!(
+        f64::from_le_bytes(bytes[4..12].try_into().unwrap()),
+        1000.0,
+        "first stat is table 0 cardinality, f64 LE"
+    );
+    // u32 LE predicate count right after the stats.
+    assert_eq!(&bytes[stats_end..stats_end + 4], &[2, 0, 0, 0]);
+    // Trailing join-graph tag (Chain = 0).
+    assert_eq!(*bytes.last().unwrap(), 0);
+    // Total size: 4 + 72 stats + 4 + 2 predicates x 10 + 1 tag.
+    assert_eq!(bytes.len(), 4 + 72 + 4 + 20 + 1);
+}
+
+/// Prints the golden constants for pasting after an intentional change.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn regenerate_golden_constants() {
+    let pairs: Vec<(&str, String)> = vec![
+        ("GOLDEN_U64", hex(&0xDEAD_BEEFu64.to_bytes())),
+        ("GOLDEN_F64", hex(&1.5f64.to_bytes())),
+        ("GOLDEN_VEC_U64", hex(&vec![1u64, 2, 3].to_bytes())),
+        (
+            "GOLDEN_TABLESET",
+            hex(&TableSet::from_tables([0, 5, 63]).to_bytes()),
+        ),
+        (
+            "GOLDEN_TABLESTATS",
+            hex(&TableStats {
+                cardinality: 1000.0,
+                tuple_bytes: 64.0,
+                join_domain: 100.0,
+            }
+            .to_bytes()),
+        ),
+        (
+            "GOLDEN_PREDICATE",
+            hex(&Predicate {
+                left: 3,
+                right: 9,
+                selectivity: 0.015625,
+            }
+            .to_bytes()),
+        ),
+        ("GOLDEN_QUERY", hex(&golden_query().to_bytes())),
+        (
+            "GOLDEN_COST_VECTOR",
+            hex(&CostVector::new(1.5, 2.5).to_bytes()),
+        ),
+        (
+            "GOLDEN_OBJECTIVE_MULTI",
+            hex(&Objective::Multi { alpha: 10.0 }.to_bytes()),
+        ),
+        ("GOLDEN_PLAN", hex(&golden_plan().to_bytes())),
+        ("GOLDEN_PLAN_ENTRY", hex(&golden_entry().to_bytes())),
+        ("GOLDEN_WORKER_STATS", hex(&golden_stats().to_bytes())),
+    ];
+    for (name, value) in pairs {
+        println!("const {name}: &str = \"{value}\";");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random values round-trip, prefixes fail.
+// ---------------------------------------------------------------------------
+
+fn arb_stats() -> impl Strategy<Value = TableStats> {
+    (1.0..1e9f64, 1.0..4096.0f64, 2.0..1e6f64).prop_map(
+        |(cardinality, tuple_bytes, join_domain)| TableStats {
+            cardinality: cardinality.round(),
+            tuple_bytes: tuple_bytes.round(),
+            join_domain: join_domain.round(),
+        },
+    )
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(arb_stats(), 1..12),
+        prop::collection::vec((0..12usize, 0..12usize, 0.0001..1.0f64), 0..16),
+        0..4usize,
+    )
+        .prop_map(|(stats, raw_preds, graph)| {
+            let n = stats.len();
+            Query {
+                catalog: Catalog::from_stats(stats),
+                predicates: raw_preds
+                    .into_iter()
+                    .map(|(left, right, selectivity)| Predicate {
+                        left: left % n,
+                        right: right % n,
+                        selectivity,
+                    })
+                    .collect(),
+                graph: JoinGraph::ALL[graph],
+            }
+        })
+}
+
+fn arb_left_deep_plan() -> impl Strategy<Value = Plan> {
+    (
+        prop::collection::vec((0.0..1e9f64, 0.0..1e9f64, 1.0..1e9f64), 1..8),
+        0..3usize,
+        0u8..5,
+    )
+        .prop_map(|(nodes, op_idx, order_code)| {
+            let op = mpq_cost::JOIN_OPS[op_idx];
+            let mut plan: Option<Plan> = None;
+            for (t, (time, buffer, cardinality)) in nodes.into_iter().enumerate() {
+                let scan = Plan::Scan {
+                    table: t as u8,
+                    op: ScanOp::Full,
+                    cost: CostVector::new(time, buffer),
+                    cardinality,
+                };
+                plan = Some(match plan {
+                    None => scan,
+                    Some(left) => Plan::Join {
+                        op,
+                        cost: CostVector::new(time * 2.0, buffer * 2.0),
+                        cardinality,
+                        order: Order::from_code(order_code),
+                        left: Box::new(left),
+                        right: Box::new(scan),
+                    },
+                });
+            }
+            plan.expect("at least one table")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stats_roundtrip(stats in arb_stats()) {
+        let back = TableStats::from_bytes(&stats.to_bytes()).unwrap();
+        prop_assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn query_roundtrip(query in arb_query()) {
+        let back = Query::from_bytes(&query.to_bytes()).unwrap();
+        prop_assert_eq!(back, query);
+    }
+
+    #[test]
+    fn plan_roundtrip(plan in arb_left_deep_plan()) {
+        let back = Plan::from_bytes(&plan.to_bytes()).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn cost_vector_roundtrip_bit_exact(time in prop::num::f64::NORMAL, buffer in prop::num::f64::NORMAL) {
+        let v = CostVector::new(time, buffer);
+        let back = CostVector::from_bytes(&v.to_bytes()).unwrap();
+        prop_assert_eq!(back.time.to_bits(), v.time.to_bits());
+        prop_assert_eq!(back.buffer.to_bits(), v.buffer.to_bits());
+    }
+
+    #[test]
+    fn vec_u64_roundtrip_and_length_prefix(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let bytes = values.clone().to_bytes();
+        prop_assert_eq!(bytes.len(), 4 + 8 * values.len(), "u32 length prefix + fixed-width items");
+        let back = Vec::<u64>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    /// No strict prefix of a query encoding decodes: truncation is always
+    /// detected, never silently accepted.
+    #[test]
+    fn query_prefixes_always_fail(query in arb_query(), cut_seed in any::<u64>()) {
+        let bytes = query.to_bytes();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(
+            Query::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of {} / {} bytes decoded successfully",
+            cut,
+            bytes.len()
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Vendored, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros. The
+//! measurement loop is a simple calibrated-batch timer (no bootstrap
+//! statistics or HTML reports): it warms up, sizes a batch to ~50 ms, runs
+//! a fixed number of batches, and prints min/median/mean per-iteration
+//! times. Good enough to compare kernels on one machine; swap the
+//! `criterion` entry in `[workspace.dependencies]` for the registry crate
+//! to get the full harness.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The vendored harness times each
+/// routine invocation individually, so the hint only bounds batch memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: large batches are fine.
+    SmallInput,
+    /// Large inputs: keep few alive at once.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn inputs_per_batch(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Collected per-iteration samples for one benchmark.
+struct Samples {
+    nanos_per_iter: Vec<f64>,
+}
+
+impl Samples {
+    fn report(mut self, id: &str) {
+        assert!(!self.nanos_per_iter.is_empty(), "no samples for {id}");
+        self.nanos_per_iter
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let n = self.nanos_per_iter.len();
+        let min = self.nanos_per_iter[0];
+        let median = self.nanos_per_iter[n / 2];
+        let mean = self.nanos_per_iter.iter().sum::<f64>() / n as f64;
+        println!(
+            "{id:<40} min {:>12}  median {:>12}  mean {:>12}  ({n} samples)",
+            fmt_nanos(min),
+            fmt_nanos(median),
+            fmt_nanos(mean),
+        );
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Drives the timing loops of one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: Samples,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: how many iterations fit in one sample?
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let target_sample = 0.01f64; // seconds per sample
+        let batch = ((target_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let nanos = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.nanos_per_iter.push(nanos);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine is
+    /// timed, never the setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch = size.inputs_per_batch();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let count = inputs.len() as f64;
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let nanos = t0.elapsed().as_nanos() as f64 / count;
+            self.samples.nanos_per_iter.push(nanos);
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up = dur;
+        self
+    }
+
+    /// Sets the measurement time per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measure = dur;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            samples: Samples {
+                nanos_per_iter: Vec::new(),
+            },
+        };
+        f(&mut b);
+        b.samples.report(id);
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in the real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+        };
+        c.bench_function("smoke_iter", |b| b.iter(|| 2u64 + 2));
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert!(fmt_nanos(5.0).ends_with("ns"));
+        assert!(fmt_nanos(5e4).ends_with("µs"));
+        assert!(fmt_nanos(5e7).ends_with("ms"));
+        assert!(fmt_nanos(5e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,77 @@
+//! Vendored, API-compatible subset of the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by this
+//! workspace; it is backed by `std::sync::mpsc`, which has the same
+//! semantics for the single-consumer channels this codebase builds
+//! (per-worker inboxes and one master inbox). Swap the `crossbeam` entry in
+//! `[workspace.dependencies]` to the registry version to use the real thing.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+    }
+
+    // `mpsc::Sender` is `Clone`; derive would needlessly require `T: Clone`.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Returns a message if one is ready, without blocking.
+        pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(41).unwrap());
+            tx.send(1).unwrap();
+            let sum = rx.recv().unwrap() + rx.recv().unwrap();
+            assert_eq!(sum, 42);
+        }
+
+        #[test]
+        fn recv_fails_after_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

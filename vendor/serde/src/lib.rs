@@ -1,0 +1,10 @@
+//! Vendored stand-in for the `serde` facade crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` (the wire
+//! codec in `mpq_cluster` is hand-rolled), so this crate re-exports no-op
+//! derive macros under the usual names. Swap the `serde` entry in
+//! `[workspace.dependencies]` to the registry version to get real
+//! serialization.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Vendored no-op stand-in for serde's derive macros.
+//!
+//! Nothing in this workspace serializes through serde yet — the types only
+//! carry `#[derive(Serialize, Deserialize)]` so that downstream users (and
+//! future PRs) can flip to the real serde by editing one line in
+//! `[workspace.dependencies]`. These derives accept the same input
+//! (including `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
