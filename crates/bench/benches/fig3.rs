@@ -35,6 +35,7 @@ fn main() {
                 let batch = query_batch(tables, g, 0xF163, queries_per_point());
                 let opt = SmaOptimizer::new(SmaConfig {
                     latency: experiment_latency(),
+                    ..SmaConfig::default()
                 });
                 let samples: Vec<f64> = batch
                     .iter()
@@ -63,6 +64,7 @@ fn main() {
             let batch = query_batch(12, g, 0xF163, queries_per_point());
             let opt = MpqOptimizer::new(MpqConfig {
                 latency: experiment_latency(),
+                ..MpqConfig::default()
             });
             let samples: Vec<f64> = batch
                 .iter()

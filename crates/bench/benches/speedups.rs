@@ -46,6 +46,7 @@ fn main() {
     println!("Speedup reproduction (Section 6.2 text)");
     let opt = MpqOptimizer::new(MpqConfig {
         latency: experiment_latency(),
+        ..MpqConfig::default()
     });
 
     let mut rows = Vec::new();

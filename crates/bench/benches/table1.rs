@@ -36,6 +36,7 @@ fn main() {
     println!("(scaled run: {}; set MPQ_FULL=1 for paper scale)", !full);
     let opt = MpqOptimizer::new(MpqConfig {
         latency: experiment_latency(),
+        ..MpqConfig::default()
     });
 
     for &budget in &budgets_ms {

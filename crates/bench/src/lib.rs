@@ -104,6 +104,7 @@ pub fn run_mpq_point(
 ) -> MpqPoint {
     let opt = MpqOptimizer::new(MpqConfig {
         latency: experiment_latency(),
+        ..MpqConfig::default()
     });
     let mut time = Vec::new();
     let mut wtime = Vec::new();
@@ -145,6 +146,7 @@ pub fn run_sma_point(
 ) -> SmaPoint {
     let opt = SmaOptimizer::new(SmaConfig {
         latency: experiment_latency(),
+        ..SmaConfig::default()
     });
     let mut time = Vec::new();
     let mut net = Vec::new();

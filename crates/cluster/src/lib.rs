@@ -18,13 +18,22 @@
 //! The [`runtime::Cluster`] is protocol-agnostic: the MPQ algorithm
 //! (`mpq-algo`) and the SMA baseline (`mpq-sma`) implement their own
 //! message types on top of [`codec::Wire`].
+//!
+//! The runtime can also inject **deterministic faults** — worker crashes
+//! (before or after replying), dropped replies and stragglers — from a
+//! seed-driven [`FaultPlan`] (see [`fault`]). Masters observe faults
+//! through typed [`ClusterError`]s, [`Cluster::recv_timeout`] and
+//! liveness probes rather than panics, mirroring how a Spark-style
+//! master observes executor loss.
 
 pub mod codec;
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod runtime;
 
 pub use codec::{DecodeError, Decoder, Encoder, Wire};
+pub use fault::{FaultAction, FaultPlan, FaultSchedule, WorkerFaults};
 pub use latency::LatencyModel;
-pub use metrics::{NetworkMetrics, NetworkSnapshot};
-pub use runtime::{Cluster, Control, WorkerCtx, WorkerLogic};
+pub use metrics::{NetworkMetrics, NetworkSnapshot, WorkerCounters};
+pub use runtime::{Cluster, ClusterError, Control, WorkerCtx, WorkerLogic};

@@ -1,8 +1,13 @@
-//! Network accounting.
+//! Network and fault accounting.
 //!
 //! Every byte crossing the simulated network is counted here; the totals
 //! are the "Network (bytes)" series of Figures 1, 2, 4 and 5. Counters are
 //! atomic because workers send concurrently.
+//!
+//! Beyond the byte counters, the metrics record every injected fault
+//! (crashes, dropped replies, stragglers) and every master-side recovery
+//! action (retries, timeouts, duplicate replies), globally and per worker,
+//! so chaos tests can assert that no fault goes unaccounted.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,12 +18,41 @@ pub struct NetworkMetrics {
     worker_to_master_bytes: AtomicU64,
     messages: AtomicU64,
     rounds: AtomicU64,
+    // Fault-injection counters (recorded worker-side at injection).
+    crashes: AtomicU64,
+    drops: AtomicU64,
+    straggles: AtomicU64,
+    // Recovery counters (recorded master-side).
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    duplicate_replies: AtomicU64,
+    /// Per-worker counters; empty when the cluster size is unknown.
+    per_worker: Vec<PerWorkerCounters>,
+}
+
+#[derive(Debug, Default)]
+struct PerWorkerCounters {
+    replies: AtomicU64,
+    reply_bytes: AtomicU64,
+    failures: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl NetworkMetrics {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters without per-worker resolution.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed counters with per-worker counters for `num_workers`
+    /// workers.
+    pub fn with_workers(num_workers: usize) -> Self {
+        NetworkMetrics {
+            per_worker: (0..num_workers)
+                .map(|_| PerWorkerCounters::default())
+                .collect(),
+            ..NetworkMetrics::default()
+        }
     }
 
     /// Records a master → worker message of `bytes` bytes.
@@ -28,11 +62,64 @@ impl NetworkMetrics {
         self.messages.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a worker → master message of `bytes` bytes.
+    /// Records a worker → master message of `bytes` bytes without
+    /// attributing it to a worker.
     pub fn record_to_master(&self, bytes: u64) {
         self.worker_to_master_bytes
             .fetch_add(bytes, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a delivered reply from `worker` of `bytes` bytes.
+    pub fn record_reply(&self, worker: usize, bytes: u64) {
+        self.record_to_master(bytes);
+        if let Some(pw) = self.per_worker.get(worker) {
+            pw.replies.fetch_add(1, Ordering::Relaxed);
+            pw.reply_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a crash injected at `worker`.
+    pub fn record_crash(&self, worker: usize) {
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        self.record_failure(worker);
+    }
+
+    /// Records a dropped reply injected at `worker`.
+    pub fn record_drop(&self, worker: usize) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+        self.record_failure(worker);
+    }
+
+    /// Records a straggling reply injected at `worker`.
+    pub fn record_straggle(&self, worker: usize) {
+        self.straggles.fetch_add(1, Ordering::Relaxed);
+        self.record_failure(worker);
+    }
+
+    fn record_failure(&self, worker: usize) {
+        if let Some(pw) = self.per_worker.get(worker) {
+            pw.failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a master-side re-issue of a task, targeted at `worker`.
+    pub fn record_retry(&self, worker: usize) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(pw) = self.per_worker.get(worker) {
+            pw.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a master-side receive timeout.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a reply discarded as a duplicate of an already-completed
+    /// task (speculative re-execution overlap).
+    pub fn record_duplicate(&self) {
+        self.duplicate_replies.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks the start of a new coordination round (the MPQ algorithm has
@@ -47,6 +134,18 @@ impl NetworkMetrics {
         self.worker_to_master_bytes.store(0, Ordering::Relaxed);
         self.messages.store(0, Ordering::Relaxed);
         self.rounds.store(0, Ordering::Relaxed);
+        self.crashes.store(0, Ordering::Relaxed);
+        self.drops.store(0, Ordering::Relaxed);
+        self.straggles.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.duplicate_replies.store(0, Ordering::Relaxed);
+        for pw in &self.per_worker {
+            pw.replies.store(0, Ordering::Relaxed);
+            pw.reply_bytes.store(0, Ordering::Relaxed);
+            pw.failures.store(0, Ordering::Relaxed);
+            pw.retries.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Takes a consistent-enough snapshot of the counters.
@@ -56,7 +155,27 @@ impl NetworkMetrics {
             worker_to_master_bytes: self.worker_to_master_bytes.load(Ordering::Relaxed),
             messages: self.messages.load(Ordering::Relaxed),
             rounds: self.rounds.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            straggles: self.straggles.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            duplicate_replies: self.duplicate_replies.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshots the per-worker counters (empty unless the metrics were
+    /// built with [`NetworkMetrics::with_workers`]).
+    pub fn worker_counters(&self) -> Vec<WorkerCounters> {
+        self.per_worker
+            .iter()
+            .map(|pw| WorkerCounters {
+                replies: pw.replies.load(Ordering::Relaxed),
+                reply_bytes: pw.reply_bytes.load(Ordering::Relaxed),
+                failures: pw.failures.load(Ordering::Relaxed),
+                retries: pw.retries.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -71,6 +190,18 @@ pub struct NetworkSnapshot {
     pub messages: u64,
     /// Number of coordination rounds.
     pub rounds: u64,
+    /// Injected worker crashes (before or after replying).
+    pub crashes: u64,
+    /// Injected reply drops.
+    pub drops: u64,
+    /// Injected straggling replies.
+    pub straggles: u64,
+    /// Master-side task re-issues.
+    pub retries: u64,
+    /// Master-side receive timeouts.
+    pub timeouts: u64,
+    /// Replies discarded as duplicates of completed tasks.
+    pub duplicate_replies: u64,
 }
 
 impl NetworkSnapshot {
@@ -78,6 +209,24 @@ impl NetworkSnapshot {
     pub fn total_bytes(&self) -> u64 {
         self.master_to_worker_bytes + self.worker_to_master_bytes
     }
+
+    /// Total number of injected faults of any kind.
+    pub fn faults_injected(&self) -> u64 {
+        self.crashes + self.drops + self.straggles
+    }
+}
+
+/// A point-in-time copy of one worker's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Replies this worker delivered to the master.
+    pub replies: u64,
+    /// Bytes of those replies.
+    pub reply_bytes: u64,
+    /// Faults injected at this worker (crashes + drops + straggles).
+    pub failures: u64,
+    /// Task re-issues the master directed at this worker.
+    pub retries: u64,
 }
 
 #[cfg(test)]
@@ -97,26 +246,72 @@ mod tests {
         assert_eq!(s.total_bytes(), 157);
         assert_eq!(s.messages, 3);
         assert_eq!(s.rounds, 1);
+        assert_eq!(s.faults_injected(), 0);
     }
 
     #[test]
     fn reset_zeroes() {
-        let m = NetworkMetrics::new();
+        let m = NetworkMetrics::with_workers(2);
         m.record_to_worker(1);
+        m.record_reply(1, 9);
+        m.record_crash(0);
+        m.record_retry(1);
+        m.record_timeout();
+        m.record_duplicate();
         m.reset();
         assert_eq!(m.snapshot(), NetworkSnapshot::default());
+        assert!(m
+            .worker_counters()
+            .iter()
+            .all(|w| *w == WorkerCounters::default()));
+    }
+
+    #[test]
+    fn per_worker_attribution() {
+        let m = NetworkMetrics::with_workers(3);
+        m.record_reply(0, 10);
+        m.record_reply(0, 20);
+        m.record_reply(2, 5);
+        m.record_crash(1);
+        m.record_drop(2);
+        m.record_straggle(2);
+        m.record_retry(0);
+        let w = m.worker_counters();
+        assert_eq!(w[0].replies, 2);
+        assert_eq!(w[0].reply_bytes, 30);
+        assert_eq!(w[0].retries, 1);
+        assert_eq!(w[1].failures, 1);
+        assert_eq!(w[2].failures, 2);
+        let s = m.snapshot();
+        assert_eq!(s.worker_to_master_bytes, 35);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.straggles, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.faults_injected(), 3);
+    }
+
+    #[test]
+    fn out_of_range_worker_is_tolerated() {
+        // Metrics without per-worker resolution must not panic on
+        // attributed records.
+        let m = NetworkMetrics::new();
+        m.record_reply(7, 3);
+        m.record_crash(7);
+        assert_eq!(m.snapshot().crashes, 1);
+        assert!(m.worker_counters().is_empty());
     }
 
     #[test]
     fn concurrent_updates() {
         use std::sync::Arc;
-        let m = Arc::new(NetworkMetrics::new());
+        let m = Arc::new(NetworkMetrics::with_workers(1));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        m.record_to_master(1);
+                        m.record_reply(0, 1);
                     }
                 })
             })
@@ -125,5 +320,6 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.snapshot().worker_to_master_bytes, 8000);
+        assert_eq!(m.worker_counters()[0].replies, 8000);
     }
 }

@@ -4,12 +4,23 @@
 //! private state (their [`WorkerLogic`] value moves into the thread) and
 //! interact with the master exclusively through serialized, byte-counted,
 //! latency-charged messages. The master-side protocol runs on the caller's
-//! thread via [`Cluster::send`] / [`Cluster::recv`].
+//! thread via [`Cluster::send`] / [`Cluster::recv`] /
+//! [`Cluster::recv_timeout`].
+//!
+//! Faults can be injected deterministically via a
+//! [`FaultPlan`](crate::fault::FaultPlan) passed to
+//! [`Cluster::spawn_with_faults`]: workers then crash, drop replies or
+//! straggle exactly as the resolved [`FaultSchedule`](crate::FaultSchedule)
+//! dictates. The master observes faults only the way a real master would —
+//! through send failures, receive timeouts and [`Cluster::is_worker_alive`]
+//! — and every injected fault is tallied in the [`NetworkMetrics`].
 
+use crate::fault::{FaultAction, FaultPlan, WorkerFaults};
 use crate::latency::LatencyModel;
 use crate::metrics::NetworkMetrics;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -23,12 +34,55 @@ pub enum Control {
     Shutdown,
 }
 
+/// Typed master-side cluster failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A message could not be delivered because the worker's thread has
+    /// terminated (crashed or shut down).
+    WorkerLost {
+        /// The dead worker's id.
+        worker: usize,
+    },
+    /// Every worker has terminated and no replies remain.
+    AllWorkersLost,
+    /// No reply arrived within the timeout.
+    Timeout {
+        /// How long the master waited.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::WorkerLost { worker } => {
+                write!(f, "worker {worker} is no longer alive")
+            }
+            ClusterError::AllWorkersLost => write!(f, "every worker has terminated"),
+            ClusterError::Timeout { waited } => {
+                write!(f, "no worker reply within {waited:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The fault applied to replies of the message currently being handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReplyFault {
+    None,
+    Drop,
+    Delay(Duration),
+}
+
 /// Worker-side handle for replying to the master.
 pub struct WorkerCtx {
     worker_id: usize,
     to_master: Sender<(usize, Envelope)>,
     metrics: Arc<NetworkMetrics>,
     latency: LatencyModel,
+    reply_fault: ReplyFault,
 }
 
 impl WorkerCtx {
@@ -39,8 +93,26 @@ impl WorkerCtx {
 
     /// Sends a serialized reply to the master. The payload size is counted
     /// and the transfer delay is charged on the master side.
+    ///
+    /// Under fault injection the reply may be silently dropped (the
+    /// simulated network ate it) or delayed worker-side (straggler); both
+    /// are tallied here, where a reply actually exists — a drop/straggle
+    /// fault armed on a message that produces no reply is a no-op and is
+    /// deliberately not counted.
     pub fn send_to_master(&self, payload: Bytes) {
-        self.metrics.record_to_master(payload.len() as u64);
+        match self.reply_fault {
+            ReplyFault::Drop => {
+                self.metrics.record_drop(self.worker_id);
+                return; // lost in the network
+            }
+            ReplyFault::Delay(d) => {
+                self.metrics.record_straggle(self.worker_id);
+                std::thread::sleep(d);
+            }
+            ReplyFault::None => {}
+        }
+        self.metrics
+            .record_reply(self.worker_id, payload.len() as u64);
         let delay = self.latency.delay(payload.len(), false);
         // The channel being closed means the master is gone (cluster drop
         // mid-protocol); the reply is moot then.
@@ -87,16 +159,33 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Spawns `num_workers` worker threads. `factory(i)` builds the logic
-    /// value for worker `i`; it is moved into that worker's thread, so
-    /// workers cannot share state.
-    pub fn spawn<L, F>(num_workers: usize, latency: LatencyModel, mut factory: F) -> Cluster
+    /// Spawns `num_workers` fault-free worker threads. `factory(i)` builds
+    /// the logic value for worker `i`; it is moved into that worker's
+    /// thread, so workers cannot share state.
+    pub fn spawn<L, F>(num_workers: usize, latency: LatencyModel, factory: F) -> Cluster
+    where
+        L: WorkerLogic,
+        F: FnMut(usize) -> L,
+    {
+        Cluster::spawn_with_faults(num_workers, latency, &FaultPlan::NONE, factory)
+    }
+
+    /// Spawns `num_workers` worker threads with the given fault plan
+    /// resolved into a deterministic schedule (same plan and worker count
+    /// → same injected faults per message).
+    pub fn spawn_with_faults<L, F>(
+        num_workers: usize,
+        latency: LatencyModel,
+        faults: &FaultPlan,
+        mut factory: F,
+    ) -> Cluster
     where
         L: WorkerLogic,
         F: FnMut(usize) -> L,
     {
         assert!(num_workers >= 1, "a cluster needs at least one worker");
-        let metrics = Arc::new(NetworkMetrics::new());
+        let schedule = faults.schedule(num_workers);
+        let metrics = Arc::new(NetworkMetrics::with_workers(num_workers));
         let (master_tx, from_workers) = unbounded::<(usize, Envelope)>();
         let mut to_workers = Vec::with_capacity(num_workers);
         let mut handles = Vec::with_capacity(num_workers);
@@ -104,29 +193,17 @@ impl Cluster {
             let (tx, rx) = unbounded::<ToWorker>();
             to_workers.push(tx);
             let mut logic = factory(id);
+            let wf = schedule.worker(id);
             let mut ctx = WorkerCtx {
                 worker_id: id,
                 to_master: master_tx.clone(),
                 metrics: Arc::clone(&metrics),
                 latency,
+                reply_fault: ReplyFault::None,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("mpq-worker-{id}"))
-                .spawn(move || {
-                    while let Ok(msg) = rx.recv() {
-                        match msg {
-                            ToWorker::Message(env) => {
-                                if !env.delay.is_zero() {
-                                    std::thread::sleep(env.delay);
-                                }
-                                if logic.on_message(env.payload, &mut ctx) == Control::Shutdown {
-                                    break;
-                                }
-                            }
-                            ToWorker::Shutdown => break,
-                        }
-                    }
-                })
+                .spawn(move || worker_loop(rx, &mut logic, &mut ctx, wf))
                 .expect("spawn worker thread");
             handles.push(handle);
         }
@@ -149,43 +226,82 @@ impl Cluster {
         &self.metrics
     }
 
+    /// Whether worker `id`'s thread is still running. This is the
+    /// simulated analogue of a cluster manager's liveness probe: the
+    /// master may consult it when deciding whether a missing reply means a
+    /// straggler or a dead node.
+    pub fn is_worker_alive(&self, id: usize) -> bool {
+        !self.handles[id].is_finished()
+    }
+
+    /// Ids of workers whose threads have terminated.
+    pub fn dead_workers(&self) -> Vec<usize> {
+        (0..self.num_workers())
+            .filter(|&id| !self.is_worker_alive(id))
+            .collect()
+    }
+
     /// Sends a serialized message to worker `id`. `is_assignment` marks
     /// task-assignment messages, which carry extra launch overhead in the
     /// latency model.
     ///
+    /// Returns [`ClusterError::WorkerLost`] if the worker has terminated.
+    ///
     /// # Panics
-    /// Panics if `id` is out of range or the worker already shut down.
-    pub fn send(&self, id: usize, payload: Bytes, is_assignment: bool) {
-        self.metrics.record_to_worker(payload.len() as u64);
-        let delay = self.latency.delay(payload.len(), is_assignment);
+    /// Panics if `id` is out of range (a protocol bug, not a fault).
+    pub fn send(&self, id: usize, payload: Bytes, is_assignment: bool) -> Result<(), ClusterError> {
+        let len = payload.len();
+        let delay = self.latency.delay(len, is_assignment);
         self.to_workers[id]
             .send(ToWorker::Message(Envelope { payload, delay }))
-            .expect("worker alive");
+            .map_err(|_| ClusterError::WorkerLost { worker: id })?;
+        self.metrics.record_to_worker(len as u64);
+        Ok(())
     }
 
     /// Sends the same payload to every worker (counted once per worker —
-    /// a cluster switch still delivers `m` copies).
-    pub fn broadcast(&self, payload: &Bytes, is_assignment: bool) {
+    /// a cluster switch still delivers `m` copies). Fails on the first
+    /// dead worker.
+    pub fn broadcast(&self, payload: &Bytes, is_assignment: bool) -> Result<(), ClusterError> {
         for id in 0..self.num_workers() {
-            self.send(id, payload.clone(), is_assignment);
+            self.send(id, payload.clone(), is_assignment)?;
         }
+        Ok(())
     }
 
     /// Receives the next worker reply, blocking. The reply's transfer
     /// delay is charged here (master side).
     ///
-    /// # Panics
-    /// Panics if every worker has shut down and no replies remain.
-    pub fn recv(&self) -> (usize, Bytes) {
-        let (id, env) = self.from_workers.recv().expect("workers alive");
+    /// Returns [`ClusterError::AllWorkersLost`] if every worker has
+    /// terminated and no replies remain.
+    pub fn recv(&self) -> Result<(usize, Bytes), ClusterError> {
+        let (id, env) = self
+            .from_workers
+            .recv()
+            .map_err(|_| ClusterError::AllWorkersLost)?;
         if !env.delay.is_zero() {
             std::thread::sleep(env.delay);
         }
-        (id, env.payload)
+        Ok((id, env.payload))
     }
 
-    /// Receives exactly `n` replies.
-    pub fn recv_n(&self, n: usize) -> Vec<(usize, Bytes)> {
+    /// Receives the next worker reply, waiting at most `timeout`. The
+    /// reply's transfer delay is charged here (master side).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(usize, Bytes), ClusterError> {
+        match self.from_workers.recv_timeout(timeout) {
+            Ok((id, env)) => {
+                if !env.delay.is_zero() {
+                    std::thread::sleep(env.delay);
+                }
+                Ok((id, env.payload))
+            }
+            Err(RecvTimeoutError::Timeout) => Err(ClusterError::Timeout { waited: timeout }),
+            Err(RecvTimeoutError::Disconnected) => Err(ClusterError::AllWorkersLost),
+        }
+    }
+
+    /// Receives exactly `n` replies, blocking.
+    pub fn recv_n(&self, n: usize) -> Result<Vec<(usize, Bytes)>, ClusterError> {
         (0..n).map(|_| self.recv()).collect()
     }
 
@@ -196,6 +312,62 @@ impl Cluster {
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+/// The per-worker thread body: deliver messages to the logic, applying
+/// the worker's fault slice. Crashes terminate the thread (dropping the
+/// inbox receiver, so later master sends fail like sends to a dead node).
+fn worker_loop<L: WorkerLogic>(
+    rx: Receiver<ToWorker>,
+    logic: &mut L,
+    ctx: &mut WorkerCtx,
+    faults: WorkerFaults,
+) {
+    let mut msg_index: u64 = 0;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Message(env) => {
+                if !env.delay.is_zero() {
+                    std::thread::sleep(env.delay);
+                }
+                let action = faults.action(msg_index);
+                msg_index += 1;
+                match action {
+                    FaultAction::Deliver => {
+                        if logic.on_message(env.payload, ctx) == Control::Shutdown {
+                            break;
+                        }
+                    }
+                    FaultAction::CrashBeforeReply => {
+                        ctx.metrics.record_crash(ctx.worker_id);
+                        break;
+                    }
+                    FaultAction::CrashAfterReply => {
+                        let _ = logic.on_message(env.payload, ctx);
+                        ctx.metrics.record_crash(ctx.worker_id);
+                        break;
+                    }
+                    FaultAction::DropReply => {
+                        ctx.reply_fault = ReplyFault::Drop;
+                        let control = logic.on_message(env.payload, ctx);
+                        ctx.reply_fault = ReplyFault::None;
+                        if control == Control::Shutdown {
+                            break;
+                        }
+                    }
+                    FaultAction::Straggle(extra) => {
+                        ctx.reply_fault = ReplyFault::Delay(extra);
+                        let control = logic.on_message(env.payload, ctx);
+                        ctx.reply_fault = ReplyFault::None;
+                        if control == Control::Shutdown {
+                            break;
+                        }
+                    }
+                }
+            }
+            ToWorker::Shutdown => break,
         }
     }
 }
@@ -226,8 +398,8 @@ mod tests {
     #[test]
     fn roundtrip_through_one_worker() {
         let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo());
-        cluster.send(0, Bytes::from_static(b"hello"), true);
-        let (id, reply) = cluster.recv();
+        cluster.send(0, Bytes::from_static(b"hello"), true).unwrap();
+        let (id, reply) = cluster.recv().unwrap();
         assert_eq!(id, 0);
         assert_eq!(&reply[..], b"hello");
         cluster.shutdown();
@@ -236,9 +408,9 @@ mod tests {
     #[test]
     fn bytes_are_counted_both_ways() {
         let cluster = Cluster::spawn(2, LatencyModel::ZERO, |_| echo());
-        cluster.send(0, Bytes::from_static(b"abcd"), false);
-        cluster.send(1, Bytes::from_static(b"xy"), false);
-        let _ = cluster.recv_n(2);
+        cluster.send(0, Bytes::from_static(b"abcd"), false).unwrap();
+        cluster.send(1, Bytes::from_static(b"xy"), false).unwrap();
+        let _ = cluster.recv_n(2).unwrap();
         let s = cluster.metrics().snapshot();
         assert_eq!(s.master_to_worker_bytes, 6);
         assert_eq!(s.worker_to_master_bytes, 6);
@@ -249,8 +421,10 @@ mod tests {
     #[test]
     fn broadcast_counts_per_worker() {
         let cluster = Cluster::spawn(4, LatencyModel::ZERO, |_| echo());
-        cluster.broadcast(&Bytes::from_static(b"123"), false);
-        let _ = cluster.recv_n(4);
+        cluster
+            .broadcast(&Bytes::from_static(b"123"), false)
+            .unwrap();
+        let _ = cluster.recv_n(4).unwrap();
         assert_eq!(cluster.metrics().snapshot().master_to_worker_bytes, 12);
         cluster.shutdown();
     }
@@ -266,10 +440,10 @@ mod tests {
                 Control::Continue
             }
         });
-        cluster.send(0, Bytes::from_static(b""), false);
-        cluster.send(0, Bytes::from_static(b""), false);
-        cluster.send(1, Bytes::from_static(b""), false);
-        let replies = cluster.recv_n(3);
+        cluster.send(0, Bytes::from_static(b""), false).unwrap();
+        cluster.send(0, Bytes::from_static(b""), false).unwrap();
+        cluster.send(1, Bytes::from_static(b""), false).unwrap();
+        let replies = cluster.recv_n(3).unwrap();
         let count_of = |id: usize| {
             replies
                 .iter()
@@ -292,8 +466,8 @@ mod tests {
         };
         let cluster = Cluster::spawn(1, latency, |_| echo());
         let t0 = std::time::Instant::now();
-        cluster.send(0, Bytes::from_static(b"x"), false);
-        let _ = cluster.recv();
+        cluster.send(0, Bytes::from_static(b"x"), false).unwrap();
+        let _ = cluster.recv().unwrap();
         // One delay on delivery to the worker, one on the reply.
         assert!(t0.elapsed() >= Duration::from_micros(40_000));
         cluster.shutdown();
@@ -307,8 +481,8 @@ mod tests {
                 Control::Shutdown
             }
         });
-        cluster.send(0, Bytes::from_static(b""), false);
-        let (_, reply) = cluster.recv();
+        cluster.send(0, Bytes::from_static(b""), false).unwrap();
+        let (_, reply) = cluster.recv().unwrap();
         assert_eq!(&reply[..], b"bye");
         cluster.shutdown();
     }
@@ -317,5 +491,135 @@ mod tests {
     fn drop_joins_threads() {
         let cluster = Cluster::spawn(3, LatencyModel::ZERO, |_| echo());
         drop(cluster); // must not hang or panic
+    }
+
+    #[test]
+    fn crashed_worker_yields_typed_errors_not_panics() {
+        // Worker 0 crashes before its first reply (min_survivors: 0 lets
+        // the only worker crash).
+        let faults = FaultPlan {
+            crash_prob: 1.0,
+            min_survivors: 0,
+            ..FaultPlan::NONE
+        };
+        // crash_at may be 1 or 2; send enough messages to trigger it.
+        let cluster = Cluster::spawn_with_faults(1, LatencyModel::ZERO, &faults, |_| echo());
+        for _ in 0..3 {
+            if cluster.send(0, Bytes::from_static(b"x"), false).is_err() {
+                break;
+            }
+            // Give the worker a moment to process (and possibly die).
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Eventually the worker is dead: sends fail with a typed error.
+        let mut lost = false;
+        for _ in 0..100 {
+            match cluster.send(0, Bytes::from_static(b"x"), false) {
+                Err(ClusterError::WorkerLost { worker: 0 }) => {
+                    lost = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+                Ok(()) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        assert!(lost, "send to a crashed worker must fail");
+        assert!(!cluster.is_worker_alive(0));
+        assert_eq!(cluster.dead_workers(), vec![0]);
+        // The worker may have echoed messages delivered before its crash
+        // point (crash_at need not be 0); drain those, then recv on the
+        // fully-dead, fully-drained cluster errors instead of hanging.
+        while cluster.recv().is_ok() {}
+        assert_eq!(cluster.recv(), Err(ClusterError::AllWorkersLost));
+        assert!(cluster.metrics().snapshot().crashes >= 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout() {
+        // Worker alive but silent (no message sent to it).
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo());
+        let waited = Duration::from_millis(5);
+        assert_eq!(
+            cluster.recv_timeout(waited),
+            Err(ClusterError::Timeout { waited })
+        );
+        assert!(cluster.is_worker_alive(0));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn dropped_replies_are_counted_not_delivered() {
+        let faults = FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::NONE
+        };
+        let cluster = Cluster::spawn_with_faults(2, LatencyModel::ZERO, &faults, |_| echo());
+        cluster.send(0, Bytes::from_static(b"x"), false).unwrap();
+        cluster.send(1, Bytes::from_static(b"y"), false).unwrap();
+        assert!(cluster.recv_timeout(Duration::from_millis(50)).is_err());
+        let s = cluster.metrics().snapshot();
+        assert_eq!(s.drops, 2);
+        assert_eq!(
+            s.worker_to_master_bytes, 0,
+            "dropped replies never hit the wire counters"
+        );
+        let w = cluster.metrics().worker_counters();
+        assert_eq!(w[0].failures, 1);
+        assert_eq!(w[1].failures, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn straggler_delays_but_delivers() {
+        let faults = FaultPlan {
+            straggle_prob: 1.0,
+            straggle_us: 30_000,
+            ..FaultPlan::NONE
+        };
+        let cluster = Cluster::spawn_with_faults(1, LatencyModel::ZERO, &faults, |_| echo());
+        cluster.send(0, Bytes::from_static(b"slow"), false).unwrap();
+        // Short timeout: the straggler has not replied yet.
+        assert!(cluster.recv_timeout(Duration::from_millis(5)).is_err());
+        // Patient wait: the reply eventually arrives intact.
+        let (_, reply) = cluster.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(&reply[..], b"slow");
+        assert_eq!(cluster.metrics().snapshot().straggles, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_after_reply_delivers_then_dies() {
+        let faults = FaultPlan {
+            crash_prob: 1.0,
+            crash_after_reply_prob: 1.0,
+            min_survivors: 0,
+            ..FaultPlan::NONE
+        };
+        // Find a seed whose single worker crashes on message 0 so the
+        // reply-then-die order is observable in one exchange.
+        let seed = (0..64)
+            .find(|&seed| {
+                let plan = FaultPlan { seed, ..faults };
+                plan.schedule(1).action(0, 0) == FaultAction::CrashAfterReply
+            })
+            .expect("some seed crashes at message 0");
+        let plan = FaultPlan { seed, ..faults };
+        let cluster = Cluster::spawn_with_faults(1, LatencyModel::ZERO, &plan, |_| echo());
+        cluster
+            .send(0, Bytes::from_static(b"last words"), false)
+            .unwrap();
+        let (_, reply) = cluster.recv().unwrap();
+        assert_eq!(&reply[..], b"last words");
+        // The worker died after replying.
+        for _ in 0..200 {
+            if !cluster.is_worker_alive(0) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!cluster.is_worker_alive(0));
+        assert_eq!(cluster.metrics().snapshot().crashes, 1);
+        cluster.shutdown();
     }
 }

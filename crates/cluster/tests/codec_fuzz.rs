@@ -1,0 +1,124 @@
+//! Codec robustness fuzzing: the `Decoder` must never panic, whatever
+//! bytes arrive.
+//!
+//! Complements `codec_golden.rs` (which pins the format of *valid*
+//! encodings): these property tests feed the decoder arbitrary byte
+//! soup, truncated valid encodings and bit-flipped valid encodings for
+//! every `Wire` type, and require that decoding always returns — `Ok` on
+//! a well-formed prefix, `DecodeError` otherwise, never a panic, hang or
+//! unbounded allocation. This is the trust boundary of the simulated
+//! network: a faulty or malicious worker reply must surface as a typed
+//! error at the master, not a crash.
+
+use mpq_cluster::Wire;
+use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
+use mpq_dp::WorkerStats;
+use mpq_model::{
+    JoinGraph, Predicate, Query, TableSet, TableStats, WorkloadConfig, WorkloadGenerator,
+};
+use mpq_partition::PlanSpace;
+use mpq_plan::{Plan, PlanEntry, PlanNode};
+use proptest::prelude::*;
+
+/// Case count: `PROPTEST_CASES` (as in the CI chaos job) or the default.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs every `Wire` decoder over `data`; panics (failing the test) only
+/// if a decoder itself panics. Results are deliberately discarded: both
+/// `Ok` and `Err` are acceptable outcomes for hostile bytes.
+fn decode_all(data: &[u8]) {
+    let _ = u64::from_bytes(data);
+    let _ = f64::from_bytes(data);
+    let _ = Vec::<u64>::from_bytes(data);
+    let _ = TableSet::from_bytes(data);
+    let _ = TableStats::from_bytes(data);
+    let _ = Predicate::from_bytes(data);
+    let _ = JoinGraph::from_bytes(data);
+    let _ = Query::from_bytes(data);
+    let _ = CostVector::from_bytes(data);
+    let _ = Order::from_bytes(data);
+    let _ = ScanOp::from_bytes(data);
+    let _ = JoinOp::from_bytes(data);
+    let _ = PlanSpace::from_bytes(data);
+    let _ = Objective::from_bytes(data);
+    let _ = Plan::from_bytes(data);
+    let _ = Vec::<Plan>::from_bytes(data);
+    let _ = PlanNode::from_bytes(data);
+    let _ = PlanEntry::from_bytes(data);
+    let _ = Vec::<PlanEntry>::from_bytes(data);
+    let _ = WorkerStats::from_bytes(data);
+}
+
+/// A valid, content-rich encoding to truncate and mutate: a generated
+/// query plus a full optimal plan for it.
+fn valid_encodings(seed: u64, n: usize) -> Vec<Vec<u8>> {
+    let q = WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query();
+    let out = mpq_dp::optimize_serial(&q, PlanSpace::Linear, mpq_cost::Objective::Single);
+    vec![
+        q.to_bytes().to_vec(),
+        out.plans[0].to_bytes().to_vec(),
+        out.stats.to_bytes().to_vec(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(128)))]
+
+    /// Arbitrary byte soup: every decoder returns instead of panicking.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        decode_all(&data);
+    }
+
+    /// Truncations of valid encodings: never a panic, and a *strict*
+    /// truncation of a query encoding never decodes as a full query.
+    #[test]
+    fn truncated_encodings_never_panic(
+        seed in any::<u64>(),
+        n in 1usize..=6,
+        cut_frac in 0.0..1.0f64,
+    ) {
+        for bytes in valid_encodings(seed, n) {
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            decode_all(&bytes[..cut.min(bytes.len())]);
+        }
+        // The full (untruncated) query encoding must stay decodable.
+        let q = WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query();
+        prop_assert!(Query::from_bytes(&q.to_bytes()).is_ok());
+        let strict = q.to_bytes();
+        prop_assert!(Query::from_bytes(&strict[..strict.len() - 1]).is_err());
+    }
+
+    /// Bit-flipped valid encodings: a single corrupted bit anywhere in a
+    /// golden-style payload yields `Ok` or `DecodeError`, never a panic.
+    #[test]
+    fn mutated_encodings_never_panic(
+        seed in any::<u64>(),
+        n in 1usize..=6,
+        pos_frac in 0.0..1.0f64,
+        bit in 0u8..8,
+    ) {
+        for bytes in valid_encodings(seed, n) {
+            let mut mutated = bytes.clone();
+            let pos = ((mutated.len() as f64) * pos_frac) as usize;
+            let pos = pos.min(mutated.len() - 1);
+            mutated[pos] ^= 1 << bit;
+            decode_all(&mutated);
+        }
+    }
+
+    /// Length-prefix bombs: a huge or lying collection length either
+    /// fails the sanity cap or runs out of bytes — bounded time and
+    /// allocation, no panic.
+    #[test]
+    fn hostile_length_prefixes_never_panic(len in any::<u32>(), tail in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut data = len.to_le_bytes().to_vec();
+        data.extend_from_slice(&tail);
+        decode_all(&data);
+    }
+}

@@ -22,9 +22,16 @@
 //! supports heterogeneous workers (footnote 1 of the paper): partition
 //! counts proportional to per-worker weights, each worker solving a
 //! contiguous range of partitions.
+//!
+//! The master is **fault tolerant**: because a task is stateless (query +
+//! partition range) and the protocol has a single round, a crashed,
+//! dropped or straggling worker costs exactly one re-issued task. Retries
+//! and speculative re-execution are governed by a [`RetryPolicy`]; with
+//! retries disabled, worker loss surfaces as a typed [`MpqError`] rather
+//! than a panic.
 
 pub mod message;
 pub mod optimizer;
 
 pub use message::{MasterMessage, WorkerReply};
-pub use optimizer::{MpqConfig, MpqMetrics, MpqOptimizer, MpqOutcome};
+pub use optimizer::{MpqConfig, MpqError, MpqMetrics, MpqOptimizer, MpqOutcome, RetryPolicy};

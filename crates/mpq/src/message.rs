@@ -54,8 +54,17 @@ impl Wire for MasterMessage {
 }
 
 /// Reply sent from a worker back to the master.
+///
+/// The reply echoes the task's partition range so the master can match
+/// replies to tasks by content rather than by sender: under speculative
+/// re-execution the same range may be issued to several workers, and the
+/// master must discard duplicate results for an already-completed range.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkerReply {
+    /// First partition ID of the completed range (task echo).
+    pub first_partition: u64,
+    /// Number of partitions in the completed range (task echo).
+    pub partition_count: u64,
     /// Best plan(s) within the worker's partition(s): one plan for
     /// single-objective optimization, a Pareto frontier otherwise.
     pub plans: Vec<Plan>,
@@ -65,12 +74,16 @@ pub struct WorkerReply {
 
 impl Wire for WorkerReply {
     fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.first_partition);
+        enc.put_u64(self.partition_count);
         self.plans.encode(enc);
         self.stats.encode(enc);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(WorkerReply {
+            first_partition: dec.get_u64()?,
+            partition_count: dec.get_u64()?,
             plans: Vec::<Plan>::decode(dec)?,
             stats: WorkerStats::decode(dec)?,
         })
@@ -102,6 +115,8 @@ mod tests {
         let query = WorkloadGenerator::new(WorkloadConfig::paper_default(5), 4).next_query();
         let out = mpq_dp::optimize_serial(&query, PlanSpace::Linear, Objective::Single);
         let reply = WorkerReply {
+            first_partition: 3,
+            partition_count: 2,
             plans: out.plans.clone(),
             stats: out.stats,
         };

@@ -1,20 +1,154 @@
-//! The MPQ master (Algorithm 1) and worker logic.
+//! The MPQ master (Algorithm 1) and worker logic, with fault-tolerant
+//! scheduling.
+//!
+//! The fault-tolerance layer reproduces the paper's deployment argument:
+//! because an MPQ task is **stateless and one-round** (a query plus a
+//! partition range), the master can recover from any worker loss,
+//! straggler or dropped reply by simply re-issuing the lost partition
+//! range to a surviving worker — the same re-execution model that makes
+//! MPQ a natural fit for Spark-style shared-nothing frameworks. Retries
+//! and speculative re-execution are governed by a [`RetryPolicy`]; faults
+//! are injected deterministically via the cluster's
+//! [`FaultPlan`](mpq_cluster::FaultPlan).
 
 use crate::message::{MasterMessage, WorkerReply};
 use bytes::Bytes;
-use mpq_cluster::{Cluster, Control, LatencyModel, NetworkSnapshot, Wire, WorkerCtx, WorkerLogic};
+use mpq_cluster::{
+    Cluster, ClusterError, Control, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot, Wire,
+    WorkerCtx, WorkerLogic,
+};
 use mpq_cost::Objective;
 use mpq_dp::{optimize_partition_id, WorkerStats};
 use mpq_model::Query;
 use mpq_partition::{effective_workers, PlanSpace};
 use mpq_plan::{Plan, PruningPolicy};
-use std::time::Instant;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// When and how the master re-executes lost or straggling partition
+/// ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of task re-issues across the whole run. `0`
+    /// disables recovery: a lost worker then surfaces as an
+    /// [`MpqError::WorkerLost`] instead of a re-execution.
+    pub max_retries: u32,
+    /// How long a `recv` waits before the master re-examines the cluster
+    /// (straggler suspicion threshold). `None` blocks indefinitely —
+    /// correct for fault-free runs, but a crashed worker can then only be
+    /// detected once *every* worker is gone, so set a timeout whenever
+    /// faults are possible.
+    pub timeout: Option<Duration>,
+    /// Consecutive fruitless timeouts tolerated once retries are
+    /// unavailable (exhausted or disabled) before the run fails.
+    pub max_strikes: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::DISABLED
+    }
+}
+
+impl RetryPolicy {
+    /// No recovery, blocking receives: the fault-free configuration.
+    pub const DISABLED: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        timeout: None,
+        max_strikes: 8,
+    };
+
+    /// A recovery-enabled policy: up to `max_retries` re-issues, with the
+    /// given straggler-suspicion timeout.
+    pub fn with_timeout(max_retries: u32, timeout: Duration) -> Self {
+        RetryPolicy {
+            max_retries,
+            timeout: Some(timeout),
+            max_strikes: 64,
+        }
+    }
+}
+
+/// Typed failure of one MPQ optimization run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MpqError {
+    /// The cluster substrate failed (all workers lost, undeliverable
+    /// message, timeout bubbled up).
+    Cluster(ClusterError),
+    /// A worker reply failed to decode — a protocol bug or corruption,
+    /// never retried.
+    Decode {
+        /// The replying worker.
+        worker: usize,
+        /// The codec failure.
+        source: DecodeError,
+    },
+    /// A worker replied for a partition range the master never issued.
+    Protocol {
+        /// The offending worker.
+        worker: usize,
+    },
+    /// A worker died while holding an outstanding range and retries are
+    /// disabled.
+    WorkerLost {
+        /// The dead worker.
+        worker: usize,
+    },
+    /// Outstanding ranges remain but the retry budget and strike budget
+    /// are both spent.
+    RetriesExhausted {
+        /// Number of partition ranges still missing.
+        outstanding: usize,
+    },
+}
+
+impl fmt::Display for MpqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpqError::Cluster(e) => write!(f, "cluster failure: {e}"),
+            MpqError::Decode { worker, source } => {
+                write!(f, "reply from worker {worker} failed to decode: {source}")
+            }
+            MpqError::Protocol { worker } => {
+                write!(f, "worker {worker} replied for an unissued partition range")
+            }
+            MpqError::WorkerLost { worker } => write!(
+                f,
+                "worker {worker} died with an outstanding range and retries are disabled"
+            ),
+            MpqError::RetriesExhausted { outstanding } => write!(
+                f,
+                "retry budget exhausted with {outstanding} partition range(s) outstanding"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpqError::Cluster(e) => Some(e),
+            MpqError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for MpqError {
+    fn from(e: ClusterError) -> Self {
+        MpqError::Cluster(e)
+    }
+}
 
 /// Configuration of the MPQ optimizer.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MpqConfig {
     /// Latency/overhead model of the simulated network.
     pub latency: LatencyModel,
+    /// Deterministic fault injection (default: no faults).
+    pub faults: FaultPlan,
+    /// Recovery policy (default: disabled, blocking receives).
+    pub retry: RetryPolicy,
 }
 
 /// Measurements of one optimization run, matching the series the paper
@@ -31,15 +165,28 @@ pub struct MpqMetrics {
     /// Maximum number of relations (table sets with stored plans) over all
     /// workers ("Memory (relations)").
     pub max_worker_stored_sets: u64,
-    /// Network counters ("Network (bytes)").
+    /// Network counters ("Network (bytes)"), including fault and recovery
+    /// counters.
     pub network: NetworkSnapshot,
-    /// Per-worker counters, indexed by worker id.
+    /// Per-worker counters, indexed by worker id. Under retries a worker
+    /// may execute several ranges; its stats accumulate.
     pub worker_stats: Vec<WorkerStats>,
     /// Number of plan-space partitions actually used (a power of two,
     /// capped by the query size).
     pub partitions: u64,
     /// Number of worker nodes that received a task.
     pub workers_used: usize,
+    /// Task re-issues performed by the master (worker loss, drop or
+    /// straggler suspicion).
+    pub retries: u64,
+    /// Replies discarded because their range had already been completed
+    /// by another worker — the duplicated work of speculative execution.
+    pub duplicate_replies: u64,
+    /// Total replies the master received (completed + duplicates).
+    pub replies_received: u64,
+    /// Bytes of re-issued task messages: MPQ's entire recovery cost is
+    /// `O(retries · b_q)`, versus a full memo re-broadcast for SMA.
+    pub retry_task_bytes: u64,
 }
 
 /// Result of one MPQ optimization.
@@ -60,18 +207,21 @@ pub struct MpqOptimizer {
 }
 
 /// Worker-side logic: decode the task, optimize the assigned partition
-/// range, reply once.
+/// range, reply once per task.
 struct MpqWorker;
 
 impl WorkerLogic for MpqWorker {
     fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
         let msg = match MasterMessage::from_bytes(&payload) {
             Ok(m) => m,
-            // A malformed task means a protocol bug; reply with an empty
-            // result so the master does not hang, then shut down.
+            // A malformed task means a protocol bug; reply with an
+            // impossible range echo so the master fails typed instead of
+            // hanging, then shut down.
             Err(_) => {
                 ctx.send_to_master(
                     WorkerReply {
+                        first_partition: u64::MAX,
+                        partition_count: 0,
                         plans: Vec::new(),
                         stats: WorkerStats::default(),
                     }
@@ -103,7 +253,15 @@ impl WorkerLogic for MpqWorker {
         // Worker-local prune across its partitions: completed plans, so
         // orders no longer matter.
         policy.final_prune(&mut plans);
-        ctx.send_to_master(WorkerReply { plans, stats }.to_bytes());
+        ctx.send_to_master(
+            WorkerReply {
+                first_partition: msg.first_partition,
+                partition_count: msg.partition_count,
+                plans,
+                stats,
+            }
+            .to_bytes(),
+        );
         Control::Continue
     }
 }
@@ -119,6 +277,11 @@ impl MpqOptimizer {
     /// [`effective_workers`]`(space, n, workers)` — the largest power of
     /// two supported by both the worker count and the query size — with
     /// exactly one partition per used worker.
+    ///
+    /// # Panics
+    /// Panics if the run fails (possible only with fault injection or a
+    /// protocol bug); use [`MpqOptimizer::try_optimize`] for a typed
+    /// error.
     pub fn optimize(
         &self,
         query: &Query,
@@ -126,6 +289,20 @@ impl MpqOptimizer {
         objective: Objective,
         workers: u64,
     ) -> MpqOutcome {
+        self.try_optimize(query, space, objective, workers)
+            .expect("MPQ optimization failed")
+    }
+
+    /// Fallible form of [`MpqOptimizer::optimize`]: worker loss with
+    /// retries disabled, exhausted retry budgets and protocol errors
+    /// surface as a typed [`MpqError`] instead of a panic.
+    pub fn try_optimize(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        workers: u64,
+    ) -> Result<MpqOutcome, MpqError> {
         let partitions = effective_workers(space, query.num_tables(), workers);
         let assignment: Vec<(u64, u64)> = (0..partitions).map(|p| (p, 1)).collect();
         self.run(query, space, objective, partitions, &assignment)
@@ -135,6 +312,10 @@ impl MpqOptimizer {
     /// number of partitions treated by a worker is proportional to its
     /// weight. `weights.len()` is the number of workers; weights must be
     /// positive.
+    ///
+    /// # Panics
+    /// Panics if the run fails; use
+    /// [`MpqOptimizer::try_optimize_weighted`] for a typed error.
     pub fn optimize_weighted(
         &self,
         query: &Query,
@@ -142,6 +323,18 @@ impl MpqOptimizer {
         objective: Objective,
         weights: &[f64],
     ) -> MpqOutcome {
+        self.try_optimize_weighted(query, space, objective, weights)
+            .expect("MPQ optimization failed")
+    }
+
+    /// Fallible form of [`MpqOptimizer::optimize_weighted`].
+    pub fn try_optimize_weighted(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        weights: &[f64],
+    ) -> Result<MpqOutcome, MpqError> {
         assert!(!weights.is_empty(), "at least one worker required");
         assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let partitions = effective_workers(space, query.num_tables(), weights.len() as u64);
@@ -152,7 +345,12 @@ impl MpqOptimizer {
     /// Oversubscribed mode: uses `partitions` plan-space partitions
     /// (a power of two supported by the query) spread over `workers`
     /// worker nodes, several consecutive partitions per worker. Useful
-    /// when the partition granularity should exceed the node count.
+    /// when the partition granularity should exceed the node count — and
+    /// under faults, because smaller ranges mean cheaper re-execution.
+    ///
+    /// # Panics
+    /// Panics if the run fails; use
+    /// [`MpqOptimizer::try_optimize_oversubscribed`] for a typed error.
     pub fn optimize_oversubscribed(
         &self,
         query: &Query,
@@ -161,6 +359,19 @@ impl MpqOptimizer {
         workers: usize,
         partitions: u64,
     ) -> MpqOutcome {
+        self.try_optimize_oversubscribed(query, space, objective, workers, partitions)
+            .expect("MPQ optimization failed")
+    }
+
+    /// Fallible form of [`MpqOptimizer::optimize_oversubscribed`].
+    pub fn try_optimize_oversubscribed(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        workers: usize,
+        partitions: u64,
+    ) -> Result<MpqOutcome, MpqError> {
         assert!(workers >= 1, "at least one worker required");
         let max = space.max_partitions(query.num_tables());
         assert!(
@@ -174,7 +385,7 @@ impl MpqOptimizer {
     }
 
     /// Runs Algorithm 1 with an explicit `(first_partition, count)`
-    /// assignment per worker.
+    /// assignment per worker, plus the fault-tolerant collection loop.
     fn run(
         &self,
         query: &Query,
@@ -182,34 +393,144 @@ impl MpqOptimizer {
         objective: Objective,
         partitions: u64,
         assignment: &[(u64, u64)],
-    ) -> MpqOutcome {
+    ) -> Result<MpqOutcome, MpqError> {
         let workers_used = assignment.len();
-        let cluster = Cluster::spawn(workers_used, self.config.latency, |_| MpqWorker);
+        let cluster = Cluster::spawn_with_faults(
+            workers_used,
+            self.config.latency,
+            &self.config.faults,
+            |_| MpqWorker,
+        );
+        let retry = self.config.retry;
         let start = Instant::now();
+
+        let task = |&(first, count): &(u64, u64)| MasterMessage {
+            query: query.clone(),
+            space,
+            objective,
+            first_partition: first,
+            partition_count: count,
+            total_partitions: partitions,
+        };
 
         // Phase 1: one task message per worker.
         cluster.metrics().record_round();
-        for (worker, &(first, count)) in assignment.iter().enumerate() {
-            let msg = MasterMessage {
-                query: query.clone(),
-                space,
-                objective,
-                first_partition: first,
-                partition_count: count,
-                total_partitions: partitions,
-            };
-            cluster.send(worker, msg.to_bytes(), true);
+        for (worker, range) in assignment.iter().enumerate() {
+            cluster.send(worker, task(range).to_bytes(), true)?;
         }
 
-        // Phase 2: collect the partition-optimal plans.
+        // Phase 2: collect the partition-optimal plans, re-executing lost
+        // or straggling ranges on surviving workers.
+        let ranges = assignment.len();
+        let mut range_done = vec![false; ranges];
+        // Latest worker each range was issued to, and whether it was ever
+        // re-issued (i.e. an earlier assignee might still deliver it).
+        let mut range_worker: Vec<usize> = (0..ranges).collect();
+        let mut range_reissued = vec![false; ranges];
         let mut worker_stats = vec![WorkerStats::default(); workers_used];
         let mut plans: Vec<Plan> = Vec::new();
-        for _ in 0..workers_used {
-            let (worker, payload) = cluster.recv();
-            let reply = WorkerReply::from_bytes(&payload)
-                .expect("worker replies are produced by this crate and must decode");
-            worker_stats[worker] = reply.stats;
-            plans.extend(reply.plans);
+        let mut completed = 0usize;
+        let mut retries_left = retry.max_retries;
+        let mut strikes = 0u32;
+        let mut replies_received = 0u64;
+        let mut duplicate_replies = 0u64;
+        let mut retry_task_bytes = 0u64;
+
+        while completed < ranges {
+            let received = match retry.timeout {
+                Some(t) => cluster.recv_timeout(t),
+                None => cluster.recv(),
+            };
+            match received {
+                Ok((worker, payload)) => {
+                    replies_received += 1;
+                    let reply = WorkerReply::from_bytes(&payload)
+                        .map_err(|source| MpqError::Decode { worker, source })?;
+                    let Some(idx) = assignment.iter().position(|&(f, c)| {
+                        f == reply.first_partition && c == reply.partition_count
+                    }) else {
+                        return Err(MpqError::Protocol { worker });
+                    };
+                    if range_done[idx] {
+                        // A speculative duplicate: the range was already
+                        // completed by another worker. Count the wasted
+                        // work, discard the (identical) plans.
+                        duplicate_replies += 1;
+                        cluster.metrics().record_duplicate();
+                        continue;
+                    }
+                    range_done[idx] = true;
+                    completed += 1;
+                    strikes = 0;
+                    accumulate(&mut worker_stats[worker], &reply.stats);
+                    plans.extend(reply.plans);
+                }
+                Err(ClusterError::Timeout { .. }) => {
+                    cluster.metrics().record_timeout();
+                    let outstanding: Vec<usize> = (0..ranges).filter(|&i| !range_done[i]).collect();
+                    // A range whose latest assignee is dead can never
+                    // complete on its own; prioritize it for re-execution.
+                    let dead = outstanding
+                        .iter()
+                        .copied()
+                        .find(|&i| !cluster.is_worker_alive(range_worker[i]));
+                    if retries_left == 0 {
+                        // A dead assignee whose range was never re-issued is
+                        // hopeless — no earlier speculative assignee exists
+                        // to deliver it — so fail at once. A re-issued
+                        // range's *earlier* assignee may still be straggling
+                        // toward a reply, so spend the strike budget waiting
+                        // before giving up.
+                        if let Some(i) = dead {
+                            if !range_reissued[i] {
+                                return Err(MpqError::WorkerLost {
+                                    worker: range_worker[i],
+                                });
+                            }
+                        }
+                        strikes += 1;
+                        if strikes >= retry.max_strikes {
+                            return Err(match dead {
+                                Some(i) => MpqError::WorkerLost {
+                                    worker: range_worker[i],
+                                },
+                                None => MpqError::RetriesExhausted {
+                                    outstanding: outstanding.len(),
+                                },
+                            });
+                        }
+                        continue;
+                    }
+                    // Speculative re-execution: re-issue the most suspect
+                    // range (dead assignee first, else the oldest
+                    // outstanding one) to a surviving worker, idle workers
+                    // first.
+                    let victim = dead.unwrap_or(outstanding[0]);
+                    let busy: Vec<usize> = outstanding.iter().map(|&i| range_worker[i]).collect();
+                    let mut candidates: Vec<usize> = (0..workers_used)
+                        .filter(|&w| cluster.is_worker_alive(w))
+                        .collect();
+                    candidates.sort_by_key(|&w| (busy.contains(&w), w));
+                    let mut reissued = false;
+                    for target in candidates {
+                        let bytes = task(&assignment[victim]).to_bytes();
+                        let len = bytes.len() as u64;
+                        if cluster.send(target, bytes, true).is_ok() {
+                            cluster.metrics().record_retry(target);
+                            retry_task_bytes += len;
+                            range_worker[victim] = target;
+                            range_reissued[victim] = true;
+                            retries_left -= 1;
+                            reissued = true;
+                            break;
+                        }
+                    }
+                    if !reissued {
+                        return Err(MpqError::Cluster(ClusterError::AllWorkersLost));
+                    }
+                }
+                Err(e) => return Err(MpqError::Cluster(e)),
+            }
         }
 
         // Phase 3: FinalPrune over the O(m) collected plans.
@@ -236,9 +557,23 @@ impl MpqOptimizer {
             worker_stats,
             partitions,
             workers_used,
+            retries: network.retries,
+            duplicate_replies,
+            replies_received,
+            retry_task_bytes,
         };
-        MpqOutcome { plans, metrics }
+        Ok(MpqOutcome { plans, metrics })
     }
+}
+
+/// Accumulates a reply's counters into a worker's running stats (a worker
+/// may execute several ranges under retries).
+fn accumulate(into: &mut WorkerStats, s: &WorkerStats) {
+    into.splits_tried += s.splits_tried;
+    into.plans_generated += s.plans_generated;
+    into.optimize_micros += s.optimize_micros;
+    into.stored_sets = into.stored_sets.max(s.stored_sets);
+    into.total_entries = into.total_entries.max(s.total_entries);
 }
 
 /// Splits `partitions` into contiguous per-worker ranges with sizes
@@ -363,6 +698,10 @@ mod tests {
         let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 8);
         assert_eq!(out.metrics.network.rounds, 1);
         assert_eq!(out.metrics.network.messages, 16); // m tasks + m replies
+        assert_eq!(out.metrics.replies_received, 8);
+        assert_eq!(out.metrics.retries, 0);
+        assert_eq!(out.metrics.duplicate_replies, 0);
+        assert_eq!(out.metrics.network.faults_injected(), 0);
     }
 
     #[test]
@@ -457,6 +796,7 @@ mod tests {
         let q = query(8, 8);
         let fast = MpqOptimizer::new(MpqConfig {
             latency: LatencyModel::ZERO,
+            ..MpqConfig::default()
         })
         .optimize(&q, PlanSpace::Linear, Objective::Single, 4);
         let slow = MpqOptimizer::new(MpqConfig {
@@ -465,6 +805,7 @@ mod tests {
                 per_kib_us: 0,
                 task_launch_us: 0,
             },
+            ..MpqConfig::default()
         })
         .optimize(&q, PlanSpace::Linear, Objective::Single, 4);
         assert!(slow.metrics.total_micros >= fast.metrics.total_micros + 30_000);
@@ -472,6 +813,104 @@ mod tests {
             slow.plans[0].cost().time,
             fast.plans[0].cost().time,
             "latency must not change the chosen plan"
+        );
+    }
+
+    #[test]
+    fn crashed_workers_are_recovered_by_retries() {
+        let q = query(8, 9);
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        // Crash every worker except one; retries re-execute the lost
+        // ranges on the survivors.
+        let opt = MpqOptimizer::new(MpqConfig {
+            faults: FaultPlan::crash_on_first_task(4, 1),
+            retry: RetryPolicy::with_timeout(64, Duration::from_millis(25)),
+            ..MpqConfig::default()
+        });
+        let out = opt
+            .try_optimize(&q, PlanSpace::Linear, Objective::Single, 4)
+            .expect("retries must recover the crashed ranges");
+        let a = out.plans[0].cost().time;
+        let b = serial.plans[0].cost().time;
+        assert!((a - b).abs() <= 1e-9 * b.max(1.0), "{a} vs {b}");
+        assert!(out.metrics.retries >= 1);
+        assert!(out.metrics.network.crashes >= 1);
+        assert!(out.metrics.retry_task_bytes > 0);
+    }
+
+    #[test]
+    fn crashed_worker_without_retries_is_a_typed_error() {
+        let q = query(8, 10);
+        let opt = MpqOptimizer::new(MpqConfig {
+            faults: FaultPlan::crash_on_first_task(4, 1),
+            retry: RetryPolicy {
+                max_retries: 0,
+                timeout: Some(Duration::from_millis(20)),
+                max_strikes: 8,
+            },
+            ..MpqConfig::default()
+        });
+        let err = opt
+            .try_optimize(&q, PlanSpace::Linear, Objective::Single, 4)
+            .expect_err("a crashed worker without retries must fail");
+        assert!(
+            matches!(err, MpqError::WorkerLost { .. }),
+            "expected WorkerLost, got {err}"
+        );
+    }
+
+    #[test]
+    fn dropped_replies_are_reexecuted() {
+        let q = query(7, 12);
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        // Drop ~half the replies; retries re-issue until all ranges land.
+        let opt = MpqOptimizer::new(MpqConfig {
+            faults: FaultPlan {
+                seed: 3,
+                drop_prob: 0.5,
+                ..FaultPlan::NONE
+            },
+            retry: RetryPolicy::with_timeout(128, Duration::from_millis(25)),
+            ..MpqConfig::default()
+        });
+        let out = opt
+            .try_optimize(&q, PlanSpace::Linear, Objective::Single, 8)
+            .expect("drops must be recovered");
+        let a = out.plans[0].cost().time;
+        let b = serial.plans[0].cost().time;
+        assert!((a - b).abs() <= 1e-9 * b.max(1.0));
+        // Ledger: every received reply either completed a range or was a
+        // duplicate.
+        assert_eq!(
+            out.metrics.replies_received,
+            out.metrics.workers_used as u64 + out.metrics.duplicate_replies
+        );
+    }
+
+    #[test]
+    fn stragglers_trigger_speculation_and_duplicates_are_discarded() {
+        let q = query(7, 13);
+        let serial = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        let opt = MpqOptimizer::new(MpqConfig {
+            faults: FaultPlan {
+                seed: 8,
+                straggle_prob: 1.0,
+                straggle_us: 60_000, // well past the 10ms suspicion timeout
+                ..FaultPlan::NONE
+            },
+            retry: RetryPolicy::with_timeout(64, Duration::from_millis(10)),
+            ..MpqConfig::default()
+        });
+        let out = opt
+            .try_optimize(&q, PlanSpace::Linear, Objective::Single, 4)
+            .expect("stragglers must not fail the run");
+        let a = out.plans[0].cost().time;
+        let b = serial.plans[0].cost().time;
+        assert!((a - b).abs() <= 1e-9 * b.max(1.0));
+        assert!(out.metrics.network.straggles >= 1);
+        assert_eq!(
+            out.metrics.replies_received,
+            out.metrics.workers_used as u64 + out.metrics.duplicate_replies
         );
     }
 }

@@ -22,8 +22,14 @@
 //! replica by the broadcast; parents computed in later rounds reference
 //! the broadcast ordering.
 
+//! **Fault tolerance contrast.** SMA detects worker loss and fails fast
+//! with a typed [`SmaError`]: recovering a replica would mean re-sending
+//! `Init` plus every `Delta` broadcast so far (the memo), a bill measured
+//! in [`SmaMetrics::replica_recovery_bytes`] — versus MPQ's `O(b_q)` task
+//! re-issue.
+
 pub mod message;
 pub mod optimizer;
 
 pub use message::{SlotUpdate, SmaMasterMsg, SmaReply};
-pub use optimizer::{SmaConfig, SmaMetrics, SmaOptimizer, SmaOutcome};
+pub use optimizer::{SmaConfig, SmaError, SmaMetrics, SmaOptimizer, SmaOutcome};

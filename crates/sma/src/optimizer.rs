@@ -1,20 +1,131 @@
 //! The SMA master protocol and worker logic.
+//!
+//! SMA is the fault-tolerance *counter-example* the paper's deployment
+//! argument leans on. Where an MPQ task is stateless (re-issue one range,
+//! `O(b_q)` bytes), an SMA worker holds a **replicated memo** built up
+//! over `n - 1` coordination rounds: replacing a lost worker means
+//! re-sending the `Init` message plus every `Delta` broadcast so far —
+//! bytes that grow exponentially in the query size. This module therefore
+//! does not attempt recovery at all; it detects worker loss and **fails
+//! fast** with a typed [`SmaError`] carrying the measured
+//! `memo_rebroadcast_bytes` a recovery would have cost.
 
 use crate::message::{SlotUpdate, SmaMasterMsg, SmaReply};
 use bytes::Bytes;
-use mpq_cluster::{Cluster, Control, LatencyModel, NetworkSnapshot, Wire, WorkerCtx, WorkerLogic};
+use mpq_cluster::{
+    Cluster, ClusterError, Control, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot, Wire,
+    WorkerCtx, WorkerLogic,
+};
 use mpq_cost::{CardinalityEstimator, Objective, ScanOp};
 use mpq_dp::{compute_entries_for_set, reconstruct_plan, HashMemo, MemoStore, WorkerStats};
 use mpq_model::{Query, TableSet};
 use mpq_partition::PlanSpace;
 use mpq_plan::{Plan, PlanEntry, PruningPolicy};
-use std::time::Instant;
+use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Configuration of the SMA baseline.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SmaConfig {
     /// Latency/overhead model of the simulated network.
     pub latency: LatencyModel,
+    /// Deterministic fault injection (default: no faults).
+    pub faults: FaultPlan,
+    /// How long the master waits for a reply before probing for dead
+    /// workers. `None` blocks indefinitely — fine fault-free, but set a
+    /// timeout whenever faults are possible.
+    pub recv_timeout: Option<Duration>,
+}
+
+/// Typed failure of one SMA optimization run.
+///
+/// Every variant carries `memo_rebroadcast_bytes`: the bytes (`Init` plus
+/// all `Delta` broadcasts so far) that restoring one replica would cost at
+/// the point of failure — the executable form of the paper's claim that
+/// SMA recovery requires re-shipping the replicated memo, unlike MPQ's
+/// `O(b_q)` task re-issue.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmaError {
+    /// A worker died mid-protocol; its replica (and its assigned slots)
+    /// are unrecoverable without a full memo re-broadcast.
+    WorkerLost {
+        /// The dead worker.
+        worker: usize,
+        /// Coordination round (1-based; round 1 is `Init`) during which
+        /// the loss was detected.
+        round: u64,
+        /// Measured bytes to rebuild one replica at this point.
+        memo_rebroadcast_bytes: u64,
+    },
+    /// No reply arrived and no worker is provably dead (e.g. a dropped
+    /// reply): the level-synchronized protocol cannot make progress.
+    Stalled {
+        /// Coordination round of the stall.
+        round: u64,
+        /// Measured bytes to rebuild one replica at this point.
+        memo_rebroadcast_bytes: u64,
+    },
+    /// A worker reply failed to decode (protocol bug or corruption).
+    Decode {
+        /// The replying worker.
+        worker: usize,
+        /// The codec failure.
+        source: DecodeError,
+    },
+}
+
+impl SmaError {
+    /// The measured replica-recovery cost at the failure point, if the
+    /// variant carries one.
+    pub fn memo_rebroadcast_bytes(&self) -> Option<u64> {
+        match self {
+            SmaError::WorkerLost {
+                memo_rebroadcast_bytes,
+                ..
+            }
+            | SmaError::Stalled {
+                memo_rebroadcast_bytes,
+                ..
+            } => Some(*memo_rebroadcast_bytes),
+            SmaError::Decode { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for SmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmaError::WorkerLost {
+                worker,
+                round,
+                memo_rebroadcast_bytes,
+            } => write!(
+                f,
+                "worker {worker} lost in round {round}; replica recovery would re-broadcast \
+                 {memo_rebroadcast_bytes} bytes"
+            ),
+            SmaError::Stalled {
+                round,
+                memo_rebroadcast_bytes,
+            } => write!(
+                f,
+                "protocol stalled in round {round} (lost reply); replica recovery would \
+                 re-broadcast {memo_rebroadcast_bytes} bytes"
+            ),
+            SmaError::Decode { worker, source } => {
+                write!(f, "reply from worker {worker} failed to decode: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmaError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
 }
 
 /// Measurements of one SMA run.
@@ -33,6 +144,11 @@ pub struct SmaMetrics {
     pub replica_stats: WorkerStats,
     /// Number of coordination rounds (one per join-result cardinality).
     pub rounds: u64,
+    /// Bytes that rebuilding one replica would have cost at the end of the
+    /// run (`Init` + all `Delta` broadcasts): SMA's per-worker recovery
+    /// bill, the bench-friendly counterpart of MPQ's
+    /// `retry_task_bytes`-per-retry.
+    pub replica_recovery_bytes: u64,
 }
 
 /// Result of one SMA optimization.
@@ -178,6 +294,11 @@ impl SmaOptimizer {
     }
 
     /// Optimizes `query` over `workers` worker nodes.
+    ///
+    /// # Panics
+    /// Panics if the run fails (possible only with fault injection or a
+    /// protocol bug); use [`SmaOptimizer::try_optimize`] for a typed
+    /// error.
     pub fn optimize(
         &self,
         query: &Query,
@@ -185,12 +306,91 @@ impl SmaOptimizer {
         objective: Objective,
         workers: usize,
     ) -> SmaOutcome {
+        self.try_optimize(query, space, objective, workers)
+            .expect("SMA optimization failed")
+    }
+
+    /// Fallible form of [`SmaOptimizer::optimize`]. SMA deliberately does
+    /// **not** recover from worker loss: a lost replica would require
+    /// re-broadcasting `Init` plus every `Delta` so far (the memo), so the
+    /// protocol fails fast with that measured cost in the error.
+    pub fn try_optimize(
+        &self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        workers: usize,
+    ) -> Result<SmaOutcome, SmaError> {
         assert!(workers >= 1, "at least one worker required");
         let n = query.num_tables();
-        let cluster = Cluster::spawn(workers, self.config.latency, |_| SmaWorker::default());
+        let cluster =
+            Cluster::spawn_with_faults(workers, self.config.latency, &self.config.faults, |_| {
+                SmaWorker::default()
+            });
         let start = Instant::now();
+        // Running bill of one replica's state: what a replacement worker
+        // would need to be sent to rejoin the protocol.
+        let mut recovery_bytes: u64 = 0;
+        let mut round: u64 = 0;
+
+        // Maps a cluster-level failure to the fail-fast SMA error.
+        let lost = |e: ClusterError, round: u64, recovery_bytes: u64| match e {
+            ClusterError::WorkerLost { worker } => SmaError::WorkerLost {
+                worker,
+                round,
+                memo_rebroadcast_bytes: recovery_bytes,
+            },
+            ClusterError::AllWorkersLost => SmaError::WorkerLost {
+                worker: 0,
+                round,
+                memo_rebroadcast_bytes: recovery_bytes,
+            },
+            ClusterError::Timeout { .. } => SmaError::Stalled {
+                round,
+                memo_rebroadcast_bytes: recovery_bytes,
+            },
+        };
+
+        // Receive with dead-worker detection: a straggler is waited out,
+        // a provably dead worker (or a persistent stall) fails the run.
+        let recv = |cluster: &Cluster,
+                    round: u64,
+                    recovery_bytes: u64|
+         -> Result<(usize, Bytes), SmaError> {
+            match self.config.recv_timeout {
+                None => cluster.recv().map_err(|e| lost(e, round, recovery_bytes)),
+                Some(t) => {
+                    const MAX_STRIKES: u32 = 64;
+                    let mut strikes = 0;
+                    loop {
+                        match cluster.recv_timeout(t) {
+                            Ok(reply) => return Ok(reply),
+                            Err(ClusterError::Timeout { .. }) => {
+                                cluster.metrics().record_timeout();
+                                if let Some(&worker) = cluster.dead_workers().first() {
+                                    return Err(SmaError::WorkerLost {
+                                        worker,
+                                        round,
+                                        memo_rebroadcast_bytes: recovery_bytes,
+                                    });
+                                }
+                                strikes += 1;
+                                if strikes >= MAX_STRIKES {
+                                    return Err(SmaError::Stalled {
+                                        round,
+                                        memo_rebroadcast_bytes: recovery_bytes,
+                                    });
+                                }
+                            }
+                            Err(e) => return Err(lost(e, round, recovery_bytes)),
+                        }
+                    }
+                }
+            }
+        };
 
         // Initialization round: ship the query and statistics everywhere.
+        round += 1;
         cluster.metrics().record_round();
         let init = SmaMasterMsg::Init {
             query: query.clone(),
@@ -198,12 +398,16 @@ impl SmaOptimizer {
             objective,
         }
         .to_bytes();
-        cluster.broadcast(&init, true);
+        recovery_bytes += init.len() as u64;
+        cluster
+            .broadcast(&init, true)
+            .map_err(|e| lost(e, round, recovery_bytes))?;
 
         let mut compute = vec![0u64; workers];
 
         // One coordination round per join-result cardinality.
         for k in 2..=n {
+            round += 1;
             cluster.metrics().record_round();
             let sets: Vec<TableSet> = TableSet::subsets_of_size(n, k).collect();
             let participants = workers.min(sets.len());
@@ -215,15 +419,19 @@ impl SmaOptimizer {
                 let msg = SmaMasterMsg::Assign {
                     sets: batch.to_vec(),
                 };
-                cluster.send(w, msg.to_bytes(), true);
+                cluster
+                    .send(w, msg.to_bytes(), true)
+                    .map_err(|e| lost(e, round, recovery_bytes))?;
                 sent += 1;
             }
             // Collect level results and merge (sets are disjoint across
             // workers, so merging is concatenation).
             let mut level_slots: Vec<SlotUpdate> = Vec::new();
             for _ in 0..sent {
-                let (w, payload) = cluster.recv();
-                match SmaReply::from_bytes(&payload).expect("worker reply decodes") {
+                let (w, payload) = recv(&cluster, round, recovery_bytes)?;
+                match SmaReply::from_bytes(&payload)
+                    .map_err(|source| SmaError::Decode { worker: w, source })?
+                {
                     SmaReply::LevelDone { slots, micros } => {
                         compute[w] += micros;
                         level_slots.extend(slots);
@@ -232,27 +440,35 @@ impl SmaOptimizer {
                 }
             }
             // Broadcast the merged level so every replica stays consistent
-            // — this is the exponential-traffic step.
+            // — this is the exponential-traffic step, and the reason a
+            // replacement replica costs the full running bill below.
             let delta = SmaMasterMsg::Delta { slots: level_slots }.to_bytes();
-            cluster.broadcast(&delta, false);
+            recovery_bytes += delta.len() as u64;
+            cluster
+                .broadcast(&delta, false)
+                .map_err(|e| lost(e, round, recovery_bytes))?;
         }
 
         // Final round: any replica can produce the plan; ask worker 0.
+        round += 1;
         cluster.metrics().record_round();
-        cluster.send(0, SmaMasterMsg::Finish.to_bytes(), false);
-        let (_, payload) = cluster.recv();
-        let (plans, replica_stats) =
-            match SmaReply::from_bytes(&payload).expect("worker reply decodes") {
-                SmaReply::Final { plans, stats } => (plans, stats),
-                SmaReply::LevelDone { .. } => unreachable!("Finish yields Final"),
-            };
+        cluster
+            .send(0, SmaMasterMsg::Finish.to_bytes(), false)
+            .map_err(|e| lost(e, round, recovery_bytes))?;
+        let (w, payload) = recv(&cluster, round, recovery_bytes)?;
+        let (plans, replica_stats) = match SmaReply::from_bytes(&payload)
+            .map_err(|source| SmaError::Decode { worker: w, source })?
+        {
+            SmaReply::Final { plans, stats } => (plans, stats),
+            SmaReply::LevelDone { .. } => unreachable!("Finish yields Final"),
+        };
 
         let total_micros = start.elapsed().as_micros() as u64;
         let network = cluster.metrics().snapshot();
         let rounds = network.rounds;
         cluster.shutdown();
 
-        SmaOutcome {
+        Ok(SmaOutcome {
             plans,
             metrics: SmaMetrics {
                 total_micros,
@@ -261,8 +477,9 @@ impl SmaOptimizer {
                 worker_compute_micros: compute,
                 replica_stats,
                 rounds,
+                replica_recovery_bytes: recovery_bytes,
             },
-        }
+        })
     }
 }
 
@@ -363,5 +580,81 @@ mod tests {
         let out = opt.optimize(&q, PlanSpace::Linear, Objective::Single, 2);
         assert_eq!(out.plans.len(), 1);
         assert_eq!(out.plans[0].num_joins(), 0);
+    }
+
+    #[test]
+    fn sma_fault_free_try_optimize_succeeds() {
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        let q = query(6, 17);
+        let out = opt
+            .try_optimize(&q, PlanSpace::Linear, Objective::Single, 3)
+            .expect("fault-free run succeeds");
+        // The recovery bill covers Init plus every Delta: it must exceed
+        // what MPQ would pay to re-issue a task (the query bytes).
+        assert!(out.metrics.replica_recovery_bytes > q.to_bytes().len() as u64);
+    }
+
+    #[test]
+    fn sma_worker_loss_fails_fast_with_recovery_bill() {
+        use mpq_cluster::FaultAction;
+        // A plan that provably crashes some worker within the first three
+        // messages it receives — always reached: every SMA worker gets
+        // Init plus one message per level.
+        let faults = FaultPlan {
+            crash_prob: 1.0,
+            min_survivors: 2,
+            ..FaultPlan::NONE
+        }
+        .with_seed_where(3, 64, |s| {
+            (0..3).any(|w| (0..3).any(|m| s.action(w, m) == FaultAction::CrashBeforeReply))
+        })
+        .expect("some seed crashes a worker early");
+        let opt = SmaOptimizer::new(SmaConfig {
+            faults,
+            recv_timeout: Some(Duration::from_millis(20)),
+            ..SmaConfig::default()
+        });
+        let q = query(7, 18);
+        let err = opt
+            .try_optimize(&q, PlanSpace::Linear, Objective::Single, 3)
+            .expect_err("a lost replica must fail the run");
+        match err {
+            SmaError::WorkerLost {
+                round,
+                memo_rebroadcast_bytes,
+                ..
+            } => {
+                assert!(round >= 1);
+                // Recovery would re-ship at least the Init payload.
+                assert!(memo_rebroadcast_bytes >= q.to_bytes().len() as u64);
+            }
+            other => panic!("expected WorkerLost, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sma_recovery_bill_grows_with_query_size_unlike_mpq_tasks() {
+        // The paper's contrast, as an executable assertion: SMA's replica
+        // recovery bill grows like the memo (exponentially), MPQ's task
+        // re-issue cost like the query (linearly).
+        let opt = SmaOptimizer::new(SmaConfig::default());
+        let bill = |n: usize| {
+            let q = query(n, 19);
+            let out = opt
+                .try_optimize(&q, PlanSpace::Linear, Objective::Single, 2)
+                .unwrap();
+            (
+                out.metrics.replica_recovery_bytes as f64,
+                q.to_bytes().len() as f64,
+            )
+        };
+        let (bill6, task6) = bill(6);
+        let (bill9, task9) = bill(9);
+        // Task (query) bytes grow ~linearly; the replica bill much faster.
+        assert!(task9 / task6 < 2.5, "query bytes stay linear");
+        assert!(
+            bill9 / bill6 > 4.0,
+            "replica recovery bill must grow super-linearly: {bill6} -> {bill9}"
+        );
     }
 }

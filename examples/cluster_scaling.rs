@@ -17,8 +17,14 @@ fn main() {
     // A latency model in the spirit of the paper's Spark cluster: flat
     // message latency, per-KiB transfer cost, task-launch overhead.
     let latency = LatencyModel::cluster_like();
-    let mpq = MpqOptimizer::new(MpqConfig { latency });
-    let sma = SmaOptimizer::new(SmaConfig { latency });
+    let mpq = MpqOptimizer::new(MpqConfig {
+        latency,
+        ..MpqConfig::default()
+    });
+    let sma = SmaOptimizer::new(SmaConfig {
+        latency,
+        ..SmaConfig::default()
+    });
 
     println!("MPQ scaling on a {tables}-table star query (linear plan space)");
     println!(

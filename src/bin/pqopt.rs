@@ -144,6 +144,7 @@ fn cmd_optimize(o: &Options) {
     let query = o.query();
     let optimizer = MpqOptimizer::new(MpqConfig {
         latency: LatencyModel::cluster_like(),
+        ..MpqConfig::default()
     });
     let out = optimizer.optimize(&query, o.space, o.objective, o.workers);
     println!(
@@ -194,14 +195,16 @@ fn cmd_optimize(o: &Options) {
 fn cmd_compare(o: &Options) {
     let query = o.query();
     let latency = LatencyModel::cluster_like();
-    let mpq =
-        MpqOptimizer::new(MpqConfig { latency }).optimize(&query, o.space, o.objective, o.workers);
-    let sma = SmaOptimizer::new(SmaConfig { latency }).optimize(
-        &query,
-        o.space,
-        o.objective,
-        o.workers as usize,
-    );
+    let mpq = MpqOptimizer::new(MpqConfig {
+        latency,
+        ..MpqConfig::default()
+    })
+    .optimize(&query, o.space, o.objective, o.workers);
+    let sma = SmaOptimizer::new(SmaConfig {
+        latency,
+        ..SmaConfig::default()
+    })
+    .optimize(&query, o.space, o.objective, o.workers as usize);
     println!(
         "{:<6} {:>12} {:>14} {:>8}",
         "", "time (ms)", "network (B)", "rounds"
@@ -233,6 +236,7 @@ fn cmd_scaling(o: &Options) {
     let query = o.query();
     let optimizer = MpqOptimizer::new(MpqConfig {
         latency: LatencyModel::cluster_like(),
+        ..MpqConfig::default()
     });
     let serial = optimize_serial(&query, o.space, o.objective);
     println!(

@@ -44,8 +44,8 @@ pub use mpq_sma as sma;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use mpq_algo::{MpqConfig, MpqOptimizer, MpqOutcome};
-    pub use mpq_cluster::{LatencyModel, NetworkMetrics};
+    pub use mpq_algo::{MpqConfig, MpqError, MpqOptimizer, MpqOutcome, RetryPolicy};
+    pub use mpq_cluster::{ClusterError, FaultPlan, LatencyModel, NetworkMetrics};
     pub use mpq_cost::{CostVector, Objective};
     pub use mpq_dp::{optimize_partition, optimize_serial, PartitionOutcome};
     pub use mpq_exec::{execute, DataConfig, Database};
@@ -56,5 +56,5 @@ pub mod prelude {
     };
     pub use mpq_partition::{effective_workers, partition_constraints, PlanSpace};
     pub use mpq_plan::{Plan, PruningPolicy};
-    pub use mpq_sma::{SmaConfig, SmaOptimizer};
+    pub use mpq_sma::{SmaConfig, SmaError, SmaOptimizer};
 }

@@ -1,0 +1,354 @@
+//! Chaos suite: property tests that fault-tolerant MPQ is exactly as
+//! correct as fault-free MPQ, for *any* seeded fault plan.
+//!
+//! The central invariant (the paper's Spark re-execution argument made
+//! executable): as long as a [`FaultPlan`] leaves at least one worker
+//! alive, the retrying master returns a plan with **exactly** the
+//! fault-free optimal cost — crashes, drops and stragglers cost retries
+//! and duplicated work, never correctness. A second family of properties
+//! checks the accounting: every reply is either a completed range or a
+//! counted duplicate, retries never exceed observed timeouts, and every
+//! injected fault appears in the metrics.
+//!
+//! Case count defaults to a small fixed number and honors the
+//! `PROPTEST_CASES` environment variable (CI runs more cases in release
+//! mode). The vendored proptest is deterministic per run, and fault
+//! schedules are deterministic per seed — a failure message contains the
+//! generated `FaultPlan`, which reproduces the schedule exactly.
+
+use pqopt::cluster::{FaultAction, FaultPlan, Wire};
+use pqopt::cost::{CostVector, Objective};
+use pqopt::dp::optimize_serial;
+use pqopt::model::{Query, WorkloadConfig, WorkloadGenerator};
+use pqopt::mpq::{MpqError, RetryPolicy};
+use pqopt::partition::PlanSpace;
+use pqopt::prelude::{MpqConfig, MpqOptimizer};
+use pqopt::sma::{SmaConfig, SmaError, SmaOptimizer};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn rel_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+}
+
+fn query(n: usize, seed: u64) -> Query {
+    WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query()
+}
+
+/// Any fault plan that guarantees at least one surviving worker.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0..=1.0f64,
+        0.0..=1.0f64,
+        0.0..=0.35f64,
+        0.0..=0.35f64,
+        0u64..40_000,
+    )
+        .prop_map(
+            |(seed, crash_prob, crash_after_reply_prob, drop_prob, straggle_prob, straggle_us)| {
+                FaultPlan {
+                    seed,
+                    crash_prob,
+                    crash_after_reply_prob,
+                    drop_prob,
+                    straggle_prob,
+                    straggle_us,
+                    min_survivors: 1,
+                }
+            },
+        )
+}
+
+/// A recovery policy generous enough that only a fault-*injection* bug —
+/// never exhaustion — can fail a run under `arb_fault_plan`.
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 512,
+        timeout: Some(Duration::from_millis(20)),
+        max_strikes: 512,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(10)))]
+
+    /// The chaos invariant: any fault plan with ≥ 1 survivor yields
+    /// exactly the fault-free optimal cost, and the recovery ledger
+    /// balances.
+    #[test]
+    fn faulty_mpq_returns_fault_free_optimal_cost(
+        plan in arb_fault_plan(),
+        qseed in any::<u64>(),
+        n in 4usize..=7,
+        workers in 2u64..=8,
+    ) {
+        let q = query(n, qseed);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let opt = MpqOptimizer::new(MpqConfig {
+            faults: plan,
+            retry: chaos_retry(),
+            ..MpqConfig::default()
+        });
+        let out = opt
+            .try_optimize(&q, PlanSpace::Linear, Objective::Single, workers)
+            .map_err(|e| TestCaseError::fail(format!("run failed under {plan:?}: {e}")))?;
+        let m = &out.metrics;
+
+        // Exactness: faults never change the chosen plan's cost.
+        prop_assert_eq!(out.plans.len(), 1);
+        let got = out.plans[0].cost().time;
+        prop_assert!(
+            rel_eq(got, reference),
+            "plan {:?}: faulty cost {} vs fault-free {}", plan, got, reference
+        );
+
+        // Ledger: every reply completed a range or was counted as a
+        // duplicate — no reply vanishes silently.
+        prop_assert_eq!(
+            m.replies_received,
+            m.workers_used as u64 + m.duplicate_replies,
+            "reply ledger must balance: {:?}", m.network
+        );
+        // Every retry was provoked by an observed timeout.
+        prop_assert!(
+            m.retries <= m.network.timeouts,
+            "retries {} must not exceed timeouts {}", m.retries, m.network.timeouts
+        );
+        // Fault accounting: the aggregate equals the per-kind counters,
+        // and a fault-free plan must inject nothing.
+        prop_assert_eq!(
+            m.network.faults_injected(),
+            m.network.crashes + m.network.drops + m.network.straggles
+        );
+        if plan.is_none() {
+            prop_assert_eq!(m.network.faults_injected(), 0);
+        }
+        // Survivor guarantee: at most workers-1 crashes.
+        prop_assert!(m.network.crashes < m.workers_used as u64);
+        // Recovery cost is task re-issues only: O(retries · b_q).
+        prop_assert_eq!(m.retry_task_bytes > 0, m.retries > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(6)))]
+
+    /// Multi-objective mode: the merged Pareto frontier under faults is
+    /// exactly the fault-free frontier.
+    #[test]
+    fn faulty_mpq_preserves_pareto_frontier(
+        plan in arb_fault_plan(),
+        qseed in any::<u64>(),
+        n in 4usize..=6,
+        workers in 2u64..=4,
+    ) {
+        let q = query(n, qseed);
+        let objective = Objective::Multi { alpha: 1.0 };
+        let reference: Vec<CostVector> = optimize_serial(&q, PlanSpace::Linear, objective)
+            .plans
+            .iter()
+            .map(|p| p.cost())
+            .collect();
+        let opt = MpqOptimizer::new(MpqConfig {
+            faults: plan,
+            retry: chaos_retry(),
+            ..MpqConfig::default()
+        });
+        let out = opt
+            .try_optimize(&q, PlanSpace::Linear, objective, workers)
+            .map_err(|e| TestCaseError::fail(format!("run failed under {plan:?}: {e}")))?;
+        let frontier: Vec<CostVector> = out.plans.iter().map(|p| p.cost()).collect();
+        let covered = |xs: &[CostVector], ys: &[CostVector]| {
+            xs.iter().all(|x| {
+                ys.iter()
+                    .any(|y| rel_eq(x.time, y.time) && rel_eq(x.buffer, y.buffer))
+            })
+        };
+        prop_assert!(
+            covered(&reference, &frontier) && covered(&frontier, &reference),
+            "plan {:?}: frontier {:?} vs fault-free {:?}", plan, frontier, reference
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    /// FaultPlan determinism: the same seed resolves to the same schedule,
+    /// point-wise over every (worker, message) pair.
+    #[test]
+    fn fault_schedules_are_deterministic_per_seed(
+        plan in arb_fault_plan(),
+        workers in 1usize..=16,
+    ) {
+        let a = plan.schedule(workers);
+        let b = plan.schedule(workers);
+        prop_assert_eq!(&a, &b);
+        for w in 0..workers {
+            for m in 0..8u64 {
+                prop_assert_eq!(a.action(w, m), b.action(w, m));
+            }
+        }
+        // min_survivors is honored for any probability mix.
+        prop_assert!(a.crashing_workers().len() < workers.max(1));
+    }
+}
+
+/// Regression (ISSUE: master-side panic paths): a crashed worker with
+/// retries disabled yields a typed error, never a panic.
+#[test]
+fn crashed_worker_with_retries_disabled_is_a_typed_error() {
+    let q = query(6, 99);
+    let opt = MpqOptimizer::new(MpqConfig {
+        faults: FaultPlan::crash_on_first_task(4, 1),
+        retry: RetryPolicy {
+            max_retries: 0,
+            timeout: Some(Duration::from_millis(15)),
+            max_strikes: 16,
+        },
+        ..MpqConfig::default()
+    });
+    let err = opt
+        .try_optimize(&q, PlanSpace::Linear, Objective::Single, 4)
+        .expect_err("crashed worker without retries must be an error");
+    assert!(
+        matches!(err, MpqError::WorkerLost { .. }),
+        "expected WorkerLost, got {err}"
+    );
+}
+
+/// Regression: when *every* worker dies (min_survivors 0), the master
+/// reports a typed error instead of panicking or hanging — with or
+/// without a timeout configured.
+#[test]
+fn all_workers_lost_is_a_typed_error() {
+    let q = query(5, 7);
+    // Find a seed where every worker of a 2-node cluster crashes on its
+    // first message, so even the blocking-recv path terminates.
+    let faults = FaultPlan {
+        crash_prob: 1.0,
+        min_survivors: 0,
+        ..FaultPlan::NONE
+    }
+    .with_seed_where(2, 512, |s| {
+        (0..2).all(|w| s.action(w, 0) == FaultAction::CrashBeforeReply)
+    })
+    .expect("some seed crashes both workers immediately");
+    for retry in [
+        RetryPolicy::DISABLED, // blocking recv: channel disconnect path
+        RetryPolicy::with_timeout(8, Duration::from_millis(10)),
+    ] {
+        let opt = MpqOptimizer::new(MpqConfig {
+            faults,
+            retry,
+            ..MpqConfig::default()
+        });
+        let err = opt
+            .try_optimize(&q, PlanSpace::Linear, Objective::Single, 2)
+            .expect_err("a fully-dead cluster must be an error");
+        assert!(
+            matches!(
+                err,
+                MpqError::Cluster(_)
+                    | MpqError::WorkerLost { .. }
+                    | MpqError::RetriesExhausted { .. }
+            ),
+            "unexpected error {err}"
+        );
+    }
+}
+
+/// The paper's deployment contrast, end to end: under the same crash
+/// plan, fault-tolerant MPQ recovers and stays optimal while SMA fails
+/// fast with a memo-re-broadcast bill that dwarfs MPQ's task re-issue
+/// bytes.
+#[test]
+fn mpq_survives_where_sma_fails() {
+    let faults = FaultPlan::crash_on_first_task(4, 1);
+    let q = query(7, 123);
+    let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+        .cost()
+        .time;
+
+    let mpq = MpqOptimizer::new(MpqConfig {
+        faults,
+        retry: RetryPolicy::with_timeout(64, Duration::from_millis(20)),
+        ..MpqConfig::default()
+    });
+    let out = mpq
+        .try_optimize(&q, PlanSpace::Linear, Objective::Single, 4)
+        .expect("MPQ recovers from worker loss");
+    assert!(rel_eq(out.plans[0].cost().time, reference));
+    assert!(out.metrics.retries >= 1);
+
+    let sma = SmaOptimizer::new(SmaConfig {
+        faults,
+        recv_timeout: Some(Duration::from_millis(20)),
+        ..SmaConfig::default()
+    });
+    let err = sma
+        .try_optimize(&q, PlanSpace::Linear, Objective::Single, 4)
+        .expect_err("SMA fails fast on worker loss");
+    let bill = err
+        .memo_rebroadcast_bytes()
+        .expect("loss errors carry the recovery bill");
+    assert!(
+        bill >= q.to_bytes().len() as u64,
+        "SMA recovery re-ships at least the Init payload"
+    );
+    assert!(
+        out.metrics.retry_task_bytes < bill * 8,
+        "sanity: MPQ recovery bytes stay within a small multiple of one task"
+    );
+    assert!(matches!(err, SmaError::WorkerLost { .. }));
+}
+
+/// Metrics account for targeted drops: a schedule that provably drops a
+/// first-task reply must surface in `drops`, trigger re-execution, and
+/// still produce the optimal plan.
+#[test]
+fn dropped_reply_is_counted_and_recovered() {
+    let workers = 3usize;
+    let faults = FaultPlan {
+        drop_prob: 0.4,
+        ..FaultPlan::NONE
+    }
+    .with_seed_where(workers, 512, |s| {
+        // Some first-task reply is dropped, and not every message of
+        // every worker is dropped (so retries can land).
+        (0..workers).any(|w| s.action(w, 0) == FaultAction::DropReply)
+            && (0..workers).any(|w| (0..4).any(|m| s.action(w, m) == FaultAction::Deliver))
+    })
+    .expect("some seed drops a first reply");
+    let q = query(6, 5);
+    let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+        .cost()
+        .time;
+    let opt = MpqOptimizer::new(MpqConfig {
+        faults,
+        retry: chaos_retry(),
+        ..MpqConfig::default()
+    });
+    let out = opt
+        .try_optimize(&q, PlanSpace::Linear, Objective::Single, workers as u64)
+        .expect("drops are recoverable");
+    assert!(rel_eq(out.plans[0].cost().time, reference));
+    assert!(
+        out.metrics.network.drops >= 1,
+        "the injected drop must be counted"
+    );
+    assert!(
+        out.metrics.retries >= 1,
+        "a dropped reply forces a re-issue"
+    );
+}

@@ -1,0 +1,204 @@
+//! Randomized differential suite: every optimizer in the workspace must
+//! agree on every seeded random query.
+//!
+//! For ~50 seeded queries (2–8 tables, all four join-graph shapes) the
+//! suite cross-checks, against the serial bottom-up DP reference:
+//!
+//! * MPQ at several worker counts (the paper's Theorem: partitioning
+//!   never loses the optimum),
+//! * the memoized top-down (Volcano-style) enumerator,
+//! * the exhaustive brute-force reference (small queries),
+//! * the SMA replicated-memo baseline,
+//!
+//! on optimal cost for single-objective runs and on the full Pareto
+//! frontier for multi-objective runs. Differential agreement across five
+//! independently-written engines is the correctness bedrock the chaos
+//! suite (`tests/chaos.rs`) builds on: it pins the fault-free answer that
+//! fault-tolerant runs must reproduce.
+
+use pqopt::cost::{CostVector, Objective};
+use pqopt::dp::{
+    exhaustive_frontier, exhaustive_linear_best_time, optimize_partition_topdown, optimize_serial,
+};
+use pqopt::model::{JoinGraph, Query, WorkloadConfig, WorkloadGenerator};
+use pqopt::partition::{partition_constraints, PlanSpace};
+use pqopt::prelude::{MpqConfig, MpqOptimizer};
+use pqopt::sma::{SmaConfig, SmaOptimizer};
+
+const SEEDS: u64 = 50;
+
+fn rel_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+}
+
+/// Seed → (query, n): 2–8 tables, cycling through the four graph shapes.
+fn seeded_query(seed: u64) -> (Query, usize) {
+    let n = 2 + (seed % 7) as usize;
+    let graph = JoinGraph::ALL[(seed % 4) as usize];
+    let q =
+        WorkloadGenerator::new(WorkloadConfig::with_graph(n, graph), seed * 7919 + 13).next_query();
+    (q, n)
+}
+
+/// The serial DP's optimal time for `q` — the reference every other
+/// engine is held to.
+fn reference_time(q: &Query, space: PlanSpace) -> f64 {
+    optimize_serial(q, space, Objective::Single).plans[0]
+        .cost()
+        .time
+}
+
+#[test]
+fn all_engines_agree_on_linear_optimal_cost() {
+    let mpq = MpqOptimizer::new(MpqConfig::default());
+    let sma = SmaOptimizer::new(SmaConfig::default());
+    for seed in 0..SEEDS {
+        let (q, n) = seeded_query(seed);
+        let space = PlanSpace::Linear;
+        let reference = reference_time(&q, space);
+
+        // Top-down enumeration over the unconstrained space.
+        let topdown = optimize_partition_topdown(
+            &q,
+            space,
+            Objective::Single,
+            &partition_constraints(n, space, 0, 1),
+        );
+        assert!(
+            rel_eq(topdown.plans[0].cost().time, reference),
+            "seed {seed} (n={n}): topdown {} vs serial {reference}",
+            topdown.plans[0].cost().time
+        );
+
+        // MPQ at several worker counts (caps at the query's partition
+        // limit internally).
+        for workers in [1u64, 2, 4, 8] {
+            let out = mpq.optimize(&q, space, Objective::Single, workers);
+            assert_eq!(out.plans.len(), 1, "seed {seed} workers {workers}");
+            assert!(
+                rel_eq(out.plans[0].cost().time, reference),
+                "seed {seed} (n={n}) workers {workers}: MPQ {} vs serial {reference}",
+                out.plans[0].cost().time
+            );
+        }
+
+        // SMA agrees with the reference (and hence with MPQ).
+        let out = sma.optimize(&q, space, Objective::Single, 1 + (seed as usize % 4));
+        assert!(
+            rel_eq(out.plans[0].cost().time, reference),
+            "seed {seed} (n={n}): SMA {} vs serial {reference}",
+            out.plans[0].cost().time
+        );
+
+        // Brute force (factorial) where feasible.
+        if n <= 6 {
+            let brute = exhaustive_linear_best_time(&q);
+            assert!(
+                rel_eq(brute, reference),
+                "seed {seed} (n={n}): exhaustive {brute} vs serial {reference}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_engines_agree_on_bushy_optimal_cost() {
+    let mpq = MpqOptimizer::new(MpqConfig::default());
+    let sma = SmaOptimizer::new(SmaConfig::default());
+    for seed in 0..SEEDS {
+        let (q, n) = seeded_query(seed);
+        if n > 6 {
+            continue; // keep the bushy sweep cheap
+        }
+        let space = PlanSpace::Bushy;
+        let reference = reference_time(&q, space);
+
+        let topdown = optimize_partition_topdown(
+            &q,
+            space,
+            Objective::Single,
+            &partition_constraints(n, space, 0, 1),
+        );
+        assert!(
+            rel_eq(topdown.plans[0].cost().time, reference),
+            "seed {seed} (n={n}): bushy topdown"
+        );
+
+        for workers in [1u64, 2, 4] {
+            let out = mpq.optimize(&q, space, Objective::Single, workers);
+            assert!(
+                rel_eq(out.plans[0].cost().time, reference),
+                "seed {seed} (n={n}) workers {workers}: bushy MPQ"
+            );
+        }
+
+        let out = sma.optimize(&q, space, Objective::Single, 2);
+        assert!(
+            rel_eq(out.plans[0].cost().time, reference),
+            "seed {seed} (n={n}): bushy SMA"
+        );
+
+        // The exhaustive bushy frontier's best time is the optimum.
+        if n <= 5 {
+            let brute = exhaustive_frontier(&q, space)
+                .iter()
+                .map(|c| c.time)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                rel_eq(brute, reference),
+                "seed {seed} (n={n}): bushy exhaustive {brute} vs {reference}"
+            );
+        }
+    }
+}
+
+/// Set-wise frontier equality under relative tolerance.
+fn same_frontier(a: &[CostVector], b: &[CostVector]) -> bool {
+    let covered = |xs: &[CostVector], ys: &[CostVector]| {
+        xs.iter().all(|x| {
+            ys.iter()
+                .any(|y| rel_eq(x.time, y.time) && rel_eq(x.buffer, y.buffer))
+        })
+    };
+    covered(a, b) && covered(b, a)
+}
+
+#[test]
+fn all_engines_agree_on_pareto_frontier() {
+    let mpq = MpqOptimizer::new(MpqConfig::default());
+    let sma = SmaOptimizer::new(SmaConfig::default());
+    let objective = Objective::Multi { alpha: 1.0 }; // exact frontier
+    for seed in 0..SEEDS {
+        let (q, n) = seeded_query(seed);
+        if n > 5 {
+            continue; // exhaustive frontier is exponential
+        }
+        let space = PlanSpace::Linear;
+        let serial: Vec<CostVector> = optimize_serial(&q, space, objective)
+            .plans
+            .iter()
+            .map(|p| p.cost())
+            .collect();
+        let brute = exhaustive_frontier(&q, space);
+        assert!(
+            same_frontier(&serial, &brute),
+            "seed {seed} (n={n}): serial frontier {serial:?} vs exhaustive {brute:?}"
+        );
+
+        for workers in [2u64, 4] {
+            let out = mpq.optimize(&q, space, objective, workers);
+            let frontier: Vec<CostVector> = out.plans.iter().map(|p| p.cost()).collect();
+            assert!(
+                same_frontier(&frontier, &brute),
+                "seed {seed} (n={n}) workers {workers}: MPQ frontier"
+            );
+        }
+
+        let out = sma.optimize(&q, space, objective, 3);
+        let frontier: Vec<CostVector> = out.plans.iter().map(|p| p.cost()).collect();
+        assert!(
+            same_frontier(&frontier, &brute),
+            "seed {seed} (n={n}): SMA frontier"
+        );
+    }
+}

@@ -219,6 +219,7 @@ fn latency_does_not_change_results() {
     );
     let slow = MpqOptimizer::new(MpqConfig {
         latency: LatencyModel::cluster_like(),
+        ..MpqConfig::default()
     })
     .optimize(q, PlanSpace::Linear, Objective::Single, 8);
     assert_eq!(fast.plans[0].cost().time, slow.plans[0].cost().time);

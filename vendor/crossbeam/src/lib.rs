@@ -7,7 +7,7 @@
 //! `[workspace.dependencies]` to the registry version to use the real thing.
 
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
 
     /// The sending half of an unbounded channel.
     pub struct Sender<T> {
@@ -45,6 +45,12 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
             self.inner.try_recv()
         }
+
+        /// Blocks until a message arrives, every sender disconnected, or
+        /// `timeout` elapsed.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
     }
 
     /// Creates an unbounded MPSC channel.
@@ -72,6 +78,17 @@ pub mod channel {
             let (tx, rx) = unbounded::<u32>();
             drop(tx);
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            let short = std::time::Duration::from_millis(5);
+            assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Timeout));
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(short), Ok(7));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Disconnected));
         }
     }
 }
