@@ -1,0 +1,120 @@
+//! Service throughput: resident cluster vs spawn-per-query.
+//!
+//! The paper's parallel scheme assumes a standing shared-nothing cluster;
+//! the pre-service architecture of this repo instead spawned `m` worker
+//! threads per query and joined them afterwards, so thread setup — not
+//! optimization — dominated at high query rates. This bench quantifies
+//! the difference on identical workloads:
+//!
+//! * `spawn_per_query_w{m}`: a fresh [`MpqOptimizer`] cluster per query
+//!   (spawn, one task round, teardown — the old request path);
+//! * `resident_w{m}`: one long-lived [`MpqService`] with the whole batch
+//!   of queries in flight concurrently;
+//! * `report_throughput`: prints queries/sec for both modes at each
+//!   worker count — the number the ROADMAP's "heavy traffic" north star
+//!   cares about.
+//!
+//! Latency is zero so the comparison isolates the architectural overhead
+//! (thread spawn/join and lost pipelining), not simulated network delays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_algo::{MpqConfig, MpqOptimizer, MpqService};
+use mpq_cost::Objective;
+use mpq_model::{Query, WorkloadConfig, WorkloadGenerator};
+use mpq_partition::PlanSpace;
+use std::hint::black_box;
+use std::time::Instant;
+
+const BATCH: u64 = 8;
+const TABLES: usize = 8;
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn workload() -> Vec<Query> {
+    (0..BATCH)
+        .map(|seed| {
+            WorkloadGenerator::new(WorkloadConfig::paper_default(TABLES), seed).next_query()
+        })
+        .collect()
+}
+
+/// One batch through a fresh cluster per query (the old request path).
+fn spawn_per_query(queries: &[Query], workers: usize) {
+    let optimizer = MpqOptimizer::new(MpqConfig::default());
+    for q in queries {
+        black_box(optimizer.optimize(
+            black_box(q),
+            PlanSpace::Linear,
+            Objective::Single,
+            workers as u64,
+        ));
+    }
+}
+
+/// One batch through a resident service, all queries in flight at once.
+fn resident_batch(service: &mut MpqService, queries: &[Query]) {
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            service
+                .submit(black_box(q), PlanSpace::Linear, Objective::Single)
+                .expect("submit")
+        })
+        .collect();
+    for handle in handles {
+        black_box(service.wait(handle).expect("session completes"));
+    }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let queries = workload();
+    for workers in WORKER_COUNTS {
+        c.bench_function(&format!("spawn_per_query_w{workers}"), |b| {
+            b.iter(|| spawn_per_query(&queries, workers))
+        });
+        // The resident cluster is created once, outside the measured
+        // iterations — that is the architecture under test.
+        let mut service = MpqService::spawn(workers, MpqConfig::default()).expect("service spawns");
+        c.bench_function(&format!("resident_w{workers}"), |b| {
+            b.iter(|| resident_batch(&mut service, &queries))
+        });
+        service.shutdown();
+    }
+}
+
+/// Not a timing benchmark: prints queries/sec side by side, measured over
+/// enough batches to amortize noise.
+fn report_throughput(_c: &mut Criterion) {
+    let queries = workload();
+    const ROUNDS: usize = 20;
+    println!("\n== service throughput (queries/sec, batch of {BATCH} x {TABLES}-table) ==");
+    println!(
+        "{:>8} {:>18} {:>14} {:>9}",
+        "workers", "spawn-per-query", "resident", "speedup"
+    );
+    for workers in WORKER_COUNTS {
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            spawn_per_query(&queries, workers);
+        }
+        let spawn_qps = (ROUNDS as u64 * BATCH) as f64 / t0.elapsed().as_secs_f64();
+
+        let mut service = MpqService::spawn(workers, MpqConfig::default()).expect("service spawns");
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            resident_batch(&mut service, &queries);
+        }
+        let resident_qps = (ROUNDS as u64 * BATCH) as f64 / t0.elapsed().as_secs_f64();
+        service.shutdown();
+
+        println!(
+            "{:>8} {:>18.0} {:>14.0} {:>8.2}x",
+            workers,
+            spawn_qps,
+            resident_qps,
+            resident_qps / spawn_qps
+        );
+    }
+}
+
+criterion_group!(benches, bench_throughput, report_throughput);
+criterion_main!(benches);

@@ -206,6 +206,75 @@ pub trait Wire: Sized {
     }
 }
 
+/// Identifier of one optimization session (one query) multiplexed over a
+/// long-lived cluster.
+///
+/// Every message on the simulated network is framed in a
+/// [`SessionEnvelope`] carrying the owning session's `QueryId`, so a
+/// single resident cluster can serve many in-flight queries concurrently:
+/// workers key per-query state by it, and the master routes replies to
+/// the owning session by it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl Wire for QueryId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(QueryId(dec.get_u64()?))
+    }
+}
+
+/// The wire frame around every message: an 8-byte little-endian
+/// [`QueryId`] followed by the payload bytes. The id crosses the network,
+/// so framed lengths — payload plus 8 — are what the byte counters and
+/// the latency model see.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionEnvelope {
+    /// The session the payload belongs to.
+    pub query: QueryId,
+    /// The application-level message bytes.
+    pub payload: Bytes,
+}
+
+impl SessionEnvelope {
+    /// Size of the frame header (the little-endian [`QueryId`]), in bytes.
+    /// Byte counters and the latency model charge `payload + HEADER_BYTES`
+    /// per message.
+    pub const HEADER_BYTES: usize = 8;
+
+    /// Frames `payload` for `query`: the bytes that actually cross the
+    /// simulated network.
+    pub fn frame(query: QueryId, payload: &[u8]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::HEADER_BYTES + payload.len());
+        buf.put_u64_le(query.0);
+        buf.extend_from_slice(payload);
+        buf.freeze()
+    }
+
+    /// Splits a framed message back into its session id and payload.
+    pub fn unframe(framed: &[u8]) -> Result<SessionEnvelope, DecodeError> {
+        if framed.len() < 8 {
+            return Err(DecodeError::Truncated {
+                needed: 8,
+                available: framed.len(),
+            });
+        }
+        let id = u64::from_le_bytes(framed[..8].try_into().expect("checked length"));
+        Ok(SessionEnvelope {
+            query: QueryId(id),
+            payload: Bytes::copy_from_slice(&framed[8..]),
+        })
+    }
+}
+
 impl Wire for u64 {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(*self);
@@ -640,6 +709,29 @@ mod tests {
             plans_generated: 4,
             optimize_micros: 5,
         });
+    }
+
+    #[test]
+    fn query_id_roundtrip() {
+        roundtrip(&QueryId(0));
+        roundtrip(&QueryId(u64::MAX));
+    }
+
+    #[test]
+    fn session_envelope_frames_and_unframes() {
+        let framed = SessionEnvelope::frame(QueryId(7), b"payload");
+        assert_eq!(framed.len(), 8 + 7, "8-byte id prefix plus payload");
+        let env = SessionEnvelope::unframe(&framed).expect("well-formed frame");
+        assert_eq!(env.query, QueryId(7));
+        assert_eq!(&env.payload[..], b"payload");
+        // An empty payload still frames (pure control messages).
+        let empty = SessionEnvelope::frame(QueryId(1), b"");
+        assert_eq!(SessionEnvelope::unframe(&empty).unwrap().payload.len(), 0);
+        // Anything shorter than the id prefix is truncated, not a panic.
+        assert!(matches!(
+            SessionEnvelope::unframe(&framed[..5]),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

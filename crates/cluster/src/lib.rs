@@ -19,6 +19,14 @@
 //! (`mpq-algo`) and the SMA baseline (`mpq-sma`) implement their own
 //! message types on top of [`codec::Wire`].
 //!
+//! A cluster is **long-lived and multi-session**: every wire message is
+//! framed in a [`codec::SessionEnvelope`] tagging the owning
+//! [`codec::QueryId`], worker logic receives that id with each message
+//! (so one worker can hold state for many in-flight queries), and the
+//! master can either receive untargeted ([`Cluster::recv`]) or route
+//! replies to the owning session ([`Cluster::recv_for`]), with replies
+//! for other sessions parked rather than dropped.
+//!
 //! The runtime can also inject **deterministic faults** — worker crashes
 //! (before or after replying), dropped replies and stragglers — from a
 //! seed-driven [`FaultPlan`] (see [`fault`]). Masters observe faults
@@ -32,8 +40,8 @@ pub mod latency;
 pub mod metrics;
 pub mod runtime;
 
-pub use codec::{DecodeError, Decoder, Encoder, Wire};
+pub use codec::{DecodeError, Decoder, Encoder, QueryId, SessionEnvelope, Wire};
 pub use fault::{FaultAction, FaultPlan, FaultSchedule, WorkerFaults};
 pub use latency::LatencyModel;
 pub use metrics::{NetworkMetrics, NetworkSnapshot, WorkerCounters};
-pub use runtime::{Cluster, ClusterError, Control, WorkerCtx, WorkerLogic};
+pub use runtime::{BatchError, Cluster, ClusterError, Control, WorkerCtx, WorkerLogic};

@@ -1,29 +1,35 @@
 //! The threaded node runtime.
 //!
-//! A [`Cluster`] owns one OS thread per worker node. Workers hold fully
-//! private state (their [`WorkerLogic`] value moves into the thread) and
-//! interact with the master exclusively through serialized, byte-counted,
-//! latency-charged messages. The master-side protocol runs on the caller's
-//! thread via [`Cluster::send`] / [`Cluster::recv`] /
-//! [`Cluster::recv_timeout`].
+//! A [`Cluster`] owns one OS thread per worker node and is **long-lived**:
+//! it serves an unbounded stream of optimization sessions, each identified
+//! by a [`QueryId`]. Workers hold fully private state (their
+//! [`WorkerLogic`] value moves into the thread) and interact with the
+//! master exclusively through serialized, byte-counted, latency-charged
+//! messages, every one framed in a [`SessionEnvelope`] tagging its owning
+//! session. The master-side protocol runs on the caller's thread via
+//! [`Cluster::send`] / [`Cluster::recv`] / [`Cluster::recv_for`]: `recv`
+//! surfaces the session tag, and `recv_for` demultiplexes — replies owned
+//! by other sessions are buffered and delivered when their owner asks.
 //!
 //! Faults can be injected deterministically via a
-//! [`FaultPlan`](crate::fault::FaultPlan) passed to
+//! [`FaultPlan`] passed to
 //! [`Cluster::spawn_with_faults`]: workers then crash, drop replies or
 //! straggle exactly as the resolved [`FaultSchedule`](crate::FaultSchedule)
 //! dictates. The master observes faults only the way a real master would —
 //! through send failures, receive timeouts and [`Cluster::is_worker_alive`]
 //! — and every injected fault is tallied in the [`NetworkMetrics`].
 
+use crate::codec::{QueryId, SessionEnvelope};
 use crate::fault::{FaultAction, FaultPlan, WorkerFaults};
 use crate::latency::LatencyModel;
 use crate::metrics::NetworkMetrics;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a worker wants to happen after handling a message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +43,11 @@ pub enum Control {
 /// Typed master-side cluster failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ClusterError {
+    /// The OS refused to spawn a worker thread; the cluster never came up.
+    SpawnFailed {
+        /// The worker whose thread could not be created.
+        worker: usize,
+    },
     /// A message could not be delivered because the worker's thread has
     /// terminated (crashed or shut down).
     WorkerLost {
@@ -55,6 +66,9 @@ pub enum ClusterError {
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ClusterError::SpawnFailed { worker } => {
+                write!(f, "could not spawn the thread for worker {worker}")
+            }
             ClusterError::WorkerLost { worker } => {
                 write!(f, "worker {worker} is no longer alive")
             }
@@ -67,6 +81,33 @@ impl fmt::Display for ClusterError {
 }
 
 impl std::error::Error for ClusterError {}
+
+/// Failure of a batched receive, carrying the replies that had already
+/// arrived so the caller can still use (or account for) the partial batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchError {
+    /// Replies received before the failure, in arrival order.
+    pub received: Vec<(usize, QueryId, Bytes)>,
+    /// The failure that interrupted the batch.
+    pub error: ClusterError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} of the batch's replies arrived",
+            self.error,
+            self.received.len()
+        )
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// The fault applied to replies of the message currently being handled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,6 +124,7 @@ pub struct WorkerCtx {
     metrics: Arc<NetworkMetrics>,
     latency: LatencyModel,
     reply_fault: ReplyFault,
+    current_query: QueryId,
 }
 
 impl WorkerCtx {
@@ -91,8 +133,15 @@ impl WorkerCtx {
         self.worker_id
     }
 
-    /// Sends a serialized reply to the master. The payload size is counted
-    /// and the transfer delay is charged on the master side.
+    /// The session of the message currently being handled; replies are
+    /// framed with it.
+    pub fn query(&self) -> QueryId {
+        self.current_query
+    }
+
+    /// Sends a serialized reply to the master, framed with the current
+    /// message's [`QueryId`]. The framed size is counted and the transfer
+    /// delay is charged on the master side.
     ///
     /// Under fault injection the reply may be silently dropped (the
     /// simulated network ate it) or delayed worker-side (straggler); both
@@ -111,34 +160,55 @@ impl WorkerCtx {
             }
             ReplyFault::None => {}
         }
-        self.metrics
-            .record_reply(self.worker_id, payload.len() as u64);
-        let delay = self.latency.delay(payload.len(), false);
+        // Framed length: payload plus the 8-byte session-id header (see
+        // [`SessionEnvelope`] for the canonical layout). The header is
+        // carried pre-parsed through the in-process channel — the way a
+        // real transport parses it once at the socket — so the hot path
+        // pays no serialization copy, while the byte counters and the
+        // latency model see the full on-the-wire size.
+        let framed_len = payload.len() + SessionEnvelope::HEADER_BYTES;
+        self.metrics.record_reply(self.worker_id, framed_len as u64);
+        let delay = self.latency.delay(framed_len, false);
         // The channel being closed means the master is gone (cluster drop
         // mid-protocol); the reply is moot then.
-        let _ = self
-            .to_master
-            .send((self.worker_id, Envelope { payload, delay }));
+        let _ = self.to_master.send((
+            self.worker_id,
+            Envelope {
+                query: self.current_query,
+                payload,
+                delay,
+            },
+        ));
     }
 }
 
 /// Per-node protocol logic, supplied by the algorithm crates.
+///
+/// The logic is **session-aware**: each message carries the [`QueryId`] of
+/// the optimization session it belongs to, and one worker may hold private
+/// state for many in-flight sessions at once (keyed by the id), serving an
+/// unbounded stream of concurrent queries over its lifetime.
 pub trait WorkerLogic: Send + 'static {
-    /// Handles one message from the master.
-    fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control;
+    /// Handles one message from the master, owned by session `query`.
+    fn on_message(&mut self, query: QueryId, payload: Bytes, ctx: &mut WorkerCtx) -> Control;
 }
 
 /// Blanket implementation so simple protocols can be closures.
 impl<F> WorkerLogic for F
 where
-    F: FnMut(Bytes, &mut WorkerCtx) -> Control + Send + 'static,
+    F: FnMut(QueryId, Bytes, &mut WorkerCtx) -> Control + Send + 'static,
 {
-    fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
-        self(payload, ctx)
+    fn on_message(&mut self, query: QueryId, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
+        self(query, payload, ctx)
     }
 }
 
+/// One message in flight on the simulated network: the session-id header
+/// pre-parsed (see [`SessionEnvelope`] for the canonical byte layout —
+/// byte counters and latency always charge the framed length, payload
+/// plus header), the payload, and its transfer delay.
 struct Envelope {
+    query: QueryId,
     payload: Bytes,
     delay: Duration,
 }
@@ -149,20 +219,35 @@ enum ToWorker {
 }
 
 /// A simulated shared-nothing cluster: `m` worker threads plus the
-/// master-side API on the calling thread.
+/// master-side API on the calling thread. One cluster is long-lived and
+/// serves many concurrent sessions; see the module docs.
 pub struct Cluster {
     to_workers: Vec<Sender<ToWorker>>,
     from_workers: Receiver<(usize, Envelope)>,
     handles: Vec<JoinHandle<()>>,
     metrics: Arc<NetworkMetrics>,
     latency: LatencyModel,
+    /// Replies received on behalf of sessions other than the one a
+    /// [`Cluster::recv_for`] caller asked for, parked until their owner
+    /// asks. A `Mutex` (never contended — the master protocol is
+    /// single-threaded) keeps the receive methods on `&self`; a `BTreeMap`
+    /// keeps untargeted draining deterministic (lowest session id first)
+    /// in this otherwise reproducibility-obsessed simulator.
+    parked: Mutex<BTreeMap<u64, VecDeque<(usize, Bytes)>>>,
 }
 
 impl Cluster {
     /// Spawns `num_workers` fault-free worker threads. `factory(i)` builds
     /// the logic value for worker `i`; it is moved into that worker's
     /// thread, so workers cannot share state.
-    pub fn spawn<L, F>(num_workers: usize, latency: LatencyModel, factory: F) -> Cluster
+    ///
+    /// Fails with [`ClusterError::SpawnFailed`] if the OS refuses a
+    /// thread; workers spawned up to that point are shut down and joined.
+    pub fn spawn<L, F>(
+        num_workers: usize,
+        latency: LatencyModel,
+        factory: F,
+    ) -> Result<Cluster, ClusterError>
     where
         L: WorkerLogic,
         F: FnMut(usize) -> L,
@@ -173,12 +258,15 @@ impl Cluster {
     /// Spawns `num_workers` worker threads with the given fault plan
     /// resolved into a deterministic schedule (same plan and worker count
     /// → same injected faults per message).
+    ///
+    /// Fails with [`ClusterError::SpawnFailed`] if the OS refuses a
+    /// thread; workers spawned up to that point are shut down and joined.
     pub fn spawn_with_faults<L, F>(
         num_workers: usize,
         latency: LatencyModel,
         faults: &FaultPlan,
         mut factory: F,
-    ) -> Cluster
+    ) -> Result<Cluster, ClusterError>
     where
         L: WorkerLogic,
         F: FnMut(usize) -> L,
@@ -188,7 +276,7 @@ impl Cluster {
         let metrics = Arc::new(NetworkMetrics::with_workers(num_workers));
         let (master_tx, from_workers) = unbounded::<(usize, Envelope)>();
         let mut to_workers = Vec::with_capacity(num_workers);
-        let mut handles = Vec::with_capacity(num_workers);
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(num_workers);
         for id in 0..num_workers {
             let (tx, rx) = unbounded::<ToWorker>();
             to_workers.push(tx);
@@ -200,20 +288,34 @@ impl Cluster {
                 metrics: Arc::clone(&metrics),
                 latency,
                 reply_fault: ReplyFault::None,
+                current_query: QueryId(0),
             };
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("mpq-worker-{id}"))
-                .spawn(move || worker_loop(rx, &mut logic, &mut ctx, wf))
-                .expect("spawn worker thread");
-            handles.push(handle);
+                .spawn(move || worker_loop(rx, &mut logic, &mut ctx, wf));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(_) => {
+                    // Tear the partial cluster down before surfacing the
+                    // typed error: no orphan threads.
+                    for tx in &to_workers {
+                        let _ = tx.send(ToWorker::Shutdown);
+                    }
+                    for h in handles.drain(..) {
+                        let _ = h.join();
+                    }
+                    return Err(ClusterError::SpawnFailed { worker: id });
+                }
+            }
         }
-        Cluster {
+        Ok(Cluster {
             to_workers,
             from_workers,
             handles,
             metrics,
             latency,
-        }
+            parked: Mutex::new(BTreeMap::new()),
+        })
     }
 
     /// Number of worker nodes.
@@ -241,68 +343,235 @@ impl Cluster {
             .collect()
     }
 
-    /// Sends a serialized message to worker `id`. `is_assignment` marks
-    /// task-assignment messages, which carry extra launch overhead in the
-    /// latency model.
+    /// Sends a serialized message to worker `id` on behalf of session
+    /// `query` (the id is framed onto the wire and counted).
+    /// `is_assignment` marks task-assignment messages, which carry extra
+    /// launch overhead in the latency model.
     ///
     /// Returns [`ClusterError::WorkerLost`] if the worker has terminated.
     ///
     /// # Panics
     /// Panics if `id` is out of range (a protocol bug, not a fault).
-    pub fn send(&self, id: usize, payload: Bytes, is_assignment: bool) -> Result<(), ClusterError> {
-        let len = payload.len();
-        let delay = self.latency.delay(len, is_assignment);
+    pub fn send(
+        &self,
+        id: usize,
+        query: QueryId,
+        payload: Bytes,
+        is_assignment: bool,
+    ) -> Result<(), ClusterError> {
+        let framed_len = payload.len() + SessionEnvelope::HEADER_BYTES;
+        let delay = self.latency.delay(framed_len, is_assignment);
         self.to_workers[id]
-            .send(ToWorker::Message(Envelope { payload, delay }))
+            .send(ToWorker::Message(Envelope {
+                query,
+                payload,
+                delay,
+            }))
             .map_err(|_| ClusterError::WorkerLost { worker: id })?;
-        self.metrics.record_to_worker(len as u64);
+        self.metrics.record_to_worker(framed_len as u64);
         Ok(())
     }
 
-    /// Sends the same payload to every worker (counted once per worker —
-    /// a cluster switch still delivers `m` copies). Fails on the first
-    /// dead worker.
-    pub fn broadcast(&self, payload: &Bytes, is_assignment: bool) -> Result<(), ClusterError> {
+    /// Sends the same payload to every worker on behalf of session
+    /// `query` (counted once per worker — a cluster switch still delivers
+    /// `m` copies). Fails on the first dead worker.
+    pub fn broadcast(
+        &self,
+        query: QueryId,
+        payload: &Bytes,
+        is_assignment: bool,
+    ) -> Result<(), ClusterError> {
         for id in 0..self.num_workers() {
-            self.send(id, payload.clone(), is_assignment)?;
+            self.send(id, query, payload.clone(), is_assignment)?;
         }
         Ok(())
     }
 
-    /// Receives the next worker reply, blocking. The reply's transfer
-    /// delay is charged here (master side).
+    /// Receives the next worker reply for **any** session, blocking. The
+    /// reply's transfer delay is charged here (master side). Replies
+    /// parked by [`Cluster::recv_for`] are drained first.
     ///
     /// Returns [`ClusterError::AllWorkersLost`] if every worker has
     /// terminated and no replies remain.
-    pub fn recv(&self) -> Result<(usize, Bytes), ClusterError> {
+    pub fn recv(&self) -> Result<(usize, QueryId, Bytes), ClusterError> {
+        if let Some(reply) = self.take_any_parked() {
+            return Ok(reply);
+        }
         let (id, env) = self
             .from_workers
             .recv()
             .map_err(|_| ClusterError::AllWorkersLost)?;
-        if !env.delay.is_zero() {
-            std::thread::sleep(env.delay);
-        }
-        Ok((id, env.payload))
+        Ok(self.open(id, env))
     }
 
-    /// Receives the next worker reply, waiting at most `timeout`. The
-    /// reply's transfer delay is charged here (master side).
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<(usize, Bytes), ClusterError> {
+    /// Receives the next worker reply for any session, waiting at most
+    /// `timeout`. The reply's transfer delay is charged here (master
+    /// side).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(usize, QueryId, Bytes), ClusterError> {
+        if let Some(reply) = self.take_any_parked() {
+            return Ok(reply);
+        }
         match self.from_workers.recv_timeout(timeout) {
-            Ok((id, env)) => {
-                if !env.delay.is_zero() {
-                    std::thread::sleep(env.delay);
-                }
-                Ok((id, env.payload))
-            }
+            Ok((id, env)) => Ok(self.open(id, env)),
             Err(RecvTimeoutError::Timeout) => Err(ClusterError::Timeout { waited: timeout }),
             Err(RecvTimeoutError::Disconnected) => Err(ClusterError::AllWorkersLost),
         }
     }
 
-    /// Receives exactly `n` replies, blocking.
-    pub fn recv_n(&self, n: usize) -> Result<Vec<(usize, Bytes)>, ClusterError> {
-        (0..n).map(|_| self.recv()).collect()
+    /// Non-blocking receive: the next reply for any session if one is
+    /// already waiting, else [`ClusterError::Timeout`] with a zero wait.
+    pub fn try_recv(&self) -> Result<(usize, QueryId, Bytes), ClusterError> {
+        if let Some(reply) = self.take_any_parked() {
+            return Ok(reply);
+        }
+        use std::sync::mpsc::TryRecvError;
+        match self.from_workers.try_recv() {
+            Ok((id, env)) => Ok(self.open(id, env)),
+            Err(TryRecvError::Empty) => Err(ClusterError::Timeout {
+                waited: Duration::ZERO,
+            }),
+            Err(TryRecvError::Disconnected) => Err(ClusterError::AllWorkersLost),
+        }
+    }
+
+    /// Session-routed receive: blocks until the next reply **owned by
+    /// `query`** arrives. Replies belonging to other sessions are parked
+    /// and handed to their owners on their next `recv_for` / [`Cluster::recv`]
+    /// call — the master-side demultiplexer that lets independent session
+    /// drivers share one resident cluster.
+    ///
+    /// Blocks indefinitely — correct for fault-free protocols, but if the
+    /// session's worker can crash while *other* workers stay alive, the
+    /// awaited reply may never come and the channel never disconnects:
+    /// use [`Cluster::recv_for_timeout`] plus [`Cluster::dead_workers`]
+    /// whenever faults are possible (as the session schedulers do).
+    pub fn recv_for(&self, query: QueryId) -> Result<(usize, Bytes), ClusterError> {
+        if let Some(reply) = self.take_parked(query) {
+            return Ok(reply);
+        }
+        loop {
+            let (worker, qid, payload) = {
+                let (id, env) = self
+                    .from_workers
+                    .recv()
+                    .map_err(|_| ClusterError::AllWorkersLost)?;
+                self.open(id, env)
+            };
+            if qid == query {
+                return Ok((worker, payload));
+            }
+            self.park(qid, worker, payload);
+        }
+    }
+
+    /// Session-routed receive with a deadline: like [`Cluster::recv_for`],
+    /// but gives up with [`ClusterError::Timeout`] once `timeout` has
+    /// elapsed without a reply for `query` (replies for other sessions
+    /// arriving meanwhile are still parked for their owners).
+    pub fn recv_for_timeout(
+        &self,
+        query: QueryId,
+        timeout: Duration,
+    ) -> Result<(usize, Bytes), ClusterError> {
+        if let Some(reply) = self.take_parked(query) {
+            return Ok(reply);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClusterError::Timeout { waited: timeout });
+            }
+            match self.from_workers.recv_timeout(remaining) {
+                Ok((id, env)) => {
+                    let (worker, qid, payload) = self.open(id, env);
+                    if qid == query {
+                        return Ok((worker, payload));
+                    }
+                    self.park(qid, worker, payload);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(ClusterError::Timeout { waited: timeout })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::AllWorkersLost),
+            }
+        }
+    }
+
+    /// Receives exactly `n` replies (any session), blocking. On failure
+    /// the error carries the replies that had already arrived, so a
+    /// partial batch is never silently discarded.
+    pub fn recv_n(&self, n: usize) -> Result<Vec<(usize, QueryId, Bytes)>, BatchError> {
+        let mut received = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.recv() {
+                Ok(reply) => received.push(reply),
+                Err(error) => return Err(BatchError { received, error }),
+            }
+        }
+        Ok(received)
+    }
+
+    /// Receives exactly `n` replies (any session), waiting at most
+    /// `timeout` for each. On failure — including a mid-batch timeout —
+    /// the error carries the replies that had already arrived.
+    pub fn recv_n_timeout(
+        &self,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<Vec<(usize, QueryId, Bytes)>, BatchError> {
+        let mut received = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.recv_timeout(timeout) {
+                Ok(reply) => received.push(reply),
+                Err(error) => return Err(BatchError { received, error }),
+            }
+        }
+        Ok(received)
+    }
+
+    /// Charges the transfer delay and opens a received envelope.
+    fn open(&self, id: usize, env: Envelope) -> (usize, QueryId, Bytes) {
+        if !env.delay.is_zero() {
+            std::thread::sleep(env.delay);
+        }
+        (id, env.query, env.payload)
+    }
+
+    fn park(&self, query: QueryId, worker: usize, payload: Bytes) {
+        self.parked
+            .lock()
+            .expect("parked-reply map is never poisoned")
+            .entry(query.0)
+            .or_default()
+            .push_back((worker, payload));
+    }
+
+    fn take_parked(&self, query: QueryId) -> Option<(usize, Bytes)> {
+        let mut parked = self
+            .parked
+            .lock()
+            .expect("parked-reply map is never poisoned");
+        let queue = parked.get_mut(&query.0)?;
+        let reply = queue.pop_front();
+        if queue.is_empty() {
+            parked.remove(&query.0);
+        }
+        reply
+    }
+
+    fn take_any_parked(&self) -> Option<(usize, QueryId, Bytes)> {
+        let mut parked = self
+            .parked
+            .lock()
+            .expect("parked-reply map is never poisoned");
+        let (&qid, _) = parked.iter().next()?;
+        let queue = parked.get_mut(&qid).expect("key just observed");
+        let (worker, payload) = queue.pop_front().expect("parked queues are non-empty");
+        if queue.is_empty() {
+            parked.remove(&qid);
+        }
+        Some((worker, QueryId(qid), payload))
     }
 
     /// Shuts every worker down and joins the threads.
@@ -332,11 +601,12 @@ fn worker_loop<L: WorkerLogic>(
                 if !env.delay.is_zero() {
                     std::thread::sleep(env.delay);
                 }
+                ctx.current_query = env.query;
                 let action = faults.action(msg_index);
                 msg_index += 1;
                 match action {
                     FaultAction::Deliver => {
-                        if logic.on_message(env.payload, ctx) == Control::Shutdown {
+                        if logic.on_message(env.query, env.payload, ctx) == Control::Shutdown {
                             break;
                         }
                     }
@@ -345,13 +615,13 @@ fn worker_loop<L: WorkerLogic>(
                         break;
                     }
                     FaultAction::CrashAfterReply => {
-                        let _ = logic.on_message(env.payload, ctx);
+                        let _ = logic.on_message(env.query, env.payload, ctx);
                         ctx.metrics.record_crash(ctx.worker_id);
                         break;
                     }
                     FaultAction::DropReply => {
                         ctx.reply_fault = ReplyFault::Drop;
-                        let control = logic.on_message(env.payload, ctx);
+                        let control = logic.on_message(env.query, env.payload, ctx);
                         ctx.reply_fault = ReplyFault::None;
                         if control == Control::Shutdown {
                             break;
@@ -359,7 +629,7 @@ fn worker_loop<L: WorkerLogic>(
                     }
                     FaultAction::Straggle(extra) => {
                         ctx.reply_fault = ReplyFault::Delay(extra);
-                        let control = logic.on_message(env.payload, ctx);
+                        let control = logic.on_message(env.query, env.payload, ctx);
                         ctx.reply_fault = ReplyFault::None;
                         if control == Control::Shutdown {
                             break;
@@ -386,10 +656,14 @@ impl Drop for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
-    /// Echo worker: replies with its payload.
+    const Q0: QueryId = QueryId(0);
+
+    /// Echo worker: replies with its payload (framed with the session id
+    /// of the message it answers).
     fn echo() -> impl WorkerLogic {
-        |payload: Bytes, ctx: &mut WorkerCtx| {
+        |_query: QueryId, payload: Bytes, ctx: &mut WorkerCtx| {
             ctx.send_to_master(payload);
             Control::Continue
         }
@@ -397,35 +671,44 @@ mod tests {
 
     #[test]
     fn roundtrip_through_one_worker() {
-        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo());
-        cluster.send(0, Bytes::from_static(b"hello"), true).unwrap();
-        let (id, reply) = cluster.recv().unwrap();
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo()).unwrap();
+        cluster
+            .send(0, QueryId(9), Bytes::from_static(b"hello"), true)
+            .unwrap();
+        let (id, query, reply) = cluster.recv().unwrap();
         assert_eq!(id, 0);
+        assert_eq!(query, QueryId(9), "the reply echoes the session tag");
         assert_eq!(&reply[..], b"hello");
         cluster.shutdown();
     }
 
     #[test]
     fn bytes_are_counted_both_ways() {
-        let cluster = Cluster::spawn(2, LatencyModel::ZERO, |_| echo());
-        cluster.send(0, Bytes::from_static(b"abcd"), false).unwrap();
-        cluster.send(1, Bytes::from_static(b"xy"), false).unwrap();
+        let cluster = Cluster::spawn(2, LatencyModel::ZERO, |_| echo()).unwrap();
+        cluster
+            .send(0, Q0, Bytes::from_static(b"abcd"), false)
+            .unwrap();
+        cluster
+            .send(1, Q0, Bytes::from_static(b"xy"), false)
+            .unwrap();
         let _ = cluster.recv_n(2).unwrap();
         let s = cluster.metrics().snapshot();
-        assert_eq!(s.master_to_worker_bytes, 6);
-        assert_eq!(s.worker_to_master_bytes, 6);
+        // Payload bytes plus the 8-byte session envelope per message.
+        assert_eq!(s.master_to_worker_bytes, 6 + 16);
+        assert_eq!(s.worker_to_master_bytes, 6 + 16);
         assert_eq!(s.messages, 4);
         cluster.shutdown();
     }
 
     #[test]
     fn broadcast_counts_per_worker() {
-        let cluster = Cluster::spawn(4, LatencyModel::ZERO, |_| echo());
+        let cluster = Cluster::spawn(4, LatencyModel::ZERO, |_| echo()).unwrap();
         cluster
-            .broadcast(&Bytes::from_static(b"123"), false)
+            .broadcast(Q0, &Bytes::from_static(b"123"), false)
             .unwrap();
         let _ = cluster.recv_n(4).unwrap();
-        assert_eq!(cluster.metrics().snapshot().master_to_worker_bytes, 12);
+        // (3 payload + 8 envelope) bytes x 4 workers.
+        assert_eq!(cluster.metrics().snapshot().master_to_worker_bytes, 44);
         cluster.shutdown();
     }
 
@@ -434,26 +717,111 @@ mod tests {
         // Each worker counts its own messages; counts must not mix.
         let cluster = Cluster::spawn(2, LatencyModel::ZERO, |_| {
             let mut count = 0u64;
-            move |_payload: Bytes, ctx: &mut WorkerCtx| {
+            move |_query: QueryId, _payload: Bytes, ctx: &mut WorkerCtx| {
                 count += 1;
                 ctx.send_to_master(Bytes::copy_from_slice(&count.to_le_bytes()));
                 Control::Continue
             }
-        });
-        cluster.send(0, Bytes::from_static(b""), false).unwrap();
-        cluster.send(0, Bytes::from_static(b""), false).unwrap();
-        cluster.send(1, Bytes::from_static(b""), false).unwrap();
+        })
+        .unwrap();
+        cluster.send(0, Q0, Bytes::from_static(b""), false).unwrap();
+        cluster.send(0, Q0, Bytes::from_static(b""), false).unwrap();
+        cluster.send(1, Q0, Bytes::from_static(b""), false).unwrap();
         let replies = cluster.recv_n(3).unwrap();
         let count_of = |id: usize| {
             replies
                 .iter()
-                .filter(|(i, _)| *i == id)
-                .map(|(_, b)| u64::from_le_bytes(b[..8].try_into().unwrap()))
+                .filter(|(i, _, _)| *i == id)
+                .map(|(_, _, b)| u64::from_le_bytes(b[..8].try_into().unwrap()))
                 .max()
                 .unwrap()
         };
         assert_eq!(count_of(0), 2);
         assert_eq!(count_of(1), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn workers_can_hold_per_session_state() {
+        // One worker, two interleaved sessions: per-query counters must
+        // not bleed across sessions.
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            move |query: QueryId, _payload: Bytes, ctx: &mut WorkerCtx| {
+                let c = counts.entry(query.0).or_insert(0);
+                *c += 1;
+                ctx.send_to_master(Bytes::copy_from_slice(&c.to_le_bytes()));
+                Control::Continue
+            }
+        })
+        .unwrap();
+        for q in [1u64, 2, 1, 1, 2] {
+            cluster
+                .send(0, QueryId(q), Bytes::from_static(b""), false)
+                .unwrap();
+        }
+        let replies = cluster.recv_n(5).unwrap();
+        let counts: Vec<(u64, u64)> = replies
+            .iter()
+            .map(|(_, q, b)| (q.0, u64::from_le_bytes(b[..8].try_into().unwrap())))
+            .collect();
+        assert_eq!(counts, vec![(1, 1), (2, 1), (1, 2), (1, 3), (2, 2)]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recv_for_routes_replies_to_the_owning_session() {
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo()).unwrap();
+        // Session 2's message goes out first, so its reply arrives first —
+        // but session 1's recv_for must get session 1's reply, with the
+        // other parked for its owner.
+        cluster
+            .send(0, QueryId(2), Bytes::from_static(b"two"), false)
+            .unwrap();
+        cluster
+            .send(0, QueryId(1), Bytes::from_static(b"one"), false)
+            .unwrap();
+        let (_, reply) = cluster.recv_for(QueryId(1)).unwrap();
+        assert_eq!(&reply[..], b"one");
+        let (_, reply) = cluster.recv_for(QueryId(2)).unwrap();
+        assert_eq!(&reply[..], b"two", "the parked reply is delivered");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recv_for_timeout_parks_other_sessions_replies() {
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo()).unwrap();
+        cluster
+            .send(0, QueryId(5), Bytes::from_static(b"x"), false)
+            .unwrap();
+        // Session 9 never gets a reply: timeout, while session 5's reply
+        // is parked, not lost.
+        assert!(matches!(
+            cluster.recv_for_timeout(QueryId(9), Duration::from_millis(30)),
+            Err(ClusterError::Timeout { .. })
+        ));
+        let (_, reply) = cluster
+            .recv_for_timeout(QueryId(5), Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(&reply[..], b"x");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn parked_replies_surface_through_plain_recv() {
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo()).unwrap();
+        cluster
+            .send(0, QueryId(3), Bytes::from_static(b"parked"), false)
+            .unwrap();
+        // Park session 3's reply by asking for a session that stays
+        // silent...
+        assert!(cluster
+            .recv_for_timeout(QueryId(4), Duration::from_millis(30))
+            .is_err());
+        // ...then an untargeted recv still sees it (nothing is lost).
+        let (_, query, reply) = cluster.recv().unwrap();
+        assert_eq!(query, QueryId(3));
+        assert_eq!(&reply[..], b"parked");
         cluster.shutdown();
     }
 
@@ -464,9 +832,11 @@ mod tests {
             per_kib_us: 0,
             task_launch_us: 0,
         };
-        let cluster = Cluster::spawn(1, latency, |_| echo());
+        let cluster = Cluster::spawn(1, latency, |_| echo()).unwrap();
         let t0 = std::time::Instant::now();
-        cluster.send(0, Bytes::from_static(b"x"), false).unwrap();
+        cluster
+            .send(0, Q0, Bytes::from_static(b"x"), false)
+            .unwrap();
         let _ = cluster.recv().unwrap();
         // One delay on delivery to the worker, one on the reply.
         assert!(t0.elapsed() >= Duration::from_micros(40_000));
@@ -476,20 +846,21 @@ mod tests {
     #[test]
     fn worker_can_request_shutdown() {
         let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| {
-            |_payload: Bytes, ctx: &mut WorkerCtx| {
+            |_query: QueryId, _payload: Bytes, ctx: &mut WorkerCtx| {
                 ctx.send_to_master(Bytes::from_static(b"bye"));
                 Control::Shutdown
             }
-        });
-        cluster.send(0, Bytes::from_static(b""), false).unwrap();
-        let (_, reply) = cluster.recv().unwrap();
+        })
+        .unwrap();
+        cluster.send(0, Q0, Bytes::from_static(b""), false).unwrap();
+        let (_, _, reply) = cluster.recv().unwrap();
         assert_eq!(&reply[..], b"bye");
         cluster.shutdown();
     }
 
     #[test]
     fn drop_joins_threads() {
-        let cluster = Cluster::spawn(3, LatencyModel::ZERO, |_| echo());
+        let cluster = Cluster::spawn(3, LatencyModel::ZERO, |_| echo()).unwrap();
         drop(cluster); // must not hang or panic
     }
 
@@ -503,9 +874,13 @@ mod tests {
             ..FaultPlan::NONE
         };
         // crash_at may be 1 or 2; send enough messages to trigger it.
-        let cluster = Cluster::spawn_with_faults(1, LatencyModel::ZERO, &faults, |_| echo());
+        let cluster =
+            Cluster::spawn_with_faults(1, LatencyModel::ZERO, &faults, |_| echo()).unwrap();
         for _ in 0..3 {
-            if cluster.send(0, Bytes::from_static(b"x"), false).is_err() {
+            if cluster
+                .send(0, Q0, Bytes::from_static(b"x"), false)
+                .is_err()
+            {
                 break;
             }
             // Give the worker a moment to process (and possibly die).
@@ -514,7 +889,7 @@ mod tests {
         // Eventually the worker is dead: sends fail with a typed error.
         let mut lost = false;
         for _ in 0..100 {
-            match cluster.send(0, Bytes::from_static(b"x"), false) {
+            match cluster.send(0, Q0, Bytes::from_static(b"x"), false) {
                 Err(ClusterError::WorkerLost { worker: 0 }) => {
                     lost = true;
                     break;
@@ -536,9 +911,61 @@ mod tests {
     }
 
     #[test]
+    fn recv_n_failure_carries_partial_results() {
+        // Worker 0 echoes; worker 1 crashes on its first message. A batch
+        // of 3 can therefore never complete — but the error must hand
+        // back the replies that did arrive instead of discarding them.
+        let faults = FaultPlan {
+            crash_prob: 1.0,
+            min_survivors: 1,
+            ..FaultPlan::NONE
+        }
+        .with_seed_where(2, 512, |s| {
+            s.action(1, 0) == FaultAction::CrashBeforeReply
+                && s.action(0, 0) == FaultAction::Deliver
+        })
+        .expect("some seed crashes worker 1 immediately");
+        let cluster =
+            Cluster::spawn_with_faults(2, LatencyModel::ZERO, &faults, |_| echo()).unwrap();
+        cluster
+            .send(0, Q0, Bytes::from_static(b"ok"), false)
+            .unwrap();
+        cluster
+            .send(1, Q0, Bytes::from_static(b"doomed"), false)
+            .unwrap();
+        let err = cluster
+            .recv_n_timeout(2, Duration::from_millis(50))
+            .expect_err("the crashed worker's reply never comes");
+        assert_eq!(err.received.len(), 1, "the delivered reply is kept");
+        assert_eq!(&err.received[0].2[..], b"ok");
+        assert!(matches!(err.error, ClusterError::Timeout { .. }));
+        assert!(err.to_string().contains("1 of the batch"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recv_n_disconnect_carries_partial_results() {
+        // A single worker that replies once and then shuts itself down:
+        // recv_n(2) fails with AllWorkersLost but keeps the first reply.
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| {
+            |_query: QueryId, _payload: Bytes, ctx: &mut WorkerCtx| {
+                ctx.send_to_master(Bytes::from_static(b"only"));
+                Control::Shutdown
+            }
+        })
+        .unwrap();
+        cluster.send(0, Q0, Bytes::from_static(b""), false).unwrap();
+        let err = cluster.recv_n(2).expect_err("second reply never comes");
+        assert_eq!(err.received.len(), 1);
+        assert_eq!(&err.received[0].2[..], b"only");
+        assert_eq!(err.error, ClusterError::AllWorkersLost);
+        cluster.shutdown();
+    }
+
+    #[test]
     fn recv_timeout_reports_timeout() {
         // Worker alive but silent (no message sent to it).
-        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo());
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo()).unwrap();
         let waited = Duration::from_millis(5);
         assert_eq!(
             cluster.recv_timeout(waited),
@@ -549,14 +976,45 @@ mod tests {
     }
 
     #[test]
+    fn try_recv_is_nonblocking() {
+        let cluster = Cluster::spawn(1, LatencyModel::ZERO, |_| echo()).unwrap();
+        assert!(matches!(
+            cluster.try_recv(),
+            Err(ClusterError::Timeout { .. })
+        ));
+        cluster
+            .send(0, Q0, Bytes::from_static(b"now"), false)
+            .unwrap();
+        // Wait for the echo to land, then try_recv sees it.
+        let mut got = None;
+        for _ in 0..200 {
+            match cluster.try_recv() {
+                Ok(r) => {
+                    got = Some(r);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        let (_, _, reply) = got.expect("echo arrives");
+        assert_eq!(&reply[..], b"now");
+        cluster.shutdown();
+    }
+
+    #[test]
     fn dropped_replies_are_counted_not_delivered() {
         let faults = FaultPlan {
             drop_prob: 1.0,
             ..FaultPlan::NONE
         };
-        let cluster = Cluster::spawn_with_faults(2, LatencyModel::ZERO, &faults, |_| echo());
-        cluster.send(0, Bytes::from_static(b"x"), false).unwrap();
-        cluster.send(1, Bytes::from_static(b"y"), false).unwrap();
+        let cluster =
+            Cluster::spawn_with_faults(2, LatencyModel::ZERO, &faults, |_| echo()).unwrap();
+        cluster
+            .send(0, Q0, Bytes::from_static(b"x"), false)
+            .unwrap();
+        cluster
+            .send(1, Q0, Bytes::from_static(b"y"), false)
+            .unwrap();
         assert!(cluster.recv_timeout(Duration::from_millis(50)).is_err());
         let s = cluster.metrics().snapshot();
         assert_eq!(s.drops, 2);
@@ -577,12 +1035,15 @@ mod tests {
             straggle_us: 30_000,
             ..FaultPlan::NONE
         };
-        let cluster = Cluster::spawn_with_faults(1, LatencyModel::ZERO, &faults, |_| echo());
-        cluster.send(0, Bytes::from_static(b"slow"), false).unwrap();
+        let cluster =
+            Cluster::spawn_with_faults(1, LatencyModel::ZERO, &faults, |_| echo()).unwrap();
+        cluster
+            .send(0, Q0, Bytes::from_static(b"slow"), false)
+            .unwrap();
         // Short timeout: the straggler has not replied yet.
         assert!(cluster.recv_timeout(Duration::from_millis(5)).is_err());
         // Patient wait: the reply eventually arrives intact.
-        let (_, reply) = cluster.recv_timeout(Duration::from_millis(500)).unwrap();
+        let (_, _, reply) = cluster.recv_timeout(Duration::from_millis(500)).unwrap();
         assert_eq!(&reply[..], b"slow");
         assert_eq!(cluster.metrics().snapshot().straggles, 1);
         cluster.shutdown();
@@ -605,11 +1066,11 @@ mod tests {
             })
             .expect("some seed crashes at message 0");
         let plan = FaultPlan { seed, ..faults };
-        let cluster = Cluster::spawn_with_faults(1, LatencyModel::ZERO, &plan, |_| echo());
+        let cluster = Cluster::spawn_with_faults(1, LatencyModel::ZERO, &plan, |_| echo()).unwrap();
         cluster
-            .send(0, Bytes::from_static(b"last words"), false)
+            .send(0, Q0, Bytes::from_static(b"last words"), false)
             .unwrap();
-        let (_, reply) = cluster.recv().unwrap();
+        let (_, _, reply) = cluster.recv().unwrap();
         assert_eq!(&reply[..], b"last words");
         // The worker died after replying.
         for _ in 0..200 {

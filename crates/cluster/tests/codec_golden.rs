@@ -15,7 +15,7 @@
 //! `cargo test -p mpq_cluster --test codec_golden -- --ignored --nocapture`
 //! and paste the printed constants below.
 
-use mpq_cluster::Wire;
+use mpq_cluster::{QueryId, SessionEnvelope, Wire};
 use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
 use mpq_dp::WorkerStats;
 use mpq_model::{Catalog, JoinGraph, Predicate, Query, TableSet, TableStats};
@@ -127,6 +127,10 @@ const GOLDEN_PLAN_ENTRY: &str =
 const GOLDEN_WORKER_STATS: &str =
     "0b00000000000000160000000000000021000000000000002c0000000000000037\
     00000000000000";
+// Session layer (multi-query cluster): the QueryId and the envelope frame
+// that wraps every wire message — 8-byte LE id, then the payload verbatim.
+const GOLDEN_QUERY_ID: &str = "efbeadde00000000";
+const GOLDEN_ENVELOPE: &str = "2a00000000000000010203";
 
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
@@ -190,6 +194,21 @@ fn golden_cost_and_plan_types() {
     assert_golden(&golden_plan(), GOLDEN_PLAN, "Plan");
     assert_golden(&golden_entry(), GOLDEN_PLAN_ENTRY, "PlanEntry");
     assert_golden(&golden_stats(), GOLDEN_WORKER_STATS, "WorkerStats");
+}
+
+#[test]
+fn golden_session_layer() {
+    assert_golden(&QueryId(0xDEAD_BEEF), GOLDEN_QUERY_ID, "QueryId");
+    let framed = SessionEnvelope::frame(QueryId(42), &[1, 2, 3]);
+    assert_eq!(
+        hex(&framed),
+        GOLDEN_ENVELOPE,
+        "wire format of SessionEnvelope changed — if intentional, regenerate the golden \
+         constants (see module docs); if not, you just broke cross-version compatibility"
+    );
+    let opened = SessionEnvelope::unframe(&framed).expect("golden frame opens");
+    assert_eq!(opened.query, QueryId(42));
+    assert_eq!(&opened.payload[..], &[1, 2, 3]);
 }
 
 /// The golden query must stay byte-identical structurally: length prefix,
@@ -257,6 +276,11 @@ fn regenerate_golden_constants() {
         ("GOLDEN_PLAN", hex(&golden_plan().to_bytes())),
         ("GOLDEN_PLAN_ENTRY", hex(&golden_entry().to_bytes())),
         ("GOLDEN_WORKER_STATS", hex(&golden_stats().to_bytes())),
+        ("GOLDEN_QUERY_ID", hex(&QueryId(0xDEAD_BEEF).to_bytes())),
+        (
+            "GOLDEN_ENVELOPE",
+            hex(&SessionEnvelope::frame(QueryId(42), &[1, 2, 3])),
+        ),
     ];
     for (name, value) in pairs {
         println!("const {name}: &str = \"{value}\";");

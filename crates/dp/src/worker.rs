@@ -8,16 +8,16 @@
 //!
 //! Split enumeration differs by plan space, as in the paper:
 //!
-//! * **Linear** ([`try_splits_linear`]): iterate the candidate inner (last
+//! * **Linear** (`try_splits_linear`): iterate the candidate inner (last
 //!   joined) table `u` over the members of the set and check the
 //!   precedence index in O(1) — complexity stays linear in the number of
 //!   *possible* splits, which the paper accepts because that number is
 //!   itself only linear in the set size.
-//! * **Bushy** ([`try_splits_bushy`]): build only the *admissible* operand
+//! * **Bushy** (`try_splits_bushy`): build only the *admissible* operand
 //!   pairs as a Cartesian product of per-group admissible split parts —
 //!   never generating inadmissible splits, which is where the 21/27 time
 //!   factor of Theorem 7 comes from. A filter-after-enumerate variant
-//!   ([`try_splits_bushy_filtered`]) is kept for the `ablation_splits`
+//!   (`try_splits_bushy_filtered`) is kept for the `ablation_splits`
 //!   benchmark.
 
 use crate::memo::{DenseMemo, MemoStore};

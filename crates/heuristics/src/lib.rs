@@ -5,7 +5,7 @@
 //! randomized query optimization algorithms such as iterated improvement
 //! or simulated annealing [Swami 1989; Ioannidis & Kang 1990]. We
 //! nevertheless focus on parallelizing the dynamic programming approach
-//! [because] unlike randomized algorithms, the dynamic programming
+//! \[because\] unlike randomized algorithms, the dynamic programming
 //! approach formally guarantees to return optimal query plans."
 //!
 //! This crate provides those baselines over left-deep join orders so the

@@ -29,9 +29,18 @@
 //! and speculative re-execution are governed by a [`RetryPolicy`]; with
 //! retries disabled, worker loss surfaces as a typed [`MpqError`] rather
 //! than a panic.
+//!
+//! The master is also **resident**: [`MpqService`] keeps one long-lived
+//! cluster up and multiplexes an unbounded stream of concurrent queries
+//! over it (`submit` → [`QueryHandle`], `poll`/`wait`), so thread
+//! spawn/teardown is paid once per service, not once per query. The
+//! single-query [`MpqOptimizer`] entry points are wrappers over the same
+//! scheduler.
 
 pub mod message;
 pub mod optimizer;
+pub mod service;
 
 pub use message::{MasterMessage, WorkerReply};
 pub use optimizer::{MpqConfig, MpqError, MpqMetrics, MpqOptimizer, MpqOutcome, RetryPolicy};
+pub use service::{MpqService, QueryHandle};

@@ -1,5 +1,6 @@
-//! The MPQ master (Algorithm 1) and worker logic, with fault-tolerant
-//! scheduling.
+//! The MPQ master configuration, error and metrics types, plus the
+//! single-query [`MpqOptimizer`] facade over the resident
+//! [`MpqService`] scheduler.
 //!
 //! The fault-tolerance layer reproduces the paper's deployment argument:
 //! because an MPQ task is **stateless and one-round** (a query plus a
@@ -9,21 +10,17 @@
 //! MPQ a natural fit for Spark-style shared-nothing frameworks. Retries
 //! and speculative re-execution are governed by a [`RetryPolicy`]; faults
 //! are injected deterministically via the cluster's
-//! [`FaultPlan`](mpq_cluster::FaultPlan).
+//! [`FaultPlan`].
 
-use crate::message::{MasterMessage, WorkerReply};
-use bytes::Bytes;
-use mpq_cluster::{
-    Cluster, ClusterError, Control, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot, Wire,
-    WorkerCtx, WorkerLogic,
-};
+use crate::service::MpqService;
+use mpq_cluster::{ClusterError, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot};
 use mpq_cost::Objective;
-use mpq_dp::{optimize_partition_id, WorkerStats};
+use mpq_dp::WorkerStats;
 use mpq_model::Query;
 use mpq_partition::{effective_workers, PlanSpace};
-use mpq_plan::{Plan, PruningPolicy};
+use mpq_plan::Plan;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// When and how the master re-executes lost or straggling partition
 /// ranges.
@@ -199,71 +196,17 @@ pub struct MpqOutcome {
     pub metrics: MpqMetrics,
 }
 
-/// The MPQ optimizer: spawns a simulated shared-nothing cluster per query
-/// and runs Algorithm 1 on it.
+/// The single-query MPQ optimizer (Algorithm 1): spawns a resident
+/// [`MpqService`] for the call, submits the query, waits, shuts down.
+///
+/// This is deliberately a thin wrapper — submit-one-query-and-wait over
+/// the same session scheduler that serves concurrent streams — so the
+/// spawn-per-query and resident-cluster modes share one master-side code
+/// path. Keep the service alive across queries (see [`MpqService`]) to
+/// amortize the cluster spawn, which dominates at high query rates.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MpqOptimizer {
     config: MpqConfig,
-}
-
-/// Worker-side logic: decode the task, optimize the assigned partition
-/// range, reply once per task.
-struct MpqWorker;
-
-impl WorkerLogic for MpqWorker {
-    fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
-        let msg = match MasterMessage::from_bytes(&payload) {
-            Ok(m) => m,
-            // A malformed task means a protocol bug; reply with an
-            // impossible range echo so the master fails typed instead of
-            // hanging, then shut down.
-            Err(_) => {
-                ctx.send_to_master(
-                    WorkerReply {
-                        first_partition: u64::MAX,
-                        partition_count: 0,
-                        plans: Vec::new(),
-                        stats: WorkerStats::default(),
-                    }
-                    .to_bytes(),
-                );
-                return Control::Shutdown;
-            }
-        };
-        let policy = PruningPolicy::new(msg.objective, msg.query.num_tables());
-        let mut plans: Vec<Plan> = Vec::new();
-        let mut stats = WorkerStats::default();
-        for part_id in msg.first_partition..msg.first_partition + msg.partition_count {
-            let out = optimize_partition_id(
-                &msg.query,
-                msg.space,
-                msg.objective,
-                part_id,
-                msg.total_partitions,
-            );
-            plans.extend(out.plans);
-            // Times and work add up over sequential partitions; memory is
-            // the peak, i.e. the max over partitions.
-            stats.splits_tried += out.stats.splits_tried;
-            stats.plans_generated += out.stats.plans_generated;
-            stats.optimize_micros += out.stats.optimize_micros;
-            stats.stored_sets = stats.stored_sets.max(out.stats.stored_sets);
-            stats.total_entries = stats.total_entries.max(out.stats.total_entries);
-        }
-        // Worker-local prune across its partitions: completed plans, so
-        // orders no longer matter.
-        policy.final_prune(&mut plans);
-        ctx.send_to_master(
-            WorkerReply {
-                first_partition: msg.first_partition,
-                partition_count: msg.partition_count,
-                plans,
-                stats,
-            }
-            .to_bytes(),
-        );
-        Control::Continue
-    }
 }
 
 impl MpqOptimizer {
@@ -305,7 +248,7 @@ impl MpqOptimizer {
     ) -> Result<MpqOutcome, MpqError> {
         let partitions = effective_workers(space, query.num_tables(), workers);
         let assignment: Vec<(u64, u64)> = (0..partitions).map(|p| (p, 1)).collect();
-        self.run(query, space, objective, partitions, &assignment)
+        self.one_shot(query, space, objective, partitions, assignment)
     }
 
     /// Optimizes with heterogeneous workers (footnote 1 of the paper): the
@@ -339,7 +282,7 @@ impl MpqOptimizer {
         assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let partitions = effective_workers(space, query.num_tables(), weights.len() as u64);
         let assignment = proportional_assignment(weights, partitions);
-        self.run(query, space, objective, partitions, &assignment)
+        self.one_shot(query, space, objective, partitions, assignment)
     }
 
     /// Oversubscribed mode: uses `partitions` plan-space partitions
@@ -381,199 +324,27 @@ impl MpqOptimizer {
         let workers = workers.min(partitions as usize);
         let weights = vec![1.0; workers];
         let assignment = proportional_assignment(&weights, partitions);
-        self.run(query, space, objective, partitions, &assignment)
+        self.one_shot(query, space, objective, partitions, assignment)
     }
 
-    /// Runs Algorithm 1 with an explicit `(first_partition, count)`
-    /// assignment per worker, plus the fault-tolerant collection loop.
-    fn run(
+    /// Submit-one-query-and-wait over a fresh resident service: the
+    /// spawn-per-query mode, sharing the session scheduler with
+    /// [`MpqService`].
+    fn one_shot(
         &self,
         query: &Query,
         space: PlanSpace,
         objective: Objective,
         partitions: u64,
-        assignment: &[(u64, u64)],
+        assignment: Vec<(u64, u64)>,
     ) -> Result<MpqOutcome, MpqError> {
-        let workers_used = assignment.len();
-        let cluster = Cluster::spawn_with_faults(
-            workers_used,
-            self.config.latency,
-            &self.config.faults,
-            |_| MpqWorker,
-        );
-        let retry = self.config.retry;
-        let start = Instant::now();
-
-        let task = |&(first, count): &(u64, u64)| MasterMessage {
-            query: query.clone(),
-            space,
-            objective,
-            first_partition: first,
-            partition_count: count,
-            total_partitions: partitions,
-        };
-
-        // Phase 1: one task message per worker.
-        cluster.metrics().record_round();
-        for (worker, range) in assignment.iter().enumerate() {
-            cluster.send(worker, task(range).to_bytes(), true)?;
-        }
-
-        // Phase 2: collect the partition-optimal plans, re-executing lost
-        // or straggling ranges on surviving workers.
-        let ranges = assignment.len();
-        let mut range_done = vec![false; ranges];
-        // Latest worker each range was issued to, and whether it was ever
-        // re-issued (i.e. an earlier assignee might still deliver it).
-        let mut range_worker: Vec<usize> = (0..ranges).collect();
-        let mut range_reissued = vec![false; ranges];
-        let mut worker_stats = vec![WorkerStats::default(); workers_used];
-        let mut plans: Vec<Plan> = Vec::new();
-        let mut completed = 0usize;
-        let mut retries_left = retry.max_retries;
-        let mut strikes = 0u32;
-        let mut replies_received = 0u64;
-        let mut duplicate_replies = 0u64;
-        let mut retry_task_bytes = 0u64;
-
-        while completed < ranges {
-            let received = match retry.timeout {
-                Some(t) => cluster.recv_timeout(t),
-                None => cluster.recv(),
-            };
-            match received {
-                Ok((worker, payload)) => {
-                    replies_received += 1;
-                    let reply = WorkerReply::from_bytes(&payload)
-                        .map_err(|source| MpqError::Decode { worker, source })?;
-                    let Some(idx) = assignment.iter().position(|&(f, c)| {
-                        f == reply.first_partition && c == reply.partition_count
-                    }) else {
-                        return Err(MpqError::Protocol { worker });
-                    };
-                    if range_done[idx] {
-                        // A speculative duplicate: the range was already
-                        // completed by another worker. Count the wasted
-                        // work, discard the (identical) plans.
-                        duplicate_replies += 1;
-                        cluster.metrics().record_duplicate();
-                        continue;
-                    }
-                    range_done[idx] = true;
-                    completed += 1;
-                    strikes = 0;
-                    accumulate(&mut worker_stats[worker], &reply.stats);
-                    plans.extend(reply.plans);
-                }
-                Err(ClusterError::Timeout { .. }) => {
-                    cluster.metrics().record_timeout();
-                    let outstanding: Vec<usize> = (0..ranges).filter(|&i| !range_done[i]).collect();
-                    // A range whose latest assignee is dead can never
-                    // complete on its own; prioritize it for re-execution.
-                    let dead = outstanding
-                        .iter()
-                        .copied()
-                        .find(|&i| !cluster.is_worker_alive(range_worker[i]));
-                    if retries_left == 0 {
-                        // A dead assignee whose range was never re-issued is
-                        // hopeless — no earlier speculative assignee exists
-                        // to deliver it — so fail at once. A re-issued
-                        // range's *earlier* assignee may still be straggling
-                        // toward a reply, so spend the strike budget waiting
-                        // before giving up.
-                        if let Some(i) = dead {
-                            if !range_reissued[i] {
-                                return Err(MpqError::WorkerLost {
-                                    worker: range_worker[i],
-                                });
-                            }
-                        }
-                        strikes += 1;
-                        if strikes >= retry.max_strikes {
-                            return Err(match dead {
-                                Some(i) => MpqError::WorkerLost {
-                                    worker: range_worker[i],
-                                },
-                                None => MpqError::RetriesExhausted {
-                                    outstanding: outstanding.len(),
-                                },
-                            });
-                        }
-                        continue;
-                    }
-                    // Speculative re-execution: re-issue the most suspect
-                    // range (dead assignee first, else the oldest
-                    // outstanding one) to a surviving worker, idle workers
-                    // first.
-                    let victim = dead.unwrap_or(outstanding[0]);
-                    let busy: Vec<usize> = outstanding.iter().map(|&i| range_worker[i]).collect();
-                    let mut candidates: Vec<usize> = (0..workers_used)
-                        .filter(|&w| cluster.is_worker_alive(w))
-                        .collect();
-                    candidates.sort_by_key(|&w| (busy.contains(&w), w));
-                    let mut reissued = false;
-                    for target in candidates {
-                        let bytes = task(&assignment[victim]).to_bytes();
-                        let len = bytes.len() as u64;
-                        if cluster.send(target, bytes, true).is_ok() {
-                            cluster.metrics().record_retry(target);
-                            retry_task_bytes += len;
-                            range_worker[victim] = target;
-                            range_reissued[victim] = true;
-                            retries_left -= 1;
-                            reissued = true;
-                            break;
-                        }
-                    }
-                    if !reissued {
-                        return Err(MpqError::Cluster(ClusterError::AllWorkersLost));
-                    }
-                }
-                Err(e) => return Err(MpqError::Cluster(e)),
-            }
-        }
-
-        // Phase 3: FinalPrune over the O(m) collected plans.
-        let policy = PruningPolicy::new(objective, query.num_tables());
-        policy.final_prune(&mut plans);
-
-        let total_micros = start.elapsed().as_micros() as u64;
-        let network = cluster.metrics().snapshot();
-        cluster.shutdown();
-
-        let metrics = MpqMetrics {
-            total_micros,
-            max_worker_micros: worker_stats
-                .iter()
-                .map(|s| s.optimize_micros)
-                .max()
-                .unwrap_or(0),
-            max_worker_stored_sets: worker_stats
-                .iter()
-                .map(|s| s.stored_sets)
-                .max()
-                .unwrap_or(0),
-            network,
-            worker_stats,
-            partitions,
-            workers_used,
-            retries: network.retries,
-            duplicate_replies,
-            replies_received,
-            retry_task_bytes,
-        };
-        Ok(MpqOutcome { plans, metrics })
+        let mut service = MpqService::spawn(assignment.len(), self.config)?;
+        let result = service
+            .submit_assigned(query, space, objective, partitions, assignment)
+            .and_then(|handle| service.wait(handle));
+        service.shutdown();
+        result
     }
-}
-
-/// Accumulates a reply's counters into a worker's running stats (a worker
-/// may execute several ranges under retries).
-fn accumulate(into: &mut WorkerStats, s: &WorkerStats) {
-    into.splits_tried += s.splits_tried;
-    into.plans_generated += s.plans_generated;
-    into.optimize_micros += s.optimize_micros;
-    into.stored_sets = into.stored_sets.max(s.stored_sets);
-    into.total_entries = into.total_entries.max(s.total_entries);
 }
 
 /// Splits `partitions` into contiguous per-worker ranges with sizes

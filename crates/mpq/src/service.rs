@@ -1,0 +1,853 @@
+//! The resident MPQ optimizer service: one long-lived cluster
+//! multiplexing many concurrent optimization sessions.
+//!
+//! Where [`MpqOptimizer`](crate::MpqOptimizer) answers a single query,
+//! [`MpqService`] keeps the simulated shared-nothing cluster standing and
+//! streams queries through it: [`MpqService::submit`] dispatches a
+//! session's partition tasks and returns a [`QueryHandle`] immediately,
+//! [`MpqService::poll`] / [`MpqService::wait`] drive a scheduler that
+//! interleaves reply collection, straggler suspicion and task re-issue
+//! across **all** in-flight sessions. Every wire message carries its
+//! session's [`QueryId`], so replies are routed to the owning session no
+//! matter how submissions and completions interleave.
+//!
+//! Fault tolerance is per session: each session owns its retry budget and
+//! strike counter under the service-wide [`RetryPolicy`], and because an
+//! MPQ task is stateless, a worker crash poisons only the partition
+//! ranges it held — every other session keeps streaming. A worker found
+//! dead at submission time is routed around the same way a lost range is.
+//!
+//! The single-query [`MpqOptimizer`](crate::MpqOptimizer) entry points
+//! are thin wrappers over this service (spawn, submit one query, wait,
+//! shut down), so there is exactly one master-side code path.
+
+use crate::message::{MasterMessage, WorkerReply};
+use crate::optimizer::{MpqConfig, MpqError, MpqMetrics, MpqOutcome, RetryPolicy};
+use bytes::Bytes;
+use mpq_cluster::{
+    Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx, WorkerLogic,
+};
+use mpq_cost::Objective;
+use mpq_dp::{optimize_partition_id, WorkerStats};
+use mpq_model::Query;
+use mpq_partition::{effective_workers, PlanSpace};
+use mpq_plan::{Plan, PruningPolicy};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Most results a service parks for unredeemed handles before evicting
+/// the oldest: a client that drops handles without redeeming them must
+/// not grow resident-service memory without bound over an unbounded
+/// query stream.
+const MAX_PARKED_RESULTS: usize = 4096;
+
+/// Ticket for one submitted query. Redeem it with [`MpqService::wait`]
+/// (or check it with [`MpqService::poll`]); results are delivered exactly
+/// once per handle.
+#[derive(Debug)]
+pub struct QueryHandle {
+    id: QueryId,
+}
+
+impl QueryHandle {
+    /// The session id this handle tracks.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+}
+
+/// Worker-side logic: decode the task, optimize the assigned partition
+/// range, reply once per task.
+///
+/// MPQ tasks are stateless by design (the paper's deployment argument),
+/// so the worker holds no per-session state: each message is a complete
+/// unit of work, and the session-tagged reply is routed by the runtime.
+pub(crate) struct MpqWorker;
+
+impl WorkerLogic for MpqWorker {
+    fn on_message(&mut self, _query: QueryId, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
+        let msg = match MasterMessage::from_bytes(&payload) {
+            Ok(m) => m,
+            // A malformed task means a protocol bug; reply with an
+            // impossible range echo so the master fails that session with
+            // a typed error instead of hanging. The worker itself stays
+            // up — on a resident cluster it is still serving every other
+            // session.
+            Err(_) => {
+                ctx.send_to_master(
+                    WorkerReply {
+                        first_partition: u64::MAX,
+                        partition_count: 0,
+                        plans: Vec::new(),
+                        stats: WorkerStats::default(),
+                    }
+                    .to_bytes(),
+                );
+                return Control::Continue;
+            }
+        };
+        let policy = PruningPolicy::new(msg.objective, msg.query.num_tables());
+        let mut plans: Vec<Plan> = Vec::new();
+        let mut stats = WorkerStats::default();
+        for part_id in msg.first_partition..msg.first_partition + msg.partition_count {
+            let out = optimize_partition_id(
+                &msg.query,
+                msg.space,
+                msg.objective,
+                part_id,
+                msg.total_partitions,
+            );
+            plans.extend(out.plans);
+            // Times and work add up over sequential partitions; memory is
+            // the peak, i.e. the max over partitions.
+            stats.splits_tried += out.stats.splits_tried;
+            stats.plans_generated += out.stats.plans_generated;
+            stats.optimize_micros += out.stats.optimize_micros;
+            stats.stored_sets = stats.stored_sets.max(out.stats.stored_sets);
+            stats.total_entries = stats.total_entries.max(out.stats.total_entries);
+        }
+        // Worker-local prune across its partitions: completed plans, so
+        // orders no longer matter.
+        policy.final_prune(&mut plans);
+        ctx.send_to_master(
+            WorkerReply {
+                first_partition: msg.first_partition,
+                partition_count: msg.partition_count,
+                plans,
+                stats,
+            }
+            .to_bytes(),
+        );
+        Control::Continue
+    }
+}
+
+/// Master-side state of one in-flight optimization session.
+struct Session {
+    query: Query,
+    space: PlanSpace,
+    objective: Objective,
+    partitions: u64,
+    assignment: Vec<(u64, u64)>,
+    range_done: Vec<bool>,
+    /// Latest worker each range was issued to, and whether it was ever
+    /// re-issued (i.e. an earlier assignee might still deliver it).
+    range_worker: Vec<usize>,
+    range_reissued: Vec<bool>,
+    /// Cumulative send-sequence number at the range's latest assignee
+    /// when its task went out: by per-worker FIFO, once that worker's
+    /// reply count reaches this mark, an outstanding range's reply is
+    /// provably lost, not queued.
+    range_mark: Vec<u64>,
+    worker_stats: Vec<WorkerStats>,
+    plans: Vec<Plan>,
+    completed: usize,
+    retries_left: u32,
+    strikes: u32,
+    retries: u64,
+    replies_received: u64,
+    duplicate_replies: u64,
+    retry_task_bytes: u64,
+    start: Instant,
+    /// When this session last saw one of its own replies; the scheduler's
+    /// per-session straggler-suspicion clock.
+    last_progress: Instant,
+}
+
+impl Session {
+    fn task(&self, range: usize) -> MasterMessage {
+        let (first_partition, partition_count) = self.assignment[range];
+        MasterMessage {
+            query: self.query.clone(),
+            space: self.space,
+            objective: self.objective,
+            first_partition,
+            partition_count,
+            total_partitions: self.partitions,
+        }
+    }
+
+    fn outstanding(&self) -> Vec<usize> {
+        (0..self.assignment.len())
+            .filter(|&i| !self.range_done[i])
+            .collect()
+    }
+}
+
+/// A long-lived MPQ optimizer service over one resident cluster. See the
+/// module docs.
+pub struct MpqService {
+    cluster: Cluster,
+    retry: RetryPolicy,
+    next_id: u64,
+    /// Ordered maps so scheduler passes visit sessions in submission
+    /// order — deterministic across runs, like the rest of the simulator.
+    sessions: BTreeMap<u64, Session>,
+    done: BTreeMap<u64, Result<MpqOutcome, MpqError>>,
+    /// Per-worker loss-detection state: tasks sent to each worker,
+    /// replies seen from it (FIFO stream position), and when it last
+    /// replied at all.
+    tasks_sent: Vec<u64>,
+    replies_seen: Vec<u64>,
+    last_reply_from: Vec<Instant>,
+}
+
+impl MpqService {
+    /// Spawns the resident cluster: `workers` worker threads under
+    /// `config`'s latency model, fault plan and retry policy, shared by
+    /// every subsequently submitted query.
+    pub fn spawn(workers: usize, config: MpqConfig) -> Result<MpqService, MpqError> {
+        assert!(workers >= 1, "at least one worker required");
+        let cluster =
+            Cluster::spawn_with_faults(workers, config.latency, &config.faults, |_| MpqWorker)
+                .map_err(MpqError::Cluster)?;
+        Ok(MpqService {
+            cluster,
+            retry: config.retry,
+            next_id: 0,
+            sessions: BTreeMap::new(),
+            done: BTreeMap::new(),
+            tasks_sent: vec![0; workers],
+            replies_seen: vec![0; workers],
+            last_reply_from: vec![Instant::now(); workers],
+        })
+    }
+
+    /// Number of resident worker nodes.
+    pub fn num_workers(&self) -> usize {
+        self.cluster.num_workers()
+    }
+
+    /// Sessions submitted but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The resident cluster's network counters (cumulative across every
+    /// session the service has served).
+    pub fn metrics(&self) -> &NetworkMetrics {
+        self.cluster.metrics()
+    }
+
+    /// Submits `query` for optimization over all resident workers (one
+    /// partition per worker, capped by the query's partition limit) and
+    /// returns immediately with a handle. Task messages go out before
+    /// this returns; collection happens in [`MpqService::poll`] /
+    /// [`MpqService::wait`].
+    pub fn submit(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+    ) -> Result<QueryHandle, MpqError> {
+        let partitions =
+            effective_workers(space, query.num_tables(), self.cluster.num_workers() as u64);
+        let assignment: Vec<(u64, u64)> = (0..partitions).map(|p| (p, 1)).collect();
+        self.submit_assigned(query, space, objective, partitions, assignment)
+    }
+
+    /// Submits `query` with an explicit `(first_partition, count)` range
+    /// per worker — the weighted/oversubscribed entry points build their
+    /// assignment and call this.
+    pub fn submit_assigned(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        partitions: u64,
+        assignment: Vec<(u64, u64)>,
+    ) -> Result<QueryHandle, MpqError> {
+        assert!(!assignment.is_empty(), "a session needs at least one range");
+        assert!(
+            assignment.len() <= self.cluster.num_workers(),
+            "more partition ranges than resident workers"
+        );
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let ranges = assignment.len();
+        let mut session = Session {
+            query: query.clone(),
+            space,
+            objective,
+            partitions,
+            assignment,
+            range_done: vec![false; ranges],
+            range_worker: (0..ranges).collect(),
+            range_reissued: vec![false; ranges],
+            range_mark: vec![0; ranges],
+            worker_stats: vec![WorkerStats::default(); self.cluster.num_workers()],
+            plans: Vec::new(),
+            completed: 0,
+            retries_left: self.retry.max_retries,
+            strikes: 0,
+            retries: 0,
+            replies_received: 0,
+            duplicate_replies: 0,
+            retry_task_bytes: 0,
+            start: Instant::now(),
+            last_progress: Instant::now(),
+        };
+        // Dispatch: one task message per range, range i preferring worker
+        // i. On a resident cluster a worker may already be dead from an
+        // earlier session's faults; with recovery enabled such ranges are
+        // routed to a live worker at once (not a retry — the range was
+        // never issued, so the budget is untouched).
+        self.cluster.metrics().record_round();
+        for range in 0..ranges {
+            let preferred = session.range_worker[range];
+            match self
+                .cluster
+                .send(preferred, id, session.task(range).to_bytes(), true)
+            {
+                Ok(()) => {
+                    self.tasks_sent[preferred] += 1;
+                    session.range_mark[range] = self.tasks_sent[preferred];
+                }
+                Err(err @ ClusterError::WorkerLost { .. }) if self.retry.max_retries > 0 => {
+                    let mut routed = false;
+                    for target in live_workers(&self.cluster) {
+                        if target == preferred {
+                            continue;
+                        }
+                        if self
+                            .cluster
+                            .send(target, id, session.task(range).to_bytes(), true)
+                            .is_ok()
+                        {
+                            self.tasks_sent[target] += 1;
+                            session.range_worker[range] = target;
+                            session.range_mark[range] = self.tasks_sent[target];
+                            routed = true;
+                            break;
+                        }
+                    }
+                    if !routed {
+                        return Err(MpqError::Cluster(err));
+                    }
+                }
+                Err(err) => return Err(MpqError::Cluster(err)),
+            }
+        }
+        self.sessions.insert(id.0, session);
+        Ok(QueryHandle { id })
+    }
+
+    /// Non-blocking check: drains replies that have already arrived,
+    /// applies per-session straggler suspicion, and returns the result
+    /// once the handle's session has finished. A result is delivered
+    /// exactly once; after `Some`, the handle is spent.
+    pub fn poll(&mut self, handle: &QueryHandle) -> Option<Result<MpqOutcome, MpqError>> {
+        loop {
+            if self.done.contains_key(&handle.id.0) {
+                break;
+            }
+            match self.cluster.try_recv() {
+                Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                Err(ClusterError::Timeout { .. }) => {
+                    // Nothing waiting right now: run the suspicion pass;
+                    // if no session was due, hand control back.
+                    if !self.check_suspicions() {
+                        break;
+                    }
+                }
+                Err(err) => {
+                    self.fail_all(err);
+                    break;
+                }
+            }
+        }
+        self.done.remove(&handle.id.0)
+    }
+
+    /// Blocks until the handle's session finishes, driving every
+    /// in-flight session's collection and recovery in the meantime.
+    ///
+    /// # Panics
+    /// Panics if the handle's result was already taken via
+    /// [`MpqService::poll`].
+    pub fn wait(&mut self, handle: QueryHandle) -> Result<MpqOutcome, MpqError> {
+        loop {
+            if let Some(result) = self.done.remove(&handle.id.0) {
+                return result;
+            }
+            assert!(
+                self.sessions.contains_key(&handle.id.0),
+                "query handle {} already resolved",
+                handle.id
+            );
+            let received = match self.retry.timeout {
+                Some(t) => self.cluster.recv_timeout(t),
+                None => self.cluster.recv(),
+            };
+            match received {
+                Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                Err(ClusterError::Timeout { .. }) => {}
+                Err(err) => self.fail_all(err),
+            }
+            self.check_suspicions();
+        }
+    }
+
+    /// Shuts the resident cluster down, joining every worker thread.
+    /// In-flight sessions are abandoned (their handles become useless), so
+    /// drain the service before calling this.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+
+    /// Routes one session-tagged reply to its owning session and advances
+    /// that session's state machine.
+    fn route(&mut self, worker: usize, qid: QueryId, payload: Bytes) {
+        // Loss-detection evidence, advanced for every reply no matter
+        // which session owns it: the worker's FIFO stream position and
+        // its last-heard-from clock.
+        self.replies_seen[worker] += 1;
+        self.last_reply_from[worker] = Instant::now();
+        enum Advance {
+            Pending,
+            Finished,
+            Failed(MpqError),
+        }
+        let advance = {
+            let Some(session) = self.sessions.get_mut(&qid.0) else {
+                // A reply for a session that already finished: a
+                // speculative duplicate landing late. Account for it;
+                // nothing to route.
+                self.cluster.metrics().record_duplicate();
+                return;
+            };
+            session.last_progress = Instant::now();
+            session.replies_received += 1;
+            match WorkerReply::from_bytes(&payload) {
+                Err(source) => Advance::Failed(MpqError::Decode { worker, source }),
+                Ok(reply) => {
+                    let found = session.assignment.iter().position(|&(f, c)| {
+                        f == reply.first_partition && c == reply.partition_count
+                    });
+                    match found {
+                        None => Advance::Failed(MpqError::Protocol { worker }),
+                        Some(idx) if session.range_done[idx] => {
+                            // A speculative duplicate: the range was
+                            // already completed by another worker. Count
+                            // the wasted work, discard the (identical)
+                            // plans.
+                            session.duplicate_replies += 1;
+                            self.cluster.metrics().record_duplicate();
+                            Advance::Pending
+                        }
+                        Some(idx) => {
+                            session.range_done[idx] = true;
+                            session.completed += 1;
+                            session.strikes = 0;
+                            accumulate(&mut session.worker_stats[worker], &reply.stats);
+                            session.plans.extend(reply.plans);
+                            if session.completed == session.assignment.len() {
+                                Advance::Finished
+                            } else {
+                                Advance::Pending
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match advance {
+            Advance::Pending => {}
+            Advance::Finished => self.finish(qid),
+            Advance::Failed(err) => self.fail(qid, err),
+        }
+    }
+
+    /// Per-session straggler suspicion: run the recovery pass for every
+    /// session that has gone a full retry timeout without one of its own
+    /// replies — re-issue its most suspect range (dead assignee first),
+    /// or fail it once its budgets are spent. The clock is per session,
+    /// so a busy reply stream from other sessions can never starve a
+    /// stuck session's recovery. Returns whether any session fired.
+    fn check_suspicions(&mut self) -> bool {
+        let Some(t) = self.retry.timeout else {
+            return false;
+        };
+        let due: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.last_progress.elapsed() >= t)
+            .map(|(&id, _)| id)
+            .collect();
+        for &raw in &due {
+            if let Some(session) = self.sessions.get_mut(&raw) {
+                session.last_progress = Instant::now();
+            }
+            // One suspicion event per session, mirrored in the metrics so
+            // the retries <= timeouts ledger stays balanced.
+            self.cluster.metrics().record_timeout();
+            self.session_timeout(QueryId(raw));
+        }
+        !due.is_empty()
+    }
+
+    fn session_timeout(&mut self, qid: QueryId) {
+        let Some(session) = self.sessions.get_mut(&qid.0) else {
+            return;
+        };
+        let cluster = &self.cluster;
+        let outstanding = session.outstanding();
+        debug_assert!(!outstanding.is_empty(), "finished sessions are removed");
+        let t = self
+            .retry
+            .timeout
+            .expect("suspicion passes require a timeout");
+        // Evidence that an outstanding range will never complete on its
+        // own. On a resident cluster, "no reply for a while" is NOT such
+        // evidence — the range may simply be queued behind other
+        // sessions' tasks — so speculation fires only on one of:
+        //  * a dead assignee (liveness probe);
+        //  * a FIFO overtake: the assignee has already replied to a task
+        //    issued *after* this range's, so per-worker FIFO proves this
+        //    range's reply was lost on the wire, not queued;
+        //  * a reply-silent assignee: nothing from that worker for a full
+        //    suspicion window (a straggler, or a loss with no later
+        //    traffic to prove it by overtake).
+        let dead = outstanding
+            .iter()
+            .copied()
+            .find(|&i| !cluster.is_worker_alive(session.range_worker[i]));
+        let overtaken = outstanding
+            .iter()
+            .copied()
+            .find(|&i| self.replies_seen[session.range_worker[i]] >= session.range_mark[i]);
+        let silent = outstanding
+            .iter()
+            .copied()
+            .find(|&i| self.last_reply_from[session.range_worker[i]].elapsed() >= t);
+        let suspect = dead.or(overtaken).or(silent);
+        if session.retries_left == 0 {
+            // A dead assignee whose range was never re-issued is hopeless
+            // — no earlier speculative assignee exists to deliver it — so
+            // fail at once. A re-issued range's *earlier* assignee may
+            // still be straggling toward a reply, so spend the strike
+            // budget waiting before giving up.
+            if let Some(i) = dead {
+                if !session.range_reissued[i] {
+                    let worker = session.range_worker[i];
+                    self.fail(qid, MpqError::WorkerLost { worker });
+                    return;
+                }
+            }
+            if suspect.is_none() {
+                // No evidence of loss: the cluster is just busy.
+                return;
+            }
+            session.strikes += 1;
+            if session.strikes >= self.retry.max_strikes {
+                let err = match dead {
+                    Some(i) => MpqError::WorkerLost {
+                        worker: session.range_worker[i],
+                    },
+                    None => MpqError::RetriesExhausted {
+                        outstanding: outstanding.len(),
+                    },
+                };
+                self.fail(qid, err);
+            }
+            return;
+        }
+        // Speculative re-execution: re-issue the most suspect range (dead
+        // assignee, then FIFO-overtaken, then reply-silent) to a
+        // surviving worker, idle workers first. With no evidence at all,
+        // the session is merely queued — leave it alone.
+        let Some(victim) = suspect else {
+            return;
+        };
+        let busy: Vec<usize> = outstanding
+            .iter()
+            .map(|&i| session.range_worker[i])
+            .collect();
+        let mut candidates = live_workers(cluster);
+        candidates.sort_by_key(|&w| (busy.contains(&w), w));
+        let mut reissued = false;
+        for target in candidates {
+            let bytes = session.task(victim).to_bytes();
+            let len = bytes.len() as u64;
+            if cluster.send(target, qid, bytes, true).is_ok() {
+                cluster.metrics().record_retry(target);
+                self.tasks_sent[target] += 1;
+                session.range_mark[victim] = self.tasks_sent[target];
+                session.retry_task_bytes += len;
+                session.retries += 1;
+                session.range_worker[victim] = target;
+                session.range_reissued[victim] = true;
+                session.retries_left -= 1;
+                reissued = true;
+                break;
+            }
+        }
+        if !reissued {
+            self.fail(qid, MpqError::Cluster(ClusterError::AllWorkersLost));
+        }
+    }
+
+    /// Completes a session: FinalPrune over the O(m) collected plans,
+    /// metrics assembly, result parked for the handle.
+    fn finish(&mut self, qid: QueryId) {
+        let session = self
+            .sessions
+            .remove(&qid.0)
+            .expect("finishing an active session");
+        let mut plans = session.plans;
+        let policy = PruningPolicy::new(session.objective, session.query.num_tables());
+        policy.final_prune(&mut plans);
+        let network = self.cluster.metrics().snapshot();
+        let metrics = MpqMetrics {
+            total_micros: session.start.elapsed().as_micros() as u64,
+            max_worker_micros: session
+                .worker_stats
+                .iter()
+                .map(|s| s.optimize_micros)
+                .max()
+                .unwrap_or(0),
+            max_worker_stored_sets: session
+                .worker_stats
+                .iter()
+                .map(|s| s.stored_sets)
+                .max()
+                .unwrap_or(0),
+            network,
+            worker_stats: session.worker_stats,
+            partitions: session.partitions,
+            workers_used: session.assignment.len(),
+            retries: session.retries,
+            duplicate_replies: session.duplicate_replies,
+            replies_received: session.replies_received,
+            retry_task_bytes: session.retry_task_bytes,
+        };
+        self.park_result(qid, Ok(MpqOutcome { plans, metrics }));
+    }
+
+    fn fail(&mut self, qid: QueryId, err: MpqError) {
+        self.sessions.remove(&qid.0);
+        self.park_result(qid, Err(err));
+    }
+
+    /// Parks a finished session's result for its handle, evicting the
+    /// oldest unredeemed result beyond [`MAX_PARKED_RESULTS`] (abandoned
+    /// handles must not leak memory on a long-lived service).
+    fn park_result(&mut self, qid: QueryId, result: Result<MpqOutcome, MpqError>) {
+        self.done.insert(qid.0, result);
+        while self.done.len() > MAX_PARKED_RESULTS {
+            self.done.pop_first();
+        }
+    }
+
+    /// The substrate itself is gone: every in-flight session fails.
+    fn fail_all(&mut self, err: ClusterError) {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        for raw in ids {
+            self.fail(QueryId(raw), MpqError::Cluster(err.clone()));
+        }
+    }
+}
+
+fn live_workers(cluster: &Cluster) -> Vec<usize> {
+    (0..cluster.num_workers())
+        .filter(|&w| cluster.is_worker_alive(w))
+        .collect()
+}
+
+/// Accumulates a reply's counters into a worker's running stats (a worker
+/// may execute several ranges under retries).
+fn accumulate(into: &mut WorkerStats, s: &WorkerStats) {
+    into.splits_tried += s.splits_tried;
+    into.plans_generated += s.plans_generated;
+    into.optimize_micros += s.optimize_micros;
+    into.stored_sets = into.stored_sets.max(s.stored_sets);
+    into.total_entries = into.total_entries.max(s.total_entries);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_dp::optimize_serial;
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+
+    fn query(n: usize, seed: u64) -> Query {
+        WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query()
+    }
+
+    fn rel_eq(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn many_concurrent_sessions_on_one_cluster() {
+        let mut svc = MpqService::spawn(4, MpqConfig::default()).unwrap();
+        let queries: Vec<Query> = (0..12).map(|s| query(5 + (s as usize % 3), s)).collect();
+        let handles: Vec<QueryHandle> = queries
+            .iter()
+            .map(|q| {
+                svc.submit(q, PlanSpace::Linear, Objective::Single)
+                    .expect("submit")
+            })
+            .collect();
+        assert_eq!(svc.in_flight(), 12);
+        // Wait in reverse submission order: routing, not luck, must match
+        // each result to its query.
+        for (q, handle) in queries.iter().zip(handles).rev() {
+            let out = svc.wait(handle).expect("session completes");
+            let reference = optimize_serial(q, PlanSpace::Linear, Objective::Single).plans[0]
+                .cost()
+                .time;
+            assert!(rel_eq(out.plans[0].cost().time, reference));
+        }
+        assert_eq!(svc.in_flight(), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_delivers_once() {
+        let mut svc = MpqService::spawn(2, MpqConfig::default()).unwrap();
+        let q = query(6, 1);
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let mut out = None;
+        for _ in 0..10_000 {
+            if let Some(r) = svc.poll(&handle) {
+                out = Some(r.expect("session completes"));
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        let out = out.expect("poll eventually completes");
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        assert!(rel_eq(out.plans[0].cost().time, reference));
+        // The result was delivered; the handle is spent.
+        assert!(svc.poll(&handle).is_none());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn sessions_have_independent_metrics() {
+        let mut svc = MpqService::spawn(4, MpqConfig::default()).unwrap();
+        let q = query(6, 2);
+        let a = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let b = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let out_a = svc.wait(a).unwrap();
+        let out_b = svc.wait(b).unwrap();
+        // Per-session ledgers balance independently even though the
+        // cluster-wide byte counters are shared.
+        for out in [&out_a, &out_b] {
+            assert_eq!(out.metrics.workers_used, 4);
+            assert_eq!(
+                out.metrics.replies_received,
+                out.metrics.workers_used as u64 + out.metrics.duplicate_replies
+            );
+            assert_eq!(out.metrics.retries, 0);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn stuck_session_recovers_while_other_sessions_keep_the_stream_busy() {
+        use mpq_cluster::{FaultAction, FaultPlan};
+        use std::time::Duration;
+        // Worker 1's very first reply (half of session A) is dropped; a
+        // continuous stream of filler sessions then keeps replies flowing.
+        // Suspicion is per session with FIFO loss-detection, so A's lost
+        // range must be re-issued and completed *while* the stream is
+        // busy — a global "time since any reply" clock would never fire,
+        // starving A for as long as the stream lasts.
+        let faults = FaultPlan {
+            drop_prob: 0.02,
+            ..FaultPlan::NONE
+        }
+        .with_seed_where(2, 4096, |s| s.action(1, 0) == FaultAction::DropReply)
+        .expect("some seed drops worker 1's first reply");
+        let config = MpqConfig {
+            faults,
+            retry: RetryPolicy::with_timeout(256, Duration::from_millis(10)),
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(2, config).unwrap();
+        let q = query(8, 42);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let stuck = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        // Feed fillers one at a time, pacing each by ~2 ms of wall clock
+        // while polling A, so the reply stream stays busy for far longer
+        // than A's suspicion window.
+        const FILLER_CAP: u64 = 200;
+        let mut fillers: Vec<QueryHandle> = Vec::new();
+        let mut stuck_result = None;
+        let mut fillers_at_recovery = None;
+        'stream: for seed in 0..FILLER_CAP {
+            let fq = query(6, 1000 + seed);
+            fillers.push(
+                svc.submit(&fq, PlanSpace::Linear, Objective::Single)
+                    .unwrap(),
+            );
+            for _ in 0..10 {
+                if let Some(result) = svc.poll(&stuck) {
+                    stuck_result = Some(result);
+                    fillers_at_recovery = Some(seed + 1);
+                    break 'stream;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let fillers_at_recovery = fillers_at_recovery
+            .expect("the stuck session must recover during the busy stream, not after it drains");
+        assert!(
+            fillers_at_recovery < FILLER_CAP / 2,
+            "recovery should come within the first half of the stream, \
+             got {fillers_at_recovery}"
+        );
+        let out = stuck_result
+            .unwrap()
+            .expect("the dropped range is re-issued");
+        assert!(rel_eq(out.plans[0].cost().time, reference));
+        assert!(out.metrics.retries >= 1, "recovery must have fired");
+        for handle in fillers {
+            let out = svc.wait(handle).expect("fillers complete");
+            assert_eq!(out.plans.len(), 1);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn resident_service_survives_worker_crashes_across_sessions() {
+        use mpq_cluster::FaultPlan;
+        use std::time::Duration;
+        // One worker crashes on its very first task; every later session
+        // must route around the corpse without fresh faults.
+        let faults = FaultPlan::crash_on_first_task(4, 3);
+        let config = MpqConfig {
+            faults,
+            retry: RetryPolicy::with_timeout(64, Duration::from_millis(20)),
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(4, config).unwrap();
+        for seed in 0..6 {
+            let q = query(6, seed);
+            let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+                .cost()
+                .time;
+            let handle = svc
+                .submit(&q, PlanSpace::Linear, Objective::Single)
+                .expect("dead workers are routed around at submit");
+            let out = svc.wait(handle).expect("recovery succeeds");
+            assert!(rel_eq(out.plans[0].cost().time, reference), "seed {seed}");
+        }
+        assert!(svc.metrics().snapshot().crashes >= 1);
+        svc.shutdown();
+    }
+}

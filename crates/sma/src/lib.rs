@@ -30,6 +30,8 @@
 
 pub mod message;
 pub mod optimizer;
+pub mod service;
 
 pub use message::{SlotUpdate, SmaMasterMsg, SmaReply};
 pub use optimizer::{SmaConfig, SmaError, SmaMetrics, SmaOptimizer, SmaOutcome};
+pub use service::{QueryHandle, SmaService};

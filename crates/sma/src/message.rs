@@ -59,6 +59,9 @@ pub enum SmaMasterMsg {
     },
     /// Reconstruct and return the final plan(s) for the full table set.
     Finish,
+    /// The session is over without a `Finish` (it failed at the master):
+    /// drop its replica. No reply.
+    Abort,
 }
 
 impl Wire for SmaMasterMsg {
@@ -83,6 +86,7 @@ impl Wire for SmaMasterMsg {
                 slots.encode(enc);
             }
             SmaMasterMsg::Finish => enc.put_u8(3),
+            SmaMasterMsg::Abort => enc.put_u8(4),
         }
     }
 
@@ -100,6 +104,7 @@ impl Wire for SmaMasterMsg {
                 slots: Vec::<SlotUpdate>::decode(dec)?,
             }),
             3 => Ok(SmaMasterMsg::Finish),
+            4 => Ok(SmaMasterMsg::Abort),
             tag => Err(DecodeError::BadTag {
                 tag,
                 ty: "SmaMasterMsg",
@@ -125,6 +130,10 @@ pub enum SmaReply {
         /// Memory/work counters of this worker's replica.
         stats: WorkerStats,
     },
+    /// The worker could not decode the master's message (protocol bug or
+    /// corruption): the master fails the session typed instead of
+    /// merging a hole into every replica.
+    Malformed,
 }
 
 impl Wire for SmaReply {
@@ -140,6 +149,7 @@ impl Wire for SmaReply {
                 plans.encode(enc);
                 stats.encode(enc);
             }
+            SmaReply::Malformed => enc.put_u8(2),
         }
     }
 
@@ -153,6 +163,7 @@ impl Wire for SmaReply {
                 plans: Vec::<Plan>::decode(dec)?,
                 stats: WorkerStats::decode(dec)?,
             }),
+            2 => Ok(SmaReply::Malformed),
             tag => Err(DecodeError::BadTag {
                 tag,
                 ty: "SmaReply",
@@ -186,6 +197,7 @@ mod tests {
                 }],
             },
             SmaMasterMsg::Finish,
+            SmaMasterMsg::Abort,
         ];
         for msg in msgs {
             let bytes = msg.to_bytes();
@@ -209,6 +221,8 @@ mod tests {
             plans: out.plans,
             stats: out.stats,
         };
+        assert_eq!(SmaReply::from_bytes(&r.to_bytes()).unwrap(), r);
+        let r = SmaReply::Malformed;
         assert_eq!(SmaReply::from_bytes(&r.to_bytes()).unwrap(), r);
     }
 

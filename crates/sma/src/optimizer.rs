@@ -1,4 +1,6 @@
-//! The SMA master protocol and worker logic.
+//! The SMA configuration, error and metrics types, plus the single-query
+//! [`SmaOptimizer`] facade over the resident
+//! [`SmaService`] session machine.
 //!
 //! SMA is the fault-tolerance *counter-example* the paper's deployment
 //! argument leans on. Where an MPQ task is stateless (re-issue one range,
@@ -10,19 +12,15 @@
 //! fast** with a typed [`SmaError`] carrying the measured
 //! `memo_rebroadcast_bytes` a recovery would have cost.
 
-use crate::message::{SlotUpdate, SmaMasterMsg, SmaReply};
-use bytes::Bytes;
-use mpq_cluster::{
-    Cluster, ClusterError, Control, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot, Wire,
-    WorkerCtx, WorkerLogic,
-};
-use mpq_cost::{CardinalityEstimator, Objective, ScanOp};
-use mpq_dp::{compute_entries_for_set, reconstruct_plan, HashMemo, MemoStore, WorkerStats};
-use mpq_model::{Query, TableSet};
+use crate::service::SmaService;
+use mpq_cluster::{ClusterError, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot};
+use mpq_cost::Objective;
+use mpq_dp::WorkerStats;
+use mpq_model::Query;
 use mpq_partition::PlanSpace;
-use mpq_plan::{Plan, PlanEntry, PruningPolicy};
+use mpq_plan::Plan;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the SMA baseline.
 #[derive(Clone, Copy, Debug, Default)]
@@ -72,6 +70,17 @@ pub enum SmaError {
         /// The codec failure.
         source: DecodeError,
     },
+    /// A worker's reply did not fit the session's protocol state (e.g. it
+    /// reported the master's own message as malformed, or replied out of
+    /// phase) — a protocol bug, surfaced typed rather than merged into
+    /// the replicas.
+    Protocol {
+        /// The offending worker.
+        worker: usize,
+    },
+    /// The cluster substrate failed outside the SMA protocol proper
+    /// (e.g. the resident cluster could not be spawned).
+    Cluster(ClusterError),
 }
 
 impl SmaError {
@@ -87,7 +96,7 @@ impl SmaError {
                 memo_rebroadcast_bytes,
                 ..
             } => Some(*memo_rebroadcast_bytes),
-            SmaError::Decode { .. } => None,
+            SmaError::Decode { .. } | SmaError::Protocol { .. } | SmaError::Cluster(_) => None,
         }
     }
 }
@@ -115,6 +124,10 @@ impl fmt::Display for SmaError {
             SmaError::Decode { worker, source } => {
                 write!(f, "reply from worker {worker} failed to decode: {source}")
             }
+            SmaError::Protocol { worker } => {
+                write!(f, "worker {worker} broke the session protocol")
+            }
+            SmaError::Cluster(e) => write!(f, "cluster failure: {e}"),
         }
     }
 }
@@ -123,6 +136,7 @@ impl std::error::Error for SmaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SmaError::Decode { source, .. } => Some(source),
+            SmaError::Cluster(e) => Some(e),
             _ => None,
         }
     }
@@ -160,128 +174,10 @@ pub struct SmaOutcome {
     pub metrics: SmaMetrics,
 }
 
-/// Worker state after `Init`.
-struct ReplicaState {
-    query: Query,
-    space: PlanSpace,
-    objective: Objective,
-    memo: HashMemo,
-}
-
-/// SMA worker logic: maintain a replicated memo, compute assigned slots,
-/// apply broadcast deltas.
-#[derive(Default)]
-struct SmaWorker {
-    state: Option<ReplicaState>,
-}
-
-impl WorkerLogic for SmaWorker {
-    fn on_message(&mut self, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
-        let msg = match SmaMasterMsg::from_bytes(&payload) {
-            Ok(m) => m,
-            Err(_) => {
-                // Protocol bug: reply empty so the master cannot deadlock.
-                ctx.send_to_master(
-                    SmaReply::LevelDone {
-                        slots: Vec::new(),
-                        micros: 0,
-                    }
-                    .to_bytes(),
-                );
-                return Control::Shutdown;
-            }
-        };
-        match msg {
-            SmaMasterMsg::Init {
-                query,
-                space,
-                objective,
-            } => {
-                let n = query.num_tables();
-                let mut memo = HashMemo::new(n);
-                let policy = PruningPolicy::new(objective, n);
-                let mut est = CardinalityEstimator::new(&query);
-                for t in 0..n {
-                    let cost = ScanOp::Full.cost(&mut est, t);
-                    policy.try_insert(
-                        memo.single_slot_mut(t),
-                        PlanEntry::scan(t as u8, ScanOp::Full, cost),
-                    );
-                }
-                drop(est);
-                self.state = Some(ReplicaState {
-                    query,
-                    space,
-                    objective,
-                    memo,
-                });
-                Control::Continue
-            }
-            SmaMasterMsg::Assign { sets } => {
-                let state = self.state.as_mut().expect("Init precedes Assign");
-                let t0 = Instant::now();
-                let policy = PruningPolicy::new(state.objective, state.query.num_tables());
-                let mut est = CardinalityEstimator::new(&state.query);
-                let mut stats = WorkerStats::default();
-                let slots: Vec<SlotUpdate> = sets
-                    .iter()
-                    .map(|&set| SlotUpdate {
-                        set,
-                        entries: compute_entries_for_set(
-                            state.space,
-                            set,
-                            &state.memo,
-                            &mut est,
-                            &policy,
-                            &mut stats,
-                        ),
-                    })
-                    .collect();
-                let micros = t0.elapsed().as_micros() as u64;
-                ctx.send_to_master(SmaReply::LevelDone { slots, micros }.to_bytes());
-                Control::Continue
-            }
-            SmaMasterMsg::Delta { slots } => {
-                let state = self.state.as_mut().expect("Init precedes Delta");
-                for s in slots {
-                    state.memo.replace_slot(s.set, s.entries);
-                }
-                Control::Continue
-            }
-            SmaMasterMsg::Finish => {
-                let state = self.state.as_ref().expect("Init precedes Finish");
-                let n = state.query.num_tables();
-                let policy = PruningPolicy::new(state.objective, n);
-                let mut est = CardinalityEstimator::new(&state.query);
-                let full = TableSet::full(n);
-                let entries: Vec<PlanEntry> = state.memo.entries(full).to_vec();
-                let mut plans: Vec<Plan> = entries
-                    .iter()
-                    .map(|e| reconstruct_plan(&state.memo, &mut est, full, e))
-                    .collect();
-                if n == 1 {
-                    plans = state
-                        .memo
-                        .single_entries(0)
-                        .iter()
-                        .map(|e| reconstruct_plan(&state.memo, &mut est, TableSet::singleton(0), e))
-                        .collect();
-                }
-                policy.final_prune(&mut plans);
-                let stats = WorkerStats {
-                    stored_sets: state.memo.stored_sets(),
-                    total_entries: state.memo.total_entries(),
-                    ..WorkerStats::default()
-                };
-                ctx.send_to_master(SmaReply::Final { plans, stats }.to_bytes());
-                Control::Continue
-            }
-        }
-    }
-}
-
-/// The SMA optimizer: level-synchronized parallel DP with a replicated
-/// memo, coordinated by the master.
+/// The single-query SMA optimizer: level-synchronized parallel DP with a
+/// replicated memo, expressed as submit-one-query-and-wait over a fresh
+/// resident [`SmaService`] — the same session machine that serves
+/// concurrent streams.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SmaOptimizer {
     config: SmaConfig,
@@ -322,170 +218,19 @@ impl SmaOptimizer {
         workers: usize,
     ) -> Result<SmaOutcome, SmaError> {
         assert!(workers >= 1, "at least one worker required");
-        let n = query.num_tables();
-        let cluster =
-            Cluster::spawn_with_faults(workers, self.config.latency, &self.config.faults, |_| {
-                SmaWorker::default()
-            });
-        let start = Instant::now();
-        // Running bill of one replica's state: what a replacement worker
-        // would need to be sent to rejoin the protocol.
-        let mut recovery_bytes: u64 = 0;
-        let mut round: u64 = 0;
-
-        // Maps a cluster-level failure to the fail-fast SMA error.
-        let lost = |e: ClusterError, round: u64, recovery_bytes: u64| match e {
-            ClusterError::WorkerLost { worker } => SmaError::WorkerLost {
-                worker,
-                round,
-                memo_rebroadcast_bytes: recovery_bytes,
-            },
-            ClusterError::AllWorkersLost => SmaError::WorkerLost {
-                worker: 0,
-                round,
-                memo_rebroadcast_bytes: recovery_bytes,
-            },
-            ClusterError::Timeout { .. } => SmaError::Stalled {
-                round,
-                memo_rebroadcast_bytes: recovery_bytes,
-            },
-        };
-
-        // Receive with dead-worker detection: a straggler is waited out,
-        // a provably dead worker (or a persistent stall) fails the run.
-        let recv = |cluster: &Cluster,
-                    round: u64,
-                    recovery_bytes: u64|
-         -> Result<(usize, Bytes), SmaError> {
-            match self.config.recv_timeout {
-                None => cluster.recv().map_err(|e| lost(e, round, recovery_bytes)),
-                Some(t) => {
-                    const MAX_STRIKES: u32 = 64;
-                    let mut strikes = 0;
-                    loop {
-                        match cluster.recv_timeout(t) {
-                            Ok(reply) => return Ok(reply),
-                            Err(ClusterError::Timeout { .. }) => {
-                                cluster.metrics().record_timeout();
-                                if let Some(&worker) = cluster.dead_workers().first() {
-                                    return Err(SmaError::WorkerLost {
-                                        worker,
-                                        round,
-                                        memo_rebroadcast_bytes: recovery_bytes,
-                                    });
-                                }
-                                strikes += 1;
-                                if strikes >= MAX_STRIKES {
-                                    return Err(SmaError::Stalled {
-                                        round,
-                                        memo_rebroadcast_bytes: recovery_bytes,
-                                    });
-                                }
-                            }
-                            Err(e) => return Err(lost(e, round, recovery_bytes)),
-                        }
-                    }
-                }
-            }
-        };
-
-        // Initialization round: ship the query and statistics everywhere.
-        round += 1;
-        cluster.metrics().record_round();
-        let init = SmaMasterMsg::Init {
-            query: query.clone(),
-            space,
-            objective,
-        }
-        .to_bytes();
-        recovery_bytes += init.len() as u64;
-        cluster
-            .broadcast(&init, true)
-            .map_err(|e| lost(e, round, recovery_bytes))?;
-
-        let mut compute = vec![0u64; workers];
-
-        // One coordination round per join-result cardinality.
-        for k in 2..=n {
-            round += 1;
-            cluster.metrics().record_round();
-            let sets: Vec<TableSet> = TableSet::subsets_of_size(n, k).collect();
-            let participants = workers.min(sets.len());
-            // Contiguous chunks — fine-grained task lists, as in the
-            // prior algorithms SMA represents.
-            let chunk = sets.len().div_ceil(participants);
-            let mut sent = 0usize;
-            for (w, batch) in sets.chunks(chunk).enumerate() {
-                let msg = SmaMasterMsg::Assign {
-                    sets: batch.to_vec(),
-                };
-                cluster
-                    .send(w, msg.to_bytes(), true)
-                    .map_err(|e| lost(e, round, recovery_bytes))?;
-                sent += 1;
-            }
-            // Collect level results and merge (sets are disjoint across
-            // workers, so merging is concatenation).
-            let mut level_slots: Vec<SlotUpdate> = Vec::new();
-            for _ in 0..sent {
-                let (w, payload) = recv(&cluster, round, recovery_bytes)?;
-                match SmaReply::from_bytes(&payload)
-                    .map_err(|source| SmaError::Decode { worker: w, source })?
-                {
-                    SmaReply::LevelDone { slots, micros } => {
-                        compute[w] += micros;
-                        level_slots.extend(slots);
-                    }
-                    SmaReply::Final { .. } => unreachable!("Final only follows Finish"),
-                }
-            }
-            // Broadcast the merged level so every replica stays consistent
-            // — this is the exponential-traffic step, and the reason a
-            // replacement replica costs the full running bill below.
-            let delta = SmaMasterMsg::Delta { slots: level_slots }.to_bytes();
-            recovery_bytes += delta.len() as u64;
-            cluster
-                .broadcast(&delta, false)
-                .map_err(|e| lost(e, round, recovery_bytes))?;
-        }
-
-        // Final round: any replica can produce the plan; ask worker 0.
-        round += 1;
-        cluster.metrics().record_round();
-        cluster
-            .send(0, SmaMasterMsg::Finish.to_bytes(), false)
-            .map_err(|e| lost(e, round, recovery_bytes))?;
-        let (w, payload) = recv(&cluster, round, recovery_bytes)?;
-        let (plans, replica_stats) = match SmaReply::from_bytes(&payload)
-            .map_err(|source| SmaError::Decode { worker: w, source })?
-        {
-            SmaReply::Final { plans, stats } => (plans, stats),
-            SmaReply::LevelDone { .. } => unreachable!("Finish yields Final"),
-        };
-
-        let total_micros = start.elapsed().as_micros() as u64;
-        let network = cluster.metrics().snapshot();
-        let rounds = network.rounds;
-        cluster.shutdown();
-
-        Ok(SmaOutcome {
-            plans,
-            metrics: SmaMetrics {
-                total_micros,
-                max_worker_micros: compute.iter().copied().max().unwrap_or(0),
-                network,
-                worker_compute_micros: compute,
-                replica_stats,
-                rounds,
-                replica_recovery_bytes: recovery_bytes,
-            },
-        })
+        let mut service = SmaService::spawn(workers, self.config)?;
+        let result = service
+            .submit(query, space, objective)
+            .and_then(|handle| service.wait(handle));
+        service.shutdown();
+        result
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpq_cluster::Wire;
     use mpq_dp::optimize_serial;
     use mpq_model::{WorkloadConfig, WorkloadGenerator};
 

@@ -1,0 +1,674 @@
+//! The resident SMA service: interleaved level-synchronized sessions over
+//! one long-lived cluster.
+//!
+//! SMA is the replicated-memo baseline, and keeping it resident makes the
+//! paper's contrast sharper, not weaker: each in-flight query needs a
+//! **full memo replica on every worker** (`O(2^n)` state per session per
+//! node), built up over `n - 1` broadcast rounds — where a resident MPQ
+//! worker holds no session state at all. The worker therefore keys its
+//! replicas by [`QueryId`] and frees them on `Finish` (or on the
+//! master's `Abort` when a session fails, so a resident worker's memory
+//! tracks the in-flight set, not the history); the master drives
+//! each session's level-synchronized state machine independently, so the
+//! rounds of concurrent sessions interleave freely on the wire.
+//!
+//! Fault handling keeps the fail-fast doctrine per session: the protocol
+//! never recovers a lost replica, it reports the measured
+//! re-broadcast bill in a typed [`SmaError`]. A dead worker dooms every
+//! in-flight session (each one had a replica on it).
+
+use crate::message::{SlotUpdate, SmaMasterMsg, SmaReply};
+use crate::optimizer::{SmaConfig, SmaError, SmaMetrics, SmaOutcome};
+use bytes::Bytes;
+use mpq_cluster::{
+    Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx, WorkerLogic,
+};
+use mpq_cost::{CardinalityEstimator, Objective, ScanOp};
+use mpq_dp::{compute_entries_for_set, reconstruct_plan, HashMemo, MemoStore, WorkerStats};
+use mpq_model::{Query, TableSet};
+use mpq_partition::PlanSpace;
+use mpq_plan::{Plan, PlanEntry, PruningPolicy};
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+/// Consecutive fruitless receive timeouts tolerated (with every worker
+/// still alive) before a session is declared stalled.
+const MAX_STRIKES: u32 = 64;
+
+/// Most results a service parks for unredeemed handles before evicting
+/// the oldest (abandoned handles must not leak memory on a long-lived
+/// service).
+const MAX_PARKED_RESULTS: usize = 4096;
+
+/// Ticket for one submitted query; redeem with [`SmaService::wait`] or
+/// check with [`SmaService::poll`].
+#[derive(Debug)]
+pub struct QueryHandle {
+    id: QueryId,
+}
+
+impl QueryHandle {
+    /// The session id this handle tracks.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+}
+
+/// One session's replica on one worker.
+struct ReplicaState {
+    query: Query,
+    space: PlanSpace,
+    objective: Objective,
+    memo: HashMemo,
+}
+
+/// SMA worker logic: one replicated memo **per in-flight session**, keyed
+/// by the session id; assigned slots are computed against the owning
+/// session's replica, broadcast deltas are merged into it, and `Finish`
+/// frees it.
+#[derive(Default)]
+pub(crate) struct SmaWorker {
+    replicas: HashMap<u64, ReplicaState>,
+}
+
+impl WorkerLogic for SmaWorker {
+    fn on_message(&mut self, query: QueryId, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
+        let msg = match SmaMasterMsg::from_bytes(&payload) {
+            Ok(m) => m,
+            Err(_) => {
+                // Protocol bug: report it so the master fails the session
+                // typed — an empty level result would silently merge a
+                // hole into every replica. The worker stays up for its
+                // other sessions.
+                ctx.send_to_master(SmaReply::Malformed.to_bytes());
+                return Control::Continue;
+            }
+        };
+        match msg {
+            SmaMasterMsg::Init {
+                query: q,
+                space,
+                objective,
+            } => {
+                let n = q.num_tables();
+                let mut memo = HashMemo::new(n);
+                let policy = PruningPolicy::new(objective, n);
+                let mut est = CardinalityEstimator::new(&q);
+                for t in 0..n {
+                    let cost = ScanOp::Full.cost(&mut est, t);
+                    policy.try_insert(
+                        memo.single_slot_mut(t),
+                        PlanEntry::scan(t as u8, ScanOp::Full, cost),
+                    );
+                }
+                drop(est);
+                self.replicas.insert(
+                    query.0,
+                    ReplicaState {
+                        query: q,
+                        space,
+                        objective,
+                        memo,
+                    },
+                );
+                Control::Continue
+            }
+            SmaMasterMsg::Assign { sets } => {
+                let state = self
+                    .replicas
+                    .get_mut(&query.0)
+                    .expect("Init precedes Assign");
+                let t0 = Instant::now();
+                let policy = PruningPolicy::new(state.objective, state.query.num_tables());
+                let mut est = CardinalityEstimator::new(&state.query);
+                let mut stats = WorkerStats::default();
+                let slots: Vec<SlotUpdate> = sets
+                    .iter()
+                    .map(|&set| SlotUpdate {
+                        set,
+                        entries: compute_entries_for_set(
+                            state.space,
+                            set,
+                            &state.memo,
+                            &mut est,
+                            &policy,
+                            &mut stats,
+                        ),
+                    })
+                    .collect();
+                let micros = t0.elapsed().as_micros() as u64;
+                ctx.send_to_master(SmaReply::LevelDone { slots, micros }.to_bytes());
+                Control::Continue
+            }
+            SmaMasterMsg::Delta { slots } => {
+                let state = self
+                    .replicas
+                    .get_mut(&query.0)
+                    .expect("Init precedes Delta");
+                for s in slots {
+                    state.memo.replace_slot(s.set, s.entries);
+                }
+                Control::Continue
+            }
+            SmaMasterMsg::Abort => {
+                // The master gave up on the session; free its replica.
+                // Tolerates an unknown id (the session may have failed
+                // before this worker's Init arrived).
+                self.replicas.remove(&query.0);
+                Control::Continue
+            }
+            SmaMasterMsg::Finish => {
+                // The session is over once the final plan ships: drop the
+                // replica so a resident worker's memory does not grow with
+                // the *history* of sessions, only with the in-flight set.
+                let state = self
+                    .replicas
+                    .remove(&query.0)
+                    .expect("Init precedes Finish");
+                let n = state.query.num_tables();
+                let policy = PruningPolicy::new(state.objective, n);
+                let mut est = CardinalityEstimator::new(&state.query);
+                let full = TableSet::full(n);
+                let entries: Vec<PlanEntry> = state.memo.entries(full).to_vec();
+                let mut plans: Vec<Plan> = entries
+                    .iter()
+                    .map(|e| reconstruct_plan(&state.memo, &mut est, full, e))
+                    .collect();
+                if n == 1 {
+                    plans = state
+                        .memo
+                        .single_entries(0)
+                        .iter()
+                        .map(|e| reconstruct_plan(&state.memo, &mut est, TableSet::singleton(0), e))
+                        .collect();
+                }
+                policy.final_prune(&mut plans);
+                let stats = WorkerStats {
+                    stored_sets: state.memo.stored_sets(),
+                    total_entries: state.memo.total_entries(),
+                    ..WorkerStats::default()
+                };
+                ctx.send_to_master(SmaReply::Final { plans, stats }.to_bytes());
+                Control::Continue
+            }
+        }
+    }
+}
+
+/// Where one session stands in the level-synchronized protocol.
+enum Phase {
+    /// Waiting for `awaiting` `LevelDone` replies of cardinality `k`.
+    Level {
+        k: usize,
+        awaiting: usize,
+        level_slots: Vec<SlotUpdate>,
+    },
+    /// `Finish` sent to worker 0; waiting for the `Final` reply.
+    Finishing,
+}
+
+/// Master-side state of one in-flight SMA session.
+struct Session {
+    n: usize,
+    phase: Phase,
+    round: u64,
+    recovery_bytes: u64,
+    compute: Vec<u64>,
+    strikes: u32,
+    start: Instant,
+    /// When this session last saw one of its own replies; the scheduler's
+    /// per-session stall-suspicion clock.
+    last_progress: Instant,
+}
+
+impl Session {
+    fn lost(&self, e: ClusterError) -> SmaError {
+        match e {
+            ClusterError::WorkerLost { worker } => SmaError::WorkerLost {
+                worker,
+                round: self.round,
+                memo_rebroadcast_bytes: self.recovery_bytes,
+            },
+            ClusterError::AllWorkersLost | ClusterError::SpawnFailed { .. } => {
+                SmaError::WorkerLost {
+                    worker: 0,
+                    round: self.round,
+                    memo_rebroadcast_bytes: self.recovery_bytes,
+                }
+            }
+            ClusterError::Timeout { .. } => SmaError::Stalled {
+                round: self.round,
+                memo_rebroadcast_bytes: self.recovery_bytes,
+            },
+        }
+    }
+}
+
+/// A long-lived SMA baseline service over one resident cluster. See the
+/// module docs.
+pub struct SmaService {
+    cluster: Cluster,
+    recv_timeout: Option<Duration>,
+    next_id: u64,
+    /// Ordered maps so scheduler passes visit sessions in submission
+    /// order — deterministic across runs, like the rest of the simulator.
+    sessions: BTreeMap<u64, Session>,
+    done: BTreeMap<u64, Result<SmaOutcome, SmaError>>,
+}
+
+impl SmaService {
+    /// Spawns the resident cluster: `workers` worker threads under
+    /// `config`'s latency model and fault plan, shared by every
+    /// subsequently submitted query.
+    pub fn spawn(workers: usize, config: SmaConfig) -> Result<SmaService, SmaError> {
+        assert!(workers >= 1, "at least one worker required");
+        let cluster = Cluster::spawn_with_faults(workers, config.latency, &config.faults, |_| {
+            SmaWorker::default()
+        })
+        .map_err(SmaError::Cluster)?;
+        Ok(SmaService {
+            cluster,
+            recv_timeout: config.recv_timeout,
+            next_id: 0,
+            sessions: BTreeMap::new(),
+            done: BTreeMap::new(),
+        })
+    }
+
+    /// Number of resident worker nodes.
+    pub fn num_workers(&self) -> usize {
+        self.cluster.num_workers()
+    }
+
+    /// Sessions submitted but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The resident cluster's network counters (cumulative across every
+    /// session the service has served).
+    pub fn metrics(&self) -> &NetworkMetrics {
+        self.cluster.metrics()
+    }
+
+    /// Submits `query`: ships `Init` to every replica and dispatches the
+    /// first level, then returns with a handle. Subsequent levels are
+    /// driven by [`SmaService::poll`] / [`SmaService::wait`].
+    pub fn submit(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+    ) -> Result<QueryHandle, SmaError> {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let n = query.num_tables();
+        let mut session = Session {
+            n,
+            phase: Phase::Finishing, // placeholder; set below
+            round: 0,
+            recovery_bytes: 0,
+            compute: vec![0; self.cluster.num_workers()],
+            strikes: 0,
+            start: Instant::now(),
+            last_progress: Instant::now(),
+        };
+        // Initialization round: ship the query and statistics everywhere.
+        session.round += 1;
+        self.cluster.metrics().record_round();
+        let init = SmaMasterMsg::Init {
+            query: query.clone(),
+            space,
+            objective,
+        }
+        .to_bytes();
+        session.recovery_bytes += init.len() as u64;
+        let dispatched = self
+            .cluster
+            .broadcast(id, &init, true)
+            .map_err(|e| session.lost(e))
+            .and_then(|()| start_round(&self.cluster, &mut session, id, 2));
+        if let Err(e) = dispatched {
+            // Workers reached before the failure already hold a replica
+            // for a session that will never run; free them.
+            abort_session(&self.cluster, id);
+            return Err(e);
+        }
+        self.sessions.insert(id.0, session);
+        Ok(QueryHandle { id })
+    }
+
+    /// Non-blocking check: drains replies that have already arrived and
+    /// returns the result once the handle's session has finished. A
+    /// result is delivered exactly once; after `Some`, the handle is
+    /// spent.
+    pub fn poll(&mut self, handle: &QueryHandle) -> Option<Result<SmaOutcome, SmaError>> {
+        loop {
+            if self.done.contains_key(&handle.id.0) {
+                break;
+            }
+            match self.cluster.try_recv() {
+                Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                Err(ClusterError::Timeout { .. }) => {
+                    // Nothing waiting right now: run the suspicion pass;
+                    // if no session was due, hand control back.
+                    if !self.check_suspicions() {
+                        break;
+                    }
+                }
+                Err(err) => {
+                    self.fail_all(err);
+                    break;
+                }
+            }
+        }
+        self.done.remove(&handle.id.0)
+    }
+
+    /// Blocks until the handle's session finishes, driving every
+    /// in-flight session's rounds in the meantime.
+    ///
+    /// # Panics
+    /// Panics if the handle's result was already taken via
+    /// [`SmaService::poll`].
+    pub fn wait(&mut self, handle: QueryHandle) -> Result<SmaOutcome, SmaError> {
+        loop {
+            if let Some(result) = self.done.remove(&handle.id.0) {
+                return result;
+            }
+            assert!(
+                self.sessions.contains_key(&handle.id.0),
+                "query handle {} already resolved",
+                handle.id
+            );
+            let received = match self.recv_timeout {
+                Some(t) => self.cluster.recv_timeout(t),
+                None => self.cluster.recv(),
+            };
+            match received {
+                Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                Err(ClusterError::Timeout { .. }) => {}
+                Err(err) => self.fail_all(err),
+            }
+            self.check_suspicions();
+        }
+    }
+
+    /// Shuts the resident cluster down, joining every worker thread.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+
+    /// Routes one session-tagged reply and advances that session's
+    /// level-synchronized state machine.
+    fn route(&mut self, worker: usize, qid: QueryId, payload: Bytes) {
+        enum Advance {
+            Pending,
+            Finished(Vec<Plan>, WorkerStats),
+            Failed(SmaError),
+        }
+        let advance = {
+            let Some(session) = self.sessions.get_mut(&qid.0) else {
+                // A reply for a session that already failed; SMA issues no
+                // speculative work, so there is nothing to account.
+                return;
+            };
+            session.strikes = 0;
+            session.last_progress = Instant::now();
+            match SmaReply::from_bytes(&payload) {
+                Err(source) => Advance::Failed(SmaError::Decode { worker, source }),
+                Ok(SmaReply::Malformed) => Advance::Failed(SmaError::Protocol { worker }),
+                Ok(SmaReply::LevelDone { slots, micros }) => match &mut session.phase {
+                    // Out-of-phase reply: a protocol bug, failed typed
+                    // rather than panicking a resident master.
+                    Phase::Finishing => Advance::Failed(SmaError::Protocol { worker }),
+                    Phase::Level {
+                        k,
+                        awaiting,
+                        level_slots,
+                    } => {
+                        session.compute[worker] += micros;
+                        level_slots.extend(slots);
+                        *awaiting -= 1;
+                        if *awaiting > 0 {
+                            Advance::Pending
+                        } else {
+                            // Level complete: broadcast the merged slots
+                            // so every replica stays consistent — the
+                            // exponential-traffic step, and the reason a
+                            // replacement replica costs the full running
+                            // bill — then dispatch the next level.
+                            let k = *k;
+                            let slots = std::mem::take(level_slots);
+                            let delta = SmaMasterMsg::Delta { slots }.to_bytes();
+                            session.recovery_bytes += delta.len() as u64;
+                            match self
+                                .cluster
+                                .broadcast(qid, &delta, false)
+                                .map_err(|e| session.lost(e))
+                                .and_then(|()| start_round(&self.cluster, session, qid, k + 1))
+                            {
+                                Ok(()) => Advance::Pending,
+                                Err(e) => Advance::Failed(e),
+                            }
+                        }
+                    }
+                },
+                Ok(SmaReply::Final { plans, stats }) => {
+                    if matches!(session.phase, Phase::Finishing) {
+                        Advance::Finished(plans, stats)
+                    } else {
+                        Advance::Failed(SmaError::Protocol { worker })
+                    }
+                }
+            }
+        };
+        match advance {
+            Advance::Pending => {}
+            Advance::Finished(plans, stats) => self.finish(qid, plans, stats),
+            Advance::Failed(err) => self.fail(qid, err),
+        }
+    }
+
+    /// Per-session stall suspicion: every session that has gone a full
+    /// receive timeout without one of its own replies is examined — a
+    /// provably dead worker dooms it at once (its replica lived there:
+    /// the paper's recovery argument), otherwise it accumulates strikes
+    /// toward a stall. The clock is per session, so a busy reply stream
+    /// from other sessions cannot mask a stuck one. Returns whether any
+    /// session fired.
+    fn check_suspicions(&mut self) -> bool {
+        let Some(t) = self.recv_timeout else {
+            return false;
+        };
+        let dead = self.cluster.dead_workers().first().copied();
+        let due: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.last_progress.elapsed() >= t)
+            .map(|(&id, _)| id)
+            .collect();
+        for &raw in &due {
+            let Some(session) = self.sessions.get_mut(&raw) else {
+                continue;
+            };
+            session.last_progress = Instant::now();
+            // One suspicion event per session, mirrored in the metrics.
+            self.cluster.metrics().record_timeout();
+            if let Some(worker) = dead {
+                let err = SmaError::WorkerLost {
+                    worker,
+                    round: session.round,
+                    memo_rebroadcast_bytes: session.recovery_bytes,
+                };
+                self.fail(QueryId(raw), err);
+                continue;
+            }
+            session.strikes += 1;
+            if session.strikes >= MAX_STRIKES {
+                let err = SmaError::Stalled {
+                    round: session.round,
+                    memo_rebroadcast_bytes: session.recovery_bytes,
+                };
+                self.fail(QueryId(raw), err);
+            }
+        }
+        !due.is_empty()
+    }
+
+    fn finish(&mut self, qid: QueryId, plans: Vec<Plan>, replica_stats: WorkerStats) {
+        let session = self
+            .sessions
+            .remove(&qid.0)
+            .expect("finishing an active session");
+        let network = self.cluster.metrics().snapshot();
+        let metrics = SmaMetrics {
+            total_micros: session.start.elapsed().as_micros() as u64,
+            max_worker_micros: session.compute.iter().copied().max().unwrap_or(0),
+            network,
+            worker_compute_micros: session.compute,
+            replica_stats,
+            rounds: session.round,
+            replica_recovery_bytes: session.recovery_bytes,
+        };
+        self.park_result(qid, Ok(SmaOutcome { plans, metrics }));
+    }
+
+    fn fail(&mut self, qid: QueryId, err: SmaError) {
+        self.sessions.remove(&qid.0);
+        // Free the session's replicas on the surviving workers: a failed
+        // session must not leak O(2^n) memo state on a resident cluster.
+        abort_session(&self.cluster, qid);
+        self.park_result(qid, Err(err));
+    }
+
+    /// Parks a finished session's result for its handle, evicting the
+    /// oldest unredeemed result beyond [`MAX_PARKED_RESULTS`].
+    fn park_result(&mut self, qid: QueryId, result: Result<SmaOutcome, SmaError>) {
+        self.done.insert(qid.0, result);
+        while self.done.len() > MAX_PARKED_RESULTS {
+            self.done.pop_first();
+        }
+    }
+
+    fn fail_all(&mut self, err: ClusterError) {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        for raw in ids {
+            let Some(session) = self.sessions.get(&raw) else {
+                continue;
+            };
+            let e = session.lost(err.clone());
+            self.fail(QueryId(raw), e);
+        }
+    }
+}
+
+/// Best-effort `Abort` to every worker so a finished-by-failure session's
+/// replicas are freed; sends to dead workers are ignored (their memory is
+/// gone with them).
+fn abort_session(cluster: &Cluster, id: QueryId) {
+    let abort = SmaMasterMsg::Abort.to_bytes();
+    for w in 0..cluster.num_workers() {
+        let _ = cluster.send(w, id, abort.clone(), false);
+    }
+}
+
+/// Dispatches round `k` of a session: `Assign` messages for the level's
+/// table sets (contiguous chunks, fine-grained task lists), or `Finish`
+/// once every level is done.
+fn start_round(
+    cluster: &Cluster,
+    session: &mut Session,
+    id: QueryId,
+    k: usize,
+) -> Result<(), SmaError> {
+    session.round += 1;
+    cluster.metrics().record_round();
+    if k > session.n {
+        // Final round: any replica can produce the plan; ask worker 0.
+        cluster
+            .send(0, id, SmaMasterMsg::Finish.to_bytes(), false)
+            .map_err(|e| session.lost(e))?;
+        session.phase = Phase::Finishing;
+        return Ok(());
+    }
+    let sets: Vec<TableSet> = TableSet::subsets_of_size(session.n, k).collect();
+    let participants = cluster.num_workers().min(sets.len());
+    let chunk = sets.len().div_ceil(participants);
+    let mut sent = 0usize;
+    for (w, batch) in sets.chunks(chunk).enumerate() {
+        let msg = SmaMasterMsg::Assign {
+            sets: batch.to_vec(),
+        };
+        cluster
+            .send(w, id, msg.to_bytes(), true)
+            .map_err(|e| session.lost(e))?;
+        sent += 1;
+    }
+    session.phase = Phase::Level {
+        k,
+        awaiting: sent,
+        level_slots: Vec::new(),
+    };
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_dp::optimize_serial;
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+
+    fn query(n: usize, seed: u64) -> Query {
+        WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query()
+    }
+
+    fn rel_eq(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn interleaved_sessions_keep_replicas_apart() {
+        // Several queries of different sizes in flight at once: their
+        // levels interleave on the wire, and every result must match the
+        // serial reference for its own query.
+        let mut svc = SmaService::spawn(3, SmaConfig::default()).unwrap();
+        let queries: Vec<Query> = (0..6)
+            .map(|s| query(4 + (s as usize % 3), s + 20))
+            .collect();
+        let handles: Vec<QueryHandle> = queries
+            .iter()
+            .map(|q| {
+                svc.submit(q, PlanSpace::Linear, Objective::Single)
+                    .expect("submit")
+            })
+            .collect();
+        assert_eq!(svc.in_flight(), 6);
+        for (q, handle) in queries.iter().zip(handles).rev() {
+            let out = svc.wait(handle).expect("session completes");
+            let reference = optimize_serial(q, PlanSpace::Linear, Objective::Single).plans[0]
+                .cost()
+                .time;
+            assert!(rel_eq(out.plans[0].cost().time, reference));
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn replicas_are_freed_after_finish() {
+        // The recovery bill of a later session must not include an
+        // earlier session's memo: sessions are accounted independently.
+        let mut svc = SmaService::spawn(2, SmaConfig::default()).unwrap();
+        let q = query(6, 30);
+        let a = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let bill_a = svc.wait(a).unwrap().metrics.replica_recovery_bytes;
+        let b = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let bill_b = svc.wait(b).unwrap().metrics.replica_recovery_bytes;
+        assert_eq!(bill_a, bill_b, "per-session bills are independent");
+        svc.shutdown();
+    }
+}

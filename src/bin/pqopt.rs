@@ -4,6 +4,9 @@
 //! pqopt optimize  [--tables N] [--graph star|chain|cycle|clique]
 //!                 [--space linear|bushy] [--workers M] [--seed S]
 //!                 [--multi ALPHA] [--execute]
+//! pqopt serve     [--queries N] [--clients C] [--workers M]
+//!                 [--backend serial|topdown|mpq|sma]
+//!                 resident service vs spawn-per-query throughput
 //! pqopt compare   [--tables N] [--workers M] [--seed S]       MPQ vs SMA
 //! pqopt scaling   [--tables N] [--max-workers M] [--seed S]   worker sweep
 //! pqopt partitions [--tables N] [--space linear|bushy] [--workers M]
@@ -17,7 +20,9 @@ use pqopt::exec::{execute, DataConfig, Database};
 use pqopt::model::JoinGraph;
 use pqopt::partition::partition_constraints;
 use pqopt::prelude::*;
+use std::collections::VecDeque;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "optimize" => cmd_optimize(&opts),
+        "serve" => cmd_serve(&opts),
         "compare" => cmd_compare(&opts),
         "scaling" => cmd_scaling(&opts),
         "partitions" => cmd_partitions(&opts),
@@ -45,7 +51,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-const USAGE: &str = "usage: pqopt <optimize|compare|scaling|partitions> [options]
+const USAGE: &str = "usage: pqopt <optimize|serve|compare|scaling|partitions> [options]
 options:
   --tables N        number of tables to join        (default 10)
   --graph G         star|chain|cycle|clique         (default star)
@@ -54,7 +60,11 @@ options:
   --max-workers M   upper end of the scaling sweep  (default 64)
   --seed S          workload seed                   (default 0)
   --multi ALPHA     multi-objective mode with approximation factor ALPHA
-  --execute         also run the chosen plan on synthetic data";
+  --execute         also run the chosen plan on synthetic data
+serve options:
+  --queries N       queries to stream through the service   (default 64)
+  --clients C       concurrent in-flight submissions        (default 8)
+  --backend B       serial|topdown|mpq|sma                  (default mpq)";
 
 struct Options {
     tables: usize,
@@ -65,6 +75,9 @@ struct Options {
     seed: u64,
     objective: Objective,
     execute: bool,
+    queries: usize,
+    clients: usize,
+    backend: Backend,
 }
 
 impl Options {
@@ -78,6 +91,9 @@ impl Options {
             seed: 0,
             objective: Objective::Single,
             execute: false,
+            queries: 64,
+            clients: 8,
+            backend: Backend::Mpq,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -117,6 +133,17 @@ impl Options {
                     }
                 }
                 "--execute" => o.execute = true,
+                "--queries" => o.queries = parse_num(&value("--queries")?)?,
+                "--clients" => o.clients = parse_num(&value("--clients")?)?,
+                "--backend" => {
+                    o.backend = match value("--backend")?.as_str() {
+                        "serial" => Backend::SerialDp,
+                        "topdown" => Backend::TopDown,
+                        "mpq" => Backend::Mpq,
+                        "sma" => Backend::Sma,
+                        b => return Err(format!("unknown backend `{b}`")),
+                    }
+                }
                 f => return Err(format!("unknown flag `{f}`")),
             }
         }
@@ -190,6 +217,118 @@ fn cmd_optimize(o: &Options) {
             stats.intermediate_rows
         );
     }
+}
+
+/// Streams `--queries` random queries through one resident
+/// [`OptimizerService`] with up to `--clients` submissions in flight,
+/// then optimizes the identical workload in spawn-per-query mode (a fresh
+/// service per query — the pre-service architecture), and reports both
+/// throughputs. Single-objective results are verified against the serial
+/// DP reference.
+fn cmd_serve(o: &Options) {
+    let clients = o.clients.max(1);
+    let mut gen = WorkloadGenerator::new(WorkloadConfig::with_graph(o.tables, o.graph), o.seed);
+    let queries: Vec<Query> = (0..o.queries).map(|_| gen.next_query()).collect();
+    let config = ServiceConfig {
+        backend: o.backend,
+        workers: o.workers as usize,
+        mpq: MpqConfig {
+            latency: LatencyModel::cluster_like(),
+            ..MpqConfig::default()
+        },
+        sma: SmaConfig {
+            latency: LatencyModel::cluster_like(),
+            ..SmaConfig::default()
+        },
+    };
+    println!(
+        "serving {} queries ({} tables, {:?} graph) on backend `{}`, {} workers, {} clients",
+        queries.len(),
+        o.tables,
+        o.graph,
+        o.backend.name(),
+        o.workers,
+        clients
+    );
+
+    // Resident mode: one service for the whole stream, `clients` queries
+    // in flight at a time.
+    let t0 = Instant::now();
+    let mut service = OptimizerService::spawn(config).expect("service spawns");
+    let mut resident_results: Vec<Option<Vec<Plan>>> = (0..queries.len()).map(|_| None).collect();
+    let mut in_flight: VecDeque<(usize, ServiceHandle)> = VecDeque::new();
+    let mut next = 0usize;
+    while next < queries.len() || !in_flight.is_empty() {
+        while next < queries.len() && in_flight.len() < clients {
+            let handle = service
+                .submit(&queries[next], o.space, o.objective)
+                .expect("submit");
+            in_flight.push_back((next, handle));
+            next += 1;
+        }
+        let (idx, handle) = in_flight.pop_front().expect("at least one in flight");
+        resident_results[idx] = Some(service.wait(handle).expect("query completes"));
+    }
+    let resident = t0.elapsed();
+    service.shutdown();
+
+    // Spawn-per-query mode: identical workload, fresh service per query.
+    let t0 = Instant::now();
+    let mut per_query_results: Vec<Vec<Plan>> = Vec::with_capacity(queries.len());
+    for query in &queries {
+        let mut service = OptimizerService::spawn(config).expect("service spawns");
+        per_query_results.push(
+            service
+                .optimize(query, o.space, o.objective)
+                .expect("query completes"),
+        );
+        service.shutdown();
+    }
+    let per_query = t0.elapsed();
+
+    // Verification: both modes must agree with the serial DP reference.
+    if o.objective == Objective::Single {
+        for (i, query) in queries.iter().enumerate() {
+            let reference = optimize_serial(query, o.space, o.objective).plans[0]
+                .cost()
+                .time;
+            for (mode, cost) in [
+                (
+                    "resident",
+                    resident_results[i].as_ref().unwrap()[0].cost().time,
+                ),
+                ("spawn-per-query", per_query_results[i][0].cost().time),
+            ] {
+                assert!(
+                    (cost - reference).abs() <= 1e-9 * reference.max(1.0),
+                    "query {i} ({mode}): {cost} vs serial {reference}"
+                );
+            }
+        }
+        println!(
+            "all {} results match the serial DP reference",
+            queries.len()
+        );
+    }
+
+    let qps = |d: Duration| queries.len() as f64 / d.as_secs_f64().max(1e-9);
+    println!("{:<18} {:>12} {:>14}", "mode", "total (ms)", "queries/sec");
+    println!(
+        "{:<18} {:>12.1} {:>14.1}",
+        "resident",
+        resident.as_secs_f64() * 1e3,
+        qps(resident)
+    );
+    println!(
+        "{:<18} {:>12.1} {:>14.1}",
+        "spawn-per-query",
+        per_query.as_secs_f64() * 1e3,
+        qps(per_query)
+    );
+    println!(
+        "resident speedup:  {:.2}x",
+        per_query.as_secs_f64() / resident.as_secs_f64().max(1e-9)
+    );
 }
 
 fn cmd_compare(o: &Options) {

@@ -12,7 +12,10 @@
 //! * [`dp`] — the per-partition dynamic program (worker algorithm);
 //! * [`cluster`] — the simulated shared-nothing cluster substrate;
 //! * [`mpq`] — the MPQ master/worker algorithm (the paper's contribution);
-//! * [`sma`] — the fine-grained shared-memory-style baseline.
+//! * [`sma`] — the fine-grained shared-memory-style baseline;
+//! * [`service`] — the persistent [`service::OptimizerService`]: one
+//!   long-lived cluster multiplexing many concurrent queries behind the
+//!   unified [`service::Optimizer`] trait.
 //!
 //! ## Quickstart
 //!
@@ -30,6 +33,32 @@
 //! assert_eq!(best.tables(), query.all_tables());
 //! assert!(best.is_left_deep());
 //! ```
+//!
+//! ## Serving a stream of queries
+//!
+//! For anything beyond a one-off query, keep the cluster resident and
+//! stream queries through the [`service::OptimizerService`]:
+//!
+//! ```
+//! use pqopt::prelude::*;
+//!
+//! let mut service = OptimizerService::spawn(ServiceConfig::new(Backend::Mpq, 4)).unwrap();
+//! let mut gen = WorkloadGenerator::new(WorkloadConfig::paper_default(8), 7);
+//! // Many queries in flight at once on the same four workers.
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let q = gen.next_query();
+//!         service.submit(&q, PlanSpace::Linear, Objective::Single).unwrap()
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     let plans = service.wait(handle).unwrap();
+//!     assert_eq!(plans.len(), 1);
+//! }
+//! service.shutdown();
+//! ```
+
+pub mod service;
 
 pub use mpq_algo as mpq;
 pub use mpq_cluster as cluster;
@@ -44,8 +73,11 @@ pub use mpq_sma as sma;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use mpq_algo::{MpqConfig, MpqError, MpqOptimizer, MpqOutcome, RetryPolicy};
-    pub use mpq_cluster::{ClusterError, FaultPlan, LatencyModel, NetworkMetrics};
+    pub use crate::service::{
+        Backend, Optimizer, OptimizerService, ServiceConfig, ServiceError, ServiceHandle,
+    };
+    pub use mpq_algo::{MpqConfig, MpqError, MpqOptimizer, MpqOutcome, MpqService, RetryPolicy};
+    pub use mpq_cluster::{ClusterError, FaultPlan, LatencyModel, NetworkMetrics, QueryId};
     pub use mpq_cost::{CostVector, Objective};
     pub use mpq_dp::{optimize_partition, optimize_serial, PartitionOutcome};
     pub use mpq_exec::{execute, DataConfig, Database};
@@ -56,5 +88,5 @@ pub mod prelude {
     };
     pub use mpq_partition::{effective_workers, partition_constraints, PlanSpace};
     pub use mpq_plan::{Plan, PruningPolicy};
-    pub use mpq_sma::{SmaConfig, SmaError, SmaOptimizer};
+    pub use mpq_sma::{SmaConfig, SmaError, SmaOptimizer, SmaService};
 }

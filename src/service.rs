@@ -1,0 +1,365 @@
+//! The persistent optimizer service: one long-lived backend multiplexing
+//! many concurrent optimization requests.
+//!
+//! [`OptimizerService`] is the facade the rest of the system talks to: it
+//! is spawned once, holds its backend resident (for MPQ and SMA that
+//! means a standing simulated shared-nothing cluster), and streams
+//! queries through `submit` → [`ServiceHandle`] → `poll`/`wait`. The
+//! [`Optimizer`] trait is the unified blocking view of the same service —
+//! "submit one query, wait" — implemented uniformly for every backend:
+//! the serial bottom-up DP, the memoized top-down enumerator, parallel
+//! MPQ and the SMA baseline. There is exactly one code path per backend;
+//! single-query and streaming callers differ only in when they wait.
+
+use crate::dp::{optimize_partition_topdown, optimize_serial};
+use crate::mpq::{MpqConfig, MpqError, MpqService};
+use crate::partition::partition_constraints;
+use crate::plan::Plan;
+use crate::sma::{SmaConfig, SmaError, SmaService};
+use mpq_cost::Objective;
+use mpq_model::Query;
+use mpq_partition::PlanSpace;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Most results the single-node backends park for unredeemed handles
+/// before evicting the oldest (mirrors the cluster services' bound).
+const MAX_PARKED_RESULTS: usize = 4096;
+
+/// Which optimizer engine a service runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Serial bottom-up dynamic programming (the single-node reference).
+    SerialDp,
+    /// Memoized top-down (Volcano-style) enumeration, single node.
+    TopDown,
+    /// Parallel MPQ over a resident shared-nothing cluster (the paper's
+    /// algorithm; the default).
+    #[default]
+    Mpq,
+    /// The SMA replicated-memo baseline over a resident cluster.
+    Sma,
+}
+
+impl Backend {
+    /// Every backend, in reference-first order.
+    pub const ALL: [Backend; 4] = [
+        Backend::SerialDp,
+        Backend::TopDown,
+        Backend::Mpq,
+        Backend::Sma,
+    ];
+
+    /// Stable name, as accepted by the CLI's `--backend` flag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::SerialDp => "serial",
+            Backend::TopDown => "topdown",
+            Backend::Mpq => "mpq",
+            Backend::Sma => "sma",
+        }
+    }
+}
+
+/// Configuration of an [`OptimizerService`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceConfig {
+    /// The engine to keep resident.
+    pub backend: Backend,
+    /// Worker nodes of the resident cluster (ignored by the single-node
+    /// backends). Zero means "pick a default" (8).
+    pub workers: usize,
+    /// MPQ backend configuration (latency, faults, retry policy).
+    pub mpq: MpqConfig,
+    /// SMA backend configuration (latency, faults, receive timeout).
+    pub sma: SmaConfig,
+}
+
+impl ServiceConfig {
+    /// A service over `backend` with `workers` resident workers and
+    /// default engine configuration.
+    pub fn new(backend: Backend, workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            backend,
+            workers,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// Typed failure of one service request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// The MPQ backend failed.
+    Mpq(MpqError),
+    /// The SMA backend failed.
+    Sma(SmaError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Mpq(e) => write!(f, "MPQ backend: {e}"),
+            ServiceError::Sma(e) => write!(f, "SMA backend: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Mpq(e) => Some(e),
+            ServiceError::Sma(e) => Some(e),
+        }
+    }
+}
+
+impl From<MpqError> for ServiceError {
+    fn from(e: MpqError) -> Self {
+        ServiceError::Mpq(e)
+    }
+}
+
+impl From<SmaError> for ServiceError {
+    fn from(e: SmaError) -> Self {
+        ServiceError::Sma(e)
+    }
+}
+
+/// Ticket for one submitted request; redeem with
+/// [`OptimizerService::wait`] or check with [`OptimizerService::poll`].
+#[derive(Debug)]
+pub struct ServiceHandle {
+    ticket: Ticket,
+}
+
+#[derive(Debug)]
+enum Ticket {
+    /// Single-node backends complete at submission; the result is parked
+    /// under this key.
+    Immediate(u64),
+    Mpq(crate::mpq::QueryHandle),
+    Sma(crate::sma::QueryHandle),
+}
+
+/// A long-lived optimizer service; see the module docs.
+pub struct OptimizerService {
+    backend: Backend,
+    engine: Engine,
+}
+
+enum Engine {
+    /// The single-node backends answer at submission time; results are
+    /// parked until their handle is redeemed, so the submit/poll/wait
+    /// protocol is uniform across backends.
+    Immediate {
+        backend: Backend,
+        next_id: u64,
+        done: BTreeMap<u64, Vec<Plan>>,
+    },
+    Mpq(MpqService),
+    Sma(SmaService),
+}
+
+impl OptimizerService {
+    /// Brings the service up: for the cluster backends this spawns the
+    /// resident worker threads that all subsequent queries share.
+    pub fn spawn(config: ServiceConfig) -> Result<OptimizerService, ServiceError> {
+        let workers = if config.workers == 0 {
+            8
+        } else {
+            config.workers
+        };
+        let engine = match config.backend {
+            Backend::SerialDp | Backend::TopDown => Engine::Immediate {
+                backend: config.backend,
+                next_id: 0,
+                done: BTreeMap::new(),
+            },
+            Backend::Mpq => Engine::Mpq(MpqService::spawn(workers, config.mpq)?),
+            Backend::Sma => Engine::Sma(SmaService::spawn(workers, config.sma)?),
+        };
+        Ok(OptimizerService {
+            backend: config.backend,
+            engine,
+        })
+    }
+
+    /// The engine this service keeps resident.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Submits one optimization request and returns immediately with a
+    /// handle; cluster backends dispatch their task messages before
+    /// returning, single-node backends solve the query on the spot.
+    pub fn submit(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+    ) -> Result<ServiceHandle, ServiceError> {
+        let ticket = match &mut self.engine {
+            Engine::Immediate {
+                backend,
+                next_id,
+                done,
+            } => {
+                let plans = match backend {
+                    Backend::SerialDp => optimize_serial(query, space, objective).plans,
+                    Backend::TopDown => {
+                        let constraints = partition_constraints(query.num_tables(), space, 0, 1);
+                        optimize_partition_topdown(query, space, objective, &constraints).plans
+                    }
+                    _ => unreachable!("cluster backends use their own engine"),
+                };
+                let id = *next_id;
+                *next_id += 1;
+                done.insert(id, plans);
+                while done.len() > MAX_PARKED_RESULTS {
+                    done.pop_first();
+                }
+                Ticket::Immediate(id)
+            }
+            Engine::Mpq(svc) => Ticket::Mpq(svc.submit(query, space, objective)?),
+            Engine::Sma(svc) => Ticket::Sma(svc.submit(query, space, objective)?),
+        };
+        Ok(ServiceHandle { ticket })
+    }
+
+    /// Non-blocking check; returns the plans once the request has
+    /// finished. A result is delivered exactly once per handle.
+    pub fn poll(&mut self, handle: &ServiceHandle) -> Option<Result<Vec<Plan>, ServiceError>> {
+        match (&mut self.engine, &handle.ticket) {
+            (Engine::Immediate { done, .. }, Ticket::Immediate(id)) => done.remove(id).map(Ok),
+            (Engine::Mpq(svc), Ticket::Mpq(h)) => {
+                svc.poll(h).map(|r| r.map(|o| o.plans).map_err(Into::into))
+            }
+            (Engine::Sma(svc), Ticket::Sma(h)) => {
+                svc.poll(h).map(|r| r.map(|o| o.plans).map_err(Into::into))
+            }
+            _ => unreachable!("handle from a different service backend"),
+        }
+    }
+
+    /// Blocks until the request finishes (driving every other in-flight
+    /// request of the same service meanwhile) and returns its optimal
+    /// plan(s): one plan for single-objective runs, the Pareto frontier
+    /// otherwise.
+    pub fn wait(&mut self, handle: ServiceHandle) -> Result<Vec<Plan>, ServiceError> {
+        match (&mut self.engine, handle.ticket) {
+            (Engine::Immediate { done, .. }, Ticket::Immediate(id)) => {
+                Ok(done.remove(&id).expect("service handle already resolved"))
+            }
+            (Engine::Mpq(svc), Ticket::Mpq(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
+            (Engine::Sma(svc), Ticket::Sma(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
+            _ => unreachable!("handle from a different service backend"),
+        }
+    }
+
+    /// Shuts the service down, joining any resident worker threads.
+    pub fn shutdown(self) {
+        match self.engine {
+            Engine::Immediate { .. } => {}
+            Engine::Mpq(svc) => svc.shutdown(),
+            Engine::Sma(svc) => svc.shutdown(),
+        }
+    }
+}
+
+/// The unified blocking interface over every backend: submit one query,
+/// wait for its plans.
+pub trait Optimizer {
+    /// Stable engine name (for reports and CLI output).
+    fn name(&self) -> &'static str;
+
+    /// Optimizes one query to completion, returning the optimal plan(s).
+    fn optimize(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+    ) -> Result<Vec<Plan>, ServiceError>;
+}
+
+impl Optimizer for OptimizerService {
+    fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    fn optimize(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+    ) -> Result<Vec<Plan>, ServiceError> {
+        let handle = self.submit(query, space, objective)?;
+        self.wait(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+
+    fn query(n: usize, seed: u64) -> Query {
+        WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query()
+    }
+
+    fn rel_eq(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn every_backend_answers_through_the_unified_trait() {
+        let q = query(6, 3);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        for backend in Backend::ALL {
+            let mut svc = OptimizerService::spawn(ServiceConfig::new(backend, 4)).expect("spawn");
+            assert_eq!(svc.name(), backend.name());
+            let plans = svc
+                .optimize(&q, PlanSpace::Linear, Objective::Single)
+                .expect("optimize");
+            assert!(
+                rel_eq(plans[0].cost().time, reference),
+                "backend {} disagrees with the serial reference",
+                backend.name()
+            );
+            svc.shutdown();
+        }
+    }
+
+    #[test]
+    fn immediate_backends_honor_the_handle_protocol() {
+        let q = query(5, 4);
+        let mut svc = OptimizerService::spawn(ServiceConfig::new(Backend::SerialDp, 1)).unwrap();
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let plans = svc.poll(&handle).expect("immediate").expect("no error");
+        assert_eq!(plans.len(), 1);
+        assert!(svc.poll(&handle).is_none(), "results deliver exactly once");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submissions_resolve_in_any_order() {
+        let mut svc = OptimizerService::spawn(ServiceConfig::new(Backend::Mpq, 4)).unwrap();
+        let queries: Vec<Query> = (0..8).map(|s| query(5 + (s as usize % 3), s)).collect();
+        let handles: Vec<ServiceHandle> = queries
+            .iter()
+            .map(|q| svc.submit(q, PlanSpace::Linear, Objective::Single).unwrap())
+            .collect();
+        for (q, handle) in queries.iter().zip(handles).rev() {
+            let plans = svc.wait(handle).expect("completes");
+            let reference = optimize_serial(q, PlanSpace::Linear, Objective::Single).plans[0]
+                .cost()
+                .time;
+            assert!(rel_eq(plans[0].cost().time, reference));
+        }
+        svc.shutdown();
+    }
+}

@@ -20,7 +20,7 @@ use pqopt::cluster::{FaultAction, FaultPlan, Wire};
 use pqopt::cost::{CostVector, Objective};
 use pqopt::dp::optimize_serial;
 use pqopt::model::{Query, WorkloadConfig, WorkloadGenerator};
-use pqopt::mpq::{MpqError, RetryPolicy};
+use pqopt::mpq::{MpqError, MpqService, RetryPolicy};
 use pqopt::partition::PlanSpace;
 use pqopt::prelude::{MpqConfig, MpqOptimizer};
 use pqopt::sma::{SmaConfig, SmaError, SmaOptimizer};
@@ -311,6 +311,73 @@ fn mpq_survives_where_sma_fails() {
         "sanity: MPQ recovery bytes stay within a small multiple of one task"
     );
     assert!(matches!(err, SmaError::WorkerLost { .. }));
+}
+
+/// The resident-service chaos contract (tentpole acceptance): one
+/// long-lived cluster, 24 queries concurrently in flight, faults injected
+/// throughout — crashes (workers stay dead across *sessions*), dropped
+/// replies and stragglers — and every session must still return exactly
+/// the fault-free serial-DP cost. Results are redeemed in reverse
+/// submission order so demultiplexing is load-bearing, not cosmetic.
+#[test]
+fn resident_service_under_faults_matches_serial_for_concurrent_sessions() {
+    const QUERIES: u64 = 24;
+    let faults = FaultPlan {
+        seed: 9,
+        crash_prob: 0.3,
+        crash_after_reply_prob: 0.5,
+        drop_prob: 0.15,
+        straggle_prob: 0.1,
+        straggle_us: 30_000,
+        min_survivors: 1,
+    };
+    let mut service = MpqService::spawn(
+        4,
+        MpqConfig {
+            faults,
+            retry: chaos_retry(),
+            ..MpqConfig::default()
+        },
+    )
+    .expect("service spawns");
+    let mut submitted = Vec::new();
+    for seed in 0..QUERIES {
+        let q = query(4 + (seed as usize % 4), seed * 31 + 5);
+        let handle = service
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit routes around dead workers");
+        submitted.push((q, handle));
+    }
+    assert_eq!(service.in_flight(), QUERIES as usize);
+    for (q, handle) in submitted.into_iter().rev() {
+        let out = service
+            .wait(handle)
+            .expect("every session recovers with >= 1 survivor");
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        assert!(
+            rel_eq(out.plans[0].cost().time, reference),
+            "faulty resident service diverged: {} vs {}",
+            out.plans[0].cost().time,
+            reference
+        );
+        // Per-session reply ledger balances under concurrency too.
+        assert_eq!(
+            out.metrics.replies_received,
+            out.metrics.workers_used as u64 + out.metrics.duplicate_replies
+        );
+    }
+    let s = service.metrics().snapshot();
+    assert!(
+        s.faults_injected() >= 1,
+        "the fault plan must actually fire: {s:?}"
+    );
+    assert!(
+        s.crashes < 4,
+        "min_survivors must hold across the whole stream"
+    );
+    service.shutdown();
 }
 
 /// Metrics account for targeted drops: a schedule that provably drops a

@@ -22,10 +22,31 @@ use pqopt::dp::{
 };
 use pqopt::model::{JoinGraph, Query, WorkloadConfig, WorkloadGenerator};
 use pqopt::partition::{partition_constraints, PlanSpace};
-use pqopt::prelude::{MpqConfig, MpqOptimizer};
+use pqopt::prelude::{
+    Backend, MpqConfig, MpqOptimizer, Optimizer, OptimizerService, ServiceConfig, ServiceHandle,
+};
 use pqopt::sma::{SmaConfig, SmaOptimizer};
 
 const SEEDS: u64 = 50;
+
+/// A deterministic permutation of `0..len` (stride walk with a stride
+/// coprime to `len`): the "shuffled completion order" the resident-service
+/// tests wait in, so result routing is exercised rather than FIFO luck.
+fn shuffled(len: usize) -> Vec<usize> {
+    let stride = (0..)
+        .map(|k| 37 + k * 2)
+        .find(|s| gcd(*s, len) == 1)
+        .unwrap();
+    (0..len).map(|i| (11 + i * stride) % len).collect()
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
 
 fn rel_eq(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * b.abs().max(1.0)
@@ -200,5 +221,105 @@ fn all_engines_agree_on_pareto_frontier() {
             same_frontier(&frontier, &brute),
             "seed {seed} (n={n}): SMA frontier"
         );
+    }
+}
+
+/// Every seeded query, streamed through one resident [`OptimizerService`]
+/// with all submissions concurrently in flight and results collected in a
+/// shuffled order: each must match the serial-DP optimal cost exactly.
+/// One cluster, fifty interleaved sessions — the tentpole architecture's
+/// correctness contract.
+#[test]
+fn resident_service_matches_serial_under_concurrency() {
+    let mut service =
+        OptimizerService::spawn(ServiceConfig::new(Backend::Mpq, 4)).expect("service spawns");
+    let space = PlanSpace::Linear;
+    let mut submitted: Vec<(u64, Query, ServiceHandle)> = Vec::new();
+    for seed in 0..SEEDS {
+        let (q, _) = seeded_query(seed);
+        let handle = service
+            .submit(&q, space, Objective::Single)
+            .expect("submit");
+        submitted.push((seed, q, handle));
+    }
+    // Redeem handles in a deterministic shuffled order: results must be
+    // routed by session id, not by arrival luck.
+    let order = shuffled(submitted.len());
+    let mut taken: Vec<Option<(u64, Query, ServiceHandle)>> =
+        submitted.into_iter().map(Some).collect();
+    for idx in order {
+        let (seed, q, handle) = taken[idx].take().expect("each handle redeemed once");
+        let plans = service.wait(handle).expect("session completes");
+        let reference = reference_time(&q, space);
+        assert_eq!(plans.len(), 1, "seed {seed}");
+        assert!(
+            rel_eq(plans[0].cost().time, reference),
+            "seed {seed}: resident service {} vs serial {reference}",
+            plans[0].cost().time
+        );
+    }
+    service.shutdown();
+}
+
+/// Multi-objective requests through the resident service, concurrently
+/// submitted and redeemed shuffled: every Pareto frontier must equal the
+/// serial frontier set-wise.
+#[test]
+fn resident_service_preserves_pareto_frontiers_under_concurrency() {
+    let mut service =
+        OptimizerService::spawn(ServiceConfig::new(Backend::Mpq, 4)).expect("service spawns");
+    let objective = Objective::Multi { alpha: 1.0 }; // exact frontier
+    let space = PlanSpace::Linear;
+    let mut submitted: Vec<(u64, Vec<CostVector>, ServiceHandle)> = Vec::new();
+    for seed in 0..SEEDS {
+        let (q, n) = seeded_query(seed);
+        if n > 5 {
+            continue; // keep the exhaustive reference cheap
+        }
+        let serial: Vec<CostVector> = optimize_serial(&q, space, objective)
+            .plans
+            .iter()
+            .map(|p| p.cost())
+            .collect();
+        let handle = service.submit(&q, space, objective).expect("submit");
+        submitted.push((seed, serial, handle));
+    }
+    let order = shuffled(submitted.len());
+    let mut taken: Vec<Option<(u64, Vec<CostVector>, ServiceHandle)>> =
+        submitted.into_iter().map(Some).collect();
+    for idx in order {
+        let (seed, serial, handle) = taken[idx].take().expect("each handle redeemed once");
+        let plans = service.wait(handle).expect("session completes");
+        let frontier: Vec<CostVector> = plans.iter().map(|p| p.cost()).collect();
+        assert!(
+            same_frontier(&frontier, &serial),
+            "seed {seed}: resident frontier {frontier:?} vs serial {serial:?}"
+        );
+    }
+    service.shutdown();
+}
+
+/// The unified [`Optimizer`] trait: all four backends, resident, answer
+/// every seeded query with the serial-DP cost.
+#[test]
+fn all_backends_agree_through_the_unified_service_trait() {
+    let space = PlanSpace::Linear;
+    for backend in Backend::ALL {
+        let mut service =
+            OptimizerService::spawn(ServiceConfig::new(backend, 3)).expect("service spawns");
+        for seed in (0..SEEDS).step_by(5) {
+            let (q, n) = seeded_query(seed);
+            let reference = reference_time(&q, space);
+            let plans = service
+                .optimize(&q, space, Objective::Single)
+                .expect("optimize");
+            assert!(
+                rel_eq(plans[0].cost().time, reference),
+                "seed {seed} (n={n}) backend {}: {} vs {reference}",
+                service.name(),
+                plans[0].cost().time
+            );
+        }
+        service.shutdown();
     }
 }
