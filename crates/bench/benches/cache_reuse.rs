@@ -1,0 +1,170 @@
+//! Cross-query cache effectiveness: qps vs repetition rate.
+//!
+//! Real query streams from large user populations are heavily repetitive:
+//! the same table sets and predicate shapes recur across sessions. This
+//! bench drives **Zipf-skewed** query streams through one resident
+//! [`MpqService`] and measures queries/sec with the shard-local
+//! cross-query caches enabled vs disabled, at equal worker count:
+//!
+//! * each stream position repeats a hot query with probability `rep`
+//!   (the repetition rate), drawn from a Zipf-ranked hot set, and is a
+//!   never-seen-before query otherwise — so the cold fraction keeps
+//!   arriving forever, as in production;
+//! * `report_cache_reuse` prints the qps curve over repetition rates and
+//!   **asserts the ISSUE 4 acceptance bar**: ≥ 1.5x qps at 80%
+//!   repetition, cached vs disabled.
+//!
+//! Knobs to play with (see EXPERIMENTS.md): `ZIPF_S` (skew), the
+//! repetition rates, `CACHE_BYTES` (LRU budget — shrink it to watch the
+//! hit rate degrade under eviction pressure), and `WORKERS`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_algo::{MpqConfig, MpqService};
+use mpq_cost::Objective;
+use mpq_model::{Query, WorkloadConfig, WorkloadGenerator};
+use mpq_partition::PlanSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+const TABLES: usize = 8;
+const WORKERS: usize = 4;
+const HOT_SET: usize = 8;
+const ZIPF_S: f64 = 1.1;
+const STREAM_LEN: usize = 96;
+const BATCH: usize = 8;
+const CACHE_BYTES: usize = 16 << 20;
+
+/// Zipf CDF over ranks `1..=HOT_SET` with exponent `ZIPF_S`.
+fn zipf_cdf() -> Vec<f64> {
+    let weights: Vec<f64> = (1..=HOT_SET)
+        .map(|r| 1.0 / (r as f64).powf(ZIPF_S))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// A Zipf-skewed stream: repetition-rate fraction of positions revisit a
+/// hot query (rank drawn from the Zipf CDF), the rest are unique colds.
+fn zipf_stream(repetition: f64, seed: u64) -> Vec<Query> {
+    let hot: Vec<Query> = (0..HOT_SET)
+        .map(|i| {
+            WorkloadGenerator::new(WorkloadConfig::paper_default(TABLES), 1_000 + i as u64)
+                .next_query()
+        })
+        .collect();
+    let cdf = zipf_cdf();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cold_gen =
+        WorkloadGenerator::new(WorkloadConfig::paper_default(TABLES), 900_000 + seed);
+    (0..STREAM_LEN)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < repetition {
+                let u: f64 = rng.random_range(0.0..1.0);
+                let rank = cdf.iter().position(|&c| u <= c).unwrap_or(HOT_SET - 1);
+                hot[rank].clone()
+            } else {
+                cold_gen.next_query()
+            }
+        })
+        .collect()
+}
+
+/// Streams the queries through the resident service with up to `BATCH`
+/// submissions in flight.
+fn run_stream(service: &mut MpqService, queries: &[Query]) {
+    for chunk in queries.chunks(BATCH) {
+        let handles: Vec<_> = chunk
+            .iter()
+            .map(|q| {
+                service
+                    .submit(black_box(q), PlanSpace::Linear, Objective::Single)
+                    .expect("submit")
+            })
+            .collect();
+        for handle in handles {
+            black_box(service.wait(handle).expect("session completes"));
+        }
+    }
+}
+
+fn service(cache_bytes: usize) -> MpqService {
+    MpqService::spawn(
+        WORKERS,
+        MpqConfig {
+            cache_bytes,
+            ..MpqConfig::default()
+        },
+    )
+    .expect("service spawns")
+}
+
+fn bench_cache_reuse(c: &mut Criterion) {
+    let stream = zipf_stream(0.8, 7);
+    for (label, cache_bytes) in [("disabled", 0), ("cached", CACHE_BYTES)] {
+        let mut svc = service(cache_bytes);
+        c.bench_function(&format!("cache_reuse_rep80_{label}_w{WORKERS}"), |b| {
+            b.iter(|| run_stream(&mut svc, &stream))
+        });
+        svc.shutdown();
+    }
+}
+
+/// Not a timing benchmark: prints the qps curve over repetition rates and
+/// asserts the acceptance bar at 80% repetition.
+fn report_cache_reuse(_c: &mut Criterion) {
+    println!(
+        "\n== cross-query cache reuse (queries/sec, {STREAM_LEN} x {TABLES}-table Zipf stream, \
+         s = {ZIPF_S}, {WORKERS} workers) =="
+    );
+    println!(
+        "{:>11} {:>12} {:>12} {:>9} {:>10}",
+        "repetition", "disabled", "cached", "speedup", "hit rate"
+    );
+    let mut speedup_at_80 = 0.0;
+    for repetition in [0.0, 0.5, 0.8, 0.95] {
+        let stream = zipf_stream(repetition, 7);
+
+        let mut disabled = service(0);
+        let t0 = Instant::now();
+        run_stream(&mut disabled, &stream);
+        let disabled_qps = STREAM_LEN as f64 / t0.elapsed().as_secs_f64();
+        disabled.shutdown();
+
+        let mut cached = service(CACHE_BYTES);
+        let t0 = Instant::now();
+        run_stream(&mut cached, &stream);
+        let cached_qps = STREAM_LEN as f64 / t0.elapsed().as_secs_f64();
+        let s = cached.metrics().snapshot();
+        let hit_rate = s.cache_hits as f64 / (s.cache_hits + s.cache_misses).max(1) as f64;
+        cached.shutdown();
+
+        let speedup = cached_qps / disabled_qps;
+        if repetition == 0.8 {
+            speedup_at_80 = speedup;
+        }
+        println!(
+            "{:>10.0}% {:>12.0} {:>12.0} {:>8.2}x {:>9.0}%",
+            repetition * 100.0,
+            disabled_qps,
+            cached_qps,
+            speedup,
+            hit_rate * 100.0
+        );
+    }
+    assert!(
+        speedup_at_80 >= 1.5,
+        "acceptance bar: cached qps must be >= 1.5x disabled at 80% repetition, got {speedup_at_80:.2}x"
+    );
+}
+
+criterion_group!(benches, bench_cache_reuse, report_cache_reuse);
+criterion_main!(benches);

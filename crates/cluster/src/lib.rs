@@ -44,4 +44,6 @@ pub use codec::{DecodeError, Decoder, Encoder, QueryId, SessionEnvelope, Wire};
 pub use fault::{FaultAction, FaultPlan, FaultSchedule, WorkerFaults};
 pub use latency::LatencyModel;
 pub use metrics::{NetworkMetrics, NetworkSnapshot, WorkerCounters};
-pub use runtime::{BatchError, Cluster, ClusterError, Control, WorkerCtx, WorkerLogic};
+pub use runtime::{
+    AbandonedList, BatchError, Cluster, ClusterError, Control, WorkerCtx, WorkerLogic,
+};

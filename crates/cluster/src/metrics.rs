@@ -26,6 +26,11 @@ pub struct NetworkMetrics {
     retries: AtomicU64,
     timeouts: AtomicU64,
     duplicate_replies: AtomicU64,
+    // Cross-query memo-cache counters (recorded where the cache lives:
+    // worker-side for shard-local caches, master-side for service caches).
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_bytes_saved: AtomicU64,
     /// Per-worker counters; empty when the cluster size is unknown.
     per_worker: Vec<PerWorkerCounters>,
 }
@@ -128,6 +133,19 @@ impl NetworkMetrics {
         self.rounds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a cross-query cache hit that served `bytes_saved`
+    /// approximate bytes of finished memo results without recomputation.
+    pub fn record_cache_hit(&self, bytes_saved: u64) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_bytes_saved
+            .fetch_add(bytes_saved, Ordering::Relaxed);
+    }
+
+    /// Records a cross-query cache miss (the subproblem was computed).
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.master_to_worker_bytes.store(0, Ordering::Relaxed);
@@ -140,6 +158,9 @@ impl NetworkMetrics {
         self.retries.store(0, Ordering::Relaxed);
         self.timeouts.store(0, Ordering::Relaxed);
         self.duplicate_replies.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_bytes_saved.store(0, Ordering::Relaxed);
         for pw in &self.per_worker {
             pw.replies.store(0, Ordering::Relaxed);
             pw.reply_bytes.store(0, Ordering::Relaxed);
@@ -161,6 +182,9 @@ impl NetworkMetrics {
             retries: self.retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             duplicate_replies: self.duplicate_replies.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_bytes_saved: self.cache_bytes_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -202,6 +226,14 @@ pub struct NetworkSnapshot {
     pub timeouts: u64,
     /// Replies discarded as duplicates of completed tasks.
     pub duplicate_replies: u64,
+    /// Cross-query memo-cache hits (shard-local worker caches plus any
+    /// master-side service cache sharing these metrics).
+    pub cache_hits: u64,
+    /// Cross-query memo-cache misses.
+    pub cache_misses: u64,
+    /// Approximate bytes of finished memo results served from caches
+    /// instead of being recomputed.
+    pub cache_bytes_saved: u64,
 }
 
 impl NetworkSnapshot {
@@ -289,6 +321,20 @@ mod tests {
         assert_eq!(s.straggles, 1);
         assert_eq!(s.retries, 1);
         assert_eq!(s.faults_injected(), 3);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_reset() {
+        let m = NetworkMetrics::new();
+        m.record_cache_hit(100);
+        m.record_cache_hit(50);
+        m.record_cache_miss();
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_bytes_saved, 150);
+        m.reset();
+        assert_eq!(m.snapshot(), NetworkSnapshot::default());
     }
 
     #[test]

@@ -31,6 +31,38 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Drop-queue shared between a session service and its query handles:
+/// a handle pushes its session id here when dropped unredeemed, and the
+/// service drains the queue on its next scheduler entry to free the
+/// abandoned session's state. Ids of already-redeemed handles are pushed
+/// too — services treat unknown ids as no-ops, so that is harmless.
+#[derive(Clone, Debug, Default)]
+pub struct AbandonedList(Arc<Mutex<Vec<u64>>>);
+
+impl AbandonedList {
+    /// An empty list.
+    pub fn new() -> AbandonedList {
+        AbandonedList::default()
+    }
+
+    /// Queues one abandoned session id. Called from `Drop` impls: a
+    /// poisoned lock means the service side is gone, so there is nothing
+    /// left to free and the push is silently skipped.
+    pub fn push(&self, id: u64) {
+        if let Ok(mut list) = self.0.lock() {
+            list.push(id);
+        }
+    }
+
+    /// Takes every queued id, leaving the list empty.
+    pub fn drain(&self) -> Vec<u64> {
+        match self.0.lock() {
+            Ok(mut list) => std::mem::take(&mut *list),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
 /// What a worker wants to happen after handling a message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Control {
@@ -137,6 +169,14 @@ impl WorkerCtx {
     /// framed with it.
     pub fn query(&self) -> QueryId {
         self.current_query
+    }
+
+    /// The cluster-wide shared counters. Worker logic uses this to record
+    /// events that are worker-side by nature — e.g. shard-local
+    /// cross-query cache hits and misses — into the same ledger the
+    /// master reads.
+    pub fn metrics(&self) -> &NetworkMetrics {
+        &self.metrics
     }
 
     /// Sends a serialized reply to the master, framed with the current

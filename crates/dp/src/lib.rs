@@ -21,7 +21,13 @@
 //! Two memo layouts are provided (see [`memo`]): the **dense** mixed-radix
 //! layout (flat array, no hashing — the default) and a **hash-map** layout
 //! kept as an ablation baseline.
+//!
+//! [`cached`] wraps the partition optimizers in the cross-query memo
+//! cache (`mpq_plan::cache`): repeated subproblems — same canonical query
+//! signature, statistics epoch, space, objective and partition scope —
+//! are served from finished results instead of re-running the DP.
 
+pub mod cached;
 pub mod memo;
 pub mod naive;
 pub mod parametric;
@@ -30,6 +36,10 @@ pub mod stats;
 pub mod topdown;
 pub mod worker;
 
+pub use cached::{
+    optimize_partition_id_cached, optimize_partition_topdown_cached, optimize_serial_cached,
+    push_scope, PlanCache,
+};
 pub use memo::{DenseMemo, HashMemo, MemoStore};
 pub use naive::{exhaustive_frontier, exhaustive_linear_best_time};
 pub use parametric::{

@@ -42,26 +42,69 @@ impl TableStats {
 
 /// The statistics catalog for one query: statistics for each of the `n`
 /// tables, indexed by [`TableId`].
+///
+/// The catalog carries a **statistics epoch**: a counter bumped on every
+/// statistics mutation ([`Catalog::set_stats`], [`Catalog::stats_mut`],
+/// [`Catalog::add_table`], or an explicit [`Catalog::bump_epoch`]). The
+/// cross-query memo cache folds the epoch into its keys, so entries
+/// computed against earlier statistics become structurally unreachable
+/// the instant the statistics change — even if a later mutation restores
+/// the exact old values. The epoch is optimizer-local bookkeeping and is
+/// deliberately not part of the wire format (workers key their shard-local
+/// caches by the shipped statistics bits themselves).
 #[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
 pub struct Catalog {
     tables: Vec<TableStats>,
+    epoch: u64,
 }
 
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
-        Catalog { tables: Vec::new() }
+        Catalog::default()
     }
 
-    /// Creates a catalog from per-table statistics.
+    /// Creates a catalog from per-table statistics, at epoch zero.
     pub fn from_stats(tables: Vec<TableStats>) -> Self {
-        Catalog { tables }
+        Catalog { tables, epoch: 0 }
     }
 
-    /// Adds a table and returns its id.
+    /// Adds a table and returns its id. Counts as a statistics mutation
+    /// (the epoch is bumped).
     pub fn add_table(&mut self, stats: TableStats) -> TableId {
         self.tables.push(stats);
+        self.epoch += 1;
         self.tables.len() - 1
+    }
+
+    /// The statistics epoch: how many mutations this catalog has seen.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Explicitly invalidates every cached result derived from this
+    /// catalog (e.g. after an out-of-band cost-model recalibration).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Replaces table `id`'s statistics, bumping the epoch.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn set_stats(&mut self, id: TableId, stats: TableStats) {
+        self.tables[id] = stats;
+        self.epoch += 1;
+    }
+
+    /// Mutable statistics access; the epoch is bumped up front, so any
+    /// write through the returned reference is covered.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn stats_mut(&mut self, id: TableId) -> &mut TableStats {
+        self.epoch += 1;
+        &mut self.tables[id]
     }
 
     /// Number of tables in the catalog.
@@ -108,6 +151,22 @@ mod tests {
         assert_eq!(c.stats(a).cardinality, 1000.0);
         assert_eq!(c.stats(a).join_domain, 1000.0);
         assert_eq!(c.stats(b).tuple_bytes, 8.0);
+    }
+
+    #[test]
+    fn epoch_tracks_every_mutation() {
+        let mut c = Catalog::from_stats(vec![TableStats::with_cardinality(10.0)]);
+        assert_eq!(c.epoch(), 0);
+        c.add_table(TableStats::with_cardinality(20.0));
+        assert_eq!(c.epoch(), 1);
+        c.set_stats(0, TableStats::with_cardinality(99.0));
+        assert_eq!(c.epoch(), 2);
+        c.stats_mut(1).cardinality = 7.0;
+        assert_eq!(c.epoch(), 3);
+        c.bump_epoch();
+        assert_eq!(c.epoch(), 4);
+        assert_eq!(c.stats(0).cardinality, 99.0);
+        assert_eq!(c.stats(1).cardinality, 7.0);
     }
 
     #[test]

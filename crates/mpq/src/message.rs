@@ -70,6 +70,11 @@ pub struct WorkerReply {
     pub plans: Vec<Plan>,
     /// Work counters, aggregated over the worker's partitions.
     pub stats: WorkerStats,
+    /// Partitions of this range served from the worker's shard-local
+    /// cross-query cache (always 0 with caching disabled).
+    pub cache_hits: u64,
+    /// Partitions of this range computed by the dynamic program.
+    pub cache_misses: u64,
 }
 
 impl Wire for WorkerReply {
@@ -78,6 +83,8 @@ impl Wire for WorkerReply {
         enc.put_u64(self.partition_count);
         self.plans.encode(enc);
         self.stats.encode(enc);
+        enc.put_u64(self.cache_hits);
+        enc.put_u64(self.cache_misses);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -86,6 +93,8 @@ impl Wire for WorkerReply {
             partition_count: dec.get_u64()?,
             plans: Vec::<Plan>::decode(dec)?,
             stats: WorkerStats::decode(dec)?,
+            cache_hits: dec.get_u64()?,
+            cache_misses: dec.get_u64()?,
         })
     }
 }
@@ -119,6 +128,8 @@ mod tests {
             partition_count: 2,
             plans: out.plans.clone(),
             stats: out.stats,
+            cache_hits: 1,
+            cache_misses: 1,
         };
         let bytes = reply.to_bytes();
         assert_eq!(WorkerReply::from_bytes(&bytes).unwrap(), reply);

@@ -25,13 +25,14 @@ use crate::message::{MasterMessage, WorkerReply};
 use crate::optimizer::{MpqConfig, MpqError, MpqMetrics, MpqOutcome, RetryPolicy};
 use bytes::Bytes;
 use mpq_cluster::{
-    Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx, WorkerLogic,
+    AbandonedList, Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx,
+    WorkerLogic,
 };
 use mpq_cost::Objective;
-use mpq_dp::{optimize_partition_id, WorkerStats};
+use mpq_dp::{optimize_partition_id_cached, PlanCache, WorkerStats};
 use mpq_model::Query;
 use mpq_partition::{effective_workers, PlanSpace};
-use mpq_plan::{Plan, PruningPolicy};
+use mpq_plan::{CacheWeight, Plan, PruningPolicy};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -44,9 +45,16 @@ const MAX_PARKED_RESULTS: usize = 4096;
 /// Ticket for one submitted query. Redeem it with [`MpqService::wait`]
 /// (or check it with [`MpqService::poll`]); results are delivered exactly
 /// once per handle.
+///
+/// Dropping a handle **abandons** its session: the id lands on the
+/// service's abandoned list, and the next scheduler entry (`submit`,
+/// `poll` or `wait` on any handle) frees the session's master-side state
+/// and any parked result, so abandoned queries do not accumulate until
+/// service teardown. Dropping an already-redeemed handle is a no-op.
 #[derive(Debug)]
 pub struct QueryHandle {
     id: QueryId,
+    abandoned: AbandonedList,
 }
 
 impl QueryHandle {
@@ -56,13 +64,37 @@ impl QueryHandle {
     }
 }
 
+impl Drop for QueryHandle {
+    fn drop(&mut self) {
+        // Redeemed sessions are already gone from the service's maps, so
+        // reaping their id is a no-op; only truly abandoned sessions are
+        // affected.
+        self.abandoned.push(self.id.0);
+    }
+}
+
 /// Worker-side logic: decode the task, optimize the assigned partition
 /// range, reply once per task.
 ///
 /// MPQ tasks are stateless by design (the paper's deployment argument),
-/// so the worker holds no per-session state: each message is a complete
-/// unit of work, and the session-tagged reply is routed by the runtime.
-pub(crate) struct MpqWorker;
+/// so the worker holds no per-**session** state: each message is a
+/// complete unit of work, and the session-tagged reply is routed by the
+/// runtime. What a worker *may* hold is a **shard-local cross-query
+/// cache** of finished partition results, keyed by the canonical query
+/// signature — pure acceleration state that is never required for
+/// correctness, costs no network traffic, and is simply lost with the
+/// worker on a crash (a replacement starts cold and recomputes).
+pub(crate) struct MpqWorker {
+    cache: PlanCache,
+}
+
+impl MpqWorker {
+    pub(crate) fn new(cache_bytes: usize) -> MpqWorker {
+        MpqWorker {
+            cache: PlanCache::new(cache_bytes),
+        }
+    }
+}
 
 impl WorkerLogic for MpqWorker {
     fn on_message(&mut self, _query: QueryId, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
@@ -80,6 +112,8 @@ impl WorkerLogic for MpqWorker {
                         partition_count: 0,
                         plans: Vec::new(),
                         stats: WorkerStats::default(),
+                        cache_hits: 0,
+                        cache_misses: 0,
                     }
                     .to_bytes(),
                 );
@@ -89,14 +123,27 @@ impl WorkerLogic for MpqWorker {
         let policy = PruningPolicy::new(msg.objective, msg.query.num_tables());
         let mut plans: Vec<Plan> = Vec::new();
         let mut stats = WorkerStats::default();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
         for part_id in msg.first_partition..msg.first_partition + msg.partition_count {
-            let out = optimize_partition_id(
+            let (out, hit) = optimize_partition_id_cached(
                 &msg.query,
                 msg.space,
                 msg.objective,
                 part_id,
                 msg.total_partitions,
+                &mut self.cache,
             );
+            if self.cache.is_enabled() {
+                if hit {
+                    cache_hits += 1;
+                    ctx.metrics()
+                        .record_cache_hit(out.plans.weight_bytes() as u64);
+                } else {
+                    cache_misses += 1;
+                    ctx.metrics().record_cache_miss();
+                }
+            }
             plans.extend(out.plans);
             // Times and work add up over sequential partitions; memory is
             // the peak, i.e. the max over partitions.
@@ -115,6 +162,8 @@ impl WorkerLogic for MpqWorker {
                 partition_count: msg.partition_count,
                 plans,
                 stats,
+                cache_hits,
+                cache_misses,
             }
             .to_bytes(),
         );
@@ -148,6 +197,8 @@ struct Session {
     replies_received: u64,
     duplicate_replies: u64,
     retry_task_bytes: u64,
+    cache_hits: u64,
+    cache_misses: u64,
     start: Instant,
     /// When this session last saw one of its own replies; the scheduler's
     /// per-session straggler-suspicion clock.
@@ -190,6 +241,9 @@ pub struct MpqService {
     tasks_sent: Vec<u64>,
     replies_seen: Vec<u64>,
     last_reply_from: Vec<Instant>,
+    /// Session ids whose [`QueryHandle`] was dropped unredeemed; reaped
+    /// (state freed) on the next scheduler entry.
+    abandoned: AbandonedList,
 }
 
 impl MpqService {
@@ -198,9 +252,10 @@ impl MpqService {
     /// every subsequently submitted query.
     pub fn spawn(workers: usize, config: MpqConfig) -> Result<MpqService, MpqError> {
         assert!(workers >= 1, "at least one worker required");
-        let cluster =
-            Cluster::spawn_with_faults(workers, config.latency, &config.faults, |_| MpqWorker)
-                .map_err(MpqError::Cluster)?;
+        let cluster = Cluster::spawn_with_faults(workers, config.latency, &config.faults, |_| {
+            MpqWorker::new(config.cache_bytes)
+        })
+        .map_err(MpqError::Cluster)?;
         Ok(MpqService {
             cluster,
             retry: config.retry,
@@ -210,6 +265,7 @@ impl MpqService {
             tasks_sent: vec![0; workers],
             replies_seen: vec![0; workers],
             last_reply_from: vec![Instant::now(); workers],
+            abandoned: AbandonedList::new(),
         })
     }
 
@@ -221,6 +277,13 @@ impl MpqService {
     /// Sessions submitted but not yet finished.
     pub fn in_flight(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Finished results parked for handles that have not redeemed them
+    /// yet (bounded by the eviction cap; shrinks when abandoned handles
+    /// are reaped).
+    pub fn parked_results(&self) -> usize {
+        self.done.len()
     }
 
     /// The resident cluster's network counters (cumulative across every
@@ -262,6 +325,7 @@ impl MpqService {
             assignment.len() <= self.cluster.num_workers(),
             "more partition ranges than resident workers"
         );
+        self.reap_abandoned();
         let id = QueryId(self.next_id);
         self.next_id += 1;
         let ranges = assignment.len();
@@ -284,6 +348,8 @@ impl MpqService {
             replies_received: 0,
             duplicate_replies: 0,
             retry_task_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             start: Instant::now(),
             last_progress: Instant::now(),
         };
@@ -329,7 +395,10 @@ impl MpqService {
             }
         }
         self.sessions.insert(id.0, session);
-        Ok(QueryHandle { id })
+        Ok(QueryHandle {
+            id,
+            abandoned: self.abandoned.clone(),
+        })
     }
 
     /// Non-blocking check: drains replies that have already arrived,
@@ -337,6 +406,7 @@ impl MpqService {
     /// once the handle's session has finished. A result is delivered
     /// exactly once; after `Some`, the handle is spent.
     pub fn poll(&mut self, handle: &QueryHandle) -> Option<Result<MpqOutcome, MpqError>> {
+        self.reap_abandoned();
         loop {
             if self.done.contains_key(&handle.id.0) {
                 break;
@@ -366,6 +436,7 @@ impl MpqService {
     /// Panics if the handle's result was already taken via
     /// [`MpqService::poll`].
     pub fn wait(&mut self, handle: QueryHandle) -> Result<MpqOutcome, MpqError> {
+        self.reap_abandoned();
         loop {
             if let Some(result) = self.done.remove(&handle.id.0) {
                 return result;
@@ -393,6 +464,18 @@ impl MpqService {
     /// drain the service before calling this.
     pub fn shutdown(self) {
         self.cluster.shutdown();
+    }
+
+    /// Frees the state of sessions whose handle was dropped unredeemed:
+    /// in-flight master-side session state and parked results. Late
+    /// replies for a reaped session are discarded as duplicates by the
+    /// reply router's unknown-session path. Called on every scheduler
+    /// entry; public so long-idle callers can reap eagerly.
+    pub fn reap_abandoned(&mut self) {
+        for id in self.abandoned.drain() {
+            self.sessions.remove(&id);
+            self.done.remove(&id);
+        }
     }
 
     /// Routes one session-tagged reply to its owning session and advances
@@ -440,6 +523,8 @@ impl MpqService {
                             session.completed += 1;
                             session.strikes = 0;
                             accumulate(&mut session.worker_stats[worker], &reply.stats);
+                            session.cache_hits += reply.cache_hits;
+                            session.cache_misses += reply.cache_misses;
                             session.plans.extend(reply.plans);
                             if session.completed == session.assignment.len() {
                                 Advance::Finished
@@ -620,6 +705,8 @@ impl MpqService {
             duplicate_replies: session.duplicate_replies,
             replies_received: session.replies_received,
             retry_task_bytes: session.retry_task_bytes,
+            cache_hits: session.cache_hits,
+            cache_misses: session.cache_misses,
         };
         self.park_result(qid, Ok(MpqOutcome { plans, metrics }));
     }
@@ -820,6 +907,92 @@ mod tests {
             let out = svc.wait(handle).expect("fillers complete");
             assert_eq!(out.plans.len(), 1);
         }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn warm_shard_caches_serve_repeated_queries_identically() {
+        let config = MpqConfig {
+            cache_bytes: 1 << 20,
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(4, config).unwrap();
+        let q = query(7, 21);
+        let cold = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| svc.wait(h))
+            .expect("cold run");
+        assert_eq!(cold.metrics.cache_hits, 0);
+        assert_eq!(cold.metrics.cache_misses, cold.metrics.partitions);
+        let warm = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| svc.wait(h))
+            .expect("warm run");
+        assert_eq!(
+            warm.metrics.cache_hits, warm.metrics.partitions,
+            "every partition repeats on the same worker"
+        );
+        assert_eq!(warm.plans, cold.plans, "hits are byte-identical");
+        let s = svc.metrics().snapshot();
+        assert_eq!(s.cache_hits, warm.metrics.cache_hits);
+        assert!(s.cache_bytes_saved > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn caching_disabled_reports_no_cache_traffic() {
+        let mut svc = MpqService::spawn(2, MpqConfig::default()).unwrap();
+        let q = query(6, 22);
+        for _ in 0..2 {
+            let out = svc
+                .submit(&q, PlanSpace::Linear, Objective::Single)
+                .and_then(|h| svc.wait(h))
+                .expect("run");
+            assert_eq!(out.metrics.cache_hits, 0);
+            assert_eq!(out.metrics.cache_misses, 0);
+        }
+        assert_eq!(svc.metrics().snapshot().cache_hits, 0);
+        svc.shutdown();
+    }
+
+    /// Regression (ISSUE 4 satellite): dropping an unredeemed handle must
+    /// free the session's master-side state instead of leaking it until
+    /// service teardown.
+    #[test]
+    fn dropped_handles_release_session_state() {
+        let mut svc = MpqService::spawn(2, MpqConfig::default()).unwrap();
+        let q = query(6, 23);
+        let abandoned = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        assert_eq!(svc.in_flight(), 1);
+        drop(abandoned);
+        // The next scheduler entry reaps the abandoned session; a second
+        // query must stream through unaffected.
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        assert_eq!(svc.in_flight(), 1, "the dropped session is gone");
+        let out = svc.wait(handle).expect("live session completes");
+        assert_eq!(out.plans.len(), 1);
+        assert_eq!(svc.in_flight(), 0);
+        // A completed-but-unredeemed result is reaped from the parked map
+        // too once its handle drops: finish `parked`'s session by waiting
+        // on a later driver session, then drop the handle unredeemed.
+        let parked = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        while svc.parked_results() == 0 {
+            // Waiting on driver sessions pumps the shared reply stream, so
+            // `parked`'s session completes and its result is parked.
+            let driver = svc
+                .submit(&q, PlanSpace::Linear, Objective::Single)
+                .expect("submit");
+            let _ = svc.wait(driver).expect("driver completes");
+        }
+        drop(parked);
+        svc.reap_abandoned();
+        assert_eq!(svc.parked_results(), 0, "the parked result is freed");
         svc.shutdown();
     }
 

@@ -1,0 +1,449 @@
+//! The cross-query memo cache.
+//!
+//! The paper's analysis assumes every query pays the full dynamic-
+//! programming bill. Real query streams are heavily repetitive — the same
+//! table sets and predicate shapes recur across sessions — so a resident
+//! optimizer can amortize *optimization itself* by caching finished memo
+//! results (cost vectors, Pareto frontiers, and the reconstruction info
+//! they carry) across queries. This module provides the shared machinery:
+//!
+//! * [`CacheKey`] / [`CacheKeyBuilder`] — collision-proof canonical keys.
+//!   [`query_signature`] canonicalizes a query into a key prefix covering
+//!   the cost-model version, the catalog **statistics epoch** (see
+//!   `Catalog::epoch` in `mpq_model`), every table's statistics bits, and
+//!   the join-predicate signature (orientation-canonicalized). Callers
+//!   append a scope — engine tag, plan space, objective, partition range
+//!   or table set — so entries are only ever served to byte-identical
+//!   subproblems.
+//! * [`MemoCache`] — a byte-budgeted LRU map from keys to cached values
+//!   (`Vec<Plan>` for partition outcomes, `Vec<PlanEntry>` for SMA memo
+//!   slots). A budget of zero disables the cache entirely, which is the
+//!   default everywhere: caching is opt-in.
+//! * [`CacheStats`] — hit/miss/eviction/bytes-saved counters surfaced
+//!   through the service layer.
+//!
+//! **Transparency contract.** A cache hit must be byte-identical to
+//! recomputation. Three design rules enforce this: keys store their full
+//! canonical bytes and compare them on lookup (a 64-bit hash collision
+//! degrades to a miss, never a wrong value); the statistics epoch and the
+//! raw statistics bits are both part of the signature, so any catalog
+//! mutation makes stale entries structurally unreachable; and predicate
+//! *order* is deliberately part of the signature (floating-point
+//! selectivity products are rounding-order sensitive), while predicate
+//! *orientation* — provably symmetric in the estimator — is canonicalized.
+
+use crate::entry::PlanEntry;
+use crate::tree::Plan;
+use mpq_model::Query;
+use std::collections::{BTreeMap, HashMap};
+
+/// Version of the cost-model parameters baked into every cache key. Bump
+/// this whenever a cost formula or operator constant changes, so caches
+/// never serve entries computed under an older model.
+pub const COST_MODEL_VERSION: u64 = 1;
+
+/// A collision-proof cache key: a 64-bit hash for bucketing plus the full
+/// canonical byte string for equality (hash collisions degrade to misses,
+/// never to wrong values).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheKey {
+    hash: u64,
+    bytes: Vec<u8>,
+}
+
+impl CacheKey {
+    /// The key's bucket hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Incremental builder of a [`CacheKey`]'s canonical byte string.
+#[derive(Clone, Debug, Default)]
+pub struct CacheKeyBuilder {
+    bytes: Vec<u8>,
+}
+
+impl CacheKeyBuilder {
+    /// Starts an empty key.
+    pub fn new() -> CacheKeyBuilder {
+        CacheKeyBuilder::default()
+    }
+
+    /// Appends one byte.
+    pub fn push_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Appends a little-endian u64.
+    pub fn push_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an f64 by its exact bit pattern (cache keys must
+    /// distinguish values that differ in any bit).
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    /// Finalizes the key, hashing the canonical bytes (FNV-1a).
+    pub fn finish(self) -> CacheKey {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        CacheKey {
+            hash,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// Canonicalizes `query` into a key-prefix builder: cost-model version,
+/// statistics epoch, per-table statistics bits, and the join-predicate
+/// signature. Append an engine/space/objective/subproblem scope and call
+/// [`CacheKeyBuilder::finish`] to obtain the full key.
+///
+/// Canonicalization: predicate endpoints are ordered `(min, max)` — the
+/// estimator treats predicates symmetrically, so orientation cannot affect
+/// results — but predicate *order* is preserved, because selectivity
+/// products are floating-point and therefore rounding-order sensitive.
+pub fn query_signature(query: &Query) -> CacheKeyBuilder {
+    let mut b = CacheKeyBuilder::new();
+    b.push_u64(COST_MODEL_VERSION);
+    b.push_u64(query.catalog.epoch());
+    b.push_u64(query.num_tables() as u64);
+    for (_, stats) in query.catalog.iter() {
+        b.push_f64(stats.cardinality);
+        b.push_f64(stats.tuple_bytes);
+        b.push_f64(stats.join_domain);
+    }
+    b.push_u64(query.predicates.len() as u64);
+    for p in &query.predicates {
+        b.push_u8(p.left.min(p.right) as u8);
+        b.push_u8(p.left.max(p.right) as u8);
+        b.push_f64(p.selectivity);
+    }
+    b
+}
+
+/// Approximate resident size of a cached value, used against the LRU byte
+/// budget. Estimates are deliberately simple and slightly generous.
+pub trait CacheWeight {
+    /// Approximate bytes this value occupies in the cache.
+    fn weight_bytes(&self) -> usize;
+}
+
+impl CacheWeight for Vec<Plan> {
+    fn weight_bytes(&self) -> usize {
+        // A plan over j joins has 2j + 1 nodes; charge ~64 bytes per node
+        // (enum payload + Box overhead) plus per-plan and per-vec headers.
+        24 + self
+            .iter()
+            .map(|p| 16 + 64 * (2 * p.num_joins() + 1))
+            .sum::<usize>()
+    }
+}
+
+impl CacheWeight for Vec<PlanEntry> {
+    fn weight_bytes(&self) -> usize {
+        24 + self.len() * std::mem::size_of::<PlanEntry>()
+    }
+}
+
+/// Point-in-time counters of one [`MemoCache`] (or an aggregate over the
+/// shard-local caches of a cluster backend, in which case only the
+/// hit/miss/bytes-saved counters are populated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to computation.
+    pub misses: u64,
+    /// Values inserted.
+    pub insertions: u64,
+    /// Values evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate bytes currently resident.
+    pub bytes: u64,
+    /// The configured byte budget (0 = disabled).
+    pub capacity_bytes: u64,
+    /// Cumulative approximate bytes of values served from the cache — the
+    /// memo traffic and recomputation the cache saved.
+    pub bytes_saved: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when the cache saw none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot<V> {
+    key_bytes: Vec<u8>,
+    value: V,
+    weight: usize,
+    tick: u64,
+}
+
+/// A byte-budgeted LRU cache from canonical [`CacheKey`]s to finished memo
+/// values. Single-owner by design: worker-shard caches live inside one
+/// worker thread, service caches inside one service — no locking.
+pub struct MemoCache<V> {
+    budget: usize,
+    map: HashMap<u64, Slot<V>>,
+    /// LRU order: tick → key hash. Ticks are unique (monotone counter).
+    order: BTreeMap<u64, u64>,
+    tick: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    bytes_saved: u64,
+}
+
+impl<V: CacheWeight + Clone> MemoCache<V> {
+    /// Creates a cache with the given byte budget. A budget of zero
+    /// disables the cache: every lookup misses (uncounted) and inserts are
+    /// dropped, so a disabled cache is exactly the pre-cache behavior.
+    pub fn new(budget_bytes: usize) -> MemoCache<V> {
+        MemoCache {
+            budget: budget_bytes,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            bytes_saved: 0,
+        }
+    }
+
+    /// Whether the cache can ever store anything.
+    pub fn is_enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    /// Looks `key` up, refreshing its LRU position and returning a clone
+    /// of the cached value on a hit. Full canonical key bytes are compared,
+    /// so a hash collision is a miss, never a wrong value.
+    pub fn get(&mut self, key: &CacheKey) -> Option<V> {
+        if !self.is_enabled() {
+            return None;
+        }
+        match self.map.get_mut(&key.hash) {
+            Some(slot) if slot.key_bytes == key.bytes => {
+                self.order.remove(&slot.tick);
+                self.tick += 1;
+                slot.tick = self.tick;
+                self.order.insert(self.tick, key.hash);
+                self.hits += 1;
+                self.bytes_saved += slot.weight as u64;
+                Some(slot.value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting least-recently-used entries
+    /// until the byte budget holds. Values heavier than the whole budget
+    /// are not stored. A colliding hash with different canonical bytes
+    /// replaces the resident entry (keeps the map one-value-per-hash and
+    /// is vanishingly rare with 64-bit hashes).
+    pub fn insert(&mut self, key: CacheKey, value: V) {
+        if !self.is_enabled() {
+            return;
+        }
+        let weight = value.weight_bytes();
+        if weight > self.budget {
+            return;
+        }
+        if let Some(old) = self.map.remove(&key.hash) {
+            self.order.remove(&old.tick);
+            self.bytes -= old.weight;
+        }
+        self.tick += 1;
+        self.map.insert(
+            key.hash,
+            Slot {
+                key_bytes: key.bytes,
+                value,
+                weight,
+                tick: self.tick,
+            },
+        );
+        self.order.insert(self.tick, key.hash);
+        self.bytes += weight;
+        self.insertions += 1;
+        while self.bytes > self.budget {
+            let (&tick, &hash) = self.order.iter().next().expect("bytes > 0 implies entries");
+            self.order.remove(&tick);
+            let evicted = self.map.remove(&hash).expect("order and map stay in sync");
+            self.bytes -= evicted.weight;
+            self.evictions += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            entries: self.map.len() as u64,
+            bytes: self.bytes as u64,
+            capacity_bytes: self.budget as u64,
+            bytes_saved: self.bytes_saved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_cost::{CostVector, ScanOp};
+    use mpq_model::{Catalog, JoinGraph, Predicate, TableStats};
+
+    fn plan(time: f64) -> Vec<Plan> {
+        vec![Plan::Scan {
+            table: 0,
+            op: ScanOp::Full,
+            cost: CostVector::new(time, 0.0),
+            cardinality: 1.0,
+        }]
+    }
+
+    fn key(tag: u64) -> CacheKey {
+        let mut b = CacheKeyBuilder::new();
+        b.push_u64(tag);
+        b.finish()
+    }
+
+    fn query(selectivities: &[(usize, usize, f64)], epoch_bumps: u64) -> Query {
+        let mut catalog = Catalog::from_stats(vec![
+            TableStats::with_cardinality(10.0),
+            TableStats::with_cardinality(20.0),
+            TableStats::with_cardinality(30.0),
+        ]);
+        for _ in 0..epoch_bumps {
+            catalog.bump_epoch();
+        }
+        Query {
+            catalog,
+            predicates: selectivities
+                .iter()
+                .map(|&(left, right, selectivity)| Predicate {
+                    left,
+                    right,
+                    selectivity,
+                })
+                .collect(),
+            graph: JoinGraph::Star,
+        }
+    }
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c: MemoCache<Vec<Plan>> = MemoCache::new(1 << 20);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), plan(5.0));
+        assert_eq!(c.get(&key(1)).unwrap()[0].cost().time, 5.0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!(s.bytes_saved > 0);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let mut c: MemoCache<Vec<Plan>> = MemoCache::new(0);
+        assert!(!c.is_enabled());
+        c.insert(key(1), plan(5.0));
+        assert!(c.get(&key(1)).is_none());
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.hits + s.misses, 0, "disabled lookups are uncounted");
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let weight = plan(0.0).weight_bytes();
+        let mut c: MemoCache<Vec<Plan>> = MemoCache::new(2 * weight);
+        c.insert(key(1), plan(1.0));
+        c.insert(key(2), plan(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), plan(3.0));
+        assert!(c.get(&key(2)).is_none(), "2 was least recently used");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.stats().bytes <= c.stats().capacity_bytes);
+    }
+
+    #[test]
+    fn oversized_value_is_not_stored() {
+        let mut c: MemoCache<Vec<Plan>> = MemoCache::new(8);
+        c.insert(key(1), plan(1.0));
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn signature_distinguishes_stats_predicates_and_epoch() {
+        let base = query(&[(0, 1, 0.5)], 0).clone();
+        let sig = |q: &Query| query_signature(q).finish();
+        // Identical queries agree.
+        assert_eq!(sig(&base), sig(&query(&[(0, 1, 0.5)], 0)));
+        // Orientation is canonicalized away...
+        assert_eq!(sig(&base), sig(&query(&[(1, 0, 0.5)], 0)));
+        // ...but selectivity, endpoints and the epoch are not.
+        assert_ne!(sig(&base), sig(&query(&[(0, 1, 0.25)], 0)));
+        assert_ne!(sig(&base), sig(&query(&[(0, 2, 0.5)], 0)));
+        assert_ne!(sig(&base), sig(&query(&[(0, 1, 0.5)], 1)));
+        // A statistics change flips the signature even at equal epoch.
+        let mut mutated = base.clone();
+        mutated.catalog = Catalog::from_stats(vec![
+            TableStats::with_cardinality(11.0),
+            TableStats::with_cardinality(20.0),
+            TableStats::with_cardinality(30.0),
+        ]);
+        assert_ne!(sig(&base), sig(&mutated));
+    }
+
+    #[test]
+    fn predicate_order_is_part_of_the_signature() {
+        // Floating-point selectivity products are rounding-order
+        // sensitive, so permuted predicate lists must not share entries.
+        let a = query(&[(0, 1, 0.5), (1, 2, 0.25)], 0);
+        let b = query(&[(1, 2, 0.25), (0, 1, 0.5)], 0);
+        assert_ne!(query_signature(&a).finish(), query_signature(&b).finish());
+    }
+
+    #[test]
+    fn colliding_hash_with_different_bytes_is_a_miss() {
+        let mut c: MemoCache<Vec<Plan>> = MemoCache::new(1 << 20);
+        c.insert(key(7), plan(1.0));
+        // Forge a key with the same hash but different canonical bytes.
+        let genuine = key(7);
+        let forged = CacheKey {
+            hash: genuine.hash(),
+            bytes: vec![0xFF],
+        };
+        assert!(c.get(&forged).is_none(), "full-key compare rejects it");
+    }
+}

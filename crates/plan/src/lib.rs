@@ -14,11 +14,19 @@
 //! paper plugs into the same dynamic program: classical single-objective
 //! pruning with interesting orders, and multi-objective α-approximate
 //! Pareto pruning (Trummer & Koch, SIGMOD 2014).
+//!
+//! [`cache`] provides the **cross-query memo cache**: canonical query
+//! signatures and a byte-budgeted LRU ([`MemoCache`]) that lets resident
+//! optimizers serve finished memo results — cost vectors, Pareto
+//! frontiers, reconstruction info — to later queries with identical
+//! statistics, predicates and cost-model parameters.
 
+pub mod cache;
 pub mod entry;
 pub mod pruning;
 pub mod tree;
 
+pub use cache::{query_signature, CacheKey, CacheKeyBuilder, CacheStats, CacheWeight, MemoCache};
 pub use entry::{PlanEntry, PlanNode};
 pub use pruning::PruningPolicy;
 pub use tree::Plan;

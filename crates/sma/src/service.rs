@@ -21,13 +21,17 @@ use crate::message::{SlotUpdate, SmaMasterMsg, SmaReply};
 use crate::optimizer::{SmaConfig, SmaError, SmaMetrics, SmaOutcome};
 use bytes::Bytes;
 use mpq_cluster::{
-    Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx, WorkerLogic,
+    AbandonedList, Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx,
+    WorkerLogic,
 };
 use mpq_cost::{CardinalityEstimator, Objective, ScanOp};
-use mpq_dp::{compute_entries_for_set, reconstruct_plan, HashMemo, MemoStore, WorkerStats};
+use mpq_dp::{
+    compute_entries_for_set, push_scope, reconstruct_plan, HashMemo, MemoStore, WorkerStats,
+};
 use mpq_model::{Query, TableSet};
 use mpq_partition::PlanSpace;
-use mpq_plan::{Plan, PlanEntry, PruningPolicy};
+use mpq_plan::cache::{query_signature, CacheKey, MemoCache};
+use mpq_plan::{CacheWeight, Plan, PlanEntry, PruningPolicy};
 use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
@@ -42,9 +46,16 @@ const MAX_PARKED_RESULTS: usize = 4096;
 
 /// Ticket for one submitted query; redeem with [`SmaService::wait`] or
 /// check with [`SmaService::poll`].
+///
+/// Dropping a handle **abandons** its session: on the next scheduler
+/// entry the service frees its master-side state and sends the workers
+/// `Abort` so their `O(2^n)` memo replicas for the session are freed —
+/// abandoned handles must not pin replica memory until service teardown.
+/// Dropping an already-redeemed handle is a no-op.
 #[derive(Debug)]
 pub struct QueryHandle {
     id: QueryId,
+    abandoned: AbandonedList,
 }
 
 impl QueryHandle {
@@ -54,21 +65,51 @@ impl QueryHandle {
     }
 }
 
+impl Drop for QueryHandle {
+    fn drop(&mut self) {
+        // Redeemed ids are no-ops at reap time.
+        self.abandoned.push(self.id.0);
+    }
+}
+
 /// One session's replica on one worker.
 struct ReplicaState {
     query: Query,
     space: PlanSpace,
     objective: Objective,
     memo: HashMemo,
+    /// Canonical cache-key prefix for this session's subproblems
+    /// (signature + engine/space/objective tags), computed once at `Init`.
+    slot_key_prefix: mpq_plan::cache::CacheKeyBuilder,
 }
+
+/// Engine tag distinguishing SMA memo-slot entries from the dp crate's
+/// partition-plan entries in shared key space.
+const ENGINE_SMA_SLOT: u8 = 2;
 
 /// SMA worker logic: one replicated memo **per in-flight session**, keyed
 /// by the session id; assigned slots are computed against the owning
 /// session's replica, broadcast deltas are merged into it, and `Finish`
-/// frees it.
-#[derive(Default)]
+/// (or the master's `Abort`) frees it.
+///
+/// Independent of the per-session replicas, the worker may hold a
+/// **shard-local cross-query cache** of finished memo slots: for a given
+/// canonical query signature the replicated memo's state at every level
+/// is identical across sessions (deltas are deterministic merges), so a
+/// slot computed once can be served to any later session with the same
+/// signature — byte-identical, and with zero extra network traffic.
 pub(crate) struct SmaWorker {
     replicas: HashMap<u64, ReplicaState>,
+    cache: MemoCache<Vec<PlanEntry>>,
+}
+
+impl SmaWorker {
+    pub(crate) fn new(cache_bytes: usize) -> SmaWorker {
+        SmaWorker {
+            replicas: HashMap::new(),
+            cache: MemoCache::new(cache_bytes),
+        }
+    }
 }
 
 impl WorkerLogic for SmaWorker {
@@ -102,6 +143,9 @@ impl WorkerLogic for SmaWorker {
                     );
                 }
                 drop(est);
+                let mut slot_key_prefix = query_signature(&q);
+                slot_key_prefix.push_u8(ENGINE_SMA_SLOT);
+                push_scope(&mut slot_key_prefix, space, objective);
                 self.replicas.insert(
                     query.0,
                     ReplicaState {
@@ -109,31 +153,46 @@ impl WorkerLogic for SmaWorker {
                         space,
                         objective,
                         memo,
+                        slot_key_prefix,
                     },
                 );
                 Control::Continue
             }
             SmaMasterMsg::Assign { sets } => {
-                let state = self
-                    .replicas
-                    .get_mut(&query.0)
-                    .expect("Init precedes Assign");
+                // Split the borrows: the cache and the session replica are
+                // disjoint worker state.
+                let SmaWorker { replicas, cache } = self;
+                let state = replicas.get_mut(&query.0).expect("Init precedes Assign");
                 let t0 = Instant::now();
                 let policy = PruningPolicy::new(state.objective, state.query.num_tables());
                 let mut est = CardinalityEstimator::new(&state.query);
                 let mut stats = WorkerStats::default();
                 let slots: Vec<SlotUpdate> = sets
                     .iter()
-                    .map(|&set| SlotUpdate {
-                        set,
-                        entries: compute_entries_for_set(
+                    .map(|&set| {
+                        let key: Option<CacheKey> = cache.is_enabled().then(|| {
+                            let mut kb = state.slot_key_prefix.clone();
+                            kb.push_u64(set.bits());
+                            kb.finish()
+                        });
+                        if let Some(entries) = key.as_ref().and_then(|k| cache.get(k)) {
+                            ctx.metrics()
+                                .record_cache_hit(entries.weight_bytes() as u64);
+                            return SlotUpdate { set, entries };
+                        }
+                        let entries = compute_entries_for_set(
                             state.space,
                             set,
                             &state.memo,
                             &mut est,
                             &policy,
                             &mut stats,
-                        ),
+                        );
+                        if let Some(k) = key {
+                            ctx.metrics().record_cache_miss();
+                            cache.insert(k, entries.clone());
+                        }
+                        SlotUpdate { set, entries }
                     })
                     .collect();
                 let micros = t0.elapsed().as_micros() as u64;
@@ -254,6 +313,9 @@ pub struct SmaService {
     /// order — deterministic across runs, like the rest of the simulator.
     sessions: BTreeMap<u64, Session>,
     done: BTreeMap<u64, Result<SmaOutcome, SmaError>>,
+    /// Session ids whose [`QueryHandle`] was dropped unredeemed; reaped
+    /// (state freed, workers told to `Abort`) on the next scheduler entry.
+    abandoned: AbandonedList,
 }
 
 impl SmaService {
@@ -263,7 +325,7 @@ impl SmaService {
     pub fn spawn(workers: usize, config: SmaConfig) -> Result<SmaService, SmaError> {
         assert!(workers >= 1, "at least one worker required");
         let cluster = Cluster::spawn_with_faults(workers, config.latency, &config.faults, |_| {
-            SmaWorker::default()
+            SmaWorker::new(config.cache_bytes)
         })
         .map_err(SmaError::Cluster)?;
         Ok(SmaService {
@@ -272,6 +334,7 @@ impl SmaService {
             next_id: 0,
             sessions: BTreeMap::new(),
             done: BTreeMap::new(),
+            abandoned: AbandonedList::new(),
         })
     }
 
@@ -300,6 +363,7 @@ impl SmaService {
         space: PlanSpace,
         objective: Objective,
     ) -> Result<QueryHandle, SmaError> {
+        self.reap_abandoned();
         let id = QueryId(self.next_id);
         self.next_id += 1;
         let n = query.num_tables();
@@ -335,7 +399,10 @@ impl SmaService {
             return Err(e);
         }
         self.sessions.insert(id.0, session);
-        Ok(QueryHandle { id })
+        Ok(QueryHandle {
+            id,
+            abandoned: self.abandoned.clone(),
+        })
     }
 
     /// Non-blocking check: drains replies that have already arrived and
@@ -343,6 +410,7 @@ impl SmaService {
     /// result is delivered exactly once; after `Some`, the handle is
     /// spent.
     pub fn poll(&mut self, handle: &QueryHandle) -> Option<Result<SmaOutcome, SmaError>> {
+        self.reap_abandoned();
         loop {
             if self.done.contains_key(&handle.id.0) {
                 break;
@@ -372,6 +440,7 @@ impl SmaService {
     /// Panics if the handle's result was already taken via
     /// [`SmaService::poll`].
     pub fn wait(&mut self, handle: QueryHandle) -> Result<SmaOutcome, SmaError> {
+        self.reap_abandoned();
         loop {
             if let Some(result) = self.done.remove(&handle.id.0) {
                 return result;
@@ -397,6 +466,20 @@ impl SmaService {
     /// Shuts the resident cluster down, joining every worker thread.
     pub fn shutdown(self) {
         self.cluster.shutdown();
+    }
+
+    /// Frees the state of sessions whose handle was dropped unredeemed:
+    /// master-side session state, parked results, and — crucially for SMA
+    /// — the `O(2^n)` memo replicas the session pinned on every worker
+    /// (via `Abort`). Called on every scheduler entry; public so
+    /// long-idle callers can reap eagerly.
+    pub fn reap_abandoned(&mut self) {
+        for id in self.abandoned.drain() {
+            if self.sessions.remove(&id).is_some() {
+                abort_session(&self.cluster, QueryId(id));
+            }
+            self.done.remove(&id);
+        }
     }
 
     /// Routes one session-tagged reply and advances that session's
@@ -522,6 +605,13 @@ impl SmaService {
             .remove(&qid.0)
             .expect("finishing an active session");
         let network = self.cluster.metrics().snapshot();
+        // Worker 0 freed its replica when it handled `Finish`; tell the
+        // *other* workers to free theirs too — a resident worker's memory
+        // must track the in-flight set, not the history of sessions.
+        let abort = SmaMasterMsg::Abort.to_bytes();
+        for w in 1..self.cluster.num_workers() {
+            let _ = self.cluster.send(w, qid, abort.clone(), false);
+        }
         let metrics = SmaMetrics {
             total_micros: session.start.elapsed().as_micros() as u64,
             max_worker_micros: session.compute.iter().copied().max().unwrap_or(0),
@@ -651,6 +741,59 @@ mod tests {
                 .time;
             assert!(rel_eq(out.plans[0].cost().time, reference));
         }
+        svc.shutdown();
+    }
+
+    /// Regression (ISSUE 4 satellite): dropping an unredeemed handle must
+    /// free the session's master-side state and its worker replicas
+    /// instead of pinning `O(2^n)` memory until service teardown.
+    #[test]
+    fn dropped_handles_release_sessions_and_replicas() {
+        let mut svc = SmaService::spawn(2, SmaConfig::default()).unwrap();
+        let q = query(6, 40);
+        let abandoned = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        assert_eq!(svc.in_flight(), 1);
+        drop(abandoned);
+        // The next scheduler entry reaps it (and sends the workers
+        // `Abort`); a follow-up session streams through unaffected.
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        assert_eq!(svc.in_flight(), 1, "the dropped session is gone");
+        let out = svc.wait(handle).expect("live session completes");
+        assert_eq!(out.plans.len(), 1);
+        assert_eq!(svc.in_flight(), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn warm_shard_caches_answer_repeated_queries_identically() {
+        let config = SmaConfig {
+            cache_bytes: 1 << 20,
+            ..SmaConfig::default()
+        };
+        let mut svc = SmaService::spawn(3, config).unwrap();
+        let q = query(6, 41);
+        let cold = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| svc.wait(h))
+            .expect("cold run");
+        let after_cold = svc.metrics().snapshot();
+        assert!(after_cold.cache_misses > 0);
+        assert_eq!(after_cold.cache_hits, 0);
+        let warm = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| svc.wait(h))
+            .expect("warm run");
+        let after_warm = svc.metrics().snapshot();
+        assert_eq!(
+            after_warm.cache_hits, after_cold.cache_misses,
+            "every slot repeats on the same worker shard"
+        );
+        assert_eq!(warm.plans, cold.plans, "hits are byte-identical");
+        assert!(after_warm.cache_bytes_saved > 0);
         svc.shutdown();
     }
 

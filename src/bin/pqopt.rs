@@ -62,9 +62,10 @@ options:
   --multi ALPHA     multi-objective mode with approximation factor ALPHA
   --execute         also run the chosen plan on synthetic data
 serve options:
-  --queries N       queries to stream through the service   (default 64)
-  --clients C       concurrent in-flight submissions        (default 8)
-  --backend B       serial|topdown|mpq|sma                  (default mpq)";
+  --queries N       queries to stream through the service   (default 64, must be > 0)
+  --clients C       concurrent in-flight submissions        (default 8, must be > 0)
+  --backend B       serial|topdown|mpq|sma                  (default mpq)
+  --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)";
 
 struct Options {
     tables: usize,
@@ -78,6 +79,7 @@ struct Options {
     queries: usize,
     clients: usize,
     backend: Backend,
+    cache_bytes: usize,
 }
 
 impl Options {
@@ -94,6 +96,7 @@ impl Options {
             queries: 64,
             clients: 8,
             backend: Backend::Mpq,
+            cache_bytes: 0,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -135,6 +138,7 @@ impl Options {
                 "--execute" => o.execute = true,
                 "--queries" => o.queries = parse_num(&value("--queries")?)?,
                 "--clients" => o.clients = parse_num(&value("--clients")?)?,
+                "--cache-bytes" => o.cache_bytes = parse_num(&value("--cache-bytes")?)?,
                 "--backend" => {
                     o.backend = match value("--backend")?.as_str() {
                         "serial" => Backend::SerialDp,
@@ -149,6 +153,14 @@ impl Options {
         }
         if o.tables == 0 || o.tables > 24 {
             return Err("--tables must be between 1 and 24".into());
+        }
+        // A zero-query or zero-client serve run would silently do nothing;
+        // reject it as a usage error instead.
+        if o.queries == 0 {
+            return Err("--queries must be at least 1".into());
+        }
+        if o.clients == 0 {
+            return Err("--clients must be at least 1".into());
         }
         Ok(o)
     }
@@ -226,7 +238,7 @@ fn cmd_optimize(o: &Options) {
 /// throughputs. Single-objective results are verified against the serial
 /// DP reference.
 fn cmd_serve(o: &Options) {
-    let clients = o.clients.max(1);
+    let clients = o.clients;
     let mut gen = WorkloadGenerator::new(WorkloadConfig::with_graph(o.tables, o.graph), o.seed);
     let queries: Vec<Query> = (0..o.queries).map(|_| gen.next_query()).collect();
     let config = ServiceConfig {
@@ -240,15 +252,18 @@ fn cmd_serve(o: &Options) {
             latency: LatencyModel::cluster_like(),
             ..SmaConfig::default()
         },
+        cache_bytes: o.cache_bytes,
     };
     println!(
-        "serving {} queries ({} tables, {:?} graph) on backend `{}`, {} workers, {} clients",
+        "serving {} queries ({} tables, {:?} graph) on backend `{}`, {} workers, {} clients, \
+         cache {} bytes",
         queries.len(),
         o.tables,
         o.graph,
         o.backend.name(),
         o.workers,
-        clients
+        clients,
+        o.cache_bytes
     );
 
     // Resident mode: one service for the whole stream, `clients` queries
@@ -270,7 +285,18 @@ fn cmd_serve(o: &Options) {
         resident_results[idx] = Some(service.wait(handle).expect("query completes"));
     }
     let resident = t0.elapsed();
+    let cache = service.cache_stats();
     service.shutdown();
+    if o.cache_bytes > 0 {
+        println!(
+            "cache: {} hits / {} misses ({:.0}% hit rate), ~{} bytes of memo results served \
+             from cache",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0,
+            cache.bytes_saved
+        );
+    }
 
     // Spawn-per-query mode: identical workload, fresh service per query.
     let t0 = Instant::now();

@@ -87,6 +87,6 @@ pub mod prelude {
         WorkloadGenerator,
     };
     pub use mpq_partition::{effective_workers, partition_constraints, PlanSpace};
-    pub use mpq_plan::{Plan, PruningPolicy};
+    pub use mpq_plan::{CacheStats, MemoCache, Plan, PruningPolicy};
     pub use mpq_sma::{SmaConfig, SmaError, SmaOptimizer, SmaService};
 }

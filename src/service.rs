@@ -11,14 +11,15 @@
 //! MPQ and the SMA baseline. There is exactly one code path per backend;
 //! single-query and streaming callers differ only in when they wait.
 
-use crate::dp::{optimize_partition_topdown, optimize_serial};
+use crate::dp::{optimize_partition_topdown_cached, optimize_serial_cached, PlanCache};
 use crate::mpq::{MpqConfig, MpqError, MpqService};
-use crate::partition::partition_constraints;
 use crate::plan::Plan;
 use crate::sma::{SmaConfig, SmaError, SmaService};
+use mpq_cluster::AbandonedList;
 use mpq_cost::Objective;
 use mpq_model::Query;
 use mpq_partition::PlanSpace;
+use mpq_plan::CacheStats;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -73,6 +74,13 @@ pub struct ServiceConfig {
     pub mpq: MpqConfig,
     /// SMA backend configuration (latency, faults, receive timeout).
     pub sma: SmaConfig,
+    /// Byte budget of the **cross-query memo cache** (LRU). For the
+    /// single-node backends this is one master-side cache; for the
+    /// cluster backends it is the per-worker budget of each shard-local
+    /// cache. `0` (the default) disables caching — bit-for-bit the
+    /// pre-cache behavior. When non-zero, this overrides the engine
+    /// configs' own `cache_bytes`.
+    pub cache_bytes: usize,
 }
 
 impl ServiceConfig {
@@ -83,6 +91,14 @@ impl ServiceConfig {
             backend,
             workers,
             ..ServiceConfig::default()
+        }
+    }
+
+    /// Same service with a cross-query cache budget.
+    pub fn with_cache(backend: Backend, workers: usize, cache_bytes: usize) -> ServiceConfig {
+        ServiceConfig {
+            cache_bytes,
+            ..ServiceConfig::new(backend, workers)
         }
     }
 }
@@ -137,9 +153,25 @@ pub struct ServiceHandle {
 enum Ticket {
     /// Single-node backends complete at submission; the result is parked
     /// under this key.
-    Immediate(u64),
+    Immediate(ImmediateHandle),
     Mpq(crate::mpq::QueryHandle),
     Sma(crate::sma::QueryHandle),
+}
+
+/// Parked-result ticket of the single-node engines. Dropping it
+/// unredeemed queues the id for reaping, so abandoned results are freed
+/// on the next service call instead of lingering until eviction —
+/// mirroring the cluster handles' behavior.
+#[derive(Debug)]
+struct ImmediateHandle {
+    id: u64,
+    abandoned: AbandonedList,
+}
+
+impl Drop for ImmediateHandle {
+    fn drop(&mut self) {
+        self.abandoned.push(self.id);
+    }
 }
 
 /// A long-lived optimizer service; see the module docs.
@@ -156,6 +188,10 @@ enum Engine {
         backend: Backend,
         next_id: u64,
         done: BTreeMap<u64, Vec<Plan>>,
+        /// The master-side cross-query memo cache (disabled at budget 0).
+        cache: PlanCache,
+        /// Ids of handles dropped unredeemed, reaped on the next call.
+        abandoned: AbandonedList,
     },
     Mpq(MpqService),
     Sma(SmaService),
@@ -170,14 +206,24 @@ impl OptimizerService {
         } else {
             config.workers
         };
+        // A service-level budget overrides the engine configs, so one
+        // `--cache-bytes` knob governs every backend uniformly.
+        let mut mpq = config.mpq;
+        let mut sma = config.sma;
+        if config.cache_bytes > 0 {
+            mpq.cache_bytes = config.cache_bytes;
+            sma.cache_bytes = config.cache_bytes;
+        }
         let engine = match config.backend {
             Backend::SerialDp | Backend::TopDown => Engine::Immediate {
                 backend: config.backend,
                 next_id: 0,
                 done: BTreeMap::new(),
+                cache: PlanCache::new(config.cache_bytes),
+                abandoned: AbandonedList::new(),
             },
-            Backend::Mpq => Engine::Mpq(MpqService::spawn(workers, config.mpq)?),
-            Backend::Sma => Engine::Sma(SmaService::spawn(workers, config.sma)?),
+            Backend::Mpq => Engine::Mpq(MpqService::spawn(workers, mpq)?),
+            Backend::Sma => Engine::Sma(SmaService::spawn(workers, sma)?),
         };
         Ok(OptimizerService {
             backend: config.backend,
@@ -204,12 +250,20 @@ impl OptimizerService {
                 backend,
                 next_id,
                 done,
+                cache,
+                abandoned,
             } => {
+                reap_immediate(done, abandoned);
                 let plans = match backend {
-                    Backend::SerialDp => optimize_serial(query, space, objective).plans,
+                    Backend::SerialDp => {
+                        optimize_serial_cached(query, space, objective, cache)
+                            .0
+                            .plans
+                    }
                     Backend::TopDown => {
-                        let constraints = partition_constraints(query.num_tables(), space, 0, 1);
-                        optimize_partition_topdown(query, space, objective, &constraints).plans
+                        optimize_partition_topdown_cached(query, space, objective, 0, 1, cache)
+                            .0
+                            .plans
                     }
                     _ => unreachable!("cluster backends use their own engine"),
                 };
@@ -219,7 +273,10 @@ impl OptimizerService {
                 while done.len() > MAX_PARKED_RESULTS {
                     done.pop_first();
                 }
-                Ticket::Immediate(id)
+                Ticket::Immediate(ImmediateHandle {
+                    id,
+                    abandoned: abandoned.clone(),
+                })
             }
             Engine::Mpq(svc) => Ticket::Mpq(svc.submit(query, space, objective)?),
             Engine::Sma(svc) => Ticket::Sma(svc.submit(query, space, objective)?),
@@ -231,7 +288,15 @@ impl OptimizerService {
     /// finished. A result is delivered exactly once per handle.
     pub fn poll(&mut self, handle: &ServiceHandle) -> Option<Result<Vec<Plan>, ServiceError>> {
         match (&mut self.engine, &handle.ticket) {
-            (Engine::Immediate { done, .. }, Ticket::Immediate(id)) => done.remove(id).map(Ok),
+            (
+                Engine::Immediate {
+                    done, abandoned, ..
+                },
+                Ticket::Immediate(h),
+            ) => {
+                reap_immediate(done, abandoned);
+                done.remove(&h.id).map(Ok)
+            }
             (Engine::Mpq(svc), Ticket::Mpq(h)) => {
                 svc.poll(h).map(|r| r.map(|o| o.plans).map_err(Into::into))
             }
@@ -248,8 +313,14 @@ impl OptimizerService {
     /// otherwise.
     pub fn wait(&mut self, handle: ServiceHandle) -> Result<Vec<Plan>, ServiceError> {
         match (&mut self.engine, handle.ticket) {
-            (Engine::Immediate { done, .. }, Ticket::Immediate(id)) => {
-                Ok(done.remove(&id).expect("service handle already resolved"))
+            (
+                Engine::Immediate {
+                    done, abandoned, ..
+                },
+                Ticket::Immediate(h),
+            ) => {
+                reap_immediate(done, abandoned);
+                Ok(done.remove(&h.id).expect("service handle already resolved"))
             }
             (Engine::Mpq(svc), Ticket::Mpq(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
             (Engine::Sma(svc), Ticket::Sma(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
@@ -264,6 +335,36 @@ impl OptimizerService {
             Engine::Mpq(svc) => svc.shutdown(),
             Engine::Sma(svc) => svc.shutdown(),
         }
+    }
+
+    /// Counters of the service's cross-query memo cache. For the
+    /// single-node backends these are the exact LRU counters; for the
+    /// cluster backends they aggregate the shard-local worker caches via
+    /// the cluster metrics (hit/miss/bytes-saved only — entry and byte
+    /// occupancy are worker-private and reported as zero).
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.engine {
+            Engine::Immediate { cache, .. } => cache.stats(),
+            Engine::Mpq(svc) => cluster_cache_stats(svc.metrics().snapshot()),
+            Engine::Sma(svc) => cluster_cache_stats(svc.metrics().snapshot()),
+        }
+    }
+}
+
+/// Projects a cluster metrics snapshot onto the cache-counter view.
+fn cluster_cache_stats(s: mpq_cluster::NetworkSnapshot) -> CacheStats {
+    CacheStats {
+        hits: s.cache_hits,
+        misses: s.cache_misses,
+        bytes_saved: s.cache_bytes_saved,
+        ..CacheStats::default()
+    }
+}
+
+/// Drops parked results whose [`ImmediateHandle`] was dropped unredeemed.
+fn reap_immediate(done: &mut BTreeMap<u64, Vec<Plan>>, abandoned: &AbandonedList) {
+    for id in abandoned.drain() {
+        done.remove(&id);
     }
 }
 
@@ -280,6 +381,12 @@ pub trait Optimizer {
         space: PlanSpace,
         objective: Objective,
     ) -> Result<Vec<Plan>, ServiceError>;
+
+    /// Counters of the engine's cross-query memo cache. Engines without a
+    /// cache report all-zero stats (the default).
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
 }
 
 impl Optimizer for OptimizerService {
@@ -296,11 +403,16 @@ impl Optimizer for OptimizerService {
         let handle = self.submit(query, space, objective)?;
         self.wait(handle)
     }
+
+    fn cache_stats(&self) -> CacheStats {
+        OptimizerService::cache_stats(self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dp::optimize_serial;
     use mpq_model::{WorkloadConfig, WorkloadGenerator};
 
     fn query(n: usize, seed: u64) -> Query {
@@ -342,6 +454,73 @@ mod tests {
         let plans = svc.poll(&handle).expect("immediate").expect("no error");
         assert_eq!(plans.len(), 1);
         assert!(svc.poll(&handle).is_none(), "results deliver exactly once");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cached_service_reports_hits_and_stays_transparent() {
+        for backend in Backend::ALL {
+            let mut svc = OptimizerService::spawn(ServiceConfig::with_cache(backend, 3, 1 << 20))
+                .expect("spawn");
+            let q = query(6, 8);
+            let cold = svc
+                .optimize(&q, PlanSpace::Linear, Objective::Single)
+                .expect("cold");
+            let warm = svc
+                .optimize(&q, PlanSpace::Linear, Objective::Single)
+                .expect("warm");
+            assert_eq!(
+                warm,
+                cold,
+                "backend {}: hits are byte-identical",
+                backend.name()
+            );
+            let stats = Optimizer::cache_stats(&svc);
+            assert!(
+                stats.hits > 0,
+                "backend {}: repeat run must hit ({stats:?})",
+                backend.name()
+            );
+            assert!(stats.bytes_saved > 0);
+            svc.shutdown();
+        }
+    }
+
+    #[test]
+    fn uncached_service_reports_zero_stats() {
+        let mut svc =
+            OptimizerService::spawn(ServiceConfig::new(Backend::SerialDp, 1)).expect("spawn");
+        let q = query(5, 9);
+        for _ in 0..2 {
+            svc.optimize(&q, PlanSpace::Linear, Objective::Single)
+                .expect("optimize");
+        }
+        let stats = svc.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn dropped_immediate_handles_release_parked_results() {
+        let mut svc =
+            OptimizerService::spawn(ServiceConfig::new(Backend::SerialDp, 1)).expect("spawn");
+        let q = query(5, 10);
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        drop(handle);
+        // The next call reaps it; the result for a live handle is intact.
+        let live = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        let plans = svc.wait(live).expect("live handle resolves");
+        assert_eq!(plans.len(), 1);
+        match &svc.engine {
+            Engine::Immediate { done, .. } => {
+                assert!(done.is_empty(), "abandoned and redeemed results are gone")
+            }
+            _ => unreachable!(),
+        }
         svc.shutdown();
     }
 

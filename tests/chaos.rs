@@ -380,6 +380,116 @@ fn resident_service_under_faults_matches_serial_for_concurrent_sessions() {
     service.shutdown();
 }
 
+/// Cached sessions under faults (ISSUE 4 satellite): a worker crash on a
+/// resident cluster with warm shard-local caches must still yield exactly
+/// the fault-free cost, with a balanced per-session fault ledger — the
+/// cache is acceleration state, never correctness state, and a crashed
+/// worker simply takes its shard of the cache with it.
+#[test]
+fn worker_crash_with_warm_shard_caches_stays_exact() {
+    let faults = FaultPlan::crash_on_first_task(4, 3);
+    let config = MpqConfig {
+        faults,
+        retry: RetryPolicy::with_timeout(64, Duration::from_millis(20)),
+        cache_bytes: 1 << 20,
+        ..MpqConfig::default()
+    };
+    let mut svc = MpqService::spawn(4, config).expect("service spawns");
+    let q = query(7, 321);
+    let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+        .cost()
+        .time;
+    // Run 1 warms the survivors' caches *and* rides out the crash; run 2
+    // streams the same query through the warm, degraded cluster.
+    let mut warm_hits = 0;
+    for run in 0..2 {
+        let out = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| svc.wait(h))
+            .expect("recovery succeeds");
+        assert!(
+            rel_eq(out.plans[0].cost().time, reference),
+            "run {run}: cached faulty cost {} vs fault-free {}",
+            out.plans[0].cost().time,
+            reference
+        );
+        // Per-session ledger balances with caching on.
+        assert_eq!(
+            out.metrics.replies_received,
+            out.metrics.workers_used as u64 + out.metrics.duplicate_replies,
+            "run {run}: reply ledger must balance"
+        );
+        assert_eq!(
+            out.metrics.cache_hits + out.metrics.cache_misses,
+            out.metrics.partitions,
+            "run {run}: every partition is either a hit or a miss"
+        );
+        if run == 1 {
+            warm_hits = out.metrics.cache_hits;
+        }
+    }
+    assert!(
+        warm_hits >= 1,
+        "the warm run must serve at least one partition from a survivor's cache"
+    );
+    assert!(svc.metrics().snapshot().crashes >= 1, "the crash must fire");
+    svc.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(6)))]
+
+    /// The chaos invariant with caching on: any fault plan with ≥ 1
+    /// survivor, each query streamed twice through one resident cached
+    /// service (cold then warm), still returns exactly the fault-free
+    /// optimal cost both times with balanced ledgers.
+    #[test]
+    fn faulty_cached_service_stays_exact_cold_and_warm(
+        plan in arb_fault_plan(),
+        qseed in any::<u64>(),
+        n in 4usize..=7,
+        workers in 2usize..=6,
+    ) {
+        let q = query(n, qseed);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let config = MpqConfig {
+            faults: plan,
+            retry: chaos_retry(),
+            cache_bytes: 1 << 20,
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(workers, config)
+            .map_err(|e| TestCaseError::fail(format!("spawn failed under {plan:?}: {e}")))?;
+        for pass in ["cold", "warm"] {
+            let out = svc
+                .submit(&q, PlanSpace::Linear, Objective::Single)
+                .and_then(|h| svc.wait(h))
+                .map_err(|e| {
+                    TestCaseError::fail(format!("{pass} run failed under {plan:?}: {e}"))
+                })?;
+            prop_assert!(
+                rel_eq(out.plans[0].cost().time, reference),
+                "plan {:?} ({} run): cost {} vs fault-free {}",
+                plan, pass, out.plans[0].cost().time, reference
+            );
+            prop_assert_eq!(
+                out.metrics.replies_received,
+                out.metrics.workers_used as u64 + out.metrics.duplicate_replies,
+                "plan {:?} ({} run): ledger must balance", plan, pass
+            );
+            prop_assert_eq!(
+                out.metrics.cache_hits + out.metrics.cache_misses,
+                out.metrics.partitions,
+                "plan {:?} ({} run): hits + misses must cover the partitions",
+                plan, pass
+            );
+        }
+        svc.shutdown();
+    }
+}
+
 /// Metrics account for targeted drops: a schedule that provably drops a
 /// first-task reply must surface in `drops`, trigger re-execution, and
 /// still produce the optimal plan.
