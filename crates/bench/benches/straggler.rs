@@ -1,0 +1,134 @@
+//! Straggler-adaptive work redistribution: does stealing beat static
+//! assignment when one worker is slow?
+//!
+//! The paper's MPQ assigns each worker a fixed slice of the partition
+//! space up front, so one slow node bounds the whole session. This bench
+//! slows **one worker 10x** (it sleeps 9x its measured compute time per
+//! partition) on an oversubscribed assignment and measures **session
+//! completion time at the master** — submit to wait on a resident
+//! [`MpqService`], excluding cluster spawn/teardown (teardown joins the
+//! straggler's in-flight task, which is exactly the wait stealing
+//! exists to avoid) — with the steal policy off (static assignment, the
+//! paper's algorithm) and on (the straggler's unstarted remainder is
+//! split across the idle fast workers and its head is speculatively
+//! backed up).
+//!
+//! `report_straggler` prints both medians and **asserts the ISSUE 5
+//! acceptance bar**: with stealing enabled, completion time beats static
+//! assignment. Exactness under stealing is proven separately by
+//! `tests/straggler.rs` (byte-identical cost bits and frontiers).
+//!
+//! Knobs to play with (see EXPERIMENTS.md): `SLOW_FACTOR`, `PARTITIONS`
+//! (range granularity — more partitions mean a finer-grained steal),
+//! `WORKERS`, and the `StealPolicy` fields.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_algo::{MpqConfig, MpqService, StealPolicy};
+use mpq_cost::Objective;
+use mpq_model::{Query, WorkloadConfig, WorkloadGenerator};
+use mpq_partition::PlanSpace;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const TABLES: usize = 11;
+const WORKERS: usize = 4;
+const PARTITIONS: u64 = 32;
+const SLOW_FACTOR: u32 = 10;
+const SAMPLES: usize = 7;
+
+fn config(steal: StealPolicy) -> MpqConfig {
+    MpqConfig {
+        steal,
+        slow_worker: Some((0, SLOW_FACTOR)),
+        ..MpqConfig::default()
+    }
+}
+
+fn query(seed: u64) -> Query {
+    WorkloadGenerator::new(WorkloadConfig::paper_default(TABLES), seed).next_query()
+}
+
+/// One session on a fresh resident cluster: the timed region is
+/// submit → wait; spawn and shutdown (which drains the straggler's
+/// leftover task) stay outside.
+fn run_once(steal: StealPolicy, seed: u64) -> Duration {
+    let mut svc = MpqService::spawn(WORKERS, config(steal)).expect("service spawns");
+    let q = query(seed);
+    let per_worker = PARTITIONS / WORKERS as u64;
+    let assignment: Vec<(u64, u64)> = (0..WORKERS as u64)
+        .map(|w| (w * per_worker, per_worker))
+        .collect();
+    let t0 = Instant::now();
+    let out = svc
+        .submit_assigned(
+            black_box(&q),
+            PlanSpace::Linear,
+            Objective::Single,
+            PARTITIONS,
+            assignment,
+        )
+        .and_then(|handle| svc.wait(handle))
+        .expect("session completes");
+    let elapsed = t0.elapsed();
+    black_box(out);
+    svc.shutdown();
+    elapsed
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn bench_straggler(c: &mut Criterion) {
+    for (label, steal) in [
+        ("static", StealPolicy::DISABLED),
+        ("steal", StealPolicy::balanced()),
+    ] {
+        c.bench_function(
+            &format!(
+                "straggler_{label}_linear{TABLES}_w{WORKERS}_p{PARTITIONS}_slow{SLOW_FACTOR}x"
+            ),
+            |b| b.iter(|| run_once(steal, 5)),
+        );
+    }
+}
+
+/// Not a timing benchmark: prints the medians and asserts the acceptance
+/// bar — redistribution beats static assignment under a 10x straggler.
+fn report_straggler(_c: &mut Criterion) {
+    println!(
+        "\n== straggler redistribution ({TABLES}-table queries, {PARTITIONS} partitions over \
+         {WORKERS} workers, worker 0 slowed {SLOW_FACTOR}x) =="
+    );
+    let static_median = median(
+        (0..SAMPLES)
+            .map(|s| run_once(StealPolicy::DISABLED, s as u64))
+            .collect(),
+    );
+    let steal_median = median(
+        (0..SAMPLES)
+            .map(|s| run_once(StealPolicy::balanced(), s as u64))
+            .collect(),
+    );
+    let speedup = static_median.as_secs_f64() / steal_median.as_secs_f64().max(1e-9);
+    println!(
+        "{:<22} {:>12} {:>12} {:>9}",
+        "assignment", "static (ms)", "steal (ms)", "speedup"
+    );
+    println!(
+        "{:<22} {:>12.1} {:>12.1} {:>8.2}x",
+        "median completion",
+        static_median.as_secs_f64() * 1e3,
+        steal_median.as_secs_f64() * 1e3,
+        speedup
+    );
+    assert!(
+        steal_median < static_median,
+        "acceptance bar: with one worker slowed {SLOW_FACTOR}x, stealing must beat static \
+         assignment, got static {static_median:?} vs steal {steal_median:?}"
+    );
+}
+
+criterion_group!(benches, bench_straggler, report_straggler);
+criterion_main!(benches);

@@ -275,6 +275,45 @@ impl SessionEnvelope {
     }
 }
 
+/// A lightweight worker → master progress report for one in-flight task:
+/// how many partitions of the echoed range the worker has completed so
+/// far. Fixed-size (three little-endian `u64`s, 24 bytes), so piggybacking
+/// progress on the reply stream costs `O(1)` bytes per report — the
+/// master's straggler detector reads *relative* progress from these
+/// without any extra coordination round.
+///
+/// The range echo (`first_partition`, `partition_count`) identifies the
+/// task exactly the way replies do, so progress reports survive
+/// speculative re-execution: a report is attributed to whichever
+/// assignment entry currently carries that range, and reports for
+/// superseded ranges merely refresh liveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// First partition ID of the range being worked on (task echo).
+    pub first_partition: u64,
+    /// Partitions of the range completed so far (strictly less than
+    /// `partition_count`: completing the range is signalled by the reply
+    /// itself, never by a progress report).
+    pub completed: u64,
+    /// Number of partitions in the range (task echo).
+    pub partition_count: u64,
+}
+
+impl Wire for Progress {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.first_partition);
+        enc.put_u64(self.completed);
+        enc.put_u64(self.partition_count);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Progress {
+            first_partition: dec.get_u64()?,
+            completed: dec.get_u64()?,
+            partition_count: dec.get_u64()?,
+        })
+    }
+}
+
 impl Wire for u64 {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(*self);
@@ -715,6 +754,20 @@ mod tests {
     fn query_id_roundtrip() {
         roundtrip(&QueryId(0));
         roundtrip(&QueryId(u64::MAX));
+    }
+
+    #[test]
+    fn progress_roundtrip_and_fixed_size() {
+        let p = Progress {
+            first_partition: 5,
+            completed: 2,
+            partition_count: 8,
+        };
+        roundtrip(&p);
+        assert_eq!(p.to_bytes().len(), 24, "progress reports are O(1) bytes");
+        for cut in [0usize, 1, 8, 23] {
+            assert!(Progress::from_bytes(&p.to_bytes()[..cut]).is_err());
+        }
     }
 
     #[test]

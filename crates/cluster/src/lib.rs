@@ -40,10 +40,11 @@ pub mod latency;
 pub mod metrics;
 pub mod runtime;
 
-pub use codec::{DecodeError, Decoder, Encoder, QueryId, SessionEnvelope, Wire};
+pub use codec::{DecodeError, Decoder, Encoder, Progress, QueryId, SessionEnvelope, Wire};
 pub use fault::{FaultAction, FaultPlan, FaultSchedule, WorkerFaults};
 pub use latency::LatencyModel;
 pub use metrics::{NetworkMetrics, NetworkSnapshot, WorkerCounters};
 pub use runtime::{
-    AbandonedList, BatchError, Cluster, ClusterError, Control, WorkerCtx, WorkerLogic,
+    mint_service_instance, AbandonedList, BatchError, Cluster, ClusterError, Control, WorkerCtx,
+    WorkerLogic,
 };

@@ -26,6 +26,11 @@ pub struct NetworkMetrics {
     retries: AtomicU64,
     timeouts: AtomicU64,
     duplicate_replies: AtomicU64,
+    // Straggler-adaptive work redistribution counters (master-side):
+    // steal events (one straggler's unstarted remainder split and
+    // re-issued) and worker progress reports received.
+    steals: AtomicU64,
+    progress_reports: AtomicU64,
     // Cross-query memo-cache counters (recorded where the cache lives:
     // worker-side for shard-local caches, master-side for service caches).
     cache_hits: AtomicU64,
@@ -127,6 +132,17 @@ impl NetworkMetrics {
         self.duplicate_replies.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one steal event: a straggler's unstarted remainder was
+    /// split and re-issued to idle workers.
+    pub fn record_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one worker progress report received by the master.
+    pub fn record_progress_report(&self) {
+        self.progress_reports.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Marks the start of a new coordination round (the MPQ algorithm has
     /// exactly one; SMA has one per join-result cardinality).
     pub fn record_round(&self) {
@@ -158,6 +174,8 @@ impl NetworkMetrics {
         self.retries.store(0, Ordering::Relaxed);
         self.timeouts.store(0, Ordering::Relaxed);
         self.duplicate_replies.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.progress_reports.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_bytes_saved.store(0, Ordering::Relaxed);
@@ -182,6 +200,8 @@ impl NetworkMetrics {
             retries: self.retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             duplicate_replies: self.duplicate_replies.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            progress_reports: self.progress_reports.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_bytes_saved: self.cache_bytes_saved.load(Ordering::Relaxed),
@@ -226,6 +246,11 @@ pub struct NetworkSnapshot {
     pub timeouts: u64,
     /// Replies discarded as duplicates of completed tasks.
     pub duplicate_replies: u64,
+    /// Steal events: a straggler's unstarted remainder split and
+    /// re-issued to idle workers.
+    pub steals: u64,
+    /// Worker progress reports received by the master.
+    pub progress_reports: u64,
     /// Cross-query memo-cache hits (shard-local worker caches plus any
     /// master-side service cache sharing these metrics).
     pub cache_hits: u64,
@@ -333,6 +358,19 @@ mod tests {
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_bytes_saved, 150);
+        m.reset();
+        assert_eq!(m.snapshot(), NetworkSnapshot::default());
+    }
+
+    #[test]
+    fn steal_and_progress_counters_accumulate_and_reset() {
+        let m = NetworkMetrics::new();
+        m.record_steal();
+        m.record_progress_report();
+        m.record_progress_report();
+        let s = m.snapshot();
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.progress_reports, 2);
         m.reset();
         assert_eq!(m.snapshot(), NetworkSnapshot::default());
     }

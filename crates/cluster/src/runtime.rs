@@ -31,6 +31,15 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Mints a process-wide unique service-instance identity. Session
+/// services stamp it into the handles they mint, so a handle presented
+/// to the wrong service instance is detected even when the raw session
+/// ids collide (every service numbers its sessions from 0).
+pub fn mint_service_instance() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Drop-queue shared between a session service and its query handles:
 /// a handle pushes its session id here when dropped unredeemed, and the
 /// service drains the queue on its next scheduler entry to free the

@@ -15,7 +15,7 @@
 //! `cargo test -p mpq_cluster --test codec_golden -- --ignored --nocapture`
 //! and paste the printed constants below.
 
-use mpq_cluster::{QueryId, SessionEnvelope, Wire};
+use mpq_cluster::{Progress, QueryId, SessionEnvelope, Wire};
 use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
 use mpq_dp::WorkerStats;
 use mpq_model::{Catalog, JoinGraph, Predicate, Query, TableSet, TableStats};
@@ -104,6 +104,14 @@ fn golden_stats() -> WorkerStats {
     }
 }
 
+fn golden_progress() -> Progress {
+    Progress {
+        first_partition: 5,
+        completed: 2,
+        partition_count: 8,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Frozen encodings. Regenerate only on a deliberate wire-format change.
 // ---------------------------------------------------------------------------
@@ -131,6 +139,9 @@ const GOLDEN_WORKER_STATS: &str =
 // that wraps every wire message — 8-byte LE id, then the payload verbatim.
 const GOLDEN_QUERY_ID: &str = "efbeadde00000000";
 const GOLDEN_ENVELOPE: &str = "2a00000000000000010203";
+// Straggler-adaptive redistribution: the fixed-size worker progress report
+// (three LE u64s: first_partition, completed, partition_count).
+const GOLDEN_PROGRESS: &str = "050000000000000002000000000000000800000000000000";
 
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
@@ -211,6 +222,17 @@ fn golden_session_layer() {
     assert_eq!(&opened.payload[..], &[1, 2, 3]);
 }
 
+#[test]
+fn golden_progress_report() {
+    assert_golden(&golden_progress(), GOLDEN_PROGRESS, "Progress");
+    // Fixed-size layout: exactly three LE u64s, 24 bytes.
+    let bytes = golden_progress().to_bytes();
+    assert_eq!(bytes.len(), 24);
+    assert_eq!(u64::from_le_bytes(bytes[0..8].try_into().unwrap()), 5);
+    assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 2);
+    assert_eq!(u64::from_le_bytes(bytes[16..24].try_into().unwrap()), 8);
+}
+
 /// The golden query must stay byte-identical structurally: length prefix,
 /// per-table stats, predicates, graph tag — this pins the *layout*, not
 /// just the bytes.
@@ -281,6 +303,7 @@ fn regenerate_golden_constants() {
             "GOLDEN_ENVELOPE",
             hex(&SessionEnvelope::frame(QueryId(42), &[1, 2, 3])),
         ),
+        ("GOLDEN_PROGRESS", hex(&golden_progress().to_bytes())),
     ];
     for (name, value) in pairs {
         println!("const {name}: &str = \"{value}\";");

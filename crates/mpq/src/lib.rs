@@ -41,6 +41,8 @@ pub mod message;
 pub mod optimizer;
 pub mod service;
 
-pub use message::{MasterMessage, WorkerReply};
-pub use optimizer::{MpqConfig, MpqError, MpqMetrics, MpqOptimizer, MpqOutcome, RetryPolicy};
+pub use message::{MasterMessage, WorkerMsg, WorkerReply};
+pub use optimizer::{
+    MpqConfig, MpqError, MpqMetrics, MpqOptimizer, MpqOutcome, RetryPolicy, StealPolicy,
+};
 pub use service::{MpqService, QueryHandle};

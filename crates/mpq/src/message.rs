@@ -1,12 +1,16 @@
 //! MPQ wire messages.
 //!
-//! One message type in each direction, matching the single communication
-//! round of the algorithm. The task message carries the query together
-//! with its statistics (the "send query-specific statistics with each
-//! query" mode of Section 4.1) plus three integers; the reply carries the
-//! partition-optimal plan(s) and the worker's counters.
+//! One task message from the master; the worker answers with a tagged
+//! [`WorkerMsg`] — either the final [`WorkerReply`] for its range
+//! (matching the single communication round of the algorithm) or, when
+//! the task requests it, a lightweight [`Progress`] report after every
+//! `progress_every` completed partitions. The task message carries the
+//! query together with its statistics (the "send query-specific
+//! statistics with each query" mode of Section 4.1) plus four integers;
+//! the reply carries the partition-optimal plan(s) and the worker's
+//! counters.
 
-use mpq_cluster::{DecodeError, Decoder, Encoder, Wire};
+use mpq_cluster::{DecodeError, Decoder, Encoder, Progress, Wire};
 use mpq_cost::Objective;
 use mpq_dp::WorkerStats;
 use mpq_model::Query;
@@ -29,6 +33,11 @@ pub struct MasterMessage {
     pub partition_count: u64,
     /// Total number of plan-space partitions `m`.
     pub total_partitions: u64,
+    /// Progress-report cadence: the worker sends a [`Progress`] report
+    /// after every this-many completed partitions of the range (never for
+    /// the final partition — the reply itself signals completion). `0`
+    /// disables progress reporting, which is the steal-off wire behavior.
+    pub progress_every: u64,
 }
 
 impl Wire for MasterMessage {
@@ -39,6 +48,7 @@ impl Wire for MasterMessage {
         enc.put_u64(self.first_partition);
         enc.put_u64(self.partition_count);
         enc.put_u64(self.total_partitions);
+        enc.put_u64(self.progress_every);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -49,6 +59,7 @@ impl Wire for MasterMessage {
             first_partition: dec.get_u64()?,
             partition_count: dec.get_u64()?,
             total_partitions: dec.get_u64()?,
+            progress_every: dec.get_u64()?,
         })
     }
 }
@@ -99,6 +110,54 @@ impl Wire for WorkerReply {
     }
 }
 
+/// Every worker → master message, tagged: the final range reply, or a
+/// mid-range [`Progress`] report (sent only when the task's
+/// `progress_every` is non-zero). The one-byte tag keeps the steal-off
+/// wire cost at `O(b_p) + 1` per reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerMsg {
+    /// The range is done; plans and counters attached.
+    Reply(WorkerReply),
+    /// The range is still running; `completed` of `partition_count`
+    /// partitions are finished.
+    Progress(Progress),
+}
+
+impl WorkerMsg {
+    /// Wire tag of [`WorkerMsg::Reply`] — the first byte of the payload,
+    /// shared with the master's cheap tag peek (which classifies messages
+    /// without decoding plan vectors).
+    pub const TAG_REPLY: u8 = 0;
+    /// Wire tag of [`WorkerMsg::Progress`]; see [`WorkerMsg::TAG_REPLY`].
+    pub const TAG_PROGRESS: u8 = 1;
+}
+
+impl Wire for WorkerMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            WorkerMsg::Reply(r) => {
+                enc.put_u8(WorkerMsg::TAG_REPLY);
+                r.encode(enc);
+            }
+            WorkerMsg::Progress(p) => {
+                enc.put_u8(WorkerMsg::TAG_PROGRESS);
+                p.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            WorkerMsg::TAG_REPLY => Ok(WorkerMsg::Reply(WorkerReply::decode(dec)?)),
+            WorkerMsg::TAG_PROGRESS => Ok(WorkerMsg::Progress(Progress::decode(dec)?)),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "WorkerMsg",
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +173,7 @@ mod tests {
             first_partition: 5,
             partition_count: 2,
             total_partitions: 8,
+            progress_every: 1,
         };
         let bytes = msg.to_bytes();
         assert_eq!(MasterMessage::from_bytes(&bytes).unwrap(), msg);
@@ -136,6 +196,30 @@ mod tests {
     }
 
     #[test]
+    fn worker_msg_tags_roundtrip() {
+        let query = WorkloadGenerator::new(WorkloadConfig::paper_default(4), 6).next_query();
+        let out = mpq_dp::optimize_serial(&query, PlanSpace::Linear, Objective::Single);
+        let reply = WorkerMsg::Reply(WorkerReply {
+            first_partition: 0,
+            partition_count: 4,
+            plans: out.plans,
+            stats: out.stats,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+        assert_eq!(WorkerMsg::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        let progress = WorkerMsg::Progress(Progress {
+            first_partition: 0,
+            completed: 2,
+            partition_count: 4,
+        });
+        let bytes = progress.to_bytes();
+        assert_eq!(bytes.len(), 25, "tag byte plus the 24-byte report");
+        assert_eq!(WorkerMsg::from_bytes(&bytes).unwrap(), progress);
+        assert!(WorkerMsg::from_bytes(&[9]).is_err(), "unknown tag rejected");
+    }
+
+    #[test]
     fn task_message_size_linear_in_query() {
         // The per-worker task is O(b_q): constant overhead past the query.
         let q = WorkloadGenerator::new(WorkloadConfig::paper_default(10), 5).next_query();
@@ -147,7 +231,8 @@ mod tests {
             first_partition: 0,
             partition_count: 1,
             total_partitions: 64,
+            progress_every: 0,
         };
-        assert!(msg.to_bytes().len() <= query_bytes + 32);
+        assert!(msg.to_bytes().len() <= query_bytes + 40);
     }
 }

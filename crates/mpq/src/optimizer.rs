@@ -13,7 +13,7 @@
 //! [`FaultPlan`].
 
 use crate::service::MpqService;
-use mpq_cluster::{ClusterError, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot};
+use mpq_cluster::{ClusterError, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot, QueryId};
 use mpq_cost::Objective;
 use mpq_dp::WorkerStats;
 use mpq_model::Query;
@@ -66,6 +66,89 @@ impl RetryPolicy {
     }
 }
 
+/// When and how the master **redistributes** a straggler's unstarted work.
+///
+/// Where the [`RetryPolicy`] reacts to *lost* work (dead workers, dropped
+/// replies), the steal policy reacts to *slow* work: workers piggyback
+/// per-range [`Progress`](mpq_cluster::Progress) reports on the reply
+/// stream, the scheduler compares the **relative** progress of a
+/// session's ranges, and when one range provably lags it splits the
+/// range's unstarted remainder into sub-ranges and re-issues them to idle
+/// workers. The range-echo duplicate suppression of the retry machinery
+/// guarantees exactness: the straggler's eventual full-range reply and
+/// the thieves' sub-range replies reconcile to the same cost bits and
+/// Pareto frontier as a steal-free run.
+///
+/// Stealing only ever fires on ranges holding **several** partitions
+/// (oversubscribed or weighted assignments); the default one-partition-
+/// per-worker assignment has no splittable remainder.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StealPolicy {
+    /// Master switch. `false` (the default) also suppresses progress
+    /// reporting, so the wire traffic is bit-for-bit the steal-off
+    /// behavior.
+    pub enabled: bool,
+    /// Progress-report cadence, in completed partitions (only meaningful
+    /// when enabled; clamped to at least 1 on the wire).
+    pub progress_every: u64,
+    /// Relative-lag trigger: a range is a straggler when
+    /// `own_fraction * lag_ratio < best_fraction` over the session's
+    /// ranges (completed ranges count as fraction 1). Must be > 1.
+    pub lag_ratio: f64,
+    /// Minimum unstarted partitions in the straggler's range before a
+    /// split is worthwhile.
+    pub min_steal: u64,
+    /// Maximum steal events per session (a separate budget from
+    /// [`RetryPolicy::max_retries`]).
+    pub max_steals: u32,
+    /// Partition oversubscription applied by
+    /// [`MpqService::submit`](crate::MpqService::submit) when stealing is
+    /// enabled: each worker's
+    /// range holds up to this many partitions (capped by the query's
+    /// partition limit), so there is a splittable tail to steal. `1`
+    /// reproduces the one-partition-per-worker layout, which has nothing
+    /// to redistribute. Explicit `submit_assigned` layouts are never
+    /// altered.
+    pub oversubscribe: u64,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        StealPolicy::DISABLED
+    }
+}
+
+impl StealPolicy {
+    /// No redistribution, no progress traffic: the default.
+    pub const DISABLED: StealPolicy = StealPolicy {
+        enabled: false,
+        progress_every: 1,
+        lag_ratio: 2.0,
+        min_steal: 2,
+        max_steals: 16,
+        oversubscribe: 4,
+    };
+
+    /// A balanced enabled policy: report after every partition, steal
+    /// when a range lags the session's best by 2x with at least 2
+    /// unstarted partitions, at most 16 steals per session.
+    pub fn balanced() -> StealPolicy {
+        StealPolicy {
+            enabled: true,
+            ..StealPolicy::DISABLED
+        }
+    }
+
+    /// The report cadence actually put on the wire (0 when disabled).
+    pub(crate) fn wire_cadence(&self) -> u64 {
+        if self.enabled {
+            self.progress_every.max(1)
+        } else {
+            0
+        }
+    }
+}
+
 /// Typed failure of one MPQ optimization run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MpqError {
@@ -97,6 +180,20 @@ pub enum MpqError {
         /// Number of partition ranges still missing.
         outstanding: usize,
     },
+    /// The handle does not name a live or parked session of this service:
+    /// its result was already taken (poll-then-wait), or it belongs to a
+    /// different service. Caller misuse, surfaced typed — a resident
+    /// master never aborts on it.
+    UnknownHandle {
+        /// The session id the handle carried.
+        id: QueryId,
+    },
+    /// A submission was malformed (empty assignment, more ranges than
+    /// workers) — caller misuse, surfaced typed.
+    BadRequest {
+        /// What was wrong with the request.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for MpqError {
@@ -117,6 +214,12 @@ impl fmt::Display for MpqError {
                 f,
                 "retry budget exhausted with {outstanding} partition range(s) outstanding"
             ),
+            MpqError::UnknownHandle { id } => write!(
+                f,
+                "handle {id} does not name a live or parked session of this service \
+                 (already redeemed, or from a different service)"
+            ),
+            MpqError::BadRequest { reason } => write!(f, "malformed submission: {reason}"),
         }
     }
 }
@@ -146,6 +249,15 @@ pub struct MpqConfig {
     pub faults: FaultPlan,
     /// Recovery policy (default: disabled, blocking receives).
     pub retry: RetryPolicy,
+    /// Straggler-adaptive work redistribution (default: disabled — no
+    /// progress traffic, no steals).
+    pub steal: StealPolicy,
+    /// Test/bench knob: artificially slow one worker's compute by the
+    /// given factor — worker `id` sleeps `(factor - 1)x` its measured
+    /// optimization time after every partition, modeling a degraded node
+    /// (thermal throttling, a noisy neighbor). `None` (the default) means
+    /// homogeneous workers.
+    pub slow_worker: Option<(usize, u32)>,
     /// Byte budget of each worker's **shard-local cross-query memo
     /// cache** (see `mpq_plan::cache`). Workers keep finished partition
     /// results keyed by the canonical query signature and serve them to
@@ -199,6 +311,14 @@ pub struct MpqMetrics {
     /// Partition subproblems this session's workers computed (and, with
     /// caching enabled, inserted for later sessions).
     pub cache_misses: u64,
+    /// Steal events for this session: a straggling range's unstarted
+    /// remainder was split and re-issued to idle workers (0 unless
+    /// [`MpqConfig::steal`] is enabled).
+    pub steals: u64,
+    /// Partitions re-issued by those steal events.
+    pub stolen_partitions: u64,
+    /// Worker progress reports this session's master received.
+    pub progress_reports: u64,
 }
 
 /// Result of one MPQ optimization.
@@ -285,7 +405,9 @@ impl MpqOptimizer {
             .expect("MPQ optimization failed")
     }
 
-    /// Fallible form of [`MpqOptimizer::optimize_weighted`].
+    /// Fallible form of [`MpqOptimizer::optimize_weighted`]: caller
+    /// misuse (no workers, non-positive weights) is a typed
+    /// [`MpqError::BadRequest`], not a panic.
     pub fn try_optimize_weighted(
         &self,
         query: &Query,
@@ -293,8 +415,16 @@ impl MpqOptimizer {
         objective: Objective,
         weights: &[f64],
     ) -> Result<MpqOutcome, MpqError> {
-        assert!(!weights.is_empty(), "at least one worker required");
-        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        if weights.is_empty() {
+            return Err(MpqError::BadRequest {
+                reason: "at least one worker required",
+            });
+        }
+        if !weights.iter().all(|&w| w > 0.0 && w.is_finite()) {
+            return Err(MpqError::BadRequest {
+                reason: "worker weights must be positive and finite",
+            });
+        }
         let partitions = effective_workers(space, query.num_tables(), weights.len() as u64);
         let assignment = proportional_assignment(weights, partitions);
         self.one_shot(query, space, objective, partitions, assignment)
@@ -321,7 +451,9 @@ impl MpqOptimizer {
             .expect("MPQ optimization failed")
     }
 
-    /// Fallible form of [`MpqOptimizer::optimize_oversubscribed`].
+    /// Fallible form of [`MpqOptimizer::optimize_oversubscribed`]: caller
+    /// misuse (no workers, an unsupported partition count) is a typed
+    /// [`MpqError::BadRequest`], not a panic.
     pub fn try_optimize_oversubscribed(
         &self,
         query: &Query,
@@ -330,12 +462,17 @@ impl MpqOptimizer {
         workers: usize,
         partitions: u64,
     ) -> Result<MpqOutcome, MpqError> {
-        assert!(workers >= 1, "at least one worker required");
+        if workers == 0 {
+            return Err(MpqError::BadRequest {
+                reason: "at least one worker required",
+            });
+        }
         let max = space.max_partitions(query.num_tables());
-        assert!(
-            partitions.is_power_of_two() && partitions <= max,
-            "partitions must be a power of two <= {max}"
-        );
+        if !partitions.is_power_of_two() || partitions > max {
+            return Err(MpqError::BadRequest {
+                reason: "partitions must be a power of two within the query's partition limit",
+            });
+        }
         let workers = workers.min(partitions as usize);
         let weights = vec![1.0; workers];
         let assignment = proportional_assignment(&weights, partitions);

@@ -17,12 +17,28 @@
 //! ranges it held — every other session keeps streaming. A worker found
 //! dead at submission time is routed around the same way a lost range is.
 //!
+//! Beyond loss recovery, the scheduler performs **straggler-adaptive work
+//! redistribution** (opt-in via [`StealPolicy`]): workers piggyback
+//! fixed-size [`Progress`](mpq_cluster::Progress) reports on the reply
+//! stream, and when one range's relative progress provably lags the rest
+//! of its session, the master splits the range's *unstarted* remainder
+//! into sub-ranges and re-issues them to idle workers. The same
+//! range-echo duplicate suppression that makes speculative re-execution
+//! exact makes stealing exact: the straggler's eventual full-range reply
+//! reconciles against the split record, and overlapping plan
+//! contributions cannot change cost bits or Pareto frontiers (FinalPrune
+//! is a pure min/frontier over the candidate pool).
+//!
 //! The single-query [`MpqOptimizer`](crate::MpqOptimizer) entry points
 //! are thin wrappers over this service (spawn, submit one query, wait,
 //! shut down), so there is exactly one master-side code path.
 
-use crate::message::{MasterMessage, WorkerReply};
-use crate::optimizer::{MpqConfig, MpqError, MpqMetrics, MpqOutcome, RetryPolicy};
+// A server facade must never abort on caller error: every unwrap/expect
+// on this master-side path is either removed or individually justified.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::message::{MasterMessage, WorkerMsg, WorkerReply};
+use crate::optimizer::{MpqConfig, MpqError, MpqMetrics, MpqOutcome, RetryPolicy, StealPolicy};
 use bytes::Bytes;
 use mpq_cluster::{
     AbandonedList, Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx,
@@ -42,9 +58,16 @@ use std::time::Instant;
 /// query stream.
 const MAX_PARKED_RESULTS: usize = 4096;
 
+/// How long a no-timer [`MpqService::wait`] parks between clock-free
+/// evidence passes: long enough to cost nothing, short enough that a
+/// worker dying while the master is parked is noticed promptly.
+const EVIDENCE_HEARTBEAT: std::time::Duration = std::time::Duration::from_millis(25);
+
 /// Ticket for one submitted query. Redeem it with [`MpqService::wait`]
 /// (or check it with [`MpqService::poll`]); results are delivered exactly
-/// once per handle.
+/// once per handle. Handles remember which service instance minted them,
+/// so presenting one to a different service yields a typed
+/// [`MpqError::UnknownHandle`] — never another session's result.
 ///
 /// Dropping a handle **abandons** its session: the id lands on the
 /// service's abandoned list, and the next scheduler entry (`submit`,
@@ -54,6 +77,7 @@ const MAX_PARKED_RESULTS: usize = 4096;
 #[derive(Debug)]
 pub struct QueryHandle {
     id: QueryId,
+    service: u64,
     abandoned: AbandonedList,
 }
 
@@ -86,12 +110,16 @@ impl Drop for QueryHandle {
 /// worker on a crash (a replacement starts cold and recomputes).
 pub(crate) struct MpqWorker {
     cache: PlanCache,
+    /// Compute slowdown factor (1 = full speed); see
+    /// [`MpqConfig::slow_worker`](crate::MpqConfig).
+    slow_factor: u32,
 }
 
 impl MpqWorker {
-    pub(crate) fn new(cache_bytes: usize) -> MpqWorker {
+    pub(crate) fn new(cache_bytes: usize, slow_factor: u32) -> MpqWorker {
         MpqWorker {
             cache: PlanCache::new(cache_bytes),
+            slow_factor: slow_factor.max(1),
         }
     }
 }
@@ -107,14 +135,14 @@ impl WorkerLogic for MpqWorker {
             // session.
             Err(_) => {
                 ctx.send_to_master(
-                    WorkerReply {
+                    WorkerMsg::Reply(WorkerReply {
                         first_partition: u64::MAX,
                         partition_count: 0,
                         plans: Vec::new(),
                         stats: WorkerStats::default(),
                         cache_hits: 0,
                         cache_misses: 0,
-                    }
+                    })
                     .to_bytes(),
                 );
                 return Control::Continue;
@@ -125,7 +153,11 @@ impl WorkerLogic for MpqWorker {
         let mut stats = WorkerStats::default();
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
-        for part_id in msg.first_partition..msg.first_partition + msg.partition_count {
+        for (done, part_id) in (msg.first_partition..msg.first_partition + msg.partition_count)
+            .enumerate()
+            .map(|(i, p)| (i as u64, p))
+        {
+            let t0 = Instant::now();
             let (out, hit) = optimize_partition_id_cached(
                 &msg.query,
                 msg.space,
@@ -134,6 +166,11 @@ impl WorkerLogic for MpqWorker {
                 msg.total_partitions,
                 &mut self.cache,
             );
+            if self.slow_factor > 1 {
+                // Degraded-node model: pay (factor - 1) extra copies of
+                // the measured compute time per partition.
+                std::thread::sleep(t0.elapsed() * (self.slow_factor - 1));
+            }
             if self.cache.is_enabled() {
                 if hit {
                     cache_hits += 1;
@@ -152,23 +189,51 @@ impl WorkerLogic for MpqWorker {
             stats.optimize_micros += out.stats.optimize_micros;
             stats.stored_sets = stats.stored_sets.max(out.stats.stored_sets);
             stats.total_entries = stats.total_entries.max(out.stats.total_entries);
+            // Progress piggyback: after every `progress_every` completed
+            // partitions, but never for the final one (the reply itself
+            // signals completion).
+            let completed = done + 1;
+            if msg.progress_every > 0
+                && completed < msg.partition_count
+                && completed % msg.progress_every == 0
+            {
+                ctx.send_to_master(
+                    WorkerMsg::Progress(mpq_cluster::Progress {
+                        first_partition: msg.first_partition,
+                        completed,
+                        partition_count: msg.partition_count,
+                    })
+                    .to_bytes(),
+                );
+            }
         }
         // Worker-local prune across its partitions: completed plans, so
         // orders no longer matter.
         policy.final_prune(&mut plans);
         ctx.send_to_master(
-            WorkerReply {
+            WorkerMsg::Reply(WorkerReply {
                 first_partition: msg.first_partition,
                 partition_count: msg.partition_count,
                 plans,
                 stats,
                 cache_hits,
                 cache_misses,
-            }
+            })
             .to_bytes(),
         );
         Control::Continue
     }
+}
+
+/// One steal's paper trail: the range exactly as the superseded task was
+/// issued (`first`/`count` are what its assignee will echo), and the
+/// assignment entries now covering it — the shrunk kept piece plus the
+/// stolen sub-ranges. The straggler's eventual full-range reply is
+/// reconciled against this record instead of failing as a protocol error.
+struct SplitRecord {
+    first: u64,
+    count: u64,
+    members: Vec<usize>,
 }
 
 /// Master-side state of one in-flight optimization session.
@@ -188,17 +253,28 @@ struct Session {
     /// reply count reaches this mark, an outstanding range's reply is
     /// provably lost, not queued.
     range_mark: Vec<u64>,
+    /// Partitions of each range reported completed by its assignee
+    /// (progress piggyback; stays 0 with stealing disabled).
+    range_progress: Vec<u64>,
+    /// Ranges split by steals, kept for reply reconciliation.
+    splits: Vec<SplitRecord>,
     worker_stats: Vec<WorkerStats>,
     plans: Vec<Plan>,
     completed: usize,
     retries_left: u32,
+    steals_left: u32,
     strikes: u32,
     retries: u64,
+    steals: u64,
+    stolen_partitions: u64,
+    progress_reports: u64,
     replies_received: u64,
     duplicate_replies: u64,
     retry_task_bytes: u64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Progress-report cadence written into this session's task messages.
+    progress_every: u64,
     start: Instant,
     /// When this session last saw one of its own replies; the scheduler's
     /// per-session straggler-suspicion clock.
@@ -208,6 +284,13 @@ struct Session {
 impl Session {
     fn task(&self, range: usize) -> MasterMessage {
         let (first_partition, partition_count) = self.assignment[range];
+        self.task_for(first_partition, partition_count)
+    }
+
+    /// Task message for an arbitrary partition range of this session —
+    /// the single construction site, so every field travels with every
+    /// task (the steal pass issues sub-ranges not yet in the assignment).
+    fn task_for(&self, first_partition: u64, partition_count: u64) -> MasterMessage {
         MasterMessage {
             query: self.query.clone(),
             space: self.space,
@@ -215,6 +298,7 @@ impl Session {
             first_partition,
             partition_count,
             total_partitions: self.partitions,
+            progress_every: self.progress_every,
         }
     }
 
@@ -223,6 +307,37 @@ impl Session {
             .filter(|&i| !self.range_done[i])
             .collect()
     }
+
+    /// Applies one completing reply to the given assignment entries — the
+    /// single bookkeeping site shared by the normal reply path (one
+    /// entry) and the split-record reconciliation (all members of the
+    /// superseded range). Returns whether the session is now complete.
+    fn complete_ranges(&mut self, worker: usize, reply: WorkerReply, ranges: &[usize]) -> bool {
+        for &m in ranges {
+            if !self.range_done[m] {
+                self.range_done[m] = true;
+                self.completed += 1;
+            }
+        }
+        self.strikes = 0;
+        accumulate(&mut self.worker_stats[worker], &reply.stats);
+        self.cache_hits += reply.cache_hits;
+        self.cache_misses += reply.cache_misses;
+        self.plans.extend(reply.plans);
+        self.completed == self.assignment.len()
+    }
+
+    /// Appends a fresh assignment entry (a stolen sub-range), keeping the
+    /// per-range vectors in lockstep, and returns its index.
+    fn push_range(&mut self, first: u64, count: u64, worker: usize) -> usize {
+        self.assignment.push((first, count));
+        self.range_done.push(false);
+        self.range_worker.push(worker);
+        self.range_reissued.push(false);
+        self.range_mark.push(0);
+        self.range_progress.push(0);
+        self.assignment.len() - 1
+    }
 }
 
 /// A long-lived MPQ optimizer service over one resident cluster. See the
@@ -230,16 +345,21 @@ impl Session {
 pub struct MpqService {
     cluster: Cluster,
     retry: RetryPolicy,
+    steal: StealPolicy,
+    /// This instance's identity, stamped into every handle it mints.
+    service: u64,
     next_id: u64,
     /// Ordered maps so scheduler passes visit sessions in submission
     /// order — deterministic across runs, like the rest of the simulator.
     sessions: BTreeMap<u64, Session>,
     done: BTreeMap<u64, Result<MpqOutcome, MpqError>>,
     /// Per-worker loss-detection state: tasks sent to each worker,
-    /// replies seen from it (FIFO stream position), and when it last
-    /// replied at all.
+    /// replies seen from it (FIFO stream position), replies the recovery
+    /// pass proved lost (queue-ledger repair for the steal pass's
+    /// idleness signal), and when it last replied at all.
     tasks_sent: Vec<u64>,
     replies_seen: Vec<u64>,
+    lost_replies: Vec<u64>,
     last_reply_from: Vec<Instant>,
     /// Session ids whose [`QueryHandle`] was dropped unredeemed; reaped
     /// (state freed) on the next scheduler entry.
@@ -251,19 +371,30 @@ impl MpqService {
     /// `config`'s latency model, fault plan and retry policy, shared by
     /// every subsequently submitted query.
     pub fn spawn(workers: usize, config: MpqConfig) -> Result<MpqService, MpqError> {
-        assert!(workers >= 1, "at least one worker required");
-        let cluster = Cluster::spawn_with_faults(workers, config.latency, &config.faults, |_| {
-            MpqWorker::new(config.cache_bytes)
+        if workers == 0 {
+            return Err(MpqError::BadRequest {
+                reason: "at least one worker required",
+            });
+        }
+        let cluster = Cluster::spawn_with_faults(workers, config.latency, &config.faults, |w| {
+            let slow_factor = match config.slow_worker {
+                Some((slow, factor)) if slow == w => factor,
+                _ => 1,
+            };
+            MpqWorker::new(config.cache_bytes, slow_factor)
         })
         .map_err(MpqError::Cluster)?;
         Ok(MpqService {
             cluster,
             retry: config.retry,
+            steal: config.steal,
+            service: mpq_cluster::mint_service_instance(),
             next_id: 0,
             sessions: BTreeMap::new(),
             done: BTreeMap::new(),
             tasks_sent: vec![0; workers],
             replies_seen: vec![0; workers],
+            lost_replies: vec![0; workers],
             last_reply_from: vec![Instant::now(); workers],
             abandoned: AbandonedList::new(),
         })
@@ -297,15 +428,43 @@ impl MpqService {
     /// returns immediately with a handle. Task messages go out before
     /// this returns; collection happens in [`MpqService::poll`] /
     /// [`MpqService::wait`].
+    ///
+    /// With stealing enabled, each worker instead receives a contiguous
+    /// range of up to [`StealPolicy::oversubscribe`] partitions — a
+    /// one-partition range has no splittable tail, so without
+    /// oversubscription the steal scheduler would be a structural no-op
+    /// on this entry point.
     pub fn submit(
         &mut self,
         query: &Query,
         space: PlanSpace,
         objective: Objective,
     ) -> Result<QueryHandle, MpqError> {
-        let partitions =
-            effective_workers(space, query.num_tables(), self.cluster.num_workers() as u64);
-        let assignment: Vec<(u64, u64)> = (0..partitions).map(|p| (p, 1)).collect();
+        let workers = self.cluster.num_workers() as u64;
+        let oversubscribe = if self.steal.enabled {
+            self.steal.oversubscribe.max(1)
+        } else {
+            1
+        };
+        let partitions = effective_workers(
+            space,
+            query.num_tables(),
+            workers.saturating_mul(oversubscribe),
+        );
+        let ranges = workers.min(partitions);
+        // Contiguous equal split: range i gets `base` partitions plus one
+        // of the `extra` leftovers.
+        let base = partitions / ranges;
+        let extra = partitions % ranges;
+        let mut first = 0u64;
+        let assignment: Vec<(u64, u64)> = (0..ranges)
+            .map(|i| {
+                let count = base + u64::from(i < extra);
+                let range = (first, count);
+                first += count;
+                range
+            })
+            .collect();
         self.submit_assigned(query, space, objective, partitions, assignment)
     }
 
@@ -320,11 +479,16 @@ impl MpqService {
         partitions: u64,
         assignment: Vec<(u64, u64)>,
     ) -> Result<QueryHandle, MpqError> {
-        assert!(!assignment.is_empty(), "a session needs at least one range");
-        assert!(
-            assignment.len() <= self.cluster.num_workers(),
-            "more partition ranges than resident workers"
-        );
+        if assignment.is_empty() {
+            return Err(MpqError::BadRequest {
+                reason: "a session needs at least one partition range",
+            });
+        }
+        if assignment.len() > self.cluster.num_workers() {
+            return Err(MpqError::BadRequest {
+                reason: "more partition ranges than resident workers",
+            });
+        }
         self.reap_abandoned();
         let id = QueryId(self.next_id);
         self.next_id += 1;
@@ -339,17 +503,24 @@ impl MpqService {
             range_worker: (0..ranges).collect(),
             range_reissued: vec![false; ranges],
             range_mark: vec![0; ranges],
+            range_progress: vec![0; ranges],
+            splits: Vec::new(),
             worker_stats: vec![WorkerStats::default(); self.cluster.num_workers()],
             plans: Vec::new(),
             completed: 0,
             retries_left: self.retry.max_retries,
+            steals_left: self.steal.max_steals,
             strikes: 0,
             retries: 0,
+            steals: 0,
+            stolen_partitions: 0,
+            progress_reports: 0,
             replies_received: 0,
             duplicate_replies: 0,
             retry_task_bytes: 0,
             cache_hits: 0,
             cache_misses: 0,
+            progress_every: self.steal.wire_cadence(),
             start: Instant::now(),
             last_progress: Instant::now(),
         };
@@ -397,6 +568,7 @@ impl MpqService {
         self.sessions.insert(id.0, session);
         Ok(QueryHandle {
             id,
+            service: self.service,
             abandoned: self.abandoned.clone(),
         })
     }
@@ -406,6 +578,11 @@ impl MpqService {
     /// once the handle's session has finished. A result is delivered
     /// exactly once; after `Some`, the handle is spent.
     pub fn poll(&mut self, handle: &QueryHandle) -> Option<Result<MpqOutcome, MpqError>> {
+        if handle.service != self.service {
+            // A handle from another service instance: its raw session id
+            // may collide with one of ours, so reject before any lookup.
+            return Some(Err(MpqError::UnknownHandle { id: handle.id }));
+        }
         self.reap_abandoned();
         loop {
             if self.done.contains_key(&handle.id.0) {
@@ -432,30 +609,59 @@ impl MpqService {
     /// Blocks until the handle's session finishes, driving every
     /// in-flight session's collection and recovery in the meantime.
     ///
-    /// # Panics
-    /// Panics if the handle's result was already taken via
-    /// [`MpqService::poll`].
+    /// A handle whose result was already taken via [`MpqService::poll`]
+    /// (or that belongs to a different service) yields a typed
+    /// [`MpqError::UnknownHandle`], never a panic.
     pub fn wait(&mut self, handle: QueryHandle) -> Result<MpqOutcome, MpqError> {
+        if handle.service != self.service {
+            // See poll: foreign handles are rejected before any lookup.
+            return Err(MpqError::UnknownHandle { id: handle.id });
+        }
         self.reap_abandoned();
         loop {
             if let Some(result) = self.done.remove(&handle.id.0) {
                 return result;
             }
-            assert!(
-                self.sessions.contains_key(&handle.id.0),
-                "query handle {} already resolved",
-                handle.id
-            );
-            let received = match self.retry.timeout {
-                Some(t) => self.cluster.recv_timeout(t),
-                None => self.cluster.recv(),
-            };
-            match received {
-                Ok((worker, qid, payload)) => self.route(worker, qid, payload),
-                Err(ClusterError::Timeout { .. }) => {}
-                Err(err) => self.fail_all(err),
+            if !self.sessions.contains_key(&handle.id.0) {
+                return Err(MpqError::UnknownHandle { id: handle.id });
             }
-            self.check_suspicions();
+            match self.retry.timeout {
+                Some(t) => {
+                    match self.cluster.recv_timeout(t) {
+                        Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                        Err(ClusterError::Timeout { .. }) => {}
+                        Err(err) => self.fail_all(err),
+                    }
+                    self.check_suspicions();
+                }
+                None => {
+                    // No timer: drain everything already queued before
+                    // consulting evidence — a reply sitting in the
+                    // channel beats any suspicion about its sender (a
+                    // worker may legitimately crash *after* its
+                    // completing reply). Only on an empty queue does the
+                    // clock-free evidence pass run; without it, a worker
+                    // that crashed before replying would deadlock this
+                    // wait even though its death is already provable.
+                    // The park itself is a coarse heartbeat, not an
+                    // unbounded block: a worker dying *while* the master
+                    // is parked is noticed by the next evidence pass
+                    // within one heartbeat.
+                    match self.cluster.try_recv() {
+                        Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                        Err(ClusterError::Timeout { .. }) => {
+                            if !self.check_suspicions() {
+                                match self.cluster.recv_timeout(EVIDENCE_HEARTBEAT) {
+                                    Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                                    Err(ClusterError::Timeout { .. }) => {}
+                                    Err(err) => self.fail_all(err),
+                                }
+                            }
+                        }
+                        Err(err) => self.fail_all(err),
+                    }
+                }
+            }
         }
     }
 
@@ -478,37 +684,116 @@ impl MpqService {
         }
     }
 
-    /// Routes one session-tagged reply to its owning session and advances
-    /// that session's state machine.
+    /// Routes one session-tagged worker message to its owning session and
+    /// advances that session's state machine.
     fn route(&mut self, worker: usize, qid: QueryId, payload: Bytes) {
-        // Loss-detection evidence, advanced for every reply no matter
-        // which session owns it: the worker's FIFO stream position and
-        // its last-heard-from clock.
-        self.replies_seen[worker] += 1;
+        // The worker is alive and talking, whatever it sent.
         self.last_reply_from[worker] = Instant::now();
         enum Advance {
             Pending,
             Finished,
             Failed(MpqError),
         }
+        // Peek the one-byte WorkerMsg tag instead of decoding: messages
+        // for already-finished sessions (late duplicates, late progress)
+        // must not pay a full plan-vector deserialization just to pick a
+        // counter.
+        let is_progress = payload.first() == Some(&WorkerMsg::TAG_PROGRESS);
+        if !is_progress {
+            // Loss-detection evidence, advanced for every *reply* no
+            // matter which session owns it: the worker's FIFO stream
+            // position. Progress reports are excluded — a range's own
+            // progress must never read as a FIFO overtake of its reply.
+            self.replies_seen[worker] += 1;
+        }
         let advance = {
             let Some(session) = self.sessions.get_mut(&qid.0) else {
-                // A reply for a session that already finished: a
-                // speculative duplicate landing late. Account for it;
-                // nothing to route.
-                self.cluster.metrics().record_duplicate();
+                // A message for a session that already finished, landing
+                // late. A reply is a speculative duplicate; a progress
+                // report is just a progress report — neither may distort
+                // the other's counter.
+                if is_progress {
+                    self.cluster.metrics().record_progress_report();
+                } else {
+                    self.cluster.metrics().record_duplicate();
+                }
                 return;
             };
-            session.last_progress = Instant::now();
-            session.replies_received += 1;
-            match WorkerReply::from_bytes(&payload) {
-                Err(source) => Advance::Failed(MpqError::Decode { worker, source }),
-                Ok(reply) => {
+            match WorkerMsg::from_bytes(&payload) {
+                Err(source) => {
+                    session.last_progress = Instant::now();
+                    session.replies_received += 1;
+                    Advance::Failed(MpqError::Decode { worker, source })
+                }
+                Ok(WorkerMsg::Progress(p)) => {
+                    // Deliberately NOT refreshing session.last_progress:
+                    // that clock gates the timer-based recovery pass, and
+                    // a chatty straggler must not starve re-execution of a
+                    // *different* crashed or reply-lost range of the same
+                    // session. The straggler itself stays protected from
+                    // spurious speculation through last_reply_from (its
+                    // reports prove the worker is alive, so the
+                    // reply-silent evidence cannot fire on it).
+                    session.progress_reports += 1;
+                    self.cluster.metrics().record_progress_report();
+                    // Attribute to whichever entry currently starts at the
+                    // echoed first partition: a steal shrinks the entry in
+                    // place, so the straggler's reports for the original
+                    // range keep landing on its kept piece (clamped).
+                    if let Some(idx) = session
+                        .assignment
+                        .iter()
+                        .position(|&(f, _)| f == p.first_partition)
+                    {
+                        let cap = session.assignment[idx].1;
+                        session.range_progress[idx] =
+                            session.range_progress[idx].max(p.completed.min(cap));
+                    }
+                    Advance::Pending
+                }
+                Ok(WorkerMsg::Reply(reply)) => {
+                    session.last_progress = Instant::now();
+                    session.replies_received += 1;
                     let found = session.assignment.iter().position(|&(f, c)| {
                         f == reply.first_partition && c == reply.partition_count
                     });
                     match found {
-                        None => Advance::Failed(MpqError::Protocol { worker }),
+                        None => {
+                            // No live entry carries this exact range: either
+                            // a steal superseded it (reconcile against the
+                            // split record) or it is a protocol bug.
+                            let split = session.splits.iter().position(|s| {
+                                s.first == reply.first_partition && s.count == reply.partition_count
+                            });
+                            match split {
+                                None => Advance::Failed(MpqError::Protocol { worker }),
+                                Some(s) => {
+                                    let members = session.splits[s].members.clone();
+                                    if members.iter().any(|&m| !session.range_done[m]) {
+                                        // The straggler outran some thief:
+                                        // its full-range plans cover every
+                                        // member, so complete them all at
+                                        // once. Overlap with members a
+                                        // thief already delivered cannot
+                                        // change cost bits or frontiers —
+                                        // FinalPrune is a pure min/frontier
+                                        // over the pool.
+                                        if session.complete_ranges(worker, reply, &members) {
+                                            Advance::Finished
+                                        } else {
+                                            Advance::Pending
+                                        }
+                                    } else {
+                                        // Every member already delivered:
+                                        // the straggler's work was fully
+                                        // duplicated by the thieves.
+                                        session.duplicate_replies += 1;
+                                        self.cluster.metrics().record_duplicate();
+                                        Advance::Pending
+                                    }
+                                }
+                            }
+                        }
                         Some(idx) if session.range_done[idx] => {
                             // A speculative duplicate: the range was
                             // already completed by another worker. Count
@@ -519,14 +804,7 @@ impl MpqService {
                             Advance::Pending
                         }
                         Some(idx) => {
-                            session.range_done[idx] = true;
-                            session.completed += 1;
-                            session.strikes = 0;
-                            accumulate(&mut session.worker_stats[worker], &reply.stats);
-                            session.cache_hits += reply.cache_hits;
-                            session.cache_misses += reply.cache_misses;
-                            session.plans.extend(reply.plans);
-                            if session.completed == session.assignment.len() {
+                            if session.complete_ranges(worker, reply, &[idx]) {
                                 Advance::Finished
                             } else {
                                 Advance::Pending
@@ -541,6 +819,11 @@ impl MpqService {
             Advance::Finished => self.finish(qid),
             Advance::Failed(err) => self.fail(qid, err),
         }
+        // New progress or a freed worker may unlock a steal; the pass is
+        // gated to a cheap no-op when stealing is off. A progress report
+        // only changes its own session's picture, so only that session is
+        // re-evaluated; a reply may have freed a worker for anyone.
+        self.check_steals(is_progress.then_some(qid));
     }
 
     /// Per-session straggler suspicion: run the recovery pass for every
@@ -548,17 +831,35 @@ impl MpqService {
     /// replies — re-issue its most suspect range (dead assignee first),
     /// or fail it once its budgets are spent. The clock is per session,
     /// so a busy reply stream from other sessions can never starve a
-    /// stuck session's recovery. Returns whether any session fired.
+    /// stuck session's recovery. With no timeout configured the pass
+    /// degrades gracefully to **hard evidence only**: a dead assignee or
+    /// a FIFO overtake proves a range will never complete on its own, no
+    /// clock needed — timer-based (reply-silent) suspicion is simply
+    /// skipped. Returns whether any session fired.
     fn check_suspicions(&mut self) -> bool {
-        let Some(t) = self.retry.timeout else {
-            return false;
+        let due: Vec<u64> = match self.retry.timeout {
+            Some(t) => self
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.last_progress.elapsed() >= t)
+                .map(|(&id, _)| id)
+                .collect(),
+            // Allocation-free scan: this filter runs on every empty
+            // `try_recv` of the default no-timer configuration, so it
+            // must not materialize per-session Vecs.
+            None => self
+                .sessions
+                .iter()
+                .filter(|(_, s)| {
+                    (0..s.assignment.len()).any(|i| {
+                        !s.range_done[i]
+                            && (!self.cluster.is_worker_alive(s.range_worker[i])
+                                || self.replies_seen[s.range_worker[i]] >= s.range_mark[i])
+                    })
+                })
+                .map(|(&id, _)| id)
+                .collect(),
         };
-        let due: Vec<u64> = self
-            .sessions
-            .iter()
-            .filter(|(_, s)| s.last_progress.elapsed() >= t)
-            .map(|(&id, _)| id)
-            .collect();
         for &raw in &due {
             if let Some(session) = self.sessions.get_mut(&raw) {
                 session.last_progress = Instant::now();
@@ -578,10 +879,6 @@ impl MpqService {
         let cluster = &self.cluster;
         let outstanding = session.outstanding();
         debug_assert!(!outstanding.is_empty(), "finished sessions are removed");
-        let t = self
-            .retry
-            .timeout
-            .expect("suspicion passes require a timeout");
         // Evidence that an outstanding range will never complete on its
         // own. On a resident cluster, "no reply for a while" is NOT such
         // evidence — the range may simply be queued behind other
@@ -592,7 +889,9 @@ impl MpqService {
         //    range's reply was lost on the wire, not queued;
         //  * a reply-silent assignee: nothing from that worker for a full
         //    suspicion window (a straggler, or a loss with no later
-        //    traffic to prove it by overtake).
+        //    traffic to prove it by overtake). Skipped entirely when no
+        //    timeout is configured — suspicion then rests on the two
+        //    clock-free kinds of evidence above.
         let dead = outstanding
             .iter()
             .copied()
@@ -601,10 +900,12 @@ impl MpqService {
             .iter()
             .copied()
             .find(|&i| self.replies_seen[session.range_worker[i]] >= session.range_mark[i]);
-        let silent = outstanding
-            .iter()
-            .copied()
-            .find(|&i| self.last_reply_from[session.range_worker[i]].elapsed() >= t);
+        let silent = self.retry.timeout.and_then(|t| {
+            outstanding
+                .iter()
+                .copied()
+                .find(|&i| self.last_reply_from[session.range_worker[i]].elapsed() >= t)
+        });
         let suspect = dead.or(overtaken).or(silent);
         if session.retries_left == 0 {
             // A dead assignee whose range was never re-issued is hopeless
@@ -644,6 +945,7 @@ impl MpqService {
         let Some(victim) = suspect else {
             return;
         };
+        let old_assignee = session.range_worker[victim];
         let busy: Vec<usize> = outstanding
             .iter()
             .map(|&i| session.range_worker[i])
@@ -669,16 +971,216 @@ impl MpqService {
         }
         if !reissued {
             self.fail(qid, MpqError::Cluster(ClusterError::AllWorkersLost));
+            return;
         }
+        if self.cluster.is_worker_alive(old_assignee) {
+            // The evidence says the old assignee's reply for this range
+            // was lost (or is hopelessly late): repair its queue ledger,
+            // or one dropped reply would under-count the worker as busy
+            // forever and silently shrink the steal pass's thief pool.
+            // Should the reply straggle in after all, the ledger
+            // over-credits the worker by one — it may then be picked as
+            // a thief one in-flight task early, a wasted-but-exact steal
+            // at worst.
+            self.lost_replies[old_assignee] += 1;
+        }
+    }
+
+    /// Straggler-adaptive redistribution pass. For every steal-enabled
+    /// session: compare the **relative** progress of its ranges (complete
+    /// ranges count as fraction 1), and when one range provably lags the
+    /// session's best by [`StealPolicy::lag_ratio`] with at least
+    /// [`StealPolicy::min_steal`] unstarted partitions, split the
+    /// unstarted tail into contiguous sub-ranges and re-issue them to
+    /// **idle** live workers — never onto workers holding outstanding
+    /// work, so stealing cannot slow productive ranges. Exactness is
+    /// inherited from the range-echo duplicate suppression: the
+    /// straggler's eventual full-range reply reconciles against the
+    /// session's [`SplitRecord`]s.
+    /// `only` restricts the pass to one session (used for progress
+    /// reports, which cannot change any other session's steal picture).
+    fn check_steals(&mut self, only: Option<QueryId>) {
+        if !self.steal.enabled {
+            return;
+        }
+        let ids: Vec<u64> = match only {
+            Some(qid) => vec![qid.0],
+            None => self.sessions.keys().copied().collect(),
+        };
+        // Computed once per pass and refreshed only when a steal actually
+        // dispatched tasks — the only thing that changes the answer
+        // mid-pass.
+        let mut idle = self.idle_workers();
+        for raw in ids {
+            if idle.is_empty() {
+                return;
+            }
+            if self.steal_for_session(QueryId(raw), &idle) {
+                idle = self.idle_workers();
+            }
+        }
+    }
+
+    /// Live workers with a fully drained task queue — the thief pool.
+    /// Idleness is queue depth, not assignment bookkeeping: a straggler
+    /// that was just stolen from holds no outstanding *entry* but still
+    /// has an undrained task in its inbox, and must stay off the thief
+    /// list across all sessions. `lost_replies` credits replies the
+    /// recovery pass proved lost, so one dropped reply cannot poison a
+    /// worker's ledger for the service's lifetime.
+    fn idle_workers(&self) -> Vec<usize> {
+        live_workers(&self.cluster)
+            .into_iter()
+            .filter(|&w| self.replies_seen[w] + self.lost_replies[w] >= self.tasks_sent[w])
+            .collect()
+    }
+
+    /// One session's steal decision; returns whether a steal dispatched
+    /// tasks. See [`MpqService::check_steals`].
+    fn steal_for_session(&mut self, qid: QueryId, idle: &[usize]) -> bool {
+        let policy = self.steal;
+        let Some(session) = self.sessions.get_mut(&qid.0) else {
+            return false;
+        };
+        if session.steals_left == 0 {
+            return false;
+        }
+        let outstanding = session.outstanding();
+        fn fraction(s: &Session, i: usize) -> f64 {
+            if s.range_done[i] {
+                return 1.0;
+            }
+            let (_, count) = s.assignment[i];
+            if count == 0 {
+                1.0
+            } else {
+                s.range_progress[i] as f64 / count as f64
+            }
+        }
+        let best = (0..session.assignment.len())
+            .map(|i| fraction(session, i))
+            .fold(0.0f64, f64::max);
+        if best <= 0.0 {
+            // No range has made observable progress yet: no relative
+            // signal to act on.
+            return false;
+        }
+        // Victim: among provably lagging ranges with a splittable
+        // unstarted tail, the one with the most work left.
+        let unstarted_of = |s: &Session, i: usize| -> u64 {
+            let (_, count) = s.assignment[i];
+            // The partition after the last reported one is presumed in
+            // flight at the straggler; only the strictly unstarted tail
+            // is up for grabs.
+            count.saturating_sub(s.range_progress[i] + 1)
+        };
+        let victim = outstanding
+            .iter()
+            .copied()
+            .filter(|&i| {
+                // A zero min_steal (possible: the fields are public)
+                // must still never select an empty tail — there would be
+                // nothing to split.
+                unstarted_of(session, i) >= policy.min_steal.max(1)
+                    && fraction(session, i) * policy.lag_ratio < best
+            })
+            .max_by_key(|&i| unstarted_of(session, i));
+        let Some(victim) = victim else {
+            return false;
+        };
+        let (first, count) = session.assignment[victim];
+        let unstarted = unstarted_of(session, victim);
+        // Chunk the unstarted tail [first + count - unstarted, first + count)
+        // across the idle workers, taking chunks from the END so that
+        // anything that fails to send stays contiguous with the kept
+        // piece.
+        let pieces = (idle.len() as u64).min(unstarted);
+        let base = unstarted / pieces;
+        let extra = unstarted % pieces;
+        let mut stolen_from = first + count;
+        let mut members = vec![victim];
+        let mut targets = idle.iter().copied();
+        for p in 0..pieces {
+            // Later chunks (from the tail) get the remainder partitions.
+            let chunk = base + u64::from(p < extra);
+            let chunk_first = stolen_from - chunk;
+            let msg = session.task_for(chunk_first, chunk);
+            let mut sent_to = None;
+            for target in targets.by_ref() {
+                if self.cluster.send(target, qid, msg.to_bytes(), true).is_ok() {
+                    sent_to = Some(target);
+                    break;
+                }
+            }
+            let Some(target) = sent_to else {
+                // No idle worker accepted the chunk (all died since the
+                // liveness check): stop here — the un-stolen head stays
+                // with the straggler.
+                break;
+            };
+            self.tasks_sent[target] += 1;
+            let idx = session.push_range(chunk_first, chunk, target);
+            session.range_mark[idx] = self.tasks_sent[target];
+            members.push(idx);
+            stolen_from = chunk_first;
+        }
+        if stolen_from == first + count {
+            return false; // nothing was actually stolen
+        }
+        // Shrink the straggler's entry to the un-stolen head and file the
+        // split record under the range exactly as its task was issued, so
+        // the eventual full-range reply reconciles instead of erroring.
+        let keep = stolen_from - first;
+        session.assignment[victim] = (first, keep);
+        session.range_progress[victim] = session.range_progress[victim].min(keep);
+        session.splits.push(SplitRecord {
+            first,
+            count,
+            members: members.clone(),
+        });
+        session.steals_left -= 1;
+        session.steals += 1;
+        session.stolen_partitions += count - keep;
+        self.cluster.metrics().record_steal();
+        // The straggler cannot be preempted mid-task, so its kept head
+        // would otherwise be delivered only by its eventual full-range
+        // reply — leaving the session gated on the slow node after all.
+        // Decouple completely: re-issue the head speculatively, to a
+        // remaining idle worker if one is left, else queued behind a
+        // thief (a thief's chunk plus the head still beats a straggler
+        // computing the head alone). Whichever reply lands first wins;
+        // the other is duplicate-suppressed.
+        // The victim's entry was just shrunk to the kept head, so its
+        // regular task IS the backup message.
+        let head = session.task(victim);
+        let thieves: Vec<usize> = members[1..]
+            .iter()
+            .map(|&m| session.range_worker[m])
+            .collect();
+        let backup = targets.chain(thieves).find(|&target| {
+            self.cluster
+                .send(target, qid, head.to_bytes(), true)
+                .is_ok()
+        });
+        if let Some(target) = backup {
+            self.tasks_sent[target] += 1;
+            session.range_worker[victim] = target;
+            session.range_mark[victim] = self.tasks_sent[target];
+            session.range_reissued[victim] = true;
+        }
+        // With no live worker to back the head up, the straggler's own
+        // reply remains its carrier — slow, but still exact.
+        true
     }
 
     /// Completes a session: FinalPrune over the O(m) collected plans,
     /// metrics assembly, result parked for the handle.
     fn finish(&mut self, qid: QueryId) {
-        let session = self
-            .sessions
-            .remove(&qid.0)
-            .expect("finishing an active session");
+        let Some(session) = self.sessions.remove(&qid.0) else {
+            // Internal invariant (route only finishes live sessions), but
+            // a resident master must not abort if it is ever violated.
+            return;
+        };
         let mut plans = session.plans;
         let policy = PruningPolicy::new(session.objective, session.query.num_tables());
         policy.final_prune(&mut plans);
@@ -707,6 +1209,9 @@ impl MpqService {
             retry_task_bytes: session.retry_task_bytes,
             cache_hits: session.cache_hits,
             cache_misses: session.cache_misses,
+            steals: session.steals,
+            stolen_partitions: session.stolen_partitions,
+            progress_reports: session.progress_reports,
         };
         self.park_result(qid, Ok(MpqOutcome { plans, metrics }));
     }
@@ -753,7 +1258,10 @@ fn accumulate(into: &mut WorkerStats, s: &WorkerStats) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
+    use crate::optimizer::MpqOptimizer;
     use mpq_dp::optimize_serial;
     use mpq_model::{WorkloadConfig, WorkloadGenerator};
 
@@ -1022,5 +1530,394 @@ mod tests {
         }
         assert!(svc.metrics().snapshot().crashes >= 1);
         svc.shutdown();
+    }
+
+    /// Regression (ISSUE 5 satellite): redeeming a handle twice —
+    /// poll-then-wait — must yield a typed error, never a panic.
+    #[test]
+    fn poll_then_wait_is_a_typed_error() {
+        let mut svc = MpqService::spawn(2, MpqConfig::default()).unwrap();
+        let q = query(5, 30);
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let mut polled = false;
+        for _ in 0..10_000 {
+            if svc.poll(&handle).is_some() {
+                polled = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        assert!(polled, "the session completes");
+        let id = handle.id();
+        let err = svc.wait(handle).expect_err("the result was already taken");
+        assert_eq!(err, MpqError::UnknownHandle { id });
+        svc.shutdown();
+    }
+
+    /// Regression (ISSUE 5 satellite): malformed submissions are typed
+    /// errors, not asserts.
+    #[test]
+    fn malformed_submissions_are_typed_errors() {
+        let mut svc = MpqService::spawn(2, MpqConfig::default()).unwrap();
+        let q = query(5, 31);
+        let err = svc
+            .submit_assigned(&q, PlanSpace::Linear, Objective::Single, 4, Vec::new())
+            .expect_err("empty assignment");
+        assert!(matches!(err, MpqError::BadRequest { .. }));
+        let err = svc
+            .submit_assigned(
+                &q,
+                PlanSpace::Linear,
+                Objective::Single,
+                4,
+                vec![(0, 1), (1, 1), (2, 1)],
+            )
+            .expect_err("more ranges than workers");
+        assert!(matches!(err, MpqError::BadRequest { .. }));
+        assert!(matches!(
+            MpqService::spawn(0, MpqConfig::default()),
+            Err(MpqError::BadRequest { .. })
+        ));
+        svc.shutdown();
+    }
+
+    /// Regression (ISSUE 5 satellite): a `RetryPolicy` with `timeout:
+    /// None` must not panic in the suspicion pass — it degrades to
+    /// death/overtake evidence and still recovers a crashed worker's
+    /// range through `poll`.
+    #[test]
+    fn no_timeout_retry_policy_recovers_on_evidence() {
+        use mpq_cluster::FaultPlan;
+        let config = MpqConfig {
+            faults: FaultPlan::crash_on_first_task(2, 1),
+            retry: RetryPolicy {
+                max_retries: 8,
+                timeout: None,
+                max_strikes: 64,
+            },
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(2, config).unwrap();
+        let q = query(6, 32);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let mut out = None;
+        for _ in 0..20_000 {
+            if let Some(r) = svc.poll(&handle) {
+                out = Some(r.expect("evidence-based recovery succeeds"));
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        let out = out.expect("the session completes without a timer");
+        assert!(rel_eq(out.plans[0].cost().time, reference));
+        assert!(out.metrics.retries >= 1, "the crash forced a re-issue");
+        assert!(svc.metrics().snapshot().crashes >= 1);
+        svc.shutdown();
+    }
+
+    /// Tentpole: a 10x-slowed worker's unstarted remainder is stolen by
+    /// idle workers, the session stays exact, and the steal shows up in
+    /// the session and cluster ledgers.
+    #[test]
+    fn straggling_range_is_split_and_stolen() {
+        let opt = MpqOptimizer::new(MpqConfig {
+            steal: StealPolicy::balanced(),
+            slow_worker: Some((0, 10)),
+            ..MpqConfig::default()
+        });
+        let q = query(9, 33);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        // Oversubscribed: 4 workers x 4 partitions each — the slow worker
+        // holds a splittable 16-partition-space range.
+        let out = opt
+            .try_optimize_oversubscribed(&q, PlanSpace::Linear, Objective::Single, 4, 16)
+            .expect("steal-on run completes");
+        assert!(rel_eq(out.plans[0].cost().time, reference));
+        assert!(
+            out.metrics.steals >= 1,
+            "the slowed worker must be stolen from: {:?}",
+            out.metrics
+        );
+        assert!(out.metrics.stolen_partitions >= 1);
+        assert!(out.metrics.progress_reports >= 1);
+        assert_eq!(out.metrics.network.steals, out.metrics.steals);
+    }
+
+    /// Regression (review): `wait` with `timeout: None` must not deadlock
+    /// on a pre-reply crash — the blocking receive yields to the
+    /// clock-free evidence pass first.
+    #[test]
+    fn no_timeout_wait_recovers_on_evidence() {
+        use mpq_cluster::FaultPlan;
+        let config = MpqConfig {
+            faults: FaultPlan::crash_on_first_task(2, 1),
+            retry: RetryPolicy {
+                max_retries: 8,
+                timeout: None,
+                max_strikes: 64,
+            },
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(2, config).unwrap();
+        let q = query(6, 35);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        // The crashed worker sends nothing; only the evidence pass run
+        // before the blocking recv can re-issue its range.
+        let out = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| svc.wait(h))
+            .expect("evidence-based recovery unblocks the wait");
+        assert!(rel_eq(out.plans[0].cost().time, reference));
+        assert!(out.metrics.retries >= 1);
+        svc.shutdown();
+    }
+
+    /// Regression (review): with no timer configured, `wait` must drain
+    /// queued replies before consulting death evidence — a worker that
+    /// crashes *after* its completing reply must not fail (or re-issue)
+    /// the session its queued reply completes exactly.
+    #[test]
+    fn queued_reply_beats_dead_sender_evidence_without_timer() {
+        use mpq_cluster::{FaultAction, FaultPlan};
+        let faults = FaultPlan {
+            crash_prob: 1.0,
+            crash_after_reply_prob: 1.0,
+            min_survivors: 1,
+            ..FaultPlan::NONE
+        }
+        .with_seed_where(2, 4096, |s| {
+            // min_survivors always spares the lowest-id candidate, so
+            // worker 1 is the one that can crash here.
+            s.action(1, 0) == FaultAction::CrashAfterReply && s.crashing_workers() == vec![1]
+        })
+        .expect("some seed crashes exactly worker 1 right after its first reply");
+        let config = MpqConfig {
+            faults,
+            // The default policy: no retries, no timer — the reply on the
+            // wire is the only way this session can complete.
+            retry: RetryPolicy::DISABLED,
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(2, config).unwrap();
+        let q = query(6, 39);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        // Let worker 1 reply and die before the master looks at anything,
+        // so its completing reply is queued behind a provably dead sender.
+        for _ in 0..500 {
+            if !svc.cluster.is_worker_alive(1) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(!svc.cluster.is_worker_alive(1), "the crash must have fired");
+        let out = svc
+            .wait(handle)
+            .expect("the queued reply completes the session despite the dead sender");
+        assert!(rel_eq(out.plans[0].cost().time, reference));
+        assert_eq!(out.metrics.retries, 0, "nothing needed re-execution");
+        svc.shutdown();
+    }
+
+    /// Regression (review): a zero `min_steal` (the fields are public)
+    /// must not divide by zero when a candidate range has no unstarted
+    /// tail — it is simply never a victim.
+    #[test]
+    fn zero_min_steal_never_panics() {
+        let config = MpqConfig {
+            steal: StealPolicy {
+                min_steal: 0,
+                ..StealPolicy::balanced()
+            },
+            slow_worker: Some((0, 4)),
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(4, config).unwrap();
+        let q = query(6, 36);
+        // Explicit one-partition ranges: every tail is empty, so nothing
+        // is stealable no matter how lopsided progress looks — selecting
+        // such a victim would divide by zero in the chunk math.
+        let assignment: Vec<(u64, u64)> = (0..4).map(|p| (p, 1)).collect();
+        let out = svc
+            .submit_assigned(&q, PlanSpace::Linear, Objective::Single, 4, assignment)
+            .and_then(|h| svc.wait(h))
+            .expect("session completes without a steal");
+        assert_eq!(out.metrics.steals, 0);
+        svc.shutdown();
+    }
+
+    /// Regression (review): session ids collide across services (every
+    /// service counts from 0), so a foreign same-backend handle must be
+    /// rejected — never redeem another session's result.
+    #[test]
+    fn foreign_same_backend_handle_is_rejected() {
+        let mut a = MpqService::spawn(2, MpqConfig::default()).unwrap();
+        let mut b = MpqService::spawn(2, MpqConfig::default()).unwrap();
+        let qa = query(5, 37);
+        let qb = query(6, 38);
+        let from_a = a.submit(&qa, PlanSpace::Linear, Objective::Single).unwrap();
+        let from_b = b.submit(&qb, PlanSpace::Linear, Objective::Single).unwrap();
+        assert_eq!(from_a.id(), from_b.id(), "raw ids do collide");
+        assert!(matches!(
+            b.poll(&from_a),
+            Some(Err(MpqError::UnknownHandle { .. }))
+        ));
+        assert!(matches!(
+            b.wait(from_a),
+            Err(MpqError::UnknownHandle { .. })
+        ));
+        // B's rightful handle still redeems B's own result.
+        let out = b.wait(from_b).expect("b's own session completes");
+        let reference = optimize_serial(&qb, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        assert!(rel_eq(out.plans[0].cost().time, reference));
+        a.shutdown();
+        b.shutdown();
+    }
+
+    /// Regression (review): a dropped reply must not poison a worker's
+    /// queue ledger for the service's lifetime — the recovery pass
+    /// credits the proven-lost reply, so the worker returns to the thief
+    /// pool and later sessions can still steal onto it.
+    #[test]
+    fn dropped_reply_does_not_poison_the_thief_pool() {
+        use mpq_cluster::{FaultAction, FaultPlan};
+        use std::time::Duration;
+        // Two workers: worker 0 is slow (the perpetual steal victim), so
+        // worker 1 is the only possible thief — and worker 1's entire
+        // first task (progress and reply) is eaten by the network.
+        let faults = FaultPlan {
+            drop_prob: 0.15,
+            ..FaultPlan::NONE
+        }
+        .with_seed_where(2, 8192, |s| {
+            (0..8).all(|m| s.action(0, m) == FaultAction::Deliver)
+                && s.action(1, 0) == FaultAction::DropReply
+                && (1..8).all(|m| s.action(1, m) == FaultAction::Deliver)
+        })
+        .expect("some seed drops exactly worker 1's first task output");
+        let config = MpqConfig {
+            faults,
+            steal: StealPolicy::balanced(),
+            slow_worker: Some((0, 3)),
+            retry: RetryPolicy::with_timeout(64, Duration::from_millis(15)),
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(2, config).unwrap();
+        // Session 1: explicit one-partition ranges, so the steal pass has
+        // nothing to split and only the retry machinery can recover the
+        // dropped reply — repairing worker 1's ledger in the process.
+        let q = query(7, 45);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let first = svc
+            .submit_assigned(
+                &q,
+                PlanSpace::Linear,
+                Objective::Single,
+                2,
+                vec![(0, 1), (1, 1)],
+            )
+            .and_then(|h| svc.wait(h))
+            .expect("drop is recovered");
+        assert!(rel_eq(first.plans[0].cost().time, reference));
+        assert!(first.metrics.retries >= 1, "the drop forced a re-issue");
+        // Session 2: worker 1 must be steal-eligible again despite its
+        // permanently unanswered first task.
+        let second = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| svc.wait(h))
+            .expect("second session completes");
+        assert!(rel_eq(second.plans[0].cost().time, reference));
+        assert!(
+            second.metrics.steals >= 1,
+            "the repaired ledger must readmit the only thief: {:?}",
+            second.metrics
+        );
+        svc.shutdown();
+    }
+
+    /// With stealing enabled, the plain `submit` entry point
+    /// oversubscribes the partition space so ranges have splittable
+    /// tails — otherwise `serve --steal` would be a structural no-op —
+    /// and a slowed worker demonstrably produces progress traffic while
+    /// results stay exact.
+    #[test]
+    fn submit_oversubscribes_when_stealing() {
+        let config = MpqConfig {
+            steal: StealPolicy::balanced(),
+            slow_worker: Some((0, 6)),
+            ..MpqConfig::default()
+        };
+        let mut svc = MpqService::spawn(4, config).unwrap();
+        let q = query(8, 44);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let out = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| svc.wait(h))
+            .expect("session completes");
+        assert!(rel_eq(out.plans[0].cost().time, reference));
+        assert!(
+            out.metrics.partitions > 4,
+            "steal-enabled submit must oversubscribe: {} partitions",
+            out.metrics.partitions
+        );
+        assert!(
+            out.metrics.progress_reports >= 1,
+            "multi-partition ranges must report progress: {:?}",
+            out.metrics
+        );
+        // Steal-off submit keeps the paper's one-partition-per-worker
+        // layout bit-for-bit.
+        let mut off = MpqService::spawn(4, MpqConfig::default()).unwrap();
+        let base = off
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .and_then(|h| off.wait(h))
+            .expect("session completes");
+        assert_eq!(base.metrics.partitions, 4);
+        assert_eq!(
+            base.plans[0].cost().time.to_bits(),
+            out.plans[0].cost().time.to_bits(),
+            "oversubscription never changes the optimum"
+        );
+        off.shutdown();
+        svc.shutdown();
+    }
+
+    /// Steal-off sessions put no progress traffic on the wire and never
+    /// steal, even with a slowed worker.
+    #[test]
+    fn steal_disabled_is_quiet() {
+        let opt = MpqOptimizer::new(MpqConfig {
+            slow_worker: Some((0, 4)),
+            ..MpqConfig::default()
+        });
+        let q = query(8, 34);
+        let out = opt
+            .try_optimize_oversubscribed(&q, PlanSpace::Linear, Objective::Single, 2, 8)
+            .expect("run completes");
+        assert_eq!(out.metrics.steals, 0);
+        assert_eq!(out.metrics.progress_reports, 0);
+        assert_eq!(out.metrics.network.progress_reports, 0);
+        assert_eq!(out.metrics.network.steals, 0);
     }
 }

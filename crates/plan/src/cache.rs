@@ -165,6 +165,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Values evicted to stay within the byte budget.
     pub evictions: u64,
+    /// Inserts skipped because the value alone exceeded the whole byte
+    /// budget (distinct from evictions: nothing resident was displaced).
+    pub skipped_inserts: u64,
     /// Entries currently resident.
     pub entries: u64,
     /// Approximate bytes currently resident.
@@ -209,6 +212,7 @@ pub struct MemoCache<V> {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    skipped_inserts: u64,
     bytes_saved: u64,
 }
 
@@ -227,6 +231,7 @@ impl<V: CacheWeight + Clone> MemoCache<V> {
             misses: 0,
             insertions: 0,
             evictions: 0,
+            skipped_inserts: 0,
             bytes_saved: 0,
         }
     }
@@ -271,6 +276,9 @@ impl<V: CacheWeight + Clone> MemoCache<V> {
         }
         let weight = value.weight_bytes();
         if weight > self.budget {
+            // An oversize value is a *skip*, not an eviction: nothing
+            // resident is displaced and the byte counter must not move.
+            self.skipped_inserts += 1;
             return;
         }
         if let Some(old) = self.map.remove(&key.hash) {
@@ -306,6 +314,7 @@ impl<V: CacheWeight + Clone> MemoCache<V> {
             misses: self.misses,
             insertions: self.insertions,
             evictions: self.evictions,
+            skipped_inserts: self.skipped_inserts,
             entries: self.map.len() as u64,
             bytes: self.bytes as u64,
             capacity_bytes: self.budget as u64,
@@ -401,6 +410,85 @@ mod tests {
         let mut c: MemoCache<Vec<Plan>> = MemoCache::new(8);
         c.insert(key(1), plan(1.0));
         assert_eq!(c.stats().entries, 0);
+    }
+
+    /// Regression (ISSUE 5 satellite): re-inserting an existing key must
+    /// replace the slot without drifting the byte counter — the old
+    /// weight comes out before the new one goes in.
+    #[test]
+    fn reinserting_a_key_does_not_drift_the_byte_counter() {
+        let weight = plan(0.0).weight_bytes() as u64;
+        let mut c: MemoCache<Vec<Plan>> = MemoCache::new(1 << 20);
+        for round in 0..100 {
+            c.insert(key(1), plan(round as f64));
+        }
+        let s = c.stats();
+        assert_eq!(s.entries, 1, "one key, one slot");
+        assert_eq!(s.bytes, weight, "bytes track the resident slot exactly");
+        assert_eq!(s.insertions, 100);
+        assert_eq!(s.evictions, 0, "replacement is not an eviction");
+        // The replacement kept the newest value.
+        assert_eq!(c.get(&key(1)).unwrap()[0].cost().time, 99.0);
+        // A different-weight value under the same key re-accounts fully.
+        let two = vec![plan(1.0)[0].clone(), plan(2.0)[0].clone()];
+        let two_weight = two.weight_bytes() as u64;
+        c.insert(key(1), two);
+        assert_eq!(c.stats().bytes, two_weight);
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    /// Regression (ISSUE 5 satellite): oversize-value inserts are counted
+    /// as skips, not evictions, and leave every resident counter intact.
+    #[test]
+    fn oversize_inserts_count_as_skips_not_evictions() {
+        let weight = plan(0.0).weight_bytes();
+        let mut c: MemoCache<Vec<Plan>> = MemoCache::new(weight + weight / 2);
+        c.insert(key(1), plan(1.0));
+        let resident = c.stats();
+        // A two-plan value exceeds the whole budget: skipped wholesale.
+        let big = vec![plan(2.0)[0].clone(), plan(3.0)[0].clone()];
+        assert!(big.weight_bytes() > weight + weight / 2);
+        c.insert(key(2), big);
+        let s = c.stats();
+        assert_eq!(s.skipped_inserts, 1, "the oversize insert is a skip");
+        assert_eq!(s.evictions, 0, "nothing resident was displaced");
+        assert_eq!(s.entries, resident.entries);
+        assert_eq!(s.bytes, resident.bytes);
+        assert!(c.get(&key(1)).is_some(), "the resident entry survived");
+    }
+
+    /// Regression (ISSUE 5 satellite): across evict-to-fit loops the
+    /// stats stay exact — bytes equal the sum of resident weights, and
+    /// insertions balance against evictions plus residents.
+    #[test]
+    fn stats_stay_exact_across_evict_to_fit_loops() {
+        let weight = plan(0.0).weight_bytes();
+        // Room for three single-plan values.
+        let mut c: MemoCache<Vec<Plan>> = MemoCache::new(3 * weight + weight / 2);
+        for tag in 0..50u64 {
+            c.insert(key(tag), plan(tag as f64));
+            let s = c.stats();
+            assert!(s.bytes <= s.capacity_bytes, "budget holds at tag {tag}");
+            assert_eq!(
+                s.bytes,
+                s.entries * weight as u64,
+                "bytes are the exact sum of resident weights at tag {tag}"
+            );
+            assert_eq!(
+                s.insertions,
+                s.evictions + s.entries,
+                "every insert is resident or evicted at tag {tag}"
+            );
+        }
+        let s = c.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.evictions, 47);
+        assert_eq!(s.skipped_inserts, 0);
+        // The three newest keys survive, LRU order intact.
+        for tag in 47..50u64 {
+            assert!(c.get(&key(tag)).is_some(), "key {tag} is resident");
+        }
+        assert!(c.get(&key(46)).is_none());
     }
 
     #[test]

@@ -90,6 +90,19 @@ pub enum SmaError {
     /// The cluster substrate failed outside the SMA protocol proper
     /// (e.g. the resident cluster could not be spawned).
     Cluster(ClusterError),
+    /// The handle does not name a live or parked session of this service:
+    /// its result was already taken (poll-then-wait), or it belongs to a
+    /// different service. Caller misuse, surfaced typed.
+    UnknownHandle {
+        /// The session id the handle carried.
+        id: mpq_cluster::QueryId,
+    },
+    /// A spawn or submission request was malformed (e.g. zero workers) —
+    /// caller misuse, surfaced typed.
+    BadRequest {
+        /// What was wrong with the request.
+        reason: &'static str,
+    },
 }
 
 impl SmaError {
@@ -105,7 +118,11 @@ impl SmaError {
                 memo_rebroadcast_bytes,
                 ..
             } => Some(*memo_rebroadcast_bytes),
-            SmaError::Decode { .. } | SmaError::Protocol { .. } | SmaError::Cluster(_) => None,
+            SmaError::Decode { .. }
+            | SmaError::Protocol { .. }
+            | SmaError::Cluster(_)
+            | SmaError::UnknownHandle { .. }
+            | SmaError::BadRequest { .. } => None,
         }
     }
 }
@@ -137,6 +154,12 @@ impl fmt::Display for SmaError {
                 write!(f, "worker {worker} broke the session protocol")
             }
             SmaError::Cluster(e) => write!(f, "cluster failure: {e}"),
+            SmaError::UnknownHandle { id } => write!(
+                f,
+                "handle {id} does not name a live or parked session of this service \
+                 (already redeemed, or from a different service)"
+            ),
+            SmaError::BadRequest { reason } => write!(f, "malformed request: {reason}"),
         }
     }
 }

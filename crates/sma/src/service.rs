@@ -17,6 +17,10 @@
 //! re-broadcast bill in a typed [`SmaError`]. A dead worker dooms every
 //! in-flight session (each one had a replica on it).
 
+// A server facade must never abort on caller error: every unwrap/expect
+// on this master-side path is either removed or individually justified.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::message::{SlotUpdate, SmaMasterMsg, SmaReply};
 use crate::optimizer::{SmaConfig, SmaError, SmaMetrics, SmaOutcome};
 use bytes::Bytes;
@@ -45,7 +49,9 @@ const MAX_STRIKES: u32 = 64;
 const MAX_PARKED_RESULTS: usize = 4096;
 
 /// Ticket for one submitted query; redeem with [`SmaService::wait`] or
-/// check with [`SmaService::poll`].
+/// check with [`SmaService::poll`]. Handles remember which service
+/// instance minted them, so presenting one to a different service yields
+/// a typed [`SmaError::UnknownHandle`] — never another session's result.
 ///
 /// Dropping a handle **abandons** its session: on the next scheduler
 /// entry the service frees its master-side state and sends the workers
@@ -55,6 +61,7 @@ const MAX_PARKED_RESULTS: usize = 4096;
 #[derive(Debug)]
 pub struct QueryHandle {
     id: QueryId,
+    service: u64,
     abandoned: AbandonedList,
 }
 
@@ -162,7 +169,14 @@ impl WorkerLogic for SmaWorker {
                 // Split the borrows: the cache and the session replica are
                 // disjoint worker state.
                 let SmaWorker { replicas, cache } = self;
-                let state = replicas.get_mut(&query.0).expect("Init precedes Assign");
+                // The master always sends Init first and per-worker
+                // delivery is FIFO, so a missing replica is a protocol
+                // bug: report it typed instead of killing a resident
+                // worker that still serves every other session.
+                let Some(state) = replicas.get_mut(&query.0) else {
+                    ctx.send_to_master(SmaReply::Malformed.to_bytes());
+                    return Control::Continue;
+                };
                 let t0 = Instant::now();
                 let policy = PruningPolicy::new(state.objective, state.query.num_tables());
                 let mut est = CardinalityEstimator::new(&state.query);
@@ -200,10 +214,10 @@ impl WorkerLogic for SmaWorker {
                 Control::Continue
             }
             SmaMasterMsg::Delta { slots } => {
-                let state = self
-                    .replicas
-                    .get_mut(&query.0)
-                    .expect("Init precedes Delta");
+                let Some(state) = self.replicas.get_mut(&query.0) else {
+                    ctx.send_to_master(SmaReply::Malformed.to_bytes());
+                    return Control::Continue;
+                };
                 for s in slots {
                     state.memo.replace_slot(s.set, s.entries);
                 }
@@ -220,10 +234,10 @@ impl WorkerLogic for SmaWorker {
                 // The session is over once the final plan ships: drop the
                 // replica so a resident worker's memory does not grow with
                 // the *history* of sessions, only with the in-flight set.
-                let state = self
-                    .replicas
-                    .remove(&query.0)
-                    .expect("Init precedes Finish");
+                let Some(state) = self.replicas.remove(&query.0) else {
+                    ctx.send_to_master(SmaReply::Malformed.to_bytes());
+                    return Control::Continue;
+                };
                 let n = state.query.num_tables();
                 let policy = PruningPolicy::new(state.objective, n);
                 let mut est = CardinalityEstimator::new(&state.query);
@@ -308,6 +322,8 @@ impl Session {
 pub struct SmaService {
     cluster: Cluster,
     recv_timeout: Option<Duration>,
+    /// This instance's identity, stamped into every handle it mints.
+    service: u64,
     next_id: u64,
     /// Ordered maps so scheduler passes visit sessions in submission
     /// order — deterministic across runs, like the rest of the simulator.
@@ -323,7 +339,11 @@ impl SmaService {
     /// `config`'s latency model and fault plan, shared by every
     /// subsequently submitted query.
     pub fn spawn(workers: usize, config: SmaConfig) -> Result<SmaService, SmaError> {
-        assert!(workers >= 1, "at least one worker required");
+        if workers == 0 {
+            return Err(SmaError::BadRequest {
+                reason: "at least one worker required",
+            });
+        }
         let cluster = Cluster::spawn_with_faults(workers, config.latency, &config.faults, |_| {
             SmaWorker::new(config.cache_bytes)
         })
@@ -331,6 +351,7 @@ impl SmaService {
         Ok(SmaService {
             cluster,
             recv_timeout: config.recv_timeout,
+            service: mpq_cluster::mint_service_instance(),
             next_id: 0,
             sessions: BTreeMap::new(),
             done: BTreeMap::new(),
@@ -401,6 +422,7 @@ impl SmaService {
         self.sessions.insert(id.0, session);
         Ok(QueryHandle {
             id,
+            service: self.service,
             abandoned: self.abandoned.clone(),
         })
     }
@@ -410,6 +432,11 @@ impl SmaService {
     /// result is delivered exactly once; after `Some`, the handle is
     /// spent.
     pub fn poll(&mut self, handle: &QueryHandle) -> Option<Result<SmaOutcome, SmaError>> {
+        if handle.service != self.service {
+            // A handle from another service instance: its raw session id
+            // may collide with one of ours, so reject before any lookup.
+            return Some(Err(SmaError::UnknownHandle { id: handle.id }));
+        }
         self.reap_abandoned();
         loop {
             if self.done.contains_key(&handle.id.0) {
@@ -436,20 +463,22 @@ impl SmaService {
     /// Blocks until the handle's session finishes, driving every
     /// in-flight session's rounds in the meantime.
     ///
-    /// # Panics
-    /// Panics if the handle's result was already taken via
-    /// [`SmaService::poll`].
+    /// A handle whose result was already taken via [`SmaService::poll`]
+    /// (or that belongs to a different service) yields a typed
+    /// [`SmaError::UnknownHandle`], never a panic.
     pub fn wait(&mut self, handle: QueryHandle) -> Result<SmaOutcome, SmaError> {
+        if handle.service != self.service {
+            // See poll: foreign handles are rejected before any lookup.
+            return Err(SmaError::UnknownHandle { id: handle.id });
+        }
         self.reap_abandoned();
         loop {
             if let Some(result) = self.done.remove(&handle.id.0) {
                 return result;
             }
-            assert!(
-                self.sessions.contains_key(&handle.id.0),
-                "query handle {} already resolved",
-                handle.id
-            );
+            if !self.sessions.contains_key(&handle.id.0) {
+                return Err(SmaError::UnknownHandle { id: handle.id });
+            }
             let received = match self.recv_timeout {
                 Some(t) => self.cluster.recv_timeout(t),
                 None => self.cluster.recv(),
@@ -600,10 +629,11 @@ impl SmaService {
     }
 
     fn finish(&mut self, qid: QueryId, plans: Vec<Plan>, replica_stats: WorkerStats) {
-        let session = self
-            .sessions
-            .remove(&qid.0)
-            .expect("finishing an active session");
+        let Some(session) = self.sessions.remove(&qid.0) else {
+            // Internal invariant (route only finishes live sessions), but
+            // a resident master must not abort if it is ever violated.
+            return;
+        };
         let network = self.cluster.metrics().snapshot();
         // Worker 0 freed its replica when it handled `Finish`; tell the
         // *other* workers to free theirs too — a resident worker's memory
@@ -705,6 +735,8 @@ fn start_round(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use mpq_dp::optimize_serial;
     use mpq_model::{WorkloadConfig, WorkloadGenerator};
@@ -812,6 +844,30 @@ mod tests {
             .unwrap();
         let bill_b = svc.wait(b).unwrap().metrics.replica_recovery_bytes;
         assert_eq!(bill_a, bill_b, "per-session bills are independent");
+        svc.shutdown();
+    }
+
+    /// Regression (ISSUE 5 satellite): redeeming a handle twice —
+    /// poll-then-wait — must yield a typed error, never a panic.
+    #[test]
+    fn poll_then_wait_is_a_typed_error() {
+        let mut svc = SmaService::spawn(2, SmaConfig::default()).unwrap();
+        let q = query(5, 50);
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .unwrap();
+        let mut polled = false;
+        for _ in 0..10_000 {
+            if svc.poll(&handle).is_some() {
+                polled = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        assert!(polled, "the session completes");
+        let id = handle.id();
+        let err = svc.wait(handle).expect_err("the result was already taken");
+        assert_eq!(err, SmaError::UnknownHandle { id });
         svc.shutdown();
     }
 }

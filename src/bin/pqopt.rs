@@ -65,7 +65,10 @@ serve options:
   --queries N       queries to stream through the service   (default 64, must be > 0)
   --clients C       concurrent in-flight submissions        (default 8, must be > 0)
   --backend B       serial|topdown|mpq|sma                  (default mpq)
-  --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)";
+  --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)
+  --steal           straggler-adaptive work redistribution on the MPQ backend
+  --steal-lag R     lag ratio triggering a steal (default 2, > 1; implies --steal)
+  --steal-min N     unstarted partitions to split a range (default 2, > 0; implies --steal)";
 
 struct Options {
     tables: usize,
@@ -80,6 +83,7 @@ struct Options {
     clients: usize,
     backend: Backend,
     cache_bytes: usize,
+    steal: StealPolicy,
 }
 
 impl Options {
@@ -97,6 +101,7 @@ impl Options {
             clients: 8,
             backend: Backend::Mpq,
             cache_bytes: 0,
+            steal: StealPolicy::DISABLED,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -139,6 +144,25 @@ impl Options {
                 "--queries" => o.queries = parse_num(&value("--queries")?)?,
                 "--clients" => o.clients = parse_num(&value("--clients")?)?,
                 "--cache-bytes" => o.cache_bytes = parse_num(&value("--cache-bytes")?)?,
+                "--steal" => o.steal.enabled = true,
+                "--steal-lag" => {
+                    let ratio: f64 = value("--steal-lag")?
+                        .parse()
+                        .map_err(|_| "R must be a number".to_string())?;
+                    if !ratio.is_finite() || ratio <= 1.0 {
+                        return Err("--steal-lag must be > 1".into());
+                    }
+                    o.steal.enabled = true;
+                    o.steal.lag_ratio = ratio;
+                }
+                "--steal-min" => {
+                    let min: u64 = parse_num(&value("--steal-min")?)?;
+                    if min == 0 {
+                        return Err("--steal-min must be at least 1".into());
+                    }
+                    o.steal.enabled = true;
+                    o.steal.min_steal = min;
+                }
                 "--backend" => {
                     o.backend = match value("--backend")?.as_str() {
                         "serial" => Backend::SerialDp,
@@ -253,17 +277,23 @@ fn cmd_serve(o: &Options) {
             ..SmaConfig::default()
         },
         cache_bytes: o.cache_bytes,
+        steal: o.steal,
     };
     println!(
         "serving {} queries ({} tables, {:?} graph) on backend `{}`, {} workers, {} clients, \
-         cache {} bytes",
+         cache {} bytes, steal {}",
         queries.len(),
         o.tables,
         o.graph,
         o.backend.name(),
         o.workers,
         clients,
-        o.cache_bytes
+        o.cache_bytes,
+        if o.steal.enabled {
+            format!("on (lag {}x, min {})", o.steal.lag_ratio, o.steal.min_steal)
+        } else {
+            "off".to_string()
+        }
     );
 
     // Resident mode: one service for the whole stream, `clients` queries

@@ -76,7 +76,9 @@ pub mod prelude {
     pub use crate::service::{
         Backend, Optimizer, OptimizerService, ServiceConfig, ServiceError, ServiceHandle,
     };
-    pub use mpq_algo::{MpqConfig, MpqError, MpqOptimizer, MpqOutcome, MpqService, RetryPolicy};
+    pub use mpq_algo::{
+        MpqConfig, MpqError, MpqOptimizer, MpqOutcome, MpqService, RetryPolicy, StealPolicy,
+    };
     pub use mpq_cluster::{ClusterError, FaultPlan, LatencyModel, NetworkMetrics, QueryId};
     pub use mpq_cost::{CostVector, Objective};
     pub use mpq_dp::{optimize_partition, optimize_serial, PartitionOutcome};

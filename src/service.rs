@@ -11,8 +11,12 @@
 //! MPQ and the SMA baseline. There is exactly one code path per backend;
 //! single-query and streaming callers differ only in when they wait.
 
+// A server facade must never abort on caller error: every unwrap/expect
+// on this path is either removed or individually justified.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::dp::{optimize_partition_topdown_cached, optimize_serial_cached, PlanCache};
-use crate::mpq::{MpqConfig, MpqError, MpqService};
+use crate::mpq::{MpqConfig, MpqError, MpqService, StealPolicy};
 use crate::plan::Plan;
 use crate::sma::{SmaConfig, SmaError, SmaService};
 use mpq_cluster::AbandonedList;
@@ -81,6 +85,11 @@ pub struct ServiceConfig {
     /// pre-cache behavior. When non-zero, this overrides the engine
     /// configs' own `cache_bytes`.
     pub cache_bytes: usize,
+    /// **Straggler-adaptive work redistribution** of the MPQ backend
+    /// (ignored by the others; disabled by default). When enabled, this
+    /// overrides the MPQ engine config's own `steal` policy, so one knob
+    /// governs the service uniformly.
+    pub steal: StealPolicy,
 }
 
 impl ServiceConfig {
@@ -101,15 +110,34 @@ impl ServiceConfig {
             ..ServiceConfig::new(backend, workers)
         }
     }
+
+    /// Same service with a straggler-adaptive steal policy (effective on
+    /// the MPQ backend).
+    pub fn with_steal(backend: Backend, workers: usize, steal: StealPolicy) -> ServiceConfig {
+        ServiceConfig {
+            steal,
+            ..ServiceConfig::new(backend, workers)
+        }
+    }
 }
 
-/// Typed failure of one service request.
+/// Typed failure of one service request. Handle-lifecycle misuse —
+/// redeeming a handle twice, or presenting a handle to a service of a
+/// different backend — is part of the contract: it maps to
+/// [`ServiceError::UnknownHandle`] / [`ServiceError::BackendMismatch`],
+/// never to a panic.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServiceError {
     /// The MPQ backend failed.
     Mpq(MpqError),
     /// The SMA backend failed.
     Sma(SmaError),
+    /// The handle does not name a live or parked request of this service:
+    /// its result was already taken (poll-then-wait, double-wait), or it
+    /// came from another service instance.
+    UnknownHandle,
+    /// The handle was minted by a service running a different backend.
+    BackendMismatch,
 }
 
 impl fmt::Display for ServiceError {
@@ -117,6 +145,14 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Mpq(e) => write!(f, "MPQ backend: {e}"),
             ServiceError::Sma(e) => write!(f, "SMA backend: {e}"),
+            ServiceError::UnknownHandle => write!(
+                f,
+                "handle does not name a live or parked request of this service \
+                 (already redeemed, or from a different service)"
+            ),
+            ServiceError::BackendMismatch => {
+                write!(f, "handle was minted by a service of a different backend")
+            }
         }
     }
 }
@@ -126,19 +162,28 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Mpq(e) => Some(e),
             ServiceError::Sma(e) => Some(e),
+            ServiceError::UnknownHandle | ServiceError::BackendMismatch => None,
         }
     }
 }
 
 impl From<MpqError> for ServiceError {
     fn from(e: MpqError) -> Self {
-        ServiceError::Mpq(e)
+        match e {
+            // Handle misuse is a service-level contract, not a backend
+            // failure: surface it uniformly across backends.
+            MpqError::UnknownHandle { .. } => ServiceError::UnknownHandle,
+            e => ServiceError::Mpq(e),
+        }
     }
 }
 
 impl From<SmaError> for ServiceError {
     fn from(e: SmaError) -> Self {
-        ServiceError::Sma(e)
+        match e {
+            SmaError::UnknownHandle { .. } => ServiceError::UnknownHandle,
+            e => ServiceError::Sma(e),
+        }
     }
 }
 
@@ -165,6 +210,7 @@ enum Ticket {
 #[derive(Debug)]
 struct ImmediateHandle {
     id: u64,
+    service: u64,
     abandoned: AbandonedList,
 }
 
@@ -186,6 +232,8 @@ enum Engine {
     /// protocol is uniform across backends.
     Immediate {
         backend: Backend,
+        /// This instance's identity, stamped into every handle it mints.
+        service: u64,
         next_id: u64,
         done: BTreeMap<u64, Vec<Plan>>,
         /// The master-side cross-query memo cache (disabled at budget 0).
@@ -214,9 +262,15 @@ impl OptimizerService {
             mpq.cache_bytes = config.cache_bytes;
             sma.cache_bytes = config.cache_bytes;
         }
+        // Same override pattern for the steal policy: the service-level
+        // knob wins when it is enabled.
+        if config.steal.enabled {
+            mpq.steal = config.steal;
+        }
         let engine = match config.backend {
             Backend::SerialDp | Backend::TopDown => Engine::Immediate {
                 backend: config.backend,
+                service: mpq_cluster::mint_service_instance(),
                 next_id: 0,
                 done: BTreeMap::new(),
                 cache: PlanCache::new(config.cache_bytes),
@@ -248,6 +302,7 @@ impl OptimizerService {
         let ticket = match &mut self.engine {
             Engine::Immediate {
                 backend,
+                service,
                 next_id,
                 done,
                 cache,
@@ -275,6 +330,7 @@ impl OptimizerService {
                 }
                 Ticket::Immediate(ImmediateHandle {
                     id,
+                    service: *service,
                     abandoned: abandoned.clone(),
                 })
             }
@@ -290,10 +346,19 @@ impl OptimizerService {
         match (&mut self.engine, &handle.ticket) {
             (
                 Engine::Immediate {
-                    done, abandoned, ..
+                    service,
+                    done,
+                    abandoned,
+                    ..
                 },
                 Ticket::Immediate(h),
             ) => {
+                if h.service != *service {
+                    // A handle from another service instance: its raw id
+                    // may collide with one of ours, so reject it before
+                    // any lookup.
+                    return Some(Err(ServiceError::UnknownHandle));
+                }
                 reap_immediate(done, abandoned);
                 done.remove(&h.id).map(Ok)
             }
@@ -303,7 +368,9 @@ impl OptimizerService {
             (Engine::Sma(svc), Ticket::Sma(h)) => {
                 svc.poll(h).map(|r| r.map(|o| o.plans).map_err(Into::into))
             }
-            _ => unreachable!("handle from a different service backend"),
+            // A handle minted by a service of another backend: caller
+            // misuse, answered typed — a server facade never aborts on it.
+            _ => Some(Err(ServiceError::BackendMismatch)),
         }
     }
 
@@ -315,16 +382,29 @@ impl OptimizerService {
         match (&mut self.engine, handle.ticket) {
             (
                 Engine::Immediate {
-                    done, abandoned, ..
+                    service,
+                    done,
+                    abandoned,
+                    ..
                 },
                 Ticket::Immediate(h),
             ) => {
+                if h.service != *service {
+                    // See poll: foreign handles are rejected before any
+                    // lookup — a colliding raw id must not redeem another
+                    // service's result.
+                    return Err(ServiceError::UnknownHandle);
+                }
                 reap_immediate(done, abandoned);
-                Ok(done.remove(&h.id).expect("service handle already resolved"))
+                // A missing id means the result was already delivered
+                // through `poll`: typed, not a panic.
+                done.remove(&h.id).ok_or(ServiceError::UnknownHandle)
             }
             (Engine::Mpq(svc), Ticket::Mpq(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
             (Engine::Sma(svc), Ticket::Sma(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
-            _ => unreachable!("handle from a different service backend"),
+            // A handle minted by a service of another backend: caller
+            // misuse, answered typed — a server facade never aborts on it.
+            _ => Err(ServiceError::BackendMismatch),
         }
     }
 
@@ -411,6 +491,8 @@ impl Optimizer for OptimizerService {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::dp::optimize_serial;
     use mpq_model::{WorkloadConfig, WorkloadGenerator};
@@ -521,6 +603,92 @@ mod tests {
             }
             _ => unreachable!(),
         }
+        svc.shutdown();
+    }
+
+    /// Regression (ISSUE 5 satellite): handle-lifecycle misuse on the
+    /// facade is a typed error on every backend — poll-then-wait yields
+    /// `UnknownHandle`, a foreign-backend handle yields `BackendMismatch`.
+    #[test]
+    fn handle_misuse_is_typed_on_every_backend() {
+        let q = query(5, 11);
+        for backend in Backend::ALL {
+            let mut svc = OptimizerService::spawn(ServiceConfig::new(backend, 2)).expect("spawn");
+            let handle = svc
+                .submit(&q, PlanSpace::Linear, Objective::Single)
+                .expect("submit");
+            // Drain via poll first...
+            let mut polled = false;
+            for _ in 0..10_000 {
+                match svc.poll(&handle) {
+                    Some(r) => {
+                        r.expect("request completes");
+                        polled = true;
+                        break;
+                    }
+                    None => std::thread::sleep(std::time::Duration::from_micros(100)),
+                }
+            }
+            assert!(polled, "backend {}", backend.name());
+            // ...then the spent handle must fail typed, not panic.
+            assert_eq!(
+                svc.wait(handle),
+                Err(ServiceError::UnknownHandle),
+                "backend {}",
+                backend.name()
+            );
+            svc.shutdown();
+        }
+        // A same-backend handle from a *different service instance*: raw
+        // ids collide (both count from 0), so only the instance tag can
+        // tell them apart — it must, rather than redeem a foreign result.
+        let mut a =
+            OptimizerService::spawn(ServiceConfig::new(Backend::SerialDp, 1)).expect("spawn");
+        let mut b =
+            OptimizerService::spawn(ServiceConfig::new(Backend::SerialDp, 1)).expect("spawn");
+        let from_a = a
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        let from_b = b
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        assert_eq!(b.poll(&from_a), Some(Err(ServiceError::UnknownHandle)));
+        assert_eq!(b.wait(from_a), Err(ServiceError::UnknownHandle));
+        assert!(b.wait(from_b).is_ok(), "b's own handle still redeems");
+        a.shutdown();
+        b.shutdown();
+        // A handle minted by one backend presented to another.
+        let mut mpq = OptimizerService::spawn(ServiceConfig::new(Backend::Mpq, 2)).expect("spawn");
+        let mut serial =
+            OptimizerService::spawn(ServiceConfig::new(Backend::SerialDp, 1)).expect("spawn");
+        let foreign = serial
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        assert_eq!(mpq.poll(&foreign), Some(Err(ServiceError::BackendMismatch)));
+        assert_eq!(mpq.wait(foreign), Err(ServiceError::BackendMismatch));
+        mpq.shutdown();
+        serial.shutdown();
+    }
+
+    /// The service-level steal override reaches the MPQ backend — with
+    /// stealing enabled, `submit` oversubscribes the partition space so
+    /// ranges have splittable tails — and results stay exact.
+    #[test]
+    fn steal_override_keeps_service_exact() {
+        let q = query(6, 12);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let mut svc = OptimizerService::spawn(ServiceConfig::with_steal(
+            Backend::Mpq,
+            3,
+            crate::mpq::StealPolicy::balanced(),
+        ))
+        .expect("spawn");
+        let plans = svc
+            .optimize(&q, PlanSpace::Linear, Objective::Single)
+            .expect("optimize");
+        assert!(rel_eq(plans[0].cost().time, reference));
         svc.shutdown();
     }
 
