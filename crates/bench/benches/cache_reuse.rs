@@ -91,7 +91,7 @@ fn run_stream(service: &mut MpqService, queries: &[Query]) {
             })
             .collect();
         for handle in handles {
-            black_box(service.wait(handle).expect("session completes"));
+            let _ = black_box(service.wait(handle).expect("session completes"));
         }
     }
 }

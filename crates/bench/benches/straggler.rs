@@ -70,7 +70,7 @@ fn run_once(steal: StealPolicy, seed: u64) -> Duration {
         .and_then(|handle| svc.wait(handle))
         .expect("session completes");
     let elapsed = t0.elapsed();
-    black_box(out);
+    let _ = black_box(out);
     svc.shutdown();
     elapsed
 }

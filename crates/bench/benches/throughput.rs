@@ -41,7 +41,7 @@ fn workload() -> Vec<Query> {
 fn spawn_per_query(queries: &[Query], workers: usize) {
     let optimizer = MpqOptimizer::new(MpqConfig::default());
     for q in queries {
-        black_box(optimizer.optimize(
+        let _ = black_box(optimizer.optimize(
             black_box(q),
             PlanSpace::Linear,
             Objective::Single,
@@ -61,7 +61,7 @@ fn resident_batch(service: &mut MpqService, queries: &[Query]) {
         })
         .collect();
     for handle in handles {
-        black_box(service.wait(handle).expect("session completes"));
+        let _ = black_box(service.wait(handle).expect("session completes"));
     }
 }
 

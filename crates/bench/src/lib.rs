@@ -7,6 +7,8 @@
 //! EXPERIMENTS.md for the mapping). Results are printed as aligned text
 //! tables whose rows mirror the paper's plots.
 
+#![forbid(unsafe_code)]
+
 use mpq_cluster::LatencyModel;
 use mpq_cost::Objective;
 use mpq_model::{JoinGraph, Query, WorkloadConfig, WorkloadGenerator};

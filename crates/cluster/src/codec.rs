@@ -107,6 +107,12 @@ impl Encoder {
     }
 
     /// Writes a collection length prefix.
+    ///
+    /// Audited panic site (see `crates/xtask/allow/panics.allow`): a
+    /// collection beyond `u32::MAX` elements cannot be represented by the
+    /// length prefix at all, and `MAX_LEN` rejects far smaller ones on
+    /// decode.
+    #[allow(clippy::expect_used)]
     pub fn put_len(&mut self, len: usize) {
         self.put_u32(u32::try_from(len).expect("collection too large to encode"));
     }
@@ -217,6 +223,12 @@ pub trait Wire: Sized {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub u64);
 
+impl QueryId {
+    /// Encoded size: one little-endian `u64`. `xtask lint` checks this
+    /// against the field widths [`Wire::encode`] actually writes.
+    pub const WIRE_SIZE: usize = 8;
+}
+
 impl fmt::Display for QueryId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "q{}", self.0)
@@ -248,7 +260,7 @@ impl SessionEnvelope {
     /// Size of the frame header (the little-endian [`QueryId`]), in bytes.
     /// Byte counters and the latency model charge `payload + HEADER_BYTES`
     /// per message.
-    pub const HEADER_BYTES: usize = 8;
+    pub const HEADER_BYTES: usize = QueryId::WIRE_SIZE;
 
     /// Frames `payload` for `query`: the bytes that actually cross the
     /// simulated network.
@@ -261,16 +273,11 @@ impl SessionEnvelope {
 
     /// Splits a framed message back into its session id and payload.
     pub fn unframe(framed: &[u8]) -> Result<SessionEnvelope, DecodeError> {
-        if framed.len() < 8 {
-            return Err(DecodeError::Truncated {
-                needed: 8,
-                available: framed.len(),
-            });
-        }
-        let id = u64::from_le_bytes(framed[..8].try_into().expect("checked length"));
+        let mut dec = Decoder::new(framed);
+        let id = dec.get_u64()?;
         Ok(SessionEnvelope {
             query: QueryId(id),
-            payload: Bytes::copy_from_slice(&framed[8..]),
+            payload: Bytes::copy_from_slice(&framed[Self::HEADER_BYTES..]),
         })
     }
 }
@@ -297,6 +304,13 @@ pub struct Progress {
     pub completed: u64,
     /// Number of partitions in the range (task echo).
     pub partition_count: u64,
+}
+
+impl Progress {
+    /// Encoded size: three little-endian `u64`s. `xtask lint` checks this
+    /// against the field widths [`Wire::encode`] actually writes, so the
+    /// "O(1) bytes per report" claim cannot silently rot.
+    pub const WIRE_SIZE: usize = 24;
 }
 
 impl Wire for Progress {
@@ -666,6 +680,7 @@ impl Wire for WorkerStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use mpq_model::{WorkloadConfig, WorkloadGenerator};
 

@@ -34,6 +34,8 @@
 //! liveness probes rather than panics, mirroring how a Spark-style
 //! master observes executor loss.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod fault;
 pub mod latency;

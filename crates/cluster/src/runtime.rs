@@ -588,9 +588,11 @@ impl Cluster {
     }
 
     fn park(&self, query: QueryId, worker: usize, payload: Bytes) {
+        // Recover from poisoning: the map holds plain owned data, so a
+        // panicked holder cannot have left it logically inconsistent.
         self.parked
             .lock()
-            .expect("parked-reply map is never poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .entry(query.0)
             .or_default()
             .push_back((worker, payload));
@@ -600,7 +602,7 @@ impl Cluster {
         let mut parked = self
             .parked
             .lock()
-            .expect("parked-reply map is never poisoned");
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let queue = parked.get_mut(&query.0)?;
         let reply = queue.pop_front();
         if queue.is_empty() {
@@ -613,10 +615,9 @@ impl Cluster {
         let mut parked = self
             .parked
             .lock()
-            .expect("parked-reply map is never poisoned");
-        let (&qid, _) = parked.iter().next()?;
-        let queue = parked.get_mut(&qid).expect("key just observed");
-        let (worker, payload) = queue.pop_front().expect("parked queues are non-empty");
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let (&qid, queue) = parked.iter_mut().next()?;
+        let (worker, payload) = queue.pop_front()?;
         if queue.is_empty() {
             parked.remove(&qid);
         }
@@ -704,6 +705,7 @@ impl Drop for Cluster {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use std::collections::HashMap;
 

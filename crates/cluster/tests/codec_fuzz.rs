@@ -10,6 +10,10 @@
 //! network: a faulty or malicious worker reply must surface as a typed
 //! error at the master, not a crash.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mpq_cluster::Wire;
 use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
 use mpq_dp::WorkerStats;

@@ -15,11 +15,16 @@
 //! `cargo test -p mpq_cluster --test codec_golden -- --ignored --nocapture`
 //! and paste the printed constants below.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mpq_cluster::{Progress, QueryId, SessionEnvelope, Wire};
 use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
 use mpq_dp::WorkerStats;
 use mpq_model::{Catalog, JoinGraph, Predicate, Query, TableSet, TableStats};
-use mpq_plan::{Plan, PlanEntry};
+use mpq_partition::PlanSpace;
+use mpq_plan::{Plan, PlanEntry, PlanNode};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -104,6 +109,23 @@ fn golden_stats() -> WorkerStats {
     }
 }
 
+fn golden_scan_node() -> PlanNode {
+    PlanNode::Scan {
+        table: 2,
+        op: ScanOp::Full,
+    }
+}
+
+fn golden_join_node() -> PlanNode {
+    PlanNode::Join {
+        op: JoinOp::Hash,
+        left: TableSet::from_tables([0, 1]),
+        left_idx: 7,
+        right: TableSet::singleton(2),
+        right_idx: 0,
+    }
+}
+
 fn golden_progress() -> Progress {
     Progress {
         first_partition: 5,
@@ -142,6 +164,11 @@ const GOLDEN_ENVELOPE: &str = "2a00000000000000010203";
 // Straggler-adaptive redistribution: the fixed-size worker progress report
 // (three LE u64s: first_partition, completed, partition_count).
 const GOLDEN_PROGRESS: &str = "050000000000000002000000000000000800000000000000";
+// Plan-space selector (one tag byte) and the memo-reference plan nodes.
+const GOLDEN_PLAN_SPACE_LINEAR: &str = "00";
+const GOLDEN_PLAN_SPACE_BUSHY: &str = "01";
+const GOLDEN_PLAN_NODE_SCAN: &str = "000200";
+const GOLDEN_PLAN_NODE_JOIN: &str = "0101030000000000000007000000040000000000000000000000";
 
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
@@ -220,6 +247,28 @@ fn golden_session_layer() {
     let opened = SessionEnvelope::unframe(&framed).expect("golden frame opens");
     assert_eq!(opened.query, QueryId(42));
     assert_eq!(&opened.payload[..], &[1, 2, 3]);
+}
+
+#[test]
+fn golden_plan_space_and_nodes() {
+    assert_golden(
+        &PlanSpace::Linear,
+        GOLDEN_PLAN_SPACE_LINEAR,
+        "PlanSpace::Linear",
+    );
+    assert_golden(
+        &PlanSpace::Bushy,
+        GOLDEN_PLAN_SPACE_BUSHY,
+        "PlanSpace::Bushy",
+    );
+    assert_golden(&golden_scan_node(), GOLDEN_PLAN_NODE_SCAN, "PlanNode::Scan");
+    assert_golden(&golden_join_node(), GOLDEN_PLAN_NODE_JOIN, "PlanNode::Join");
+    // Layout pins: PlanSpace is a single tag byte; PlanNode leads with its
+    // variant tag (0 = Scan, 1 = Join).
+    assert_eq!(&PlanSpace::Linear.to_bytes()[..], [0]);
+    assert_eq!(&PlanSpace::Bushy.to_bytes()[..], [1]);
+    assert_eq!(golden_scan_node().to_bytes()[0], 0);
+    assert_eq!(golden_join_node().to_bytes()[0], 1);
 }
 
 #[test]
@@ -304,6 +353,13 @@ fn regenerate_golden_constants() {
             hex(&SessionEnvelope::frame(QueryId(42), &[1, 2, 3])),
         ),
         ("GOLDEN_PROGRESS", hex(&golden_progress().to_bytes())),
+        (
+            "GOLDEN_PLAN_SPACE_LINEAR",
+            hex(&PlanSpace::Linear.to_bytes()),
+        ),
+        ("GOLDEN_PLAN_SPACE_BUSHY", hex(&PlanSpace::Bushy.to_bytes())),
+        ("GOLDEN_PLAN_NODE_SCAN", hex(&golden_scan_node().to_bytes())),
+        ("GOLDEN_PLAN_NODE_JOIN", hex(&golden_join_node().to_bytes())),
     ];
     for (name, value) in pairs {
         println!("const {name}: &str = \"{value}\";");

@@ -16,6 +16,8 @@
 //! * [`vector`] — fixed-arity cost vectors and (approximate) Pareto
 //!   domination used by single- and multi-objective pruning.
 
+#![forbid(unsafe_code)]
+
 pub mod cardinality;
 pub mod operators;
 pub mod vector;

@@ -27,6 +27,8 @@
 //! signature, statistics epoch, space, objective and partition scope —
 //! are served from finished results instead of re-running the DP.
 
+#![forbid(unsafe_code)]
+
 pub mod cached;
 pub mod memo;
 pub mod naive;

@@ -19,6 +19,8 @@
 //!   the same result and (b) realized cardinalities track the optimizer's
 //!   estimates.
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod engine;
 pub mod operators;

@@ -22,6 +22,8 @@
 //!
 //! All algorithms are deterministic in their seed.
 
+#![forbid(unsafe_code)]
+
 pub mod annealing;
 pub mod greedy;
 pub mod improvement;

@@ -19,6 +19,8 @@
 //! Everything in this crate is deterministic given a seed, `Send + Sync`,
 //! and independent of the optimizer itself.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod query;
 pub mod tableset;

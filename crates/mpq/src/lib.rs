@@ -37,6 +37,8 @@
 //! single-query [`MpqOptimizer`] entry points are wrappers over the same
 //! scheduler.
 
+#![forbid(unsafe_code)]
+
 pub mod message;
 pub mod optimizer;
 pub mod service;

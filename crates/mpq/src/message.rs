@@ -160,6 +160,7 @@ impl Wire for WorkerMsg {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use mpq_model::{WorkloadConfig, WorkloadGenerator};
 

@@ -322,6 +322,7 @@ pub struct MpqMetrics {
 }
 
 /// Result of one MPQ optimization.
+#[must_use = "the outcome carries the plans and the per-worker counters"]
 #[derive(Clone, Debug)]
 pub struct MpqOutcome {
     /// The globally optimal plan (single-objective) or the merged Pareto
@@ -360,6 +361,9 @@ impl MpqOptimizer {
     /// Panics if the run fails (possible only with fault injection or a
     /// protocol bug); use [`MpqOptimizer::try_optimize`] for a typed
     /// error.
+    // Audited panic site (crates/xtask/allow/panics.allow): documented
+    // panicking convenience wrapper over the typed-error form.
+    #[allow(clippy::expect_used)]
     pub fn optimize(
         &self,
         query: &Query,
@@ -394,6 +398,9 @@ impl MpqOptimizer {
     /// # Panics
     /// Panics if the run fails; use
     /// [`MpqOptimizer::try_optimize_weighted`] for a typed error.
+    // Audited panic site (crates/xtask/allow/panics.allow): documented
+    // panicking convenience wrapper over the typed-error form.
+    #[allow(clippy::expect_used)]
     pub fn optimize_weighted(
         &self,
         query: &Query,
@@ -439,6 +446,9 @@ impl MpqOptimizer {
     /// # Panics
     /// Panics if the run fails; use
     /// [`MpqOptimizer::try_optimize_oversubscribed`] for a typed error.
+    // Audited panic site (crates/xtask/allow/panics.allow): documented
+    // panicking convenience wrapper over the typed-error form.
+    #[allow(clippy::expect_used)]
     pub fn optimize_oversubscribed(
         &self,
         query: &Query,
@@ -516,7 +526,7 @@ fn proportional_assignment(weights: &[f64], partitions: u64) -> Vec<(u64, u64)> 
         .enumerate()
         .map(|(i, w)| (i, (w / total_w) * partitions as f64 - counts[i] as f64))
         .collect();
-    rema.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+    rema.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut k = 0;
     while assigned < partitions {
         counts[rema[k % rema.len()].0] += 1;
@@ -537,6 +547,7 @@ fn proportional_assignment(weights: &[f64], partitions: u64) -> Vec<(u64, u64)> 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use mpq_dp::optimize_serial;
     use mpq_model::{WorkloadConfig, WorkloadGenerator};

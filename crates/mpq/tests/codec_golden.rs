@@ -1,0 +1,213 @@
+//! Wire-format regression tests for the MPQ protocol messages.
+//!
+//! Golden byte vectors in the same style as the `mpq_cluster` codec suite:
+//! exact frozen encodings of hand-constructed values. Any change to the
+//! task/reply wire format — field order, widths, tags — fails these tests
+//! and forces a deliberate format-version decision instead of a silent
+//! break between a master and a worker built from different revisions.
+//!
+//! To regenerate the golden constants after an *intentional* format change:
+//! `cargo test -p mpq_algo --test codec_golden -- --ignored --nocapture`
+//! and paste the printed constants below.
+
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mpq_algo::{MasterMessage, WorkerMsg, WorkerReply};
+use mpq_cluster::{Progress, Wire};
+use mpq_cost::{CostVector, Objective, ScanOp};
+use mpq_dp::WorkerStats;
+use mpq_model::{Catalog, JoinGraph, Predicate, Query, TableStats};
+use mpq_partition::PlanSpace;
+use mpq_plan::Plan;
+
+// ---------------------------------------------------------------------------
+// Fixed values under golden protection (same shapes as the cluster suite).
+// ---------------------------------------------------------------------------
+
+fn golden_query() -> Query {
+    Query {
+        catalog: Catalog::from_stats(vec![
+            TableStats {
+                cardinality: 1000.0,
+                tuple_bytes: 64.0,
+                join_domain: 100.0,
+            },
+            TableStats {
+                cardinality: 50000.0,
+                tuple_bytes: 128.0,
+                join_domain: 2500.0,
+            },
+            TableStats {
+                cardinality: 8.0,
+                tuple_bytes: 16.0,
+                join_domain: 2.0,
+            },
+        ]),
+        predicates: vec![
+            Predicate {
+                left: 0,
+                right: 1,
+                selectivity: 0.01,
+            },
+            Predicate {
+                left: 1,
+                right: 2,
+                selectivity: 0.5,
+            },
+        ],
+        graph: JoinGraph::Chain,
+    }
+}
+
+fn golden_master_message() -> MasterMessage {
+    MasterMessage {
+        query: golden_query(),
+        space: PlanSpace::Bushy,
+        objective: Objective::Multi { alpha: 10.0 },
+        first_partition: 5,
+        partition_count: 2,
+        total_partitions: 8,
+        progress_every: 1,
+    }
+}
+
+fn golden_reply() -> WorkerReply {
+    WorkerReply {
+        first_partition: 3,
+        partition_count: 2,
+        plans: vec![Plan::Scan {
+            table: 2,
+            op: ScanOp::Full,
+            cost: CostVector::new(8.0, 16.0),
+            cardinality: 8.0,
+        }],
+        stats: WorkerStats {
+            stored_sets: 11,
+            total_entries: 22,
+            splits_tried: 33,
+            plans_generated: 44,
+            optimize_micros: 55,
+        },
+        cache_hits: 1,
+        cache_misses: 1,
+    }
+}
+
+fn golden_progress() -> Progress {
+    Progress {
+        first_partition: 5,
+        completed: 2,
+        partition_count: 8,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen encodings. Regenerate only on a deliberate wire-format change.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_MASTER_MESSAGE: &str =
+    "030000000000000000408f4000000000000050400000000000005940000000\
+    00006ae8400000000000006040000000000088a34000000000000020400000000000003040000000000000004002000\
+    00000017b14ae47e17a843f0102000000000000e03f0001010000000000002440050000000000000002000000000000\
+    0008000000000000000100000000000000";
+const GOLDEN_WORKER_REPLY: &str =
+    "0300000000000000020000000000000001000000000200000000000000204000\
+    0000000000304000000000000020400b00000000000000160000000000000021000000000000002c000000000000003\
+    70000000000000001000000000000000100000000000000";
+const GOLDEN_WORKER_MSG_REPLY: &str =
+    "00030000000000000002000000000000000100000000020000000000000020\
+    400000000000003040000000000000204\
+    00b00000000000000160000000000000021000000000000002c0000000000000037000000000000000100000000000\
+    0000100000000000000";
+const GOLDEN_WORKER_MSG_PROGRESS: &str = "01050000000000000002000000000000000800000000000000";
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn assert_golden<T: Wire + PartialEq + std::fmt::Debug>(value: &T, expected_hex: &str, what: &str) {
+    let encoded = value.to_bytes();
+    assert_eq!(
+        hex(&encoded),
+        expected_hex,
+        "wire format of {what} changed — if intentional, regenerate the golden constants \
+         (see module docs); if not, you just broke cross-version compatibility"
+    );
+    let decoded = T::from_bytes(&encoded).expect("golden bytes decode");
+    assert_eq!(&decoded, value, "golden {what} did not round-trip");
+}
+
+#[test]
+fn golden_master_message_bytes() {
+    assert_golden(
+        &golden_master_message(),
+        GOLDEN_MASTER_MESSAGE,
+        "MasterMessage",
+    );
+}
+
+#[test]
+fn golden_worker_reply_bytes() {
+    assert_golden(&golden_reply(), GOLDEN_WORKER_REPLY, "WorkerReply");
+}
+
+#[test]
+fn golden_worker_msg_bytes() {
+    assert_golden(
+        &WorkerMsg::Reply(golden_reply()),
+        GOLDEN_WORKER_MSG_REPLY,
+        "WorkerMsg::Reply",
+    );
+    assert_golden(
+        &WorkerMsg::Progress(golden_progress()),
+        GOLDEN_WORKER_MSG_PROGRESS,
+        "WorkerMsg::Progress",
+    );
+}
+
+/// Pin the layout facts the master's cheap tag peek relies on: the first
+/// byte of a `WorkerMsg` is its tag, and a progress message is exactly the
+/// tag byte plus the 24-byte fixed report.
+#[test]
+fn golden_worker_msg_layout() {
+    let reply = WorkerMsg::Reply(golden_reply()).to_bytes();
+    assert_eq!(reply[0], WorkerMsg::TAG_REPLY);
+    let progress = WorkerMsg::Progress(golden_progress()).to_bytes();
+    assert_eq!(progress[0], WorkerMsg::TAG_PROGRESS);
+    assert_eq!(progress.len(), 25, "tag byte plus the 24-byte report");
+    // The task's trailing integers sit after the query/space/objective
+    // prefix: the last 32 bytes are four LE u64s.
+    let task = golden_master_message().to_bytes();
+    let tail = &task[task.len() - 32..];
+    let ints: Vec<u64> = tail
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    assert_eq!(ints, vec![5, 2, 8, 1]);
+}
+
+/// Prints the golden constants for pasting after an intentional change.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn regenerate_golden_constants() {
+    let pairs: Vec<(&str, String)> = vec![
+        (
+            "GOLDEN_MASTER_MESSAGE",
+            hex(&golden_master_message().to_bytes()),
+        ),
+        ("GOLDEN_WORKER_REPLY", hex(&golden_reply().to_bytes())),
+        (
+            "GOLDEN_WORKER_MSG_REPLY",
+            hex(&WorkerMsg::Reply(golden_reply()).to_bytes()),
+        ),
+        (
+            "GOLDEN_WORKER_MSG_PROGRESS",
+            hex(&WorkerMsg::Progress(golden_progress()).to_bytes()),
+        ),
+    ];
+    for (name, value) in pairs {
+        println!("const {name}: &str = \"{value}\";");
+    }
+}

@@ -23,6 +23,8 @@
 //! flat array with O(1) lookup and zero hashing, and iterating indices in
 //! ascending order visits every subset of a set before the set itself.
 
+#![forbid(unsafe_code)]
+
 pub mod admissible;
 pub mod constraints;
 pub mod grouping;

@@ -299,9 +299,17 @@ impl<V: CacheWeight + Clone> MemoCache<V> {
         self.bytes += weight;
         self.insertions += 1;
         while self.bytes > self.budget {
-            let (&tick, &hash) = self.order.iter().next().expect("bytes > 0 implies entries");
+            // `bytes > 0` implies entries, and `order`/`map` stay in
+            // sync; if either ever drifts, stop evicting rather than
+            // panic — the cache is an accelerator, not a correctness
+            // dependency.
+            let Some((&tick, &hash)) = self.order.iter().next() else {
+                break;
+            };
             self.order.remove(&tick);
-            let evicted = self.map.remove(&hash).expect("order and map stay in sync");
+            let Some(evicted) = self.map.remove(&hash) else {
+                break;
+            };
             self.bytes -= evicted.weight;
             self.evictions += 1;
         }
@@ -325,6 +333,7 @@ impl<V: CacheWeight + Clone> MemoCache<V> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use mpq_cost::{CostVector, ScanOp};
     use mpq_model::{Catalog, JoinGraph, Predicate, TableStats};

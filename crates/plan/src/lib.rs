@@ -21,6 +21,8 @@
 //! frontiers, reconstruction info — to later queries with identical
 //! statistics, predicates and cost-model parameters.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod entry;
 pub mod pruning;

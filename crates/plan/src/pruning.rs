@@ -110,12 +110,7 @@ impl PruningPolicy {
                 if let Some(best) = plans
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        a.cost()
-                            .time
-                            .partial_cmp(&b.cost().time)
-                            .expect("finite costs")
-                    })
+                    .min_by(|(_, a), (_, b)| a.cost().time.total_cmp(&b.cost().time))
                     .map(|(i, _)| i)
                 {
                     let keep = plans.swap_remove(best);
@@ -162,6 +157,7 @@ fn order_covers(a: Order, b: Order) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use mpq_cost::ScanOp;
 

@@ -203,6 +203,7 @@ impl fmt::Display for Plan {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn scan(t: u8, card: f64) -> Plan {

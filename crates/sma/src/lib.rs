@@ -22,6 +22,8 @@
 //! replica by the broadcast; parents computed in later rounds reference
 //! the broadcast ordering.
 
+#![forbid(unsafe_code)]
+
 //! **Fault tolerance contrast.** SMA detects worker loss and fails fast
 //! with a typed [`SmaError`]: recovering a replica would mean re-sending
 //! `Init` plus every `Delta` broadcast so far (the memo), a bill measured

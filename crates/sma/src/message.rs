@@ -174,6 +174,7 @@ impl Wire for SmaReply {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use mpq_cost::{CostVector, ScanOp};
     use mpq_model::{WorkloadConfig, WorkloadGenerator};

@@ -198,6 +198,7 @@ pub struct SmaMetrics {
 }
 
 /// Result of one SMA optimization.
+#[must_use = "the outcome carries the plans and the per-worker counters"]
 #[derive(Clone, Debug)]
 pub struct SmaOutcome {
     /// The optimal plan (single-objective) or Pareto frontier.
@@ -227,6 +228,9 @@ impl SmaOptimizer {
     /// Panics if the run fails (possible only with fault injection or a
     /// protocol bug); use [`SmaOptimizer::try_optimize`] for a typed
     /// error.
+    // Audited panic site (crates/xtask/allow/panics.allow): documented
+    // panicking convenience wrapper over the typed-error form.
+    #[allow(clippy::expect_used)]
     pub fn optimize(
         &self,
         query: &Query,
@@ -261,6 +265,7 @@ impl SmaOptimizer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use mpq_cluster::Wire;
     use mpq_dp::optimize_serial;

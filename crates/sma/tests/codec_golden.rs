@@ -1,0 +1,279 @@
+//! Wire-format regression tests for the SMA protocol messages.
+//!
+//! Golden byte vectors in the same style as the `mpq_cluster` codec suite:
+//! exact frozen encodings of hand-constructed values covering every variant
+//! of both tagged enums plus the memo-slot payload. Any change to the wire
+//! format — field order, widths, tags — fails these tests and forces a
+//! deliberate format-version decision instead of a silent break.
+//!
+//! To regenerate the golden constants after an *intentional* format change:
+//! `cargo test -p mpq_sma --test codec_golden -- --ignored --nocapture`
+//! and paste the printed constants below.
+
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mpq_cluster::Wire;
+use mpq_cost::{CostVector, Objective, ScanOp};
+use mpq_dp::WorkerStats;
+use mpq_model::{Catalog, JoinGraph, Predicate, Query, TableSet, TableStats};
+use mpq_partition::PlanSpace;
+use mpq_plan::{Plan, PlanEntry};
+use mpq_sma::{SlotUpdate, SmaMasterMsg, SmaReply};
+
+// ---------------------------------------------------------------------------
+// Fixed values under golden protection (same shapes as the cluster suite).
+// ---------------------------------------------------------------------------
+
+fn golden_query() -> Query {
+    Query {
+        catalog: Catalog::from_stats(vec![
+            TableStats {
+                cardinality: 1000.0,
+                tuple_bytes: 64.0,
+                join_domain: 100.0,
+            },
+            TableStats {
+                cardinality: 50000.0,
+                tuple_bytes: 128.0,
+                join_domain: 2500.0,
+            },
+            TableStats {
+                cardinality: 8.0,
+                tuple_bytes: 16.0,
+                join_domain: 2.0,
+            },
+        ]),
+        predicates: vec![
+            Predicate {
+                left: 0,
+                right: 1,
+                selectivity: 0.01,
+            },
+            Predicate {
+                left: 1,
+                right: 2,
+                selectivity: 0.5,
+            },
+        ],
+        graph: JoinGraph::Chain,
+    }
+}
+
+fn golden_slot() -> SlotUpdate {
+    SlotUpdate {
+        set: TableSet::from_tables([0, 1]),
+        entries: vec![PlanEntry::scan(0, ScanOp::Full, CostVector::new(1.0, 2.0))],
+    }
+}
+
+fn golden_stats() -> WorkerStats {
+    WorkerStats {
+        stored_sets: 11,
+        total_entries: 22,
+        splits_tried: 33,
+        plans_generated: 44,
+        optimize_micros: 55,
+    }
+}
+
+fn golden_final_plan() -> Plan {
+    Plan::Scan {
+        table: 2,
+        op: ScanOp::Full,
+        cost: CostVector::new(8.0, 16.0),
+        cardinality: 8.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen encodings. Regenerate only on a deliberate wire-format change.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_SLOT_UPDATE: &str = "030000000000000001000000000000000000f03f000000000000004000000000";
+const GOLDEN_MASTER_INIT: &str =
+    "00030000000000000000408f40000000000000504000000000000059400000000\
+    0006ae8400000000000006040000000000088a340000000000000204000000000000030400000000000000040020000\
+    0000017b14ae47e17a843f0102000000000000e03f000000";
+const GOLDEN_MASTER_ASSIGN: &str = "010200000003000000000000000c00000000000000";
+const GOLDEN_MASTER_DELTA: &str =
+    "0201000000030000000000000001000000000000000000f03f000000000000004000000000";
+const GOLDEN_MASTER_FINISH: &str = "03";
+const GOLDEN_MASTER_ABORT: &str = "04";
+const GOLDEN_REPLY_LEVEL_DONE: &str = "000100000003000000000000000100000000000000000\
+    0f03f0000000000000040000000002a00000000000000";
+const GOLDEN_REPLY_FINAL: &str = "0101000000000200000000000000204000000000000030400000000000002040\
+    0b00000000000000160000000000000021000000000000002c000000000000003700000000000000";
+const GOLDEN_REPLY_MALFORMED: &str = "02";
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn assert_golden<T: Wire + PartialEq + std::fmt::Debug>(value: &T, expected_hex: &str, what: &str) {
+    let encoded = value.to_bytes();
+    assert_eq!(
+        hex(&encoded),
+        expected_hex,
+        "wire format of {what} changed — if intentional, regenerate the golden constants \
+         (see module docs); if not, you just broke cross-version compatibility"
+    );
+    let decoded = T::from_bytes(&encoded).expect("golden bytes decode");
+    assert_eq!(&decoded, value, "golden {what} did not round-trip");
+}
+
+#[test]
+fn golden_slot_update_bytes() {
+    assert_golden(&golden_slot(), GOLDEN_SLOT_UPDATE, "SlotUpdate");
+}
+
+#[test]
+fn golden_master_msg_bytes() {
+    assert_golden(
+        &SmaMasterMsg::Init {
+            query: golden_query(),
+            space: PlanSpace::Linear,
+            objective: Objective::Single,
+        },
+        GOLDEN_MASTER_INIT,
+        "SmaMasterMsg::Init",
+    );
+    assert_golden(
+        &SmaMasterMsg::Assign {
+            sets: vec![TableSet::from_tables([0, 1]), TableSet::from_tables([2, 3])],
+        },
+        GOLDEN_MASTER_ASSIGN,
+        "SmaMasterMsg::Assign",
+    );
+    assert_golden(
+        &SmaMasterMsg::Delta {
+            slots: vec![golden_slot()],
+        },
+        GOLDEN_MASTER_DELTA,
+        "SmaMasterMsg::Delta",
+    );
+    assert_golden(
+        &SmaMasterMsg::Finish,
+        GOLDEN_MASTER_FINISH,
+        "SmaMasterMsg::Finish",
+    );
+    assert_golden(
+        &SmaMasterMsg::Abort,
+        GOLDEN_MASTER_ABORT,
+        "SmaMasterMsg::Abort",
+    );
+}
+
+#[test]
+fn golden_reply_bytes() {
+    assert_golden(
+        &SmaReply::LevelDone {
+            slots: vec![golden_slot()],
+            micros: 42,
+        },
+        GOLDEN_REPLY_LEVEL_DONE,
+        "SmaReply::LevelDone",
+    );
+    assert_golden(
+        &SmaReply::Final {
+            plans: vec![golden_final_plan()],
+            stats: golden_stats(),
+        },
+        GOLDEN_REPLY_FINAL,
+        "SmaReply::Final",
+    );
+    assert_golden(
+        &SmaReply::Malformed,
+        GOLDEN_REPLY_MALFORMED,
+        "SmaReply::Malformed",
+    );
+}
+
+/// Pin the tag layout: every variant's first byte is its wire tag, and the
+/// payload-free variants are exactly one byte.
+#[test]
+fn golden_tag_layout() {
+    assert_eq!(
+        SmaMasterMsg::Assign { sets: vec![] }.to_bytes()[0],
+        1,
+        "Assign tag"
+    );
+    assert_eq!(
+        SmaMasterMsg::Delta { slots: vec![] }.to_bytes()[0],
+        2,
+        "Delta tag"
+    );
+    assert_eq!(&SmaMasterMsg::Finish.to_bytes()[..], [3]);
+    assert_eq!(&SmaMasterMsg::Abort.to_bytes()[..], [4]);
+    assert_eq!(
+        SmaReply::LevelDone {
+            slots: vec![],
+            micros: 0
+        }
+        .to_bytes()[0],
+        0,
+        "LevelDone tag"
+    );
+    assert_eq!(&SmaReply::Malformed.to_bytes()[..], [2]);
+}
+
+/// Prints the golden constants for pasting after an intentional change.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn regenerate_golden_constants() {
+    let pairs: Vec<(&str, String)> = vec![
+        ("GOLDEN_SLOT_UPDATE", hex(&golden_slot().to_bytes())),
+        (
+            "GOLDEN_MASTER_INIT",
+            hex(&SmaMasterMsg::Init {
+                query: golden_query(),
+                space: PlanSpace::Linear,
+                objective: Objective::Single,
+            }
+            .to_bytes()),
+        ),
+        (
+            "GOLDEN_MASTER_ASSIGN",
+            hex(&SmaMasterMsg::Assign {
+                sets: vec![TableSet::from_tables([0, 1]), TableSet::from_tables([2, 3])],
+            }
+            .to_bytes()),
+        ),
+        (
+            "GOLDEN_MASTER_DELTA",
+            hex(&SmaMasterMsg::Delta {
+                slots: vec![golden_slot()],
+            }
+            .to_bytes()),
+        ),
+        (
+            "GOLDEN_MASTER_FINISH",
+            hex(&SmaMasterMsg::Finish.to_bytes()),
+        ),
+        ("GOLDEN_MASTER_ABORT", hex(&SmaMasterMsg::Abort.to_bytes())),
+        (
+            "GOLDEN_REPLY_LEVEL_DONE",
+            hex(&SmaReply::LevelDone {
+                slots: vec![golden_slot()],
+                micros: 42,
+            }
+            .to_bytes()),
+        ),
+        (
+            "GOLDEN_REPLY_FINAL",
+            hex(&SmaReply::Final {
+                plans: vec![golden_final_plan()],
+                stats: golden_stats(),
+            }
+            .to_bytes()),
+        ),
+        (
+            "GOLDEN_REPLY_MALFORMED",
+            hex(&SmaReply::Malformed.to_bytes()),
+        ),
+    ];
+    for (name, value) in pairs {
+        println!("const {name}: &str = \"{value}\";");
+    }
+}

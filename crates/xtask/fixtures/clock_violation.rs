@@ -1,0 +1,35 @@
+//! Seeded clock-freedom violations (Instant::now, SystemTime, sleep) in
+//! order, surrounded by decoys the rule must ignore.
+
+use std::time::{Duration, Instant};
+
+// Comment decoy: Instant::now() and SystemTime::now() and sleep(d).
+
+pub fn seeded(d: Duration) -> Instant {
+    let msg = "string decoy: Instant::now / SystemTime / sleep(1)";
+    let _ = msg;
+    let started = Instant::now(); // seeded_instant
+    let stamp = std::time::SystemTime::now(); // seeded_systemtime
+    let _ = stamp;
+    std::thread::sleep(d); // seeded_sleep
+    started
+}
+
+/// `Instant` as a plain type (no `::now`) is not a violation; neither is
+/// an identifier that merely contains the word sleep.
+pub fn decoys(at: Instant, sleep_budget: u64) -> u64 {
+    let _ = at;
+    sleep_budget
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn tests_may_use_clocks() {
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,25 @@
+//! A conforming wire type: unique tags, encode/decode agreement, a
+//! rejecting catch-all. The only possible finding is missing golden
+//! coverage, which the self-test exercises both ways.
+
+pub enum CleanMsg {
+    Ping,
+    Pong,
+}
+
+impl Wire for CleanMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            CleanMsg::Ping => enc.put_u8(0),
+            CleanMsg::Pong => enc.put_u8(1),
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(CleanMsg::Ping),
+            1 => Ok(CleanMsg::Pong),
+            tag => Err(DecodeError::BadTag { tag, ty: "CleanMsg" }),
+        }
+    }
+}

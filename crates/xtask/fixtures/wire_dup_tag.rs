@@ -1,0 +1,24 @@
+//! Seeded wire violation: the decode match reuses tag 1 for two arms.
+
+pub enum DupTag {
+    A,
+    B,
+}
+
+impl Wire for DupTag {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            DupTag::A => enc.put_u8(0),
+            DupTag::B => enc.put_u8(1),
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(DupTag::A),
+            1 => Ok(DupTag::B),
+            1 => Ok(DupTag::B),
+            tag => Err(DecodeError::BadTag { tag, ty: "DupTag" }),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! A conforming wire module exercising the resolver: named `TAG_*`
+//! constants on both sides of the protocol (through `Type::` and
+//! `Self::` paths) and a size constant defined via another constant.
+
+pub struct FixedPart {
+    x: u32,
+    y: u64,
+}
+
+impl FixedPart {
+    pub const BODY_BYTES: usize = FixedPart::RAW_BYTES;
+    pub const RAW_BYTES: usize = 12;
+}
+
+impl Wire for FixedPart {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.x);
+        enc.put_u64(self.y);
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        Ok(FixedPart {
+            x: dec.get_u32()?,
+            y: dec.get_u64()?,
+        })
+    }
+}
+
+pub enum NamedTags {
+    Data(FixedPart),
+    End,
+}
+
+impl NamedTags {
+    pub const TAG_DATA: u8 = 0;
+    pub const TAG_END: u8 = 1;
+}
+
+impl Wire for NamedTags {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            NamedTags::Data(part) => {
+                enc.put_u8(NamedTags::TAG_DATA);
+                part.encode(enc);
+            }
+            NamedTags::End => enc.put_u8(Self::TAG_END),
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            NamedTags::TAG_DATA => Ok(NamedTags::Data(FixedPart::decode(dec)?)),
+            Self::TAG_END => Ok(NamedTags::End),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "NamedTags",
+            }),
+        }
+    }
+}

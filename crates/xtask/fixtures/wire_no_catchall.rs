@@ -1,0 +1,24 @@
+//! Seeded wire violation: the decode tag match has no rejecting
+//! catch-all arm, so an unknown tag would be a compile error at best and
+//! silent misbehavior at worst once the match is refactored.
+
+pub enum NoCatchAll {
+    A,
+    B,
+}
+
+impl Wire for NoCatchAll {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            NoCatchAll::A => enc.put_u8(0),
+            NoCatchAll::B => enc.put_u8(1),
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(NoCatchAll::A),
+            1 => Ok(NoCatchAll::B),
+        }
+    }
+}

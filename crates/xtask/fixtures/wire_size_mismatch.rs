@@ -1,0 +1,28 @@
+//! Seeded wire violation: the declared size constant says 23 bytes but
+//! the straight-line encoder writes three u64s (24 bytes).
+
+pub struct SizeMismatch {
+    a: u64,
+    b: u64,
+    c: u64,
+}
+
+impl SizeMismatch {
+    pub const WIRE_SIZE: usize = 23;
+}
+
+impl Wire for SizeMismatch {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.a);
+        enc.put_u64(self.b);
+        enc.put_u64(self.c);
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        Ok(SizeMismatch {
+            a: dec.get_u64()?,
+            b: dec.get_u64()?,
+            c: dec.get_u64()?,
+        })
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded wire violation: encode writes tags {0, 2} but decode accepts
+//! {0, 1} — a variant round-trip is silently broken.
+
+pub enum TagMismatch {
+    A,
+    B,
+}
+
+impl Wire for TagMismatch {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            TagMismatch::A => enc.put_u8(0),
+            TagMismatch::B => enc.put_u8(2),
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(TagMismatch::A),
+            1 => Ok(TagMismatch::B),
+            tag => Err(DecodeError::BadTag {
+                tag,
+                ty: "TagMismatch",
+            }),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Allowlist files: the audited escape hatch of every rule.
+//!
+//! Each rule that supports exemptions reads a plain-text file of entries
+//!
+//! ```text
+//! # comment
+//! <workspace-relative path> | <substring of the offending line> | <justification>
+//! ```
+//!
+//! A violation is suppressed when some entry's path matches the file and
+//! its substring occurs in the source line's text. The justification is
+//! mandatory — an entry without one is itself a violation — and so is
+//! usefulness: an entry that suppresses nothing is reported as stale, so
+//! the allowlist can only shrink when code gets cleaner.
+
+use crate::Violation;
+use std::path::Path;
+
+/// One parsed allowlist entry.
+#[derive(Debug)]
+pub struct Entry {
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Substring that must occur in the flagged source line.
+    pub needle: String,
+    /// Why this site is allowed (surfaced in `lint --help`-style docs).
+    pub justification: String,
+    /// Line of the allowlist file the entry came from.
+    pub line: usize,
+    /// How many violations the entry suppressed this run.
+    pub used: std::cell::Cell<usize>,
+}
+
+/// A parsed allowlist plus the path it was read from.
+pub struct Allowlist {
+    /// Workspace-relative path of the allowlist file (for messages).
+    pub source: String,
+    pub entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Loads `root`-relative `rel` (missing file = empty list). Parse
+    /// errors are returned as violations against the allowlist itself.
+    pub fn load(root: &Path, rel: &str) -> (Allowlist, Vec<Violation>) {
+        let mut entries = Vec::new();
+        let mut violations = Vec::new();
+        let text = std::fs::read_to_string(root.join(rel)).unwrap_or_default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = trimmed.splitn(3, '|').map(str::trim).collect();
+            match parts.as_slice() {
+                [path, needle, justification]
+                    if !path.is_empty() && !needle.is_empty() && !justification.is_empty() =>
+                {
+                    entries.push(Entry {
+                        path: path.to_string(),
+                        needle: needle.to_string(),
+                        justification: justification.to_string(),
+                        line,
+                        used: std::cell::Cell::new(0),
+                    });
+                }
+                _ => violations.push(Violation {
+                    rule: "allowlist",
+                    file: rel.to_string(),
+                    line,
+                    message: format!(
+                        "malformed entry (want `path | line-substring | justification`): {trimmed}"
+                    ),
+                }),
+            }
+        }
+        (
+            Allowlist {
+                source: rel.to_string(),
+                entries,
+            },
+            violations,
+        )
+    }
+
+    /// Whether a violation in `file` on a line with text `line_text` is
+    /// allowed. Marks the matching entry as used.
+    pub fn permits(&self, file: &str, line_text: &str) -> bool {
+        for e in &self.entries {
+            if e.path == file && line_text.contains(&e.needle) {
+                e.used.set(e.used.get() + 1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Violations for entries that suppressed nothing: the tree got
+    /// cleaner (or the entry rotted) — either way the list must shrink.
+    pub fn stale_entries(&self) -> Vec<Violation> {
+        self.entries
+            .iter()
+            .filter(|e| e.used.get() == 0)
+            .map(|e| Violation {
+                rule: "allowlist",
+                file: self.source.clone(),
+                line: e.line,
+                message: format!(
+                    "stale entry (no longer suppresses anything): {} | {} | {}",
+                    e.path, e.needle, e.justification
+                ),
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,209 @@
+//! `xtask` — project-specific static analysis for the pqopt workspace.
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # all rules, exit 1 on any violation
+//! cargo run -p xtask -- lint --root D   # lint another tree (fixture debugging)
+//! ```
+//!
+//! Three rules, each guarding an invariant the test suites *prove* but
+//! nothing previously *gated*:
+//!
+//! 1. **panic-freedom** (`rules::panics`) — no `unwrap`/`expect`/
+//!    `panic!`/`unreachable!`/`todo!` in non-test code of the protocol
+//!    and service layers (`crates/{mpq,sma,cluster,plan}`, `src/`).
+//!    Escape hatch: `crates/xtask/allow/panics.allow`.
+//! 2. **wire-protocol conformance** (`rules::wire`) — message tags are
+//!    unique per channel and agree between encode and decode, every
+//!    decode tag-match rejects unknown tags, declared wire-size
+//!    constants equal the summed field widths, and every `Wire` type has
+//!    a golden byte-vector test.
+//! 3. **clock-freedom** (`rules::clocks`) — no `Instant::now`/
+//!    `SystemTime`/`sleep` in the scheduler/evidence paths outside the
+//!    audited timer allowlist (`crates/xtask/allow/clocks.allow`), so
+//!    the "recovery decisions are evidence-based, never wall-clock"
+//!    discipline cannot silently regress.
+//!
+//! The analyzer is token-level (see [`lexer`]) — it understands strings,
+//! comments, and `#[cfg(test)]`/`mod tests` scoping, which is exactly
+//! enough to make these rules precise without a full parser.
+
+#![forbid(unsafe_code)]
+
+mod allowlist;
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One rule finding. Printed as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line; 0 when the finding is file-level.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One loaded source file: text, per-line copies (for allowlist
+/// matching) and the lexed token stream.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    pub lines: Vec<String>,
+    pub tokens: Vec<lexer::Token>,
+}
+
+impl SourceFile {
+    /// Loads `root.join(rel)`; returns `None` (with a violation) when
+    /// unreadable — a lint that silently skips files guards nothing.
+    pub fn load(root: &Path, rel: &str) -> Result<SourceFile, Violation> {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(text) => Ok(SourceFile {
+                rel: rel.to_string(),
+                lines: text.lines().map(str::to_string).collect(),
+                tokens: lexer::lex(&text),
+            }),
+            Err(e) => Err(Violation {
+                rule: "io",
+                file: rel.to_string(),
+                line: 0,
+                message: format!("cannot read: {e}"),
+            }),
+        }
+    }
+
+    /// The trimmed text of 1-based line `line` (empty when out of range).
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+/// All `.rs` files under `root.join(rel)`, as workspace-relative paths
+/// with forward slashes, sorted for deterministic output.
+pub fn rs_files_under(root: &Path, rel: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(rel)];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs every rule against the tree at `root`.
+pub fn run_lint(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    violations.extend(rules::panics::check(root));
+    violations.extend(rules::wire::check(root));
+    violations.extend(rules::clocks::check(root));
+    violations
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = workspace_root();
+    let mut cmd = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "lint" => cmd = Some("lint"),
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`\n\nusage: cargo run -p xtask -- lint [--root DIR]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cmd != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [--root DIR]");
+        return ExitCode::FAILURE;
+    }
+    let violations = run_lint(&root);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("xtask lint: clean (panic-freedom, wire conformance, clock-freedom)");
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    /// The gate itself: the real tree is clean. Every seeded-violation
+    /// fixture case lives in the per-rule test modules; this is the
+    /// "passes on the real tree" half of the self-test contract.
+    #[test]
+    fn real_tree_is_clean() {
+        let violations = run_lint(&workspace_root());
+        assert!(
+            violations.is_empty(),
+            "xtask lint found violations in the real tree:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn workspace_root_finds_the_manifest() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+        assert!(workspace_root()
+            .join("crates/cluster/src/codec.rs")
+            .is_file());
+    }
+}

@@ -1,0 +1,672 @@
+//! Rule: **wire-protocol conformance** of the codec and message modules.
+//!
+//! The cluster protocol is hand-rolled (fixed-width little-endian,
+//! one-byte tags, golden byte vectors), so its invariants are textual
+//! until something machine-checks them. This rule extracts, from the
+//! codec/message modules of `crates/{cluster,mpq,sma}`:
+//!
+//! * every `impl Wire for T` with its **encode-side tag literals** (the
+//!   `put_u8(TAG)` discriminants, including named `TAG_*` constants) and
+//!   its **decode-side tag match** (`match dec.get_u8()? { .. }` arms),
+//! * every declared **wire-size constant** (`const *_SIZE`/`*_BYTES`),
+//!
+//! and verifies:
+//!
+//! 1. decode tags are **unique per channel** (one type = one channel),
+//! 2. every decode tag match has a **rejecting catch-all** arm (unknown
+//!    tags must become `DecodeError::BadTag`, not UB or silence),
+//! 3. the **encode and decode tag sets agree** (a variant you can encode
+//!    but not decode — or vice versa — is a protocol bug),
+//! 4. declared size constants equal the **summed field widths** of
+//!    straight-line encoders (`put_u8`=1, `put_u32`=4, `put_u64`/
+//!    `put_f64`=8),
+//! 5. every non-generic `Wire` type appears in a **golden-vector test**
+//!    (`codec_golden.rs`) somewhere in the workspace — the frozen-bytes
+//!    regression net must grow with the protocol.
+
+use crate::lexer::{matching_brace, Token, TokenKind};
+use crate::{SourceFile, Violation};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// The codec/message modules under wire-conformance protection.
+pub const SCOPE: [&str; 3] = [
+    "crates/cluster/src/codec.rs",
+    "crates/mpq/src/message.rs",
+    "crates/sma/src/message.rs",
+];
+
+/// Wire types with no meaningful standalone golden vector: generics are
+/// covered through their instantiations.
+const GOLDEN_EXEMPT: [&str; 0] = [];
+
+/// Runs the rule over the real tree.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut files = Vec::new();
+    for rel in SCOPE {
+        match SourceFile::load(root, rel) {
+            Ok(f) => files.push(f),
+            Err(v) => violations.push(v),
+        }
+    }
+    // Golden coverage: identifiers appearing in any codec_golden.rs.
+    let mut golden_idents = HashSet::new();
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        violations.push(Violation {
+            rule: "wire-conformance",
+            file: "crates".into(),
+            line: 0,
+            message: "cannot enumerate crates/".into(),
+        });
+        return violations;
+    };
+    for entry in entries.flatten() {
+        let rel = format!(
+            "crates/{}/tests/codec_golden.rs",
+            entry.file_name().to_string_lossy()
+        );
+        if root.join(&rel).is_file() {
+            if let Ok(f) = SourceFile::load(root, &rel) {
+                golden_idents.extend(f.tokens.iter().filter_map(|t| t.ident().map(String::from)));
+            }
+        }
+    }
+    violations.extend(check_files(&files, &golden_idents));
+    violations
+}
+
+/// Checks the loaded codec/message modules (the fixture-testable core).
+pub fn check_files(files: &[SourceFile], golden_idents: &HashSet<String>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        let consts = collect_consts(&file.tokens);
+        for imp in collect_wire_impls(file, &consts) {
+            check_impl(file, &imp, &consts, golden_idents, &mut out);
+        }
+    }
+    out
+}
+
+/// A named `const NAME: <int type> = <value>;` with its enclosing impl
+/// type (empty when at module level).
+struct ConstDef {
+    owner: String,
+    value: Option<u64>,
+    /// Unresolved `Type::NAME` reference, resolved in a second pass.
+    reference: Option<String>,
+}
+
+/// One `impl Wire for T` with everything the checks need.
+struct WireImpl {
+    type_name: String,
+    line: usize,
+    generic: bool,
+    /// Tag values written by `encode` (literals and resolved `TAG_*`s).
+    encode_tags: Vec<(u64, usize)>,
+    decode: Option<DecodeMatch>,
+    /// Summed field widths, when `encode` is straight-line fixed-width.
+    fixed_size: Option<u64>,
+}
+
+/// The decode-side `match dec.get_u8()? { .. }`.
+struct DecodeMatch {
+    line: usize,
+    arms: Vec<(u64, usize)>,
+    unresolved: Vec<(String, usize)>,
+    has_catch_all: bool,
+}
+
+/// Collects every const definition, keyed by name (with owner recorded).
+fn collect_consts(tokens: &[Token]) -> HashMap<String, ConstDef> {
+    let mut map: HashMap<String, ConstDef> = HashMap::new();
+    // Track the enclosing inherent-impl type so size constants can be
+    // attributed (`impl SessionEnvelope { const HEADER_BYTES .. }`).
+    let mut owners: Vec<(usize, String)> = Vec::new(); // (body_end, type)
+    let mut i = 0;
+    while i < tokens.len() {
+        owners.retain(|(end, _)| i < *end);
+        if tokens[i].is_ident("impl") {
+            if let Some((ty, body_open, is_trait_impl)) = parse_impl_header(tokens, i) {
+                if !is_trait_impl {
+                    owners.push((matching_brace(tokens, body_open), ty));
+                }
+                i = body_open + 1;
+                continue;
+            }
+        }
+        if tokens[i].is_ident("const")
+            && tokens.get(i + 1).and_then(|t| t.ident()).is_some()
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            let name = tokens[i + 1].ident().unwrap_or_default().to_string();
+            // Scan to `=`, then read the value expression up to `;`.
+            let mut j = i + 3;
+            while j < tokens.len() && !tokens[j].is_punct('=') && !tokens[j].is_punct(';') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('=') {
+                let mut value = None;
+                let mut reference = None;
+                let mut path: Vec<String> = Vec::new();
+                let mut k = j + 1;
+                let mut simple = true;
+                while k < tokens.len() && !tokens[k].is_punct(';') {
+                    match &tokens[k].kind {
+                        TokenKind::Int(v) => value = *v,
+                        TokenKind::Ident(s) => path.push(s.clone()),
+                        TokenKind::Punct(':') => {}
+                        _ => simple = false,
+                    }
+                    k += 1;
+                }
+                if simple && value.is_none() {
+                    reference = path.last().cloned();
+                }
+                let owner = owners.last().map(|(_, t)| t.clone()).unwrap_or_default();
+                map.insert(
+                    name,
+                    ConstDef {
+                        owner,
+                        value,
+                        reference,
+                    },
+                );
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Resolve one level of `NAME = Type::OTHER` references.
+    let resolved: Vec<(String, u64)> = map
+        .iter()
+        .filter_map(|(name, def)| {
+            def.reference
+                .as_ref()
+                .and_then(|r| map.get(r))
+                .and_then(|target| target.value)
+                .map(|v| (name.clone(), v))
+        })
+        .collect();
+    for (name, v) in resolved {
+        if let Some(def) = map.get_mut(&name) {
+            def.value = Some(v);
+        }
+    }
+    map
+}
+
+/// Parses an `impl` header at `i`: returns (type name, index of the
+/// body `{`, whether it is a trait impl). For `impl Wire for T` the type
+/// is `T`; for `impl T` it is `T`.
+fn parse_impl_header(tokens: &[Token], i: usize) -> Option<(String, usize, bool)> {
+    let mut j = i + 1;
+    // Skip generic parameters `impl<T: Wire>`.
+    if tokens.get(j)?.is_punct('<') {
+        let mut depth = 0;
+        while j < tokens.len() {
+            if tokens[j].is_punct('<') {
+                depth += 1;
+            } else if tokens[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect the first path; if `for` follows, the second path is the
+    // implemented-on type.
+    let mut first: Vec<&str> = Vec::new();
+    let mut second: Vec<&str> = Vec::new();
+    let mut in_second = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            let ty = if in_second { &second } else { &first };
+            let name = ty.first()?.to_string();
+            return Some((name, j, in_second));
+        }
+        if t.is_ident("for") {
+            in_second = true;
+        } else if let Some(s) = t.ident() {
+            if in_second {
+                second.push(s);
+            } else {
+                first.push(s);
+            }
+        } else if t.is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collects every `impl Wire for T` in the file.
+fn collect_wire_impls(file: &SourceFile, consts: &HashMap<String, ConstDef>) -> Vec<WireImpl> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") || tokens[i].in_test {
+            i += 1;
+            continue;
+        }
+        // Re-parse the header, keeping the trait path this time.
+        let Some((_, body_open, is_trait_impl)) = parse_impl_header(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let header: Vec<&Token> = tokens[i..body_open].iter().collect();
+        let trait_is_wire = is_trait_impl && header.iter().any(|t| t.is_ident("Wire"));
+        let body_end = matching_brace(tokens, body_open);
+        if !trait_is_wire {
+            i = body_open + 1;
+            continue;
+        }
+        // The implemented-on type: first ident after `for`.
+        let for_pos = header.iter().position(|t| t.is_ident("for"));
+        let type_name = for_pos
+            .and_then(|p| header[p + 1..].iter().find_map(|t| t.ident()))
+            .unwrap_or("")
+            .to_string();
+        let generic = for_pos
+            .map(|p| header[p + 1..].iter().any(|t| t.is_punct('<')))
+            .unwrap_or(false);
+        let body = &tokens[body_open..body_end];
+        let encode = fn_body(body, "encode");
+        let decode = fn_body(body, "decode");
+        out.push(WireImpl {
+            line: tokens[i].line,
+            type_name,
+            generic,
+            encode_tags: encode.map(|b| encode_tags(b, consts)).unwrap_or_default(),
+            decode: decode.and_then(parse_decode_match(consts)),
+            fixed_size: encode.and_then(fixed_encode_size),
+        });
+        i = body_end;
+    }
+    out
+}
+
+/// The token slice of `fn <name>`'s body within an impl body.
+fn fn_body<'t>(body: &'t [Token], name: &str) -> Option<&'t [Token]> {
+    let mut i = 0;
+    while i < body.len() {
+        if body[i].is_ident("fn") && body.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            let mut j = i + 2;
+            while j < body.len() && !body[j].is_punct('{') {
+                j += 1;
+            }
+            if j < body.len() {
+                return Some(&body[j..matching_brace(body, j)]);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Tag values written by an encode body: integer literals in `u8` range
+/// plus identifiers that resolve through the const map.
+fn encode_tags(body: &[Token], consts: &HashMap<String, ConstDef>) -> Vec<(u64, usize)> {
+    let mut out = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        // Tuple indices (`self.0`) are not tag literals.
+        if i > 0 && body[i - 1].is_punct('.') {
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Int(Some(v)) if *v <= u8::MAX as u64 => out.push((*v, t.line)),
+            TokenKind::Ident(s) => {
+                if let Some(v) = consts.get(s).and_then(|d| d.value) {
+                    if v <= u8::MAX as u64 {
+                        out.push((v, t.line));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Summed field widths of a straight-line fixed-width encode body, or
+/// `None` when the body branches, loops, length-prefixes or recurses.
+fn fixed_encode_size(body: &[Token]) -> Option<u64> {
+    let mut size = 0u64;
+    for (i, t) in body.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        match name {
+            "match" | "for" | "while" | "if" | "put_len" => return None,
+            "encode" if body.get(i + 1).is_some_and(|n| n.is_punct('(')) => return None,
+            "put_u8" => size += 1,
+            "put_u32" => size += 4,
+            "put_u64" | "put_f64" => size += 8,
+            _ => {}
+        }
+    }
+    Some(size)
+}
+
+/// Parses the first `match <..get_u8..> { .. }` of a decode body.
+fn parse_decode_match(
+    consts: &HashMap<String, ConstDef>,
+) -> impl Fn(&[Token]) -> Option<DecodeMatch> + '_ {
+    move |body: &[Token]| {
+        let mut i = 0;
+        loop {
+            while i < body.len() && !body[i].is_ident("match") {
+                i += 1;
+            }
+            if i >= body.len() {
+                return None;
+            }
+            let mut open = i;
+            while open < body.len() && !body[open].is_punct('{') {
+                open += 1;
+            }
+            let scrutinee_has_tag = body[i..open].iter().any(|t| t.is_ident("get_u8"));
+            if !scrutinee_has_tag {
+                i += 1;
+                continue;
+            }
+            let end = matching_brace(body, open);
+            return Some(parse_match_arms(
+                &body[open + 1..end - 1],
+                body[i].line,
+                consts,
+            ));
+        }
+    }
+}
+
+/// Splits a match body into arms and classifies each pattern.
+fn parse_match_arms(
+    body: &[Token],
+    line: usize,
+    consts: &HashMap<String, ConstDef>,
+) -> DecodeMatch {
+    let mut arms = Vec::new();
+    let mut unresolved = Vec::new();
+    let mut has_catch_all = false;
+    let mut i = 0;
+    while i < body.len() {
+        // Pattern: tokens until `=>` at depth 0.
+        let start = i;
+        let mut depth = 0i32;
+        while i < body.len() {
+            match body[i].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Punct('=')
+                    if depth == 0 && body.get(i + 1).is_some_and(|t| t.is_punct('>')) =>
+                {
+                    break
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= body.len() {
+            break;
+        }
+        let pattern = &body[start..i];
+        classify_pattern(
+            pattern,
+            consts,
+            &mut arms,
+            &mut unresolved,
+            &mut has_catch_all,
+        );
+        // Skip the arm expression: a block, or tokens until a depth-0 `,`.
+        i += 2; // past `=>`
+        if i < body.len() && body[i].is_punct('{') {
+            i = matching_brace(body, i);
+            // An optional trailing comma after a block arm.
+            if i < body.len() && body[i].is_punct(',') {
+                i += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            while i < body.len() {
+                match body[i].kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                        depth += 1
+                    }
+                    TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                        depth -= 1
+                    }
+                    TokenKind::Punct(',') if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    DecodeMatch {
+        line,
+        arms,
+        unresolved,
+        has_catch_all,
+    }
+}
+
+/// Classifies one match-arm pattern: a literal tag, a named constant, or
+/// a catch-all binding/wildcard.
+fn classify_pattern(
+    pattern: &[Token],
+    consts: &HashMap<String, ConstDef>,
+    arms: &mut Vec<(u64, usize)>,
+    unresolved: &mut Vec<(String, usize)>,
+    has_catch_all: &mut bool,
+) {
+    let idents: Vec<&Token> = pattern.iter().filter(|t| t.ident().is_some()).collect();
+    let ints: Vec<&Token> = pattern.iter().filter(|t| t.int().is_some()).collect();
+    if let [only] = ints.as_slice() {
+        if idents.is_empty() {
+            if let Some(v) = only.int() {
+                arms.push((v, only.line));
+            }
+            return;
+        }
+    }
+    if pattern.iter().any(|t| t.is_punct('_')) && idents.is_empty() && ints.is_empty() {
+        *has_catch_all = true;
+        return;
+    }
+    if let Some(last) = idents.last() {
+        let name = last.ident().unwrap_or_default();
+        if pattern.iter().any(|t| t.is_punct(':')) || name.chars().any(|c| c.is_uppercase()) {
+            // A path or SCREAMING_CASE const: resolve it.
+            match consts.get(name).and_then(|d| d.value) {
+                Some(v) => arms.push((v, last.line)),
+                None => unresolved.push((name.to_string(), last.line)),
+            }
+        } else {
+            // A lowercase binding (`tag => Err(..)`) is the catch-all.
+            *has_catch_all = true;
+        }
+    }
+}
+
+/// Runs all per-impl checks.
+fn check_impl(
+    file: &SourceFile,
+    imp: &WireImpl,
+    consts: &HashMap<String, ConstDef>,
+    golden_idents: &HashSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    let mut violation = |line: usize, message: String| {
+        out.push(Violation {
+            rule: "wire-conformance",
+            file: file.rel.clone(),
+            line,
+            message,
+        });
+    };
+    let ty = &imp.type_name;
+    if let Some(decode) = &imp.decode {
+        // 1. Tag uniqueness per channel.
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        for (v, line) in &decode.arms {
+            if let Some(first) = seen.insert(*v, *line) {
+                violation(
+                    *line,
+                    format!("duplicate wire tag {v} for `{ty}` (first used on line {first})"),
+                );
+            }
+        }
+        // Unresolvable named tags are themselves findings: the rule
+        // cannot certify what it cannot read.
+        for (name, line) in &decode.unresolved {
+            violation(
+                *line,
+                format!("tag constant `{name}` in `{ty}` decode does not resolve to a literal"),
+            );
+        }
+        // 2. Rejecting catch-all.
+        if !decode.arms.is_empty() && !decode.has_catch_all {
+            violation(
+                decode.line,
+                format!(
+                    "`{ty}` decode matches tags without a catch-all arm; unknown tags must \
+                     become DecodeError::BadTag"
+                ),
+            );
+        }
+        // 3. Encode/decode tag agreement.
+        let enc: HashSet<u64> = imp.encode_tags.iter().map(|(v, _)| *v).collect();
+        let dec: HashSet<u64> = decode.arms.iter().map(|(v, _)| *v).collect();
+        if !enc.is_empty() && enc != dec {
+            let mut only_enc: Vec<u64> = enc.difference(&dec).copied().collect();
+            let mut only_dec: Vec<u64> = dec.difference(&enc).copied().collect();
+            only_enc.sort_unstable();
+            only_dec.sort_unstable();
+            violation(
+                imp.line,
+                format!(
+                    "`{ty}` encode/decode tag sets disagree (encode-only: {only_enc:?}, \
+                     decode-only: {only_dec:?})"
+                ),
+            );
+        }
+    } else if !imp.encode_tags.is_empty() {
+        violation(
+            imp.line,
+            format!(
+                "`{ty}` encode writes tag bytes but decode has no `match dec.get_u8()` \
+                 dispatch to mirror them"
+            ),
+        );
+    }
+    // 4. Declared wire-size constants vs. summed field widths.
+    if let Some(actual) = imp.fixed_size {
+        for (name, def) in consts {
+            let is_size = name.contains("SIZE") || name.ends_with("_BYTES");
+            if is_size && def.owner == *ty {
+                if let Some(declared) = def.value {
+                    if declared != actual {
+                        violation(
+                            imp.line,
+                            format!(
+                                "`{ty}::{name}` declares {declared} bytes but encode writes \
+                                 {actual} (fixed-width field sum)"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // 5. Golden-vector coverage.
+    if !imp.generic && !GOLDEN_EXEMPT.contains(&ty.as_str()) && !golden_idents.contains(ty) {
+        violation(
+            imp.line,
+            format!(
+                "wire type `{ty}` has no golden byte-vector test (add one to a \
+                 codec_golden.rs; its regeneration helper prints the constants)"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fixture(name: &str) -> SourceFile {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        SourceFile::load(&root, name).expect("fixture exists")
+    }
+
+    fn run(name: &str, goldens: &[&str]) -> Vec<Violation> {
+        let set: HashSet<String> = goldens.iter().map(|s| s.to_string()).collect();
+        check_files(&[fixture(name)], &set)
+    }
+
+    #[test]
+    fn duplicate_tags_fire() {
+        let found = run("wire_dup_tag.rs", &["DupTag"]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("duplicate wire tag 1"));
+    }
+
+    #[test]
+    fn tag_set_mismatch_fires() {
+        let found = run("wire_tag_mismatch.rs", &["TagMismatch"]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("tag sets disagree"), "{found:?}");
+        assert!(found[0].message.contains("encode-only: [2]"), "{found:?}");
+    }
+
+    #[test]
+    fn missing_catch_all_fires() {
+        let found = run("wire_no_catchall.rs", &["NoCatchAll"]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0].message.contains("without a catch-all"),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn size_mismatch_fires() {
+        let found = run("wire_size_mismatch.rs", &["SizeMismatch"]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0]
+                .message
+                .contains("declares 23 bytes but encode writes 24"),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn missing_golden_fires_and_coverage_silences() {
+        let found = run("wire_clean.rs", &[]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("no golden byte-vector test"));
+        let found = run("wire_clean.rs", &["CleanMsg"]);
+        assert!(found.is_empty(), "covered type passes: {found:?}");
+    }
+
+    /// Named `TAG_*` constants resolve through paths on both sides, and
+    /// a size constant defined via another constant resolves one hop.
+    #[test]
+    fn named_tags_and_referenced_sizes_resolve() {
+        let found = run("wire_named_tags.rs", &["NamedTags", "FixedPart"]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

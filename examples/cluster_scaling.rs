@@ -7,6 +7,10 @@
 //! cargo run --release --example cluster_scaling
 //! ```
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::prelude::*;
 
 fn main() {

@@ -6,6 +6,10 @@
 //! cargo run --release --example execute_plan
 //! ```
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::exec::operators::WorkCounter;
 use pqopt::heuristics::{order_to_plan, IiConfig};
 use pqopt::prelude::*;

@@ -13,6 +13,10 @@
 //! cargo run --release --example fault_tolerance
 //! ```
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::cluster::{FaultPlan, Wire};
 use pqopt::mpq::RetryPolicy;
 use pqopt::prelude::*;

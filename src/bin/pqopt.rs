@@ -15,6 +15,8 @@
 //!
 //! Argument parsing is deliberately dependency-free.
 
+#![forbid(unsafe_code)]
+
 use pqopt::dp::optimize_serial;
 use pqopt::exec::{execute, DataConfig, Database};
 use pqopt::model::JoinGraph;
@@ -37,7 +39,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match cmd.as_str() {
+    let run = match cmd.as_str() {
         "optimize" => cmd_optimize(&opts),
         "serve" => cmd_serve(&opts),
         "compare" => cmd_compare(&opts),
@@ -47,8 +49,14 @@ fn main() -> ExitCode {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }
 
 const USAGE: &str = "usage: pqopt <optimize|serve|compare|scaling|partitions> [options]
@@ -203,7 +211,7 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
         .map_err(|_| format!("`{s}` is not a valid number"))
 }
 
-fn cmd_optimize(o: &Options) {
+fn cmd_optimize(o: &Options) -> Result<(), String> {
     let query = o.query();
     let optimizer = MpqOptimizer::new(MpqConfig {
         latency: LatencyModel::cluster_like(),
@@ -245,7 +253,8 @@ fn cmd_optimize(o: &Options) {
                 seed: o.seed,
             },
         );
-        let (rel, stats) = execute(&query, &out.plans[0], &db).expect("plan executes");
+        let (rel, stats) = execute(&query, &out.plans[0], &db)
+            .map_err(|e| format!("plan execution failed: {e}"))?;
         println!(
             "executed: {} result rows, {} comparisons, {} intermediate rows",
             rel.len(),
@@ -253,6 +262,7 @@ fn cmd_optimize(o: &Options) {
             stats.intermediate_rows
         );
     }
+    Ok(())
 }
 
 /// Streams `--queries` random queries through one resident
@@ -261,7 +271,7 @@ fn cmd_optimize(o: &Options) {
 /// service per query — the pre-service architecture), and reports both
 /// throughputs. Single-objective results are verified against the serial
 /// DP reference.
-fn cmd_serve(o: &Options) {
+fn cmd_serve(o: &Options) -> Result<(), String> {
     let clients = o.clients;
     let mut gen = WorkloadGenerator::new(WorkloadConfig::with_graph(o.tables, o.graph), o.seed);
     let queries: Vec<Query> = (0..o.queries).map(|_| gen.next_query()).collect();
@@ -299,7 +309,8 @@ fn cmd_serve(o: &Options) {
     // Resident mode: one service for the whole stream, `clients` queries
     // in flight at a time.
     let t0 = Instant::now();
-    let mut service = OptimizerService::spawn(config).expect("service spawns");
+    let mut service =
+        OptimizerService::spawn(config).map_err(|e| format!("service spawn failed: {e}"))?;
     let mut resident_results: Vec<Option<Vec<Plan>>> = (0..queries.len()).map(|_| None).collect();
     let mut in_flight: VecDeque<(usize, ServiceHandle)> = VecDeque::new();
     let mut next = 0usize;
@@ -307,12 +318,19 @@ fn cmd_serve(o: &Options) {
         while next < queries.len() && in_flight.len() < clients {
             let handle = service
                 .submit(&queries[next], o.space, o.objective)
-                .expect("submit");
+                .map_err(|e| format!("submit failed: {e}"))?;
             in_flight.push_back((next, handle));
             next += 1;
         }
-        let (idx, handle) = in_flight.pop_front().expect("at least one in flight");
-        resident_results[idx] = Some(service.wait(handle).expect("query completes"));
+        // `--clients` is validated > 0, so the inner loop always leaves
+        // at least one submission in flight here.
+        let Some((idx, handle)) = in_flight.pop_front() else {
+            return Err("no submission in flight".to_string());
+        };
+        let plans = service
+            .wait(handle)
+            .map_err(|e| format!("query {idx} failed: {e}"))?;
+        resident_results[idx] = Some(plans);
     }
     let resident = t0.elapsed();
     let cache = service.cache_stats();
@@ -332,11 +350,12 @@ fn cmd_serve(o: &Options) {
     let t0 = Instant::now();
     let mut per_query_results: Vec<Vec<Plan>> = Vec::with_capacity(queries.len());
     for query in &queries {
-        let mut service = OptimizerService::spawn(config).expect("service spawns");
+        let mut service =
+            OptimizerService::spawn(config).map_err(|e| format!("service spawn failed: {e}"))?;
         per_query_results.push(
             service
                 .optimize(query, o.space, o.objective)
-                .expect("query completes"),
+                .map_err(|e| format!("query failed: {e}"))?,
         );
         service.shutdown();
     }
@@ -348,11 +367,13 @@ fn cmd_serve(o: &Options) {
             let reference = optimize_serial(query, o.space, o.objective).plans[0]
                 .cost()
                 .time;
+            let resident_cost = resident_results[i]
+                .as_ref()
+                .ok_or_else(|| format!("query {i} has no resident result"))?[0]
+                .cost()
+                .time;
             for (mode, cost) in [
-                (
-                    "resident",
-                    resident_results[i].as_ref().unwrap()[0].cost().time,
-                ),
+                ("resident", resident_cost),
                 ("spawn-per-query", per_query_results[i][0].cost().time),
             ] {
                 assert!(
@@ -385,9 +406,10 @@ fn cmd_serve(o: &Options) {
         "resident speedup:  {:.2}x",
         per_query.as_secs_f64() / resident.as_secs_f64().max(1e-9)
     );
+    Ok(())
 }
 
-fn cmd_compare(o: &Options) {
+fn cmd_compare(o: &Options) -> Result<(), String> {
     let query = o.query();
     let latency = LatencyModel::cluster_like();
     let mpq = MpqOptimizer::new(MpqConfig {
@@ -425,9 +447,10 @@ fn cmd_compare(o: &Options) {
         "optimizers disagree: {a} vs {b}"
     );
     println!("both found the same optimal plan cost: {a:.4e}");
+    Ok(())
 }
 
-fn cmd_scaling(o: &Options) {
+fn cmd_scaling(o: &Options) -> Result<(), String> {
     let query = o.query();
     let optimizer = MpqOptimizer::new(MpqConfig {
         latency: LatencyModel::cluster_like(),
@@ -452,9 +475,10 @@ fn cmd_scaling(o: &Options) {
         );
         w *= 2;
     }
+    Ok(())
 }
 
-fn cmd_partitions(o: &Options) {
+fn cmd_partitions(o: &Options) -> Result<(), String> {
     let workers = pqopt::partition::effective_workers(o.space, o.tables, o.workers);
     println!(
         "{} tables, {:?} space: {} partitions (log2 = {} constraints each)",
@@ -478,4 +502,5 @@ fn cmd_partitions(o: &Options) {
             .collect();
         println!("  partition {id:>3}: {}", desc.join(", "));
     }
+    Ok(())
 }

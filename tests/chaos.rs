@@ -16,6 +16,10 @@
 //! schedules are deterministic per seed — a failure message contains the
 //! generated `FaultPlan`, which reproduces the schedule exactly.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::cluster::{FaultAction, FaultPlan, Wire};
 use pqopt::cost::{CostVector, Objective};
 use pqopt::dp::optimize_serial;

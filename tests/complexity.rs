@@ -2,6 +2,10 @@
 //! network, memory and master-side work bounds, and the contrast between
 //! MPQ's O(m·(b_q+b_p)) traffic and SMA's memo-sized traffic.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::prelude::*;
 
 fn query(n: usize, seed: u64) -> Query {

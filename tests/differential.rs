@@ -16,6 +16,10 @@
 //! suite (`tests/chaos.rs`) builds on: it pins the fault-free answer that
 //! fault-tolerant runs must reproduce.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::cost::{CostVector, Objective};
 use pqopt::dp::{
     exhaustive_frontier, exhaustive_linear_best_time, optimize_partition_topdown, optimize_serial,

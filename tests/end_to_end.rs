@@ -3,6 +3,10 @@
 //! on every plan space, objective and degree of parallelism, while
 //! honoring the shared-nothing discipline.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::prelude::*;
 
 fn queries(n: usize, count: usize, seed: u64) -> Vec<Query> {

@@ -2,6 +2,10 @@
 //! top-down enumeration, the randomized baselines and the execution
 //! engine — exercised together across crate boundaries.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::dp::{
     merge_parametric, optimize_parametric, optimize_parametric_partition,
     optimize_partition_topdown, optimize_serial, pick_for, ParametricQuery,

@@ -3,6 +3,10 @@
 //! roundtrips, optimizer agreement on random queries, and pruning-set
 //! invariants.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::cost::{CostVector, Objective, Order, ScanOp};
 use pqopt::dp::{exhaustive_linear_best_time, optimize_partition_id, optimize_serial};
 use pqopt::model::{

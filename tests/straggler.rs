@@ -16,6 +16,10 @@
 //! resident cluster: costs must still match the fault-free serial
 //! reference exactly.
 
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pqopt::cost::Objective;
 use pqopt::dp::optimize_serial;
 use pqopt::model::{Query, WorkloadConfig, WorkloadGenerator};
