@@ -34,6 +34,14 @@ pub enum DecodeError {
     },
     /// A length prefix exceeded the sanity limit.
     LengthOverflow(u64),
+    /// A table-index byte exceeded the [`TableSet`] capacity (64 tables),
+    /// so it cannot name a real table of any decodable query.
+    IndexOutOfRange {
+        /// The offending index byte.
+        index: u8,
+        /// The type being decoded.
+        ty: &'static str,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -47,11 +55,49 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadTag { tag, ty } => write!(f, "invalid tag {tag} for {ty}"),
             DecodeError::LengthOverflow(n) => write!(f, "length prefix {n} exceeds limit"),
+            DecodeError::IndexOutOfRange { index, ty } => write!(
+                f,
+                "table index {index} in {ty} exceeds the {}-table wire limit",
+                TableSet::MAX_TABLES
+            ),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Error produced when a value cannot be represented on the wire.
+///
+/// [`Wire::encode`] itself stays infallible (most call sites encode
+/// values that are valid by construction); a violation instead **poisons**
+/// the [`Encoder`] and writes an unambiguous sentinel that every decoder
+/// rejects, so the corruption can never round-trip silently. Boundary
+/// code that accepts caller-supplied values checks via
+/// [`Wire::try_to_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A table index ≥ [`TableSet::MAX_TABLES`] cannot name a real table
+    /// (table sets are a `u64` bitset) and does not fit the wire's
+    /// one-byte index field without truncation.
+    TableIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TableIndexOutOfRange { index } => write!(
+                f,
+                "table index {index} exceeds the {}-table wire limit",
+                TableSet::MAX_TABLES
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 /// Sanity cap on decoded collection lengths (defense against corrupted
 /// length prefixes).
@@ -61,6 +107,9 @@ const MAX_LEN: u64 = 1 << 28;
 #[derive(Default)]
 pub struct Encoder {
     buf: BytesMut,
+    /// First unrepresentable value seen, if any (sticky). See
+    /// [`EncodeError`] for the poison protocol.
+    poisoned: Option<EncodeError>,
 }
 
 impl Encoder {
@@ -68,6 +117,7 @@ impl Encoder {
     pub fn new() -> Self {
         Encoder {
             buf: BytesMut::with_capacity(256),
+            poisoned: None,
         }
     }
 
@@ -115,6 +165,30 @@ impl Encoder {
     #[allow(clippy::expect_used)]
     pub fn put_len(&mut self, len: usize) {
         self.put_u32(u32::try_from(len).expect("collection too large to encode"));
+    }
+
+    /// Writes a one-byte table index, validating it against the
+    /// [`TableSet`] capacity. An out-of-range index poisons the encoder
+    /// and writes the sentinel `0xFF` — which every table-index decoder
+    /// rejects — instead of silently truncating to `u8` (the original
+    /// corruption bug this guards against).
+    pub fn put_table_index(&mut self, index: usize) {
+        if index < TableSet::MAX_TABLES {
+            self.put_u8(index as u8);
+        } else {
+            self.poison(EncodeError::TableIndexOutOfRange { index });
+            self.put_u8(0xFF);
+        }
+    }
+
+    /// Records an unrepresentable value; the first error sticks.
+    pub fn poison(&mut self, e: EncodeError) {
+        self.poisoned.get_or_insert(e);
+    }
+
+    /// The first unrepresentable value encountered so far, if any.
+    pub fn error(&self) -> Option<EncodeError> {
+        self.poisoned
     }
 }
 
@@ -188,6 +262,18 @@ impl<'a> Decoder<'a> {
         }
         Ok(v as usize)
     }
+
+    /// Reads a one-byte table index, rejecting values that exceed the
+    /// [`TableSet`] capacity — including the `0xFF` sentinel a poisoned
+    /// encoder writes — with a typed error.
+    pub fn get_table_index(&mut self, ty: &'static str) -> Result<usize, DecodeError> {
+        let index = self.get_u8()?;
+        if (index as usize) < TableSet::MAX_TABLES {
+            Ok(index as usize)
+        } else {
+            Err(DecodeError::IndexOutOfRange { index, ty })
+        }
+    }
 }
 
 /// Types that can cross the simulated network.
@@ -198,10 +284,26 @@ pub trait Wire: Sized {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
 
     /// Convenience: encodes `self` into a fresh byte buffer.
+    ///
+    /// Infallible by design; a value the wire cannot represent encodes
+    /// to a sentinel that decoders reject with a typed error (see
+    /// [`EncodeError`]). Boundary code validating caller input should
+    /// prefer [`Wire::try_to_bytes`].
     fn to_bytes(&self) -> Bytes {
         let mut enc = Encoder::new();
         self.encode(&mut enc);
         enc.finish()
+    }
+
+    /// Encodes `self`, surfacing unrepresentable values as a typed
+    /// [`EncodeError`] instead of sentinel bytes.
+    fn try_to_bytes(&self) -> Result<Bytes, EncodeError> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        match enc.error() {
+            Some(e) => Err(e),
+            None => Ok(enc.finish()),
+        }
     }
 
     /// Convenience: decodes a value from `buf`, requiring full consumption.
@@ -389,14 +491,17 @@ impl Wire for TableStats {
 
 impl Wire for Predicate {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_u8(self.left as u8);
-        enc.put_u8(self.right as u8);
+        // Table indices are one byte on the wire but `usize` in memory;
+        // `put_table_index` validates against the 64-table `TableSet`
+        // capacity instead of silently truncating with `as u8`.
+        enc.put_table_index(self.left);
+        enc.put_table_index(self.right);
         enc.put_f64(self.selectivity);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(Predicate {
-            left: dec.get_u8()? as usize,
-            right: dec.get_u8()? as usize,
+            left: dec.get_table_index("Predicate")?,
+            right: dec.get_table_index("Predicate")?,
             selectivity: dec.get_f64()?,
         })
     }
@@ -824,6 +929,86 @@ mod tests {
         assert!(Plan::from_bytes(&[2]).is_err());
     }
 
+    /// Regression (ISSUE 7 satellite): `Predicate` table indices used to
+    /// be truncated with `as u8`, so index 256 round-tripped as 0. Now an
+    /// out-of-range index is a typed error on both sides of the wire.
+    #[test]
+    fn predicate_out_of_range_index_is_typed_not_truncated() {
+        let bad = Predicate {
+            left: 256, // would have truncated to 0
+            right: 1,
+            selectivity: 0.5,
+        };
+        // Encode side: the boundary API reports the exact offending index.
+        assert_eq!(
+            bad.try_to_bytes(),
+            Err(EncodeError::TableIndexOutOfRange { index: 256 })
+        );
+        // Infallible side: the sentinel bytes must not decode to a
+        // different (corrupted) predicate — decode rejects them typed.
+        assert!(matches!(
+            Predicate::from_bytes(&bad.to_bytes()),
+            Err(DecodeError::IndexOutOfRange {
+                index: 0xFF,
+                ty: "Predicate"
+            })
+        ));
+        // Every index the bitset can actually hold still round-trips,
+        // including the boundary value 63.
+        for index in [0usize, 1, 62, 63] {
+            let ok = Predicate {
+                left: index,
+                right: 63 - index,
+                selectivity: 0.25,
+            };
+            let bytes = ok.try_to_bytes().expect("valid indices encode");
+            assert_eq!(Predicate::from_bytes(&bytes).expect("decode"), ok);
+        }
+        // First out-of-range value: 64 (= TableSet::MAX_TABLES) on the
+        // wire is rejected even though it fits in a byte.
+        let boundary = Predicate {
+            left: TableSet::MAX_TABLES,
+            right: 0,
+            selectivity: 0.5,
+        };
+        assert_eq!(
+            boundary.try_to_bytes(),
+            Err(EncodeError::TableIndexOutOfRange { index: 64 })
+        );
+        let mut enc = Encoder::new();
+        enc.put_u8(64);
+        enc.put_u8(0);
+        enc.put_f64(0.5);
+        assert!(matches!(
+            Predicate::from_bytes(&enc.finish()),
+            Err(DecodeError::IndexOutOfRange { index: 64, .. })
+        ));
+    }
+
+    /// The poison latch is sticky (first error wins) and does not leak
+    /// across encoders.
+    #[test]
+    fn encoder_poison_is_sticky_and_scoped() {
+        let mut enc = Encoder::new();
+        enc.put_table_index(70);
+        enc.put_table_index(99);
+        assert_eq!(
+            enc.error(),
+            Some(EncodeError::TableIndexOutOfRange { index: 70 })
+        );
+        let clean = Encoder::new();
+        assert_eq!(clean.error(), None);
+        // A query carrying one bad predicate fails as a whole.
+        let q = WorkloadGenerator::new(WorkloadConfig::paper_default(5), 3).next_query();
+        let mut broken = q.clone();
+        broken.predicates[0].left = 1 << 20;
+        assert!(q.try_to_bytes().is_ok());
+        assert_eq!(
+            broken.try_to_bytes(),
+            Err(EncodeError::TableIndexOutOfRange { index: 1 << 20 })
+        );
+    }
+
     #[test]
     fn length_overflow_rejected() {
         // A Vec<u64> with a bogus huge length prefix.
@@ -855,5 +1040,12 @@ mod tests {
         assert!(e.to_string().contains("truncated"));
         let e = DecodeError::BadTag { tag: 5, ty: "X" };
         assert!(e.to_string().contains("tag 5"));
+        let e = DecodeError::IndexOutOfRange {
+            index: 200,
+            ty: "Predicate",
+        };
+        assert!(e.to_string().contains("index 200"));
+        let e = EncodeError::TableIndexOutOfRange { index: 300 };
+        assert!(e.to_string().contains("index 300"));
     }
 }

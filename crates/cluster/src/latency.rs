@@ -50,8 +50,14 @@ impl LatencyModel {
     }
 
     /// The delay charged to a message of `bytes` bytes.
+    ///
+    /// Transfer time rounds *up* to the next microsecond: any nonzero
+    /// payload occupies the wire for a nonzero time. (Floor division here
+    /// used to charge every sub-KiB message — which is most protocol
+    /// messages — zero transfer time, flattening the byte-cost curves of
+    /// the experiments.)
     pub fn delay(&self, bytes: usize, is_assignment: bool) -> Duration {
-        let mut us = self.per_message_us + (bytes as u64 * self.per_kib_us) / 1024;
+        let mut us = self.per_message_us + (bytes as u64 * self.per_kib_us).div_ceil(1024);
         if is_assignment {
             us += self.task_launch_us;
         }
@@ -86,6 +92,25 @@ mod tests {
         assert_eq!(m.delay(0, false), Duration::from_micros(100));
         assert_eq!(m.delay(1024, false), Duration::from_micros(110));
         assert_eq!(m.delay(10 * 1024, false), Duration::from_micros(200));
+    }
+
+    /// Regression (ISSUE 7 satellite): sub-KiB payloads used to floor to
+    /// zero transfer time. Ceiling division pins every boundary case.
+    #[test]
+    fn sub_kib_payloads_are_charged_transfer_time() {
+        let m = LatencyModel {
+            per_message_us: 0,
+            per_kib_us: 10,
+            task_launch_us: 0,
+        };
+        // (bytes, expected transfer µs = ceil(bytes·10 / 1024))
+        for (bytes, us) in [(0usize, 0u64), (1, 1), (1023, 10), (1024, 10), (1025, 11)] {
+            assert_eq!(
+                m.delay(bytes, false),
+                Duration::from_micros(us),
+                "{bytes} bytes"
+            );
+        }
     }
 
     #[test]

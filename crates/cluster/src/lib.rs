@@ -41,12 +41,19 @@ pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod runtime;
+pub mod transport;
 
-pub use codec::{DecodeError, Decoder, Encoder, Progress, QueryId, SessionEnvelope, Wire};
+pub use codec::{
+    DecodeError, Decoder, EncodeError, Encoder, Progress, QueryId, SessionEnvelope, Wire,
+};
 pub use fault::{FaultAction, FaultPlan, FaultSchedule, WorkerFaults};
 pub use latency::LatencyModel;
 pub use metrics::{NetworkMetrics, NetworkSnapshot, WorkerCounters};
 pub use runtime::{
     mint_service_instance, AbandonedList, BatchError, Cluster, ClusterError, Control, WorkerCtx,
     WorkerLogic,
+};
+pub use transport::{
+    frame_with_prefix, serve_worker, FrameBuffer, Hello, SocketTransport, Transport, WireListener,
+    WireStream, WorkerAddr, LENGTH_PREFIX_BYTES,
 };

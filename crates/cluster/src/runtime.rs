@@ -158,17 +158,56 @@ enum ReplyFault {
     Delay(Duration),
 }
 
+/// Where a worker's replies go: the in-process simulated network of a
+/// [`Cluster`], or a real byte stream back to a remote master (see
+/// [`crate::transport`]).
+pub(crate) enum ReplySink {
+    /// In-process channel of the simulated [`Cluster`]; the transfer
+    /// delay is computed from the latency model and charged master-side.
+    Channel {
+        to_master: Sender<(usize, Envelope)>,
+        latency: LatencyModel,
+    },
+    /// A length-prefixed frame stream over a real socket; the wire itself
+    /// provides the latency, so none is simulated.
+    Stream(Box<dyn std::io::Write + Send>),
+}
+
 /// Worker-side handle for replying to the master.
 pub struct WorkerCtx {
     worker_id: usize,
-    to_master: Sender<(usize, Envelope)>,
+    sink: ReplySink,
     metrics: Arc<NetworkMetrics>,
-    latency: LatencyModel,
     reply_fault: ReplyFault,
     current_query: QueryId,
 }
 
 impl WorkerCtx {
+    /// A context whose replies go down a real byte stream instead of the
+    /// simulated network — the worker side of [`crate::transport`]. The
+    /// stream provides its own latency, so none is simulated, and fault
+    /// injection (a [`FaultPlan`] concern) does not apply: real transports
+    /// get real faults.
+    pub(crate) fn for_stream(
+        worker_id: usize,
+        metrics: Arc<NetworkMetrics>,
+        writer: Box<dyn std::io::Write + Send>,
+    ) -> WorkerCtx {
+        WorkerCtx {
+            worker_id,
+            sink: ReplySink::Stream(writer),
+            metrics,
+            reply_fault: ReplyFault::None,
+            current_query: QueryId(0),
+        }
+    }
+
+    /// Re-tags the context with the session of the message about to be
+    /// handled, so replies are framed correctly.
+    pub(crate) fn set_current_query(&mut self, query: QueryId) {
+        self.current_query = query;
+    }
+
     /// This worker's node id (0-based).
     pub fn worker_id(&self) -> usize {
         self.worker_id
@@ -197,7 +236,7 @@ impl WorkerCtx {
     /// are tallied here, where a reply actually exists — a drop/straggle
     /// fault armed on a message that produces no reply is a no-op and is
     /// deliberately not counted.
-    pub fn send_to_master(&self, payload: Bytes) {
+    pub fn send_to_master(&mut self, payload: Bytes) {
         match self.reply_fault {
             ReplyFault::Drop => {
                 self.metrics.record_drop(self.worker_id);
@@ -209,25 +248,46 @@ impl WorkerCtx {
             }
             ReplyFault::None => {}
         }
-        // Framed length: payload plus the 8-byte session-id header (see
-        // [`SessionEnvelope`] for the canonical layout). The header is
-        // carried pre-parsed through the in-process channel — the way a
-        // real transport parses it once at the socket — so the hot path
-        // pays no serialization copy, while the byte counters and the
-        // latency model see the full on-the-wire size.
-        let framed_len = payload.len() + SessionEnvelope::HEADER_BYTES;
-        self.metrics.record_reply(self.worker_id, framed_len as u64);
-        let delay = self.latency.delay(framed_len, false);
-        // The channel being closed means the master is gone (cluster drop
-        // mid-protocol); the reply is moot then.
-        let _ = self.to_master.send((
-            self.worker_id,
-            Envelope {
-                query: self.current_query,
-                payload,
-                delay,
-            },
-        ));
+        match &mut self.sink {
+            ReplySink::Channel { to_master, latency } => {
+                // Framed length: payload plus the 8-byte session-id header
+                // (see [`SessionEnvelope`] for the canonical layout). The
+                // header is carried pre-parsed through the in-process
+                // channel — the way a real transport parses it once at the
+                // socket — so the hot path pays no serialization copy,
+                // while the byte counters and the latency model see the
+                // full on-the-wire size.
+                let framed_len = payload.len() + SessionEnvelope::HEADER_BYTES;
+                self.metrics.record_reply(self.worker_id, framed_len as u64);
+                let delay = latency.delay(framed_len, false);
+                // The channel being closed means the master is gone
+                // (cluster drop mid-protocol); the reply is moot then.
+                let _ = to_master.send((
+                    self.worker_id,
+                    Envelope {
+                        query: self.current_query,
+                        payload,
+                        delay,
+                    },
+                ));
+            }
+            ReplySink::Stream(writer) => {
+                // Real socket: write the length-prefixed frame and count
+                // the bytes that actually hit the wire. A write failure
+                // means the master is gone; like the closed-channel case
+                // above, the reply is moot then.
+                let frame = crate::transport::frame_with_prefix(self.current_query, &payload);
+                use std::io::Write;
+                if writer
+                    .write_all(&frame)
+                    .and_then(|()| writer.flush())
+                    .is_ok()
+                {
+                    self.metrics
+                        .record_reply(self.worker_id, frame.len() as u64);
+                }
+            }
+        }
     }
 }
 
@@ -252,11 +312,66 @@ where
     }
 }
 
+/// Master-side parking lot for replies received on behalf of sessions
+/// other than the one a session-routed receive asked for. A `Mutex`
+/// (never contended — the master protocol is single-threaded) keeps the
+/// receive methods on `&self`; a `BTreeMap` keeps untargeted draining
+/// deterministic (lowest session id first). Shared by [`Cluster`] and the
+/// socket transport so both demultiplex identically.
+#[derive(Default)]
+pub(crate) struct ReplyPark(Mutex<BTreeMap<u64, VecDeque<(usize, Bytes)>>>);
+
+impl ReplyPark {
+    pub(crate) fn new() -> ReplyPark {
+        ReplyPark::default()
+    }
+
+    /// Parks one reply for session `query` until its owner asks.
+    pub(crate) fn park(&self, query: QueryId, worker: usize, payload: Bytes) {
+        // Recover from poisoning: the map holds plain owned data, so a
+        // panicked holder cannot have left it logically inconsistent.
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .entry(query.0)
+            .or_default()
+            .push_back((worker, payload));
+    }
+
+    /// The oldest parked reply owned by `query`, if any.
+    pub(crate) fn take(&self, query: QueryId) -> Option<(usize, Bytes)> {
+        let mut parked = self
+            .0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let queue = parked.get_mut(&query.0)?;
+        let reply = queue.pop_front();
+        if queue.is_empty() {
+            parked.remove(&query.0);
+        }
+        reply
+    }
+
+    /// The oldest parked reply of the lowest-numbered session, if any.
+    pub(crate) fn take_any(&self) -> Option<(usize, QueryId, Bytes)> {
+        let mut parked = self
+            .0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let (&qid, queue) = parked.iter_mut().next()?;
+        let (worker, payload) = queue.pop_front()?;
+        if queue.is_empty() {
+            parked.remove(&qid);
+        }
+        Some((worker, QueryId(qid), payload))
+    }
+}
+
 /// One message in flight on the simulated network: the session-id header
 /// pre-parsed (see [`SessionEnvelope`] for the canonical byte layout —
 /// byte counters and latency always charge the framed length, payload
 /// plus header), the payload, and its transfer delay.
-struct Envelope {
+pub(crate) struct Envelope {
     query: QueryId,
     payload: Bytes,
     delay: Duration,
@@ -278,11 +393,9 @@ pub struct Cluster {
     latency: LatencyModel,
     /// Replies received on behalf of sessions other than the one a
     /// [`Cluster::recv_for`] caller asked for, parked until their owner
-    /// asks. A `Mutex` (never contended — the master protocol is
-    /// single-threaded) keeps the receive methods on `&self`; a `BTreeMap`
-    /// keeps untargeted draining deterministic (lowest session id first)
-    /// in this otherwise reproducibility-obsessed simulator.
-    parked: Mutex<BTreeMap<u64, VecDeque<(usize, Bytes)>>>,
+    /// asks — the demultiplexer that lets independent session drivers
+    /// share one resident cluster.
+    parked: ReplyPark,
 }
 
 impl Cluster {
@@ -333,9 +446,11 @@ impl Cluster {
             let wf = schedule.worker(id);
             let mut ctx = WorkerCtx {
                 worker_id: id,
-                to_master: master_tx.clone(),
+                sink: ReplySink::Channel {
+                    to_master: master_tx.clone(),
+                    latency,
+                },
                 metrics: Arc::clone(&metrics),
-                latency,
                 reply_fault: ReplyFault::None,
                 current_query: QueryId(0),
             };
@@ -363,7 +478,7 @@ impl Cluster {
             handles,
             metrics,
             latency,
-            parked: Mutex::new(BTreeMap::new()),
+            parked: ReplyPark::new(),
         })
     }
 
@@ -443,7 +558,7 @@ impl Cluster {
     /// Returns [`ClusterError::AllWorkersLost`] if every worker has
     /// terminated and no replies remain.
     pub fn recv(&self) -> Result<(usize, QueryId, Bytes), ClusterError> {
-        if let Some(reply) = self.take_any_parked() {
+        if let Some(reply) = self.parked.take_any() {
             return Ok(reply);
         }
         let (id, env) = self
@@ -457,7 +572,7 @@ impl Cluster {
     /// `timeout`. The reply's transfer delay is charged here (master
     /// side).
     pub fn recv_timeout(&self, timeout: Duration) -> Result<(usize, QueryId, Bytes), ClusterError> {
-        if let Some(reply) = self.take_any_parked() {
+        if let Some(reply) = self.parked.take_any() {
             return Ok(reply);
         }
         match self.from_workers.recv_timeout(timeout) {
@@ -470,7 +585,7 @@ impl Cluster {
     /// Non-blocking receive: the next reply for any session if one is
     /// already waiting, else [`ClusterError::Timeout`] with a zero wait.
     pub fn try_recv(&self) -> Result<(usize, QueryId, Bytes), ClusterError> {
-        if let Some(reply) = self.take_any_parked() {
+        if let Some(reply) = self.parked.take_any() {
             return Ok(reply);
         }
         use std::sync::mpsc::TryRecvError;
@@ -495,7 +610,7 @@ impl Cluster {
     /// use [`Cluster::recv_for_timeout`] plus [`Cluster::dead_workers`]
     /// whenever faults are possible (as the session schedulers do).
     pub fn recv_for(&self, query: QueryId) -> Result<(usize, Bytes), ClusterError> {
-        if let Some(reply) = self.take_parked(query) {
+        if let Some(reply) = self.parked.take(query) {
             return Ok(reply);
         }
         loop {
@@ -509,7 +624,7 @@ impl Cluster {
             if qid == query {
                 return Ok((worker, payload));
             }
-            self.park(qid, worker, payload);
+            self.parked.park(qid, worker, payload);
         }
     }
 
@@ -522,7 +637,7 @@ impl Cluster {
         query: QueryId,
         timeout: Duration,
     ) -> Result<(usize, Bytes), ClusterError> {
-        if let Some(reply) = self.take_parked(query) {
+        if let Some(reply) = self.parked.take(query) {
             return Ok(reply);
         }
         let deadline = Instant::now() + timeout;
@@ -537,7 +652,7 @@ impl Cluster {
                     if qid == query {
                         return Ok((worker, payload));
                     }
-                    self.park(qid, worker, payload);
+                    self.parked.park(qid, worker, payload);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(ClusterError::Timeout { waited: timeout })
@@ -587,51 +702,21 @@ impl Cluster {
         (id, env.query, env.payload)
     }
 
-    fn park(&self, query: QueryId, worker: usize, payload: Bytes) {
-        // Recover from poisoning: the map holds plain owned data, so a
-        // panicked holder cannot have left it logically inconsistent.
-        self.parked
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .entry(query.0)
-            .or_default()
-            .push_back((worker, payload));
-    }
-
-    fn take_parked(&self, query: QueryId) -> Option<(usize, Bytes)> {
-        let mut parked = self
-            .parked
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let queue = parked.get_mut(&query.0)?;
-        let reply = queue.pop_front();
-        if queue.is_empty() {
-            parked.remove(&query.0);
-        }
-        reply
-    }
-
-    fn take_any_parked(&self) -> Option<(usize, QueryId, Bytes)> {
-        let mut parked = self
-            .parked
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let (&qid, queue) = parked.iter_mut().next()?;
-        let (worker, payload) = queue.pop_front()?;
-        if queue.is_empty() {
-            parked.remove(&qid);
-        }
-        Some((worker, QueryId(qid), payload))
-    }
-
-    /// Shuts every worker down and joins the threads.
-    pub fn shutdown(mut self) {
+    /// Sends every worker a shutdown order and joins the threads.
+    /// Idempotent — the handle list is drained, so a second call (e.g.
+    /// `shutdown` followed by `Drop`) is a no-op.
+    pub(crate) fn shutdown_in_place(&mut self) {
         for tx in &self.to_workers {
             let _ = tx.send(ToWorker::Shutdown);
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+
+    /// Shuts every worker down and joins the threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
     }
 }
 

@@ -14,7 +14,7 @@
 // unwrap/expect denies target shipping code (see [workspace.lints]).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use mpq_cluster::Wire;
+use mpq_cluster::{frame_with_prefix, FrameBuffer, Hello, QueryId, Wire};
 use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
 use mpq_dp::WorkerStats;
 use mpq_model::{
@@ -56,6 +56,29 @@ fn decode_all(data: &[u8]) {
     let _ = PlanEntry::from_bytes(data);
     let _ = Vec::<PlanEntry>::from_bytes(data);
     let _ = WorkerStats::from_bytes(data);
+    let _ = Hello::from_bytes(data);
+}
+
+/// Runs the stream reassembler over `data` delivered in `chunk`-byte
+/// reads, as a socket might segment it. Decoded frames and typed errors
+/// are both fine; panics and unbounded allocation are not. Pure
+/// in-memory — no sockets — so it runs under Miri like the rest of this
+/// suite.
+fn reassemble_all(data: &[u8], chunk: usize) {
+    let mut fb = FrameBuffer::new();
+    for piece in data.chunks(chunk.max(1)) {
+        fb.push(piece);
+        loop {
+            match fb.next_frame() {
+                Ok(Some(env)) => decode_all(&env.payload),
+                Ok(None) => break,
+                // Corrupt prefix: the stream is poisoned, as a real
+                // reader would treat it.
+                Err(_) => return,
+            }
+        }
+    }
+    let _ = fb.finish();
 }
 
 /// A valid, content-rich encoding to truncate and mutate: a generated
@@ -124,5 +147,66 @@ proptest! {
         let mut data = len.to_le_bytes().to_vec();
         data.extend_from_slice(&tail);
         decode_all(&data);
+    }
+
+    /// Framed-stream soup: arbitrary bytes through the socket-transport
+    /// reassembler at an arbitrary read granularity — typed errors or
+    /// frames, never a panic.
+    #[test]
+    fn arbitrary_framed_streams_never_panic(
+        data in prop::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..64,
+    ) {
+        reassemble_all(&data, chunk);
+    }
+
+    /// Well-formed frame sequences survive any read segmentation: every
+    /// frame comes back exactly once, in order, whatever the chunking.
+    #[test]
+    fn valid_framed_streams_reassemble_exactly(
+        seed in any::<u64>(),
+        n in 1usize..=5,
+        chunk in 1usize..64,
+    ) {
+        let payloads = valid_encodings(seed, n);
+        let mut stream = Vec::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            stream.extend_from_slice(&frame_with_prefix(QueryId(i as u64), payload));
+        }
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            fb.push(piece);
+            while let Some(env) = fb.next_frame().expect("well-formed stream") {
+                got.push((env.query, env.payload.to_vec()));
+            }
+        }
+        fb.finish().expect("no partial frame at a clean EOF");
+        prop_assert_eq!(got.len(), payloads.len());
+        for (i, (payload, (query, reassembled))) in payloads.iter().zip(&got).enumerate() {
+            prop_assert_eq!(*query, QueryId(i as u64));
+            prop_assert_eq!(payload, reassembled);
+        }
+    }
+
+    /// A truncated final frame is always a typed error at EOF, at any cut
+    /// point and any read granularity — the worker-side guarantee that a
+    /// master dying mid-write cannot be mistaken for a clean goodbye.
+    #[test]
+    fn truncated_framed_streams_fail_typed(
+        seed in any::<u64>(),
+        n in 1usize..=5,
+        cut_frac in 0.0..1.0f64,
+        chunk in 1usize..64,
+    ) {
+        let payload = &valid_encodings(seed, n)[0];
+        let stream = frame_with_prefix(QueryId(7), payload);
+        let cut = 1 + ((stream.len() - 2) as f64 * cut_frac) as usize; // 1..len-1: strictly partial
+        let mut fb = FrameBuffer::new();
+        for piece in stream[..cut].chunks(chunk) {
+            fb.push(piece);
+            prop_assert!(fb.next_frame().expect("prefix of a valid frame").is_none());
+        }
+        prop_assert!(fb.finish().is_err(), "cut at {} of {} must be typed", cut, stream.len());
     }
 }

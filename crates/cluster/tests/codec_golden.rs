@@ -19,7 +19,10 @@
 // unwrap/expect denies target shipping code (see [workspace.lints]).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use mpq_cluster::{Progress, QueryId, SessionEnvelope, Wire};
+use mpq_cluster::{
+    frame_with_prefix, DecodeError, EncodeError, Hello, Progress, QueryId, SessionEnvelope, Wire,
+    LENGTH_PREFIX_BYTES,
+};
 use mpq_cost::{CostVector, JoinOp, Objective, Order, ScanOp};
 use mpq_dp::WorkerStats;
 use mpq_model::{Catalog, JoinGraph, Predicate, Query, TableSet, TableStats};
@@ -161,6 +164,15 @@ const GOLDEN_WORKER_STATS: &str =
 // that wraps every wire message — 8-byte LE id, then the payload verbatim.
 const GOLDEN_QUERY_ID: &str = "efbeadde00000000";
 const GOLDEN_ENVELOPE: &str = "2a00000000000000010203";
+// Socket transport layer: the connection handshake (u32 LE magic "MPQ1",
+// then the assigned worker id as LE u64) and the length-prefixed frame the
+// stream transport writes (u32 LE envelope length, then the envelope).
+const GOLDEN_HELLO: &str = "4d5051310700000000000000";
+const GOLDEN_PREFIXED_FRAME: &str = "0b0000002a00000000000000010203";
+// A Predicate whose table index exceeds the 64-table `TableSet` capacity:
+// `to_bytes` emits the 0xFF poison sentinel (never a truncated index), and
+// decoding it must fail typed rather than resurrect a bogus table 255.
+const GOLDEN_POISONED_PREDICATE: &str = "ff09000000000000903f";
 // Straggler-adaptive redistribution: the fixed-size worker progress report
 // (three LE u64s: first_partition, completed, partition_count).
 const GOLDEN_PROGRESS: &str = "050000000000000002000000000000000800000000000000";
@@ -247,6 +259,68 @@ fn golden_session_layer() {
     let opened = SessionEnvelope::unframe(&framed).expect("golden frame opens");
     assert_eq!(opened.query, QueryId(42));
     assert_eq!(&opened.payload[..], &[1, 2, 3]);
+}
+
+#[test]
+fn golden_transport_layer() {
+    assert_golden(&Hello { worker_id: 7 }, GOLDEN_HELLO, "Hello");
+    // Layout pins: the magic is the literal bytes "MPQ1" (version folded
+    // into the magic), the id an LE u64, 12 bytes total.
+    let hello = Hello { worker_id: 7 }.to_bytes();
+    assert_eq!(hello.len(), Hello::WIRE_SIZE);
+    assert_eq!(&hello[..4], b"MPQ1");
+    assert_eq!(u64::from_le_bytes(hello[4..12].try_into().unwrap()), 7);
+    // A corrupted magic fails typed — a master that dials a non-pqopt port
+    // gets a decode error, not a garbage worker id.
+    let mut bad = hello.to_vec();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        Hello::from_bytes(&bad),
+        Err(DecodeError::BadTag { ty: "Hello", .. })
+    ));
+
+    // The stream framing is the u32 LE envelope length, then the envelope
+    // exactly as the in-process transport would carry it.
+    let framed = frame_with_prefix(QueryId(42), &[1, 2, 3]);
+    assert_eq!(
+        hex(&framed),
+        GOLDEN_PREFIXED_FRAME,
+        "wire format of the length-prefixed frame changed — if intentional, regenerate the \
+         golden constants (see module docs); if not, you just broke cross-version compatibility"
+    );
+    let (prefix, envelope) = framed.split_at(LENGTH_PREFIX_BYTES);
+    assert_eq!(
+        u32::from_le_bytes(prefix.try_into().unwrap()) as usize,
+        envelope.len()
+    );
+    assert_eq!(hex(envelope), GOLDEN_ENVELOPE);
+}
+
+/// Regression for the silent `as u8` truncation bug: a table index ≥ 64
+/// must surface as a typed error on both sides of the wire, never as a
+/// plausible-looking small index.
+#[test]
+fn golden_out_of_range_predicate() {
+    let bad = Predicate {
+        left: 200,
+        right: 9,
+        selectivity: 0.015625,
+    };
+    assert_eq!(
+        bad.try_to_bytes(),
+        Err(EncodeError::TableIndexOutOfRange { index: 200 })
+    );
+    // The infallible path emits the 0xFF poison sentinel in place of the
+    // index (the old code emitted 200 % 256 = 0xC8, a "valid" table 8 after
+    // masking downstream); pin that byte layout.
+    assert_eq!(hex(&bad.to_bytes()), GOLDEN_POISONED_PREDICATE);
+    assert!(matches!(
+        Predicate::from_bytes(&bad.to_bytes()),
+        Err(DecodeError::IndexOutOfRange {
+            index: 255,
+            ty: "Predicate"
+        })
+    ));
 }
 
 #[test]
@@ -351,6 +425,20 @@ fn regenerate_golden_constants() {
         (
             "GOLDEN_ENVELOPE",
             hex(&SessionEnvelope::frame(QueryId(42), &[1, 2, 3])),
+        ),
+        ("GOLDEN_HELLO", hex(&Hello { worker_id: 7 }.to_bytes())),
+        (
+            "GOLDEN_PREFIXED_FRAME",
+            hex(&frame_with_prefix(QueryId(42), &[1, 2, 3])),
+        ),
+        (
+            "GOLDEN_POISONED_PREDICATE",
+            hex(&Predicate {
+                left: 200,
+                right: 9,
+                selectivity: 0.015625,
+            }
+            .to_bytes()),
         ),
         ("GOLDEN_PROGRESS", hex(&golden_progress().to_bytes())),
         (

@@ -47,4 +47,4 @@ pub use message::{MasterMessage, WorkerMsg, WorkerReply};
 pub use optimizer::{
     MpqConfig, MpqError, MpqMetrics, MpqOptimizer, MpqOutcome, RetryPolicy, StealPolicy,
 };
-pub use service::{MpqService, QueryHandle};
+pub use service::{serve_socket_worker, MpqService, QueryHandle};

@@ -40,8 +40,8 @@ use crate::message::{MasterMessage, WorkerMsg, WorkerReply};
 use crate::optimizer::{MpqConfig, MpqError, MpqMetrics, MpqOutcome, RetryPolicy, StealPolicy};
 use bytes::Bytes;
 use mpq_cluster::{
-    AbandonedList, Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx,
-    WorkerLogic,
+    AbandonedList, Cluster, ClusterError, Control, NetworkMetrics, QueryId, Transport, Wire,
+    WireListener, WorkerCtx, WorkerLogic,
 };
 use mpq_cost::Objective;
 use mpq_dp::{optimize_partition_id_cached, PlanCache, WorkerStats};
@@ -343,7 +343,7 @@ impl Session {
 /// A long-lived MPQ optimizer service over one resident cluster. See the
 /// module docs.
 pub struct MpqService {
-    cluster: Cluster,
+    cluster: Box<dyn Transport>,
     retry: RetryPolicy,
     steal: StealPolicy,
     /// This instance's identity, stamped into every handle it mints.
@@ -384,8 +384,28 @@ impl MpqService {
             MpqWorker::new(config.cache_bytes, slow_factor)
         })
         .map_err(MpqError::Cluster)?;
+        MpqService::with_transport(Box::new(cluster), config)
+    }
+
+    /// Builds the service over an already-connected message plane — the
+    /// entry point for real socket transports
+    /// ([`SocketTransport`](mpq_cluster::SocketTransport)), whose worker
+    /// processes run [`serve_socket_worker`]. `config`'s latency model,
+    /// fault plan and slow-worker injector are ignored (those simulate a
+    /// network; a real transport has one), while its retry and steal
+    /// policies govern recovery exactly as on the simulated plane.
+    pub fn with_transport(
+        transport: Box<dyn Transport>,
+        config: MpqConfig,
+    ) -> Result<MpqService, MpqError> {
+        let workers = transport.num_workers();
+        if workers == 0 {
+            return Err(MpqError::BadRequest {
+                reason: "at least one worker required",
+            });
+        }
         Ok(MpqService {
-            cluster,
+            cluster: transport,
             retry: config.retry,
             steal: config.steal,
             service: mpq_cluster::mint_service_instance(),
@@ -542,7 +562,7 @@ impl MpqService {
                 }
                 Err(err @ ClusterError::WorkerLost { .. }) if self.retry.max_retries > 0 => {
                     let mut routed = false;
-                    for target in live_workers(&self.cluster) {
+                    for target in live_workers(self.cluster.as_ref()) {
                         if target == preferred {
                             continue;
                         }
@@ -668,7 +688,7 @@ impl MpqService {
     /// Shuts the resident cluster down, joining every worker thread.
     /// In-flight sessions are abandoned (their handles become useless), so
     /// drain the service before calling this.
-    pub fn shutdown(self) {
+    pub fn shutdown(mut self) {
         self.cluster.shutdown();
     }
 
@@ -950,7 +970,7 @@ impl MpqService {
             .iter()
             .map(|&i| session.range_worker[i])
             .collect();
-        let mut candidates = live_workers(cluster);
+        let mut candidates = live_workers(cluster.as_ref());
         candidates.sort_by_key(|&w| (busy.contains(&w), w));
         let mut reissued = false;
         for target in candidates {
@@ -1029,7 +1049,7 @@ impl MpqService {
     /// recovery pass proved lost, so one dropped reply cannot poison a
     /// worker's ledger for the service's lifetime.
     fn idle_workers(&self) -> Vec<usize> {
-        live_workers(&self.cluster)
+        live_workers(self.cluster.as_ref())
             .into_iter()
             .filter(|&w| self.replies_seen[w] + self.lost_replies[w] >= self.tasks_sent[w])
             .collect()
@@ -1240,10 +1260,20 @@ impl MpqService {
     }
 }
 
-fn live_workers(cluster: &Cluster) -> Vec<usize> {
+fn live_workers(cluster: &dyn Transport) -> Vec<usize> {
     (0..cluster.num_workers())
         .filter(|&w| cluster.is_worker_alive(w))
         .collect()
+}
+
+/// Runs one MPQ worker **process**: accepts a single master connection on
+/// `listener` and serves the MPQ worker protocol over it until the master
+/// disconnects or orders shutdown. The logic is the same `MpqWorker`
+/// the in-process cluster drives (with an own-rate clock, i.e. no
+/// slow-worker injection — real deployments get real stragglers), so a
+/// socket master observes byte-identical protocol behavior.
+pub fn serve_socket_worker(listener: &WireListener, cache_bytes: usize) -> std::io::Result<()> {
+    mpq_cluster::serve_worker(listener, MpqWorker::new(cache_bytes, 1))
 }
 
 /// Accumulates a reply's counters into a worker's running stats (a worker

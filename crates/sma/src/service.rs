@@ -24,8 +24,8 @@ use crate::message::{SlotUpdate, SmaMasterMsg, SmaReply};
 use crate::optimizer::{SmaConfig, SmaError, SmaMetrics, SmaOutcome};
 use bytes::Bytes;
 use mpq_cluster::{
-    AbandonedList, Cluster, ClusterError, Control, NetworkMetrics, QueryId, Wire, WorkerCtx,
-    WorkerLogic,
+    AbandonedList, Cluster, ClusterError, Control, NetworkMetrics, QueryId, Transport, Wire,
+    WireListener, WorkerCtx, WorkerLogic,
 };
 use mpq_cost::{CardinalityEstimator, Objective, ScanOp};
 use mpq_dp::{
@@ -320,7 +320,7 @@ impl Session {
 /// A long-lived SMA baseline service over one resident cluster. See the
 /// module docs.
 pub struct SmaService {
-    cluster: Cluster,
+    cluster: Box<dyn Transport>,
     recv_timeout: Option<Duration>,
     /// This instance's identity, stamped into every handle it mints.
     service: u64,
@@ -348,8 +348,27 @@ impl SmaService {
             SmaWorker::new(config.cache_bytes)
         })
         .map_err(SmaError::Cluster)?;
+        SmaService::with_transport(Box::new(cluster), config)
+    }
+
+    /// Builds the service over an already-connected message plane — the
+    /// entry point for real socket transports
+    /// ([`SocketTransport`](mpq_cluster::SocketTransport)), whose worker
+    /// processes run [`serve_socket_worker`]. `config`'s latency model
+    /// and fault plan are ignored (those simulate a network; a real
+    /// transport has one); its receive timeout governs stall detection
+    /// exactly as on the simulated plane.
+    pub fn with_transport(
+        transport: Box<dyn Transport>,
+        config: SmaConfig,
+    ) -> Result<SmaService, SmaError> {
+        if transport.num_workers() == 0 {
+            return Err(SmaError::BadRequest {
+                reason: "at least one worker required",
+            });
+        }
         Ok(SmaService {
-            cluster,
+            cluster: transport,
             recv_timeout: config.recv_timeout,
             service: mpq_cluster::mint_service_instance(),
             next_id: 0,
@@ -412,11 +431,11 @@ impl SmaService {
             .cluster
             .broadcast(id, &init, true)
             .map_err(|e| session.lost(e))
-            .and_then(|()| start_round(&self.cluster, &mut session, id, 2));
+            .and_then(|()| start_round(self.cluster.as_ref(), &mut session, id, 2));
         if let Err(e) = dispatched {
             // Workers reached before the failure already hold a replica
             // for a session that will never run; free them.
-            abort_session(&self.cluster, id);
+            abort_session(self.cluster.as_ref(), id);
             return Err(e);
         }
         self.sessions.insert(id.0, session);
@@ -493,7 +512,7 @@ impl SmaService {
     }
 
     /// Shuts the resident cluster down, joining every worker thread.
-    pub fn shutdown(self) {
+    pub fn shutdown(mut self) {
         self.cluster.shutdown();
     }
 
@@ -505,7 +524,7 @@ impl SmaService {
     pub fn reap_abandoned(&mut self) {
         for id in self.abandoned.drain() {
             if self.sessions.remove(&id).is_some() {
-                abort_session(&self.cluster, QueryId(id));
+                abort_session(self.cluster.as_ref(), QueryId(id));
             }
             self.done.remove(&id);
         }
@@ -558,8 +577,9 @@ impl SmaService {
                                 .cluster
                                 .broadcast(qid, &delta, false)
                                 .map_err(|e| session.lost(e))
-                                .and_then(|()| start_round(&self.cluster, session, qid, k + 1))
-                            {
+                                .and_then(|()| {
+                                    start_round(self.cluster.as_ref(), session, qid, k + 1)
+                                }) {
                                 Ok(()) => Advance::Pending,
                                 Err(e) => Advance::Failed(e),
                             }
@@ -658,7 +678,7 @@ impl SmaService {
         self.sessions.remove(&qid.0);
         // Free the session's replicas on the surviving workers: a failed
         // session must not leak O(2^n) memo state on a resident cluster.
-        abort_session(&self.cluster, qid);
+        abort_session(self.cluster.as_ref(), qid);
         self.park_result(qid, Err(err));
     }
 
@@ -683,10 +703,19 @@ impl SmaService {
     }
 }
 
+/// Runs one SMA worker **process**: accepts a single master connection on
+/// `listener` and serves the SMA replica protocol over it until the
+/// master disconnects or orders shutdown. The logic is the same
+/// `SmaWorker` the in-process cluster drives, so a socket master
+/// observes byte-identical protocol behavior.
+pub fn serve_socket_worker(listener: &WireListener, cache_bytes: usize) -> std::io::Result<()> {
+    mpq_cluster::serve_worker(listener, SmaWorker::new(cache_bytes))
+}
+
 /// Best-effort `Abort` to every worker so a finished-by-failure session's
 /// replicas are freed; sends to dead workers are ignored (their memory is
 /// gone with them).
-fn abort_session(cluster: &Cluster, id: QueryId) {
+fn abort_session(cluster: &dyn Transport, id: QueryId) {
     let abort = SmaMasterMsg::Abort.to_bytes();
     for w in 0..cluster.num_workers() {
         let _ = cluster.send(w, id, abort.clone(), false);
@@ -697,7 +726,7 @@ fn abort_session(cluster: &Cluster, id: QueryId) {
 /// table sets (contiguous chunks, fine-grained task lists), or `Finish`
 /// once every level is done.
 fn start_round(
-    cluster: &Cluster,
+    cluster: &dyn Transport,
     session: &mut Session,
     id: QueryId,
     k: usize,

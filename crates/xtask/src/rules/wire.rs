@@ -31,8 +31,9 @@ use std::collections::HashSet;
 use std::path::Path;
 
 /// The codec/message modules under wire-conformance protection.
-pub const SCOPE: [&str; 3] = [
+pub const SCOPE: [&str; 4] = [
     "crates/cluster/src/codec.rs",
+    "crates/cluster/src/transport.rs",
     "crates/mpq/src/message.rs",
     "crates/sma/src/message.rs",
 ];

@@ -11,7 +11,13 @@
 //! pqopt scaling   [--tables N] [--max-workers M] [--seed S]   worker sweep
 //! pqopt partitions [--tables N] [--space linear|bushy] [--workers M]
 //!                 show the constraint sets of every partition
+//! pqopt worker    --listen ADDR [--backend mpq|sma] [--cache-bytes N]
+//!                 run one worker process serving a socket master
 //! ```
+//!
+//! `serve --connect addr1,addr2,...` drives already-running `pqopt
+//! worker` processes over real sockets instead of spawning the in-process
+//! simulated cluster (see the README's "Cluster transports" section).
 //!
 //! Argument parsing is deliberately dependency-free.
 
@@ -45,6 +51,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&opts),
         "scaling" => cmd_scaling(&opts),
         "partitions" => cmd_partitions(&opts),
+        "worker" => cmd_worker(&opts),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -59,7 +66,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pqopt <optimize|serve|compare|scaling|partitions> [options]
+const USAGE: &str = "usage: pqopt <optimize|serve|compare|scaling|partitions|worker> [options]
 options:
   --tables N        number of tables to join        (default 10)
   --graph G         star|chain|cycle|clique         (default star)
@@ -76,7 +83,15 @@ serve options:
   --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)
   --steal           straggler-adaptive work redistribution on the MPQ backend
   --steal-lag R     lag ratio triggering a steal (default 2, > 1; implies --steal)
-  --steal-min N     unstarted partitions to split a range (default 2, > 0; implies --steal)";
+  --steal-min N     unstarted partitions to split a range (default 2, > 0; implies --steal)
+  --connect A,B,..  drive already-running `pqopt worker` processes at these
+                    addresses (host:port or unix:/path) over real sockets;
+                    resident mode only, cluster backends (mpq|sma) only
+worker options:
+  --listen ADDR     address to serve one master on (host:port or unix:/path;
+                    TCP port 0 picks a free port, printed on stdout)
+  --backend B       mpq|sma                                 (default mpq)
+  --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)";
 
 struct Options {
     tables: usize,
@@ -92,6 +107,8 @@ struct Options {
     backend: Backend,
     cache_bytes: usize,
     steal: StealPolicy,
+    listen: Option<String>,
+    connect: Vec<String>,
 }
 
 impl Options {
@@ -110,6 +127,8 @@ impl Options {
             backend: Backend::Mpq,
             cache_bytes: 0,
             steal: StealPolicy::DISABLED,
+            listen: None,
+            connect: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -170,6 +189,17 @@ impl Options {
                     }
                     o.steal.enabled = true;
                     o.steal.min_steal = min;
+                }
+                "--listen" => o.listen = Some(value("--listen")?),
+                "--connect" => {
+                    o.connect = value("--connect")?
+                        .split(',')
+                        .filter(|a| !a.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if o.connect.is_empty() {
+                        return Err("--connect needs at least one address".into());
+                    }
                 }
                 "--backend" => {
                     o.backend = match value("--backend")?.as_str() {
@@ -272,6 +302,9 @@ fn cmd_optimize(o: &Options) -> Result<(), String> {
 /// throughputs. Single-objective results are verified against the serial
 /// DP reference.
 fn cmd_serve(o: &Options) -> Result<(), String> {
+    if !o.connect.is_empty() {
+        return cmd_serve_sockets(o);
+    }
     let clients = o.clients;
     let mut gen = WorkloadGenerator::new(WorkloadConfig::with_graph(o.tables, o.graph), o.seed);
     let queries: Vec<Query> = (0..o.queries).map(|_| gen.next_query()).collect();
@@ -311,27 +344,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     let t0 = Instant::now();
     let mut service =
         OptimizerService::spawn(config).map_err(|e| format!("service spawn failed: {e}"))?;
-    let mut resident_results: Vec<Option<Vec<Plan>>> = (0..queries.len()).map(|_| None).collect();
-    let mut in_flight: VecDeque<(usize, ServiceHandle)> = VecDeque::new();
-    let mut next = 0usize;
-    while next < queries.len() || !in_flight.is_empty() {
-        while next < queries.len() && in_flight.len() < clients {
-            let handle = service
-                .submit(&queries[next], o.space, o.objective)
-                .map_err(|e| format!("submit failed: {e}"))?;
-            in_flight.push_back((next, handle));
-            next += 1;
-        }
-        // `--clients` is validated > 0, so the inner loop always leaves
-        // at least one submission in flight here.
-        let Some((idx, handle)) = in_flight.pop_front() else {
-            return Err("no submission in flight".to_string());
-        };
-        let plans = service
-            .wait(handle)
-            .map_err(|e| format!("query {idx} failed: {e}"))?;
-        resident_results[idx] = Some(plans);
-    }
+    let resident_results = run_resident(&mut service, &queries, clients, o)?;
     let resident = t0.elapsed();
     let cache = service.cache_stats();
     service.shutdown();
@@ -367,11 +380,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             let reference = optimize_serial(query, o.space, o.objective).plans[0]
                 .cost()
                 .time;
-            let resident_cost = resident_results[i]
-                .as_ref()
-                .ok_or_else(|| format!("query {i} has no resident result"))?[0]
-                .cost()
-                .time;
+            let resident_cost = resident_results[i][0].cost().time;
             for (mode, cost) in [
                 ("resident", resident_cost),
                 ("spawn-per-query", per_query_results[i][0].cost().time),
@@ -407,6 +416,136 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         per_query.as_secs_f64() / resident.as_secs_f64().max(1e-9)
     );
     Ok(())
+}
+
+/// Streams the workload through `service` with up to `clients`
+/// submissions in flight, returning the plans in query order.
+fn run_resident(
+    service: &mut OptimizerService,
+    queries: &[Query],
+    clients: usize,
+    o: &Options,
+) -> Result<Vec<Vec<Plan>>, String> {
+    let mut results: Vec<Option<Vec<Plan>>> = (0..queries.len()).map(|_| None).collect();
+    let mut in_flight: VecDeque<(usize, ServiceHandle)> = VecDeque::new();
+    let mut next = 0usize;
+    while next < queries.len() || !in_flight.is_empty() {
+        while next < queries.len() && in_flight.len() < clients {
+            let handle = service
+                .submit(&queries[next], o.space, o.objective)
+                .map_err(|e| format!("submit failed: {e}"))?;
+            in_flight.push_back((next, handle));
+            next += 1;
+        }
+        // `--clients` is validated > 0, so the inner loop always leaves
+        // at least one submission in flight here.
+        let Some((idx, handle)) = in_flight.pop_front() else {
+            return Err("no submission in flight".to_string());
+        };
+        let plans = service
+            .wait(handle)
+            .map_err(|e| format!("query {idx} failed: {e}"))?;
+        results[idx] = Some(plans);
+    }
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.ok_or_else(|| format!("query {i} has no resident result")))
+        .collect()
+}
+
+fn parse_addrs(specs: &[String]) -> Result<Vec<pqopt::cluster::WorkerAddr>, String> {
+    specs
+        .iter()
+        .map(|s| s.parse().map_err(|e| format!("--connect `{s}`: {e}")))
+        .collect()
+}
+
+/// `serve --connect`: the resident stream over already-running `pqopt
+/// worker` processes. There is no spawn-per-query comparison here — this
+/// process cannot respawn its peers — but single-objective results are
+/// still verified against the serial DP reference, so a corrupted wire
+/// cannot pass silently.
+fn cmd_serve_sockets(o: &Options) -> Result<(), String> {
+    let addrs = parse_addrs(&o.connect)?;
+    let mut gen = WorkloadGenerator::new(WorkloadConfig::with_graph(o.tables, o.graph), o.seed);
+    let queries: Vec<Query> = (0..o.queries).map(|_| gen.next_query()).collect();
+    let config = ServiceConfig {
+        backend: o.backend,
+        workers: addrs.len(),
+        mpq: MpqConfig::default(),
+        sma: SmaConfig::default(),
+        cache_bytes: o.cache_bytes,
+        steal: o.steal,
+    };
+    println!(
+        "serving {} queries ({} tables, {:?} graph) on backend `{}` over {} socket workers, \
+         {} clients",
+        queries.len(),
+        o.tables,
+        o.graph,
+        o.backend.name(),
+        addrs.len(),
+        o.clients,
+    );
+    let t0 = Instant::now();
+    let mut service = OptimizerService::connect(config, &addrs)
+        .map_err(|e| format!("service connect failed: {e}"))?;
+    let results = run_resident(&mut service, &queries, o.clients, o)?;
+    let elapsed = t0.elapsed();
+    service.shutdown();
+    if o.objective == Objective::Single {
+        for (i, query) in queries.iter().enumerate() {
+            let reference = optimize_serial(query, o.space, o.objective).plans[0]
+                .cost()
+                .time;
+            let cost = results[i][0].cost().time;
+            assert!(
+                (cost - reference).abs() <= 1e-9 * reference.max(1.0),
+                "query {i} (sockets): {cost} vs serial {reference}"
+            );
+        }
+        println!(
+            "all {} results match the serial DP reference",
+            queries.len()
+        );
+    }
+    println!(
+        "sockets: {} queries in {:.1} ms ({:.1} queries/sec)",
+        queries.len(),
+        elapsed.as_secs_f64() * 1e3,
+        queries.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    Ok(())
+}
+
+/// `pqopt worker --listen ADDR`: one worker process of a socket cluster.
+/// Prints the bound address (TCP port 0 resolves to a free port), then
+/// serves a single master connection until it disconnects or orders
+/// shutdown.
+fn cmd_worker(o: &Options) -> Result<(), String> {
+    let Some(listen) = &o.listen else {
+        return Err("worker requires --listen ADDR".into());
+    };
+    let addr: pqopt::cluster::WorkerAddr = listen.parse().map_err(|e| format!("--listen: {e}"))?;
+    let listener = pqopt::cluster::WireListener::bind(&addr)
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve the bound address: {e}"))?;
+    println!("listening on {bound}");
+    // The coordinating parent process reads this address from our pipe;
+    // pipes are block-buffered, so flush past the buffering.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let served = match o.backend {
+        Backend::Mpq => pqopt::mpq::serve_socket_worker(&listener, o.cache_bytes),
+        Backend::Sma => pqopt::sma::serve_socket_worker(&listener, o.cache_bytes),
+        Backend::SerialDp | Backend::TopDown => {
+            return Err("worker requires a cluster backend (--backend mpq|sma)".into())
+        }
+    };
+    served.map_err(|e| format!("worker terminated abnormally: {e}"))
 }
 
 fn cmd_compare(o: &Options) -> Result<(), String> {

@@ -302,6 +302,49 @@ impl OptimizerService {
         })
     }
 
+    /// Builds the service over already-running worker **processes**
+    /// reached at `addrs` (see
+    /// [`SocketTransport`](mpq_cluster::SocketTransport)): the real-wire
+    /// counterpart of [`OptimizerService::spawn`]. Only the cluster
+    /// backends make sense here — `serial-dp` and `top-down` never leave
+    /// the master process, so asking for them over sockets is a typed
+    /// error, not a silent fallback.
+    pub fn connect(
+        config: ServiceConfig,
+        addrs: &[mpq_cluster::WorkerAddr],
+    ) -> Result<OptimizerService, ServiceError> {
+        let mut mpq = config.mpq;
+        let mut sma = config.sma;
+        if config.cache_bytes > 0 {
+            mpq.cache_bytes = config.cache_bytes;
+            sma.cache_bytes = config.cache_bytes;
+        }
+        if config.steal.enabled {
+            mpq.steal = config.steal;
+        }
+        let engine = match config.backend {
+            Backend::SerialDp | Backend::TopDown => {
+                return Err(ServiceError::Mpq(MpqError::BadRequest {
+                    reason: "socket transport requires a cluster backend (mpq or sma)",
+                }))
+            }
+            Backend::Mpq => {
+                let transport =
+                    mpq_cluster::SocketTransport::connect(addrs).map_err(MpqError::Cluster)?;
+                Engine::Mpq(MpqService::with_transport(Box::new(transport), mpq)?)
+            }
+            Backend::Sma => {
+                let transport =
+                    mpq_cluster::SocketTransport::connect(addrs).map_err(SmaError::Cluster)?;
+                Engine::Sma(SmaService::with_transport(Box::new(transport), sma)?)
+            }
+        };
+        Ok(OptimizerService {
+            backend: config.backend,
+            engine,
+        })
+    }
+
     /// The engine this service keeps resident.
     pub fn backend(&self) -> Backend {
         self.backend

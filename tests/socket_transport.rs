@@ -1,0 +1,246 @@
+//! Multi-process socket-transport suite: `pqopt worker` processes reached
+//! over Unix-domain sockets, driven by an in-process master through
+//! [`OptimizerService::connect`].
+//!
+//! This is the differential + chaos story of `tests/differential.rs` and
+//! `tests/chaos.rs` replayed over a **real** wire: worker code runs in
+//! separate OS processes, frames cross real sockets, and "worker crash"
+//! means `SIGKILL` to a live process, not an injected fault. The
+//! invariants are unchanged:
+//!
+//! * fault-free socket runs return plans **bit-identical** to the
+//!   in-process simulator's (same algorithm, same partitioning, same
+//!   tie-breaks — the transport must be invisible);
+//! * killing a worker process mid-session surfaces as the typed loss the
+//!   retry machinery recovers from: surviving workers complete every
+//!   query and the answers stay bit-identical to the fault-free run;
+//! * the single-node backends refuse the socket plane with a typed
+//!   error, never a silent fallback.
+
+// Tests/examples assert on infallible paths; the workspace-level
+// unwrap/expect denies target shipping code (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pqopt::cluster::WorkerAddr;
+use pqopt::model::{Query, WorkloadConfig, WorkloadGenerator};
+use pqopt::partition::PlanSpace;
+use pqopt::prelude::{
+    Backend, LatencyModel, MpqConfig, Objective, OptimizerService, Plan, RetryPolicy,
+    ServiceConfig, ServiceError, SmaConfig,
+};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_pqopt");
+
+/// One `pqopt worker` child process; killed (if still running) on drop so
+/// a failing assertion never leaks orphans.
+struct Worker {
+    child: Child,
+    addr: WorkerAddr,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `pqopt worker --listen <addr> --backend <backend>` and waits for
+/// its `listening on <addr>` banner, so the socket is accepting before the
+/// master dials.
+fn spawn_worker(backend: &str, listen: &str) -> Worker {
+    let mut child = Command::new(BIN)
+        .args(["worker", "--listen", listen, "--backend", backend])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pqopt worker");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("read worker banner");
+    let addr: WorkerAddr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected worker banner: {banner:?}"))
+        .parse()
+        .expect("worker banner carries its bound address");
+    Worker { child, addr }
+}
+
+/// A fresh socket path under the system temp dir, unique per test within
+/// this process.
+fn socket_path(tag: &str) -> String {
+    let path = std::env::temp_dir().join(format!("pqopt-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    format!("unix:{}", path.display())
+}
+
+fn spawn_workers(backend: &str, tag: &str, count: usize) -> Vec<Worker> {
+    (0..count)
+        .map(|i| spawn_worker(backend, &socket_path(&format!("{tag}-{i}"))))
+        .collect()
+}
+
+fn addrs(workers: &[Worker]) -> Vec<WorkerAddr> {
+    workers.iter().map(|w| w.addr.clone()).collect()
+}
+
+/// The shared query set: seeded paper-style workloads, large enough that
+/// a mid-batch kill lands while work is genuinely in flight.
+fn batch(count: u64) -> Vec<Query> {
+    (0..count)
+        .map(|seed| {
+            let n = 4 + (seed % 4) as usize; // 4..=7 tables
+            WorkloadGenerator::new(WorkloadConfig::paper_default(n), 1000 + seed).next_query()
+        })
+        .collect()
+}
+
+/// Runs every query through a service, in submit-all-then-wait order, so
+/// queries overlap on the cluster.
+fn run_batch(service: &mut OptimizerService, queries: &[Query]) -> Vec<Vec<Plan>> {
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            service
+                .submit(q, PlanSpace::Linear, Objective::Single)
+                .expect("submit")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| service.wait(h).expect("every query completes"))
+        .collect()
+}
+
+/// The fault-free in-process reference at the same worker count: the
+/// answer the socket runs must reproduce bit-for-bit.
+fn in_process_reference(queries: &[Query], workers: usize) -> Vec<Vec<Plan>> {
+    let config = ServiceConfig {
+        mpq: MpqConfig {
+            latency: LatencyModel::ZERO,
+            ..MpqConfig::default()
+        },
+        ..ServiceConfig::new(Backend::Mpq, workers)
+    };
+    let mut service = OptimizerService::spawn(config).expect("spawn in-process reference");
+    let out = run_batch(&mut service, queries);
+    service.shutdown();
+    out
+}
+
+fn mpq_socket_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        mpq: MpqConfig {
+            // A receive timeout so a killed worker is *detected*; retries
+            // re-issue its partitions to the survivors.
+            retry: RetryPolicy::with_timeout(64, Duration::from_millis(100)),
+            ..MpqConfig::default()
+        },
+        ..ServiceConfig::new(Backend::Mpq, workers)
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn mpq_over_real_sockets_is_bit_identical_to_in_process() {
+    let queries = batch(8);
+    let workers = spawn_workers("mpq", "diff", 2);
+    let mut service =
+        OptimizerService::connect(mpq_socket_config(2), &addrs(&workers)).expect("connect");
+    let over_wire = run_batch(&mut service, &queries);
+    service.shutdown();
+    assert_eq!(
+        over_wire,
+        in_process_reference(&queries, 2),
+        "the transport changed the answer"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn killing_a_worker_process_mid_session_recovers_exactly() {
+    let queries = batch(10);
+    let mut workers = spawn_workers("mpq", "kill", 3);
+    let mut service =
+        OptimizerService::connect(mpq_socket_config(3), &addrs(&workers)).expect("connect");
+
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            service
+                .submit(q, PlanSpace::Linear, Objective::Single)
+                .expect("submit")
+        })
+        .collect();
+    // SIGKILL a worker process while the batch is in flight: its socket
+    // drops mid-session and its partitions must be re-issued.
+    workers[0].child.kill().expect("kill worker 0");
+    let over_wire: Vec<Vec<Plan>> = handles
+        .into_iter()
+        .map(|h| service.wait(h).expect("survivors complete every query"))
+        .collect();
+    service.shutdown();
+
+    assert_eq!(
+        over_wire,
+        in_process_reference(&queries, 3),
+        "recovery changed the answer"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn sma_over_real_sockets_is_bit_identical_to_in_process() {
+    let queries = batch(4);
+    let workers = spawn_workers("sma", "sma", 2);
+    let mut service =
+        OptimizerService::connect(ServiceConfig::new(Backend::Sma, 2), &addrs(&workers))
+            .expect("connect");
+    let over_wire = run_batch(&mut service, &queries);
+    service.shutdown();
+
+    let config = ServiceConfig {
+        sma: SmaConfig {
+            latency: LatencyModel::ZERO,
+            ..SmaConfig::default()
+        },
+        ..ServiceConfig::new(Backend::Sma, 2)
+    };
+    let mut reference = OptimizerService::spawn(config).expect("spawn in-process reference");
+    let expected = run_batch(&mut reference, &queries);
+    reference.shutdown();
+
+    assert_eq!(over_wire, expected, "the transport changed the answer");
+}
+
+#[test]
+fn single_node_backends_refuse_the_socket_plane() {
+    for backend in [Backend::SerialDp, Backend::TopDown] {
+        match OptimizerService::connect(ServiceConfig::new(backend, 1), &[]) {
+            Err(err) => assert!(
+                matches!(err, ServiceError::Mpq(_)),
+                "expected a typed BadRequest, got {err:?}"
+            ),
+            Ok(_) => panic!("single-node backends have no socket plane"),
+        }
+    }
+}
+
+/// `pqopt worker` itself refuses single-node backends: the process exits
+/// nonzero instead of listening for traffic it could never serve.
+#[test]
+fn worker_command_refuses_single_node_backends() {
+    let status = Command::new(BIN)
+        .args(["worker", "--listen", "127.0.0.1:0", "--backend", "serial"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run pqopt worker");
+    assert!(!status.success());
+}
