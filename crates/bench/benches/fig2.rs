@@ -16,6 +16,11 @@ use mpq_cost::Objective;
 use mpq_model::JoinGraph;
 use mpq_partition::PlanSpace;
 
+/// `"Linear 16"` → `"linear16"`: stable metric-id fragment.
+fn slug(label: &str) -> String {
+    label.to_lowercase().replace(' ', "")
+}
+
 fn main() {
     let full = full_scale();
     let configs: Vec<(&str, PlanSpace, usize, u64)> = if full {
@@ -35,12 +40,15 @@ fn main() {
     };
     println!("Figure 2 reproduction: MPQ scaling, one cost metric (star queries)");
     println!("(scaled run: {}; set MPQ_FULL=1 for paper sizes)", !full);
+    let mut report = BenchReport::new("fig2");
+    report.config("queries_per_point", queries_per_point());
     for (label, space, tables, max_workers) in configs {
         let batch = query_batch(tables, JoinGraph::Star, 0xF162, queries_per_point());
         let mut rows = Vec::new();
         let mut prev_time = f64::NAN;
         for w in worker_counts(1, max_workers) {
             let p = run_mpq_point(&batch, space, Objective::Single, w);
+            report.scalar(&format!("wtime_{}_w{w}", slug(label)), "ms", p.w_time_ms);
             let factor = if prev_time.is_nan() {
                 f64::NAN
             } else {
@@ -74,4 +82,5 @@ fn main() {
             &rows,
         );
     }
+    report.write();
 }

@@ -1,96 +1,197 @@
-//! Criterion micro-benchmarks of the optimizer's hot kernels: dense-index
-//! lookup, admissible-set enumeration, the per-partition DP, and the wire
-//! codec. These guard the constant factors behind the paper-level
-//! experiments.
+//! Micro-benchmarks of the optimizer's hot kernels: the per-partition DP
+//! in its three configurations (dense slot memo, arena memo, arena with
+//! intra-worker parallelism), dense-index lookup, admissible-set
+//! enumeration, and the wire codec. These guard the constant factors
+//! behind the paper-level experiments.
+//!
+//! Emits `BENCH_kernels.json` (see `mpq_bench::report`); the committed
+//! copy at the repo root is the regression baseline for
+//! `cargo run -p xtask -- bench-check`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpq_bench::{full_scale, median, print_table, BenchReport};
 use mpq_cluster::Wire;
 use mpq_cost::Objective;
-use mpq_dp::{optimize_partition, optimize_serial};
+use mpq_dp::{
+    optimize_partition, optimize_partition_dense, optimize_partition_parallel, ParallelPolicy,
+};
 use mpq_model::{JoinGraph, TableSet, WorkloadConfig, WorkloadGenerator};
 use mpq_partition::{partition_constraints, AdmissibleSets, PlanSpace};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_dense_index(c: &mut Criterion) {
+/// Times `f` once per sample after one warmup call; returns milliseconds.
+fn sample_ms<F: FnMut()>(samples: usize, mut f: F) -> Vec<f64> {
+    f();
+    (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn bench_dp_kernels(report: &mut BenchReport, samples: usize) {
+    let configs: Vec<(&str, PlanSpace, usize, u64)> = vec![
+        ("linear16_l4", PlanSpace::Linear, 16, 16),
+        ("bushy12_l2", PlanSpace::Bushy, 12, 4),
+    ];
+    let mut rows = Vec::new();
+    for (label, space, tables, partitions) in configs {
+        let q = WorkloadGenerator::new(WorkloadConfig::with_graph(tables, JoinGraph::Star), 7)
+            .next_query();
+        let constraints = partition_constraints(tables, space, partitions / 2, partitions);
+
+        // The variants must agree before their timings mean anything.
+        let reference = optimize_partition_dense(&q, space, Objective::Single, &constraints);
+        for threads in [1usize, 2, 4] {
+            let out = optimize_partition_parallel(
+                &q,
+                space,
+                Objective::Single,
+                &constraints,
+                ParallelPolicy::with_threads(threads),
+            );
+            assert_eq!(
+                out.plans[0].cost().time.to_bits(),
+                reference.plans[0].cost().time.to_bits(),
+                "{label}: kernel variants disagree"
+            );
+        }
+
+        let mut row = vec![label.to_string()];
+        type Variant<'a> = (&'a str, Box<dyn FnMut() + 'a>);
+        let variants: Vec<Variant> = vec![
+            (
+                "dense",
+                Box::new(|| {
+                    black_box(optimize_partition_dense(
+                        black_box(&q),
+                        space,
+                        Objective::Single,
+                        &constraints,
+                    ));
+                }),
+            ),
+            (
+                "arena",
+                Box::new(|| {
+                    black_box(optimize_partition(
+                        black_box(&q),
+                        space,
+                        Objective::Single,
+                        &constraints,
+                    ));
+                }),
+            ),
+            (
+                "arena_t2",
+                Box::new(|| {
+                    black_box(optimize_partition_parallel(
+                        black_box(&q),
+                        space,
+                        Objective::Single,
+                        &constraints,
+                        ParallelPolicy::with_threads(2),
+                    ));
+                }),
+            ),
+            (
+                "arena_t4",
+                Box::new(|| {
+                    black_box(optimize_partition_parallel(
+                        black_box(&q),
+                        space,
+                        Objective::Single,
+                        &constraints,
+                        ParallelPolicy::with_threads(4),
+                    ));
+                }),
+            ),
+        ];
+        for (variant, mut f) in variants {
+            let ms = sample_ms(samples, &mut f);
+            row.push(format!("{:.2}", median(&mut ms.clone())));
+            report.metric(&format!("dp_{variant}_{label}"), "ms", &ms);
+        }
+        rows.push(row);
+    }
+    print_table(
+        "DP kernel median ms (dense slots vs arena vs arena+threads)",
+        &["partition", "dense", "arena", "arena_t2", "arena_t4"],
+        &rows,
+    );
+}
+
+fn bench_serial(report: &mut BenchReport, samples: usize) {
+    let q = WorkloadGenerator::new(WorkloadConfig::with_graph(12, JoinGraph::Star), 7).next_query();
+    let ms = sample_ms(samples, || {
+        black_box(mpq_dp::optimize_serial(
+            black_box(&q),
+            PlanSpace::Linear,
+            Objective::Single,
+        ));
+    });
+    report.metric("dp_serial_linear12", "ms", &ms);
+    let qb =
+        WorkloadGenerator::new(WorkloadConfig::with_graph(10, JoinGraph::Star), 8).next_query();
+    let ms = sample_ms(samples, || {
+        black_box(mpq_dp::optimize_serial(
+            black_box(&qb),
+            PlanSpace::Bushy,
+            Objective::Single,
+        ));
+    });
+    report.metric("dp_serial_bushy10", "ms", &ms);
+}
+
+fn bench_index_and_enumeration(report: &mut BenchReport, samples: usize) {
     let constraints = partition_constraints(16, PlanSpace::Linear, 5, 64);
     let adm = AdmissibleSets::new(&constraints);
     let sets: Vec<TableSet> = (0..adm.len()).step_by(7).map(|i| adm.set_at(i)).collect();
-    c.bench_function("dense_index_of", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for &s in &sets {
-                acc ^= adm.index_of(black_box(s)).unwrap_or(0);
-            }
-            acc
-        })
+    let ms = sample_ms(samples, || {
+        let mut acc = 0usize;
+        for &s in &sets {
+            acc ^= adm.index_of(black_box(s)).unwrap_or(0);
+        }
+        black_box(acc);
     });
-    c.bench_function("dense_set_at", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in (0..adm.len()).step_by(7) {
-                acc ^= adm.set_at(black_box(i)).bits();
-            }
-            acc
-        })
+    report.metric("dense_index_of", "ms", &ms);
+
+    let enum_constraints = partition_constraints(18, PlanSpace::Linear, 21, 64);
+    let ms = sample_ms(samples, || {
+        black_box(AdmissibleSets::new(black_box(&enum_constraints)).len());
     });
+    report.metric("admissible_build_linear18_l6", "ms", &ms);
 }
 
-fn bench_admissible_enumeration(c: &mut Criterion) {
-    c.bench_function("admissible_sets_build_linear18_l6", |b| {
-        let constraints = partition_constraints(18, PlanSpace::Linear, 21, 64);
-        b.iter(|| AdmissibleSets::new(black_box(&constraints)).len())
-    });
-}
-
-fn bench_dp(c: &mut Criterion) {
-    let q = WorkloadGenerator::new(WorkloadConfig::with_graph(12, JoinGraph::Star), 7).next_query();
-    c.bench_function("dp_serial_linear12", |b| {
-        b.iter(|| optimize_serial(black_box(&q), PlanSpace::Linear, Objective::Single))
-    });
-    let constraints = partition_constraints(12, PlanSpace::Linear, 3, 16);
-    c.bench_function("dp_partition_linear12_l4", |b| {
-        b.iter(|| {
-            optimize_partition(
-                black_box(&q),
-                PlanSpace::Linear,
-                Objective::Single,
-                &constraints,
-            )
-        })
-    });
-    let qb =
-        WorkloadGenerator::new(WorkloadConfig::with_graph(10, JoinGraph::Star), 8).next_query();
-    c.bench_function("dp_serial_bushy10", |b| {
-        b.iter(|| optimize_serial(black_box(&qb), PlanSpace::Bushy, Objective::Single))
-    });
-}
-
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(report: &mut BenchReport, samples: usize) {
     let q = WorkloadGenerator::new(WorkloadConfig::with_graph(20, JoinGraph::Star), 9).next_query();
-    c.bench_function("codec_query_encode", |b| {
-        b.iter(|| black_box(&q).to_bytes())
+    let ms = sample_ms(samples, || {
+        // One sample covers a small batch so sub-microsecond encodes
+        // stay measurable.
+        for _ in 0..256 {
+            black_box(black_box(&q).to_bytes());
+        }
     });
+    report.metric("codec_query_encode_x256", "ms", &ms);
     let bytes = q.to_bytes();
-    c.bench_function("codec_query_decode", |b| {
-        b.iter(|| mpq_model::Query::from_bytes(black_box(&bytes)).unwrap())
+    let ms = sample_ms(samples, || {
+        for _ in 0..256 {
+            black_box(mpq_model::Query::from_bytes(black_box(&bytes)).expect("valid bytes"));
+        }
     });
-    let plan = optimize_serial(&q, PlanSpace::Linear, Objective::Single)
-        .plans
-        .remove(0);
-    c.bench_function("codec_plan_roundtrip", |b| {
-        b.iter_batched(
-            || plan.clone(),
-            |p| mpq_plan::Plan::from_bytes(&p.to_bytes()).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
+    report.metric("codec_query_decode_x256", "ms", &ms);
 }
 
-criterion_group!(
-    benches,
-    bench_dense_index,
-    bench_admissible_enumeration,
-    bench_dp,
-    bench_codec
-);
-criterion_main!(benches);
+fn main() {
+    let samples = if full_scale() { 31 } else { 11 };
+    println!("Kernel micro-benchmarks ({samples} samples per metric)");
+    let mut report = BenchReport::new("kernels");
+    report.config("samples", samples);
+    bench_dp_kernels(&mut report, samples);
+    bench_serial(&mut report, samples);
+    bench_index_and_enumeration(&mut report, samples);
+    bench_codec(&mut report, samples);
+    report.write();
+}

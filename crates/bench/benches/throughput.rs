@@ -6,19 +6,18 @@
 //! optimization — dominated at high query rates. This bench quantifies
 //! the difference on identical workloads:
 //!
-//! * `spawn_per_query_w{m}`: a fresh [`MpqOptimizer`] cluster per query
-//!   (spawn, one task round, teardown — the old request path);
-//! * `resident_w{m}`: one long-lived [`MpqService`] with the whole batch
-//!   of queries in flight concurrently;
-//! * `report_throughput`: prints queries/sec for both modes at each
-//!   worker count — the number the ROADMAP's "heavy traffic" north star
-//!   cares about.
+//! * `spawn_qps_w{m}`: a fresh [`MpqOptimizer`] cluster per query (spawn,
+//!   one task round, teardown — the old request path);
+//! * `resident_qps_w{m}`: one long-lived [`MpqService`] with the whole
+//!   batch of queries in flight concurrently — the number the ROADMAP's
+//!   "heavy traffic" north star cares about.
 //!
 //! Latency is zero so the comparison isolates the architectural overhead
 //! (thread spawn/join and lost pipelining), not simulated network delays.
+//! Emits `BENCH_throughput.json` (queries/sec, higher is better).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mpq_algo::{MpqConfig, MpqOptimizer, MpqService};
+use mpq_bench::BenchReport;
 use mpq_cost::Objective;
 use mpq_model::{Query, WorkloadConfig, WorkloadGenerator};
 use mpq_partition::PlanSpace;
@@ -28,6 +27,7 @@ use std::time::Instant;
 const BATCH: u64 = 8;
 const TABLES: usize = 8;
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+const ROUNDS: usize = 20;
 
 fn workload() -> Vec<Query> {
     (0..BATCH)
@@ -65,47 +65,40 @@ fn resident_batch(service: &mut MpqService, queries: &[Query]) {
     }
 }
 
-fn bench_throughput(c: &mut Criterion) {
-    let queries = workload();
-    for workers in WORKER_COUNTS {
-        c.bench_function(&format!("spawn_per_query_w{workers}"), |b| {
-            b.iter(|| spawn_per_query(&queries, workers))
-        });
-        // The resident cluster is created once, outside the measured
-        // iterations — that is the architecture under test.
-        let mut service = MpqService::spawn(workers, MpqConfig::default()).expect("service spawns");
-        c.bench_function(&format!("resident_w{workers}"), |b| {
-            b.iter(|| resident_batch(&mut service, &queries))
-        });
-        service.shutdown();
-    }
+/// Per-round queries/sec samples (one timing sample per round, so the
+/// report's median/p95 summarize real round-to-round variance).
+fn qps_samples<F: FnMut()>(mut round: F) -> Vec<f64> {
+    round(); // warmup
+    (0..ROUNDS)
+        .map(|_| {
+            let t0 = Instant::now();
+            round();
+            BATCH as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect()
 }
 
-/// Not a timing benchmark: prints queries/sec side by side, measured over
-/// enough batches to amortize noise.
-fn report_throughput(_c: &mut Criterion) {
+fn main() {
     let queries = workload();
-    const ROUNDS: usize = 20;
-    println!("\n== service throughput (queries/sec, batch of {BATCH} x {TABLES}-table) ==");
+    let mut report = BenchReport::new("throughput");
+    report
+        .config("batch", BATCH)
+        .config("tables", TABLES)
+        .config("rounds", ROUNDS);
+    println!("== service throughput (queries/sec, batch of {BATCH} x {TABLES}-table) ==");
     println!(
         "{:>8} {:>18} {:>14} {:>9}",
         "workers", "spawn-per-query", "resident", "speedup"
     );
     for workers in WORKER_COUNTS {
-        let t0 = Instant::now();
-        for _ in 0..ROUNDS {
-            spawn_per_query(&queries, workers);
-        }
-        let spawn_qps = (ROUNDS as u64 * BATCH) as f64 / t0.elapsed().as_secs_f64();
+        let spawn = qps_samples(|| spawn_per_query(&queries, workers));
 
         let mut service = MpqService::spawn(workers, MpqConfig::default()).expect("service spawns");
-        let t0 = Instant::now();
-        for _ in 0..ROUNDS {
-            resident_batch(&mut service, &queries);
-        }
-        let resident_qps = (ROUNDS as u64 * BATCH) as f64 / t0.elapsed().as_secs_f64();
+        let resident = qps_samples(|| resident_batch(&mut service, &queries));
         service.shutdown();
 
+        let spawn_qps = mpq_bench::median(&mut spawn.clone());
+        let resident_qps = mpq_bench::median(&mut resident.clone());
         println!(
             "{:>8} {:>18.0} {:>14.0} {:>8.2}x",
             workers,
@@ -113,8 +106,8 @@ fn report_throughput(_c: &mut Criterion) {
             resident_qps,
             resident_qps / spawn_qps
         );
+        report.metric_higher(&format!("spawn_qps_w{workers}"), "qps", &spawn);
+        report.metric_higher(&format!("resident_qps_w{workers}"), "qps", &resident);
     }
+    report.write();
 }
-
-criterion_group!(benches, bench_throughput, report_throughput);
-criterion_main!(benches);

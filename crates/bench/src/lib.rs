@@ -5,9 +5,16 @@
 //! `cargo bench --workspace` finishes in minutes on one machine; set
 //! `MPQ_FULL=1` to run paper-sized queries and worker counts (see
 //! EXPERIMENTS.md for the mapping). Results are printed as aligned text
-//! tables whose rows mirror the paper's plots.
+//! tables whose rows mirror the paper's plots; the perf-tracked targets
+//! additionally emit machine-readable `BENCH_<name>.json` reports
+//! ([`report`]) that are committed as baselines and regression-gated by
+//! `cargo run -p xtask -- bench-check`.
 
 #![forbid(unsafe_code)]
+
+pub mod report;
+
+pub use report::BenchReport;
 
 use mpq_cluster::LatencyModel;
 use mpq_cost::Objective;

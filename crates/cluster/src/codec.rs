@@ -771,6 +771,7 @@ impl Wire for WorkerStats {
         enc.put_u64(self.splits_tried);
         enc.put_u64(self.plans_generated);
         enc.put_u64(self.optimize_micros);
+        enc.put_u64(self.threads_used);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(WorkerStats {
@@ -779,6 +780,7 @@ impl Wire for WorkerStats {
             splits_tried: dec.get_u64()?,
             plans_generated: dec.get_u64()?,
             optimize_micros: dec.get_u64()?,
+            threads_used: dec.get_u64()?,
         })
     }
 }
@@ -867,6 +869,7 @@ mod tests {
             splits_tried: 3,
             plans_generated: 4,
             optimize_micros: 5,
+            threads_used: 6,
         });
     }
 

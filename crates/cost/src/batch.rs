@@ -1,0 +1,157 @@
+//! Struct-of-arrays layout for batch cost evaluation.
+//!
+//! The DP inner loop generates a burst of candidate plans per table set
+//! (splits × operand-plan pairs × operators) and prunes them one at a
+//! time. For single-objective optimization the pruning outcome of the
+//! whole burst is decided by one number per interesting-order class — the
+//! minimum time — so the candidates' cost vectors can be laid out as
+//! parallel arrays and reduced in a single cache-friendly pass over the
+//! `times` array, instead of re-walking the memo slot per candidate.
+//!
+//! [`CostBatch::single_objective_winners`] returns, in generation order,
+//! the index of the cheapest candidate of each order class. Inserting
+//! exactly those winners through the scalar pruning function yields a memo
+//! slot **identical** (contents and entry order) to inserting every
+//! candidate sequentially: a skipped candidate `c` has a same-order winner
+//! `w` with `w.time <= c.time`, so everything `c` would reject or remove,
+//! `w` rejects or removes too, and `c` itself never survives `w`'s
+//! insertion. The `batch_matches_sequential_insertion` test in `mpq_dp`
+//! checks this equivalence over randomized candidate streams.
+
+use crate::operators::Order;
+use crate::vector::CostVector;
+
+/// Cost vectors of one candidate burst, laid out as parallel arrays.
+#[derive(Debug, Default)]
+pub struct CostBatch {
+    times: Vec<f64>,
+    buffers: Vec<f64>,
+    orders: Vec<Order>,
+    // Per-order-class running minima, reused across reductions so the hot
+    // loop never allocates: (order, candidate index, time).
+    scratch: Vec<(Order, u32, f64)>,
+}
+
+impl CostBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        CostBatch::default()
+    }
+
+    /// Appends one candidate's cost vector and output order.
+    #[inline]
+    pub fn push(&mut self, cost: CostVector, order: Order) {
+        self.times.push(cost.time);
+        self.buffers.push(cost.buffer);
+        self.orders.push(order);
+    }
+
+    /// Number of candidates in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the batch holds no candidates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Clears the batch, keeping the allocations for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.buffers.clear();
+        self.orders.clear();
+    }
+
+    /// Time of candidate `i`.
+    #[inline]
+    pub fn time(&self, i: usize) -> f64 {
+        self.times[i]
+    }
+
+    /// Single-objective reduction: appends to `out` the index of the
+    /// cheapest candidate per order class (strict minimum — on ties the
+    /// earliest candidate wins, matching the sequential pruning function's
+    /// "an existing plan at most as expensive rejects the newcomer"
+    /// tie-break), in ascending index order.
+    ///
+    /// Order classes are few (unsorted plus one per join attribute seen),
+    /// so the per-class minima live in a small linear-probed scratch list.
+    pub fn single_objective_winners(&mut self, out: &mut Vec<u32>) {
+        // Classes per slot are bounded by the distinct output orders of
+        // the operator set, so a linear probe over the scratch list wins.
+        self.scratch.clear();
+        for (i, (&t, &o)) in self.times.iter().zip(self.orders.iter()).enumerate() {
+            match self.scratch.iter_mut().find(|(ord, _, _)| *ord == o) {
+                Some(slot) => {
+                    if t < slot.2 {
+                        slot.1 = i as u32;
+                        slot.2 = t;
+                    }
+                }
+                None => self.scratch.push((o, i as u32, t)),
+            }
+        }
+        let start = out.len();
+        out.extend(self.scratch.iter().map(|&(_, i, _)| i));
+        out[start..].sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(entries: &[(f64, Order)]) -> CostBatch {
+        let mut b = CostBatch::new();
+        for &(t, o) in entries {
+            b.push(CostVector::new(t, 0.0), o);
+        }
+        b
+    }
+
+    #[test]
+    fn winners_are_per_order_minima_in_index_order() {
+        let mut b = batch(&[
+            (5.0, Order::None),
+            (3.0, Order::OnAttribute(1)),
+            (2.0, Order::None),
+            (4.0, Order::OnAttribute(1)),
+            (9.0, Order::OnAttribute(2)),
+        ]);
+        let mut out = Vec::new();
+        b.single_objective_winners(&mut out);
+        assert_eq!(out, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn ties_keep_the_earliest_candidate() {
+        let mut b = batch(&[(2.0, Order::None), (2.0, Order::None)]);
+        let mut out = Vec::new();
+        b.single_objective_winners(&mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut b = batch(&[(1.0, Order::None)]);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        b.clear();
+        assert!(b.is_empty());
+        let mut out = Vec::new();
+        b.single_objective_winners(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn winners_append_after_existing_output() {
+        let mut b = batch(&[(1.0, Order::None)]);
+        let mut out = vec![7u32];
+        b.single_objective_winners(&mut out);
+        assert_eq!(out, vec![7, 0]);
+    }
+}

@@ -1,0 +1,618 @@
+//! Arena-backed memo and the batched, optionally parallel DP kernel.
+//!
+//! [`ArenaMemo`] replaces the per-set `Vec<PlanEntry>` slots of
+//! [`crate::DenseMemo`] with one contiguous entry arena plus per-set
+//! `(start, len)` spans addressed by the dense mixed-radix index of
+//! [`AdmissibleSets`]. Slots are written exactly once, in bulk, when a
+//! set's candidates have been generated and pruned — so the DP inner loop
+//! performs no per-set allocation and reads operand plans from
+//! cache-line-friendly contiguous memory.
+//!
+//! [`optimize_partition_parallel`] is the kernel built on it. It produces
+//! results **bit-identical** to the slot-based reference kernel
+//! ([`crate::worker::optimize_partition_dense`]) for every thread count:
+//!
+//! * Candidates for a set are generated in exactly the enumeration order
+//!   of the reference kernel (same splits, same operand-pair nesting, same
+//!   operator order).
+//! * For single-objective runs the whole candidate burst is reduced in one
+//!   pass over a struct-of-arrays cost layout ([`CostBatch`]); inserting
+//!   only the per-order-class minima through the scalar pruning function
+//!   provably yields the same slot, in the same entry order, as inserting
+//!   every candidate sequentially (see `mpq_cost::batch`). Multi-objective
+//!   runs keep the scalar sequential path.
+//! * Sets are built in ascending-cardinality levels. A set reads only
+//!   strictly smaller sets, so sets of one level are independent: each
+//!   slot's content is the same under any level schedule, and under
+//!   [`ParallelPolicy`] a level is split into contiguous chunks whose
+//!   results are merged back in chunk order — parallel-on ≡ parallel-off
+//!   by construction (the serial kernel runs the very same level loop with
+//!   one chunk), and by the `kernel_differential` test suite.
+
+use crate::memo::MemoStore;
+use crate::stats::WorkerStats;
+use crate::worker::{bushy_split_setup, finish, for_each_bushy_left, PartitionOutcome};
+use mpq_cost::{CardinalityEstimator, CostBatch, Objective, ScanOp, JOIN_OPS};
+use mpq_model::{Query, TableSet};
+use mpq_partition::{AdmissibleSets, ConstraintSet, PlanSpace};
+use mpq_plan::{PlanEntry, PruningPolicy};
+use std::time::Instant;
+
+/// Opt-in intra-worker parallelism for the arena kernel: how many threads
+/// one worker may spread its partition's independent admissible sets
+/// across. The default is serial; any thread count produces bit-identical
+/// results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelPolicy {
+    threads: usize,
+}
+
+impl ParallelPolicy {
+    /// Single-threaded (the default).
+    pub fn serial() -> Self {
+        ParallelPolicy { threads: 1 }
+    }
+
+    /// Use up to `threads` threads per partition (0 is treated as 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelPolicy {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Maximum threads this policy allows.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether more than one thread may be used.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for ParallelPolicy {
+    fn default() -> Self {
+        ParallelPolicy::serial()
+    }
+}
+
+/// Arena-backed memo: one contiguous entry array, per-set spans addressed
+/// by the dense admissible-set index. Implements only the read side of the
+/// memo interface ([`MemoStore`]) — slots are write-once spans, not
+/// takeable `Vec`s.
+pub struct ArenaMemo {
+    adm: AdmissibleSets,
+    arena: Vec<PlanEntry>,
+    spans: Vec<(u32, u32)>,
+    singles: Vec<Vec<PlanEntry>>,
+}
+
+impl ArenaMemo {
+    /// Creates an empty arena memo laid out for the partition's admissible
+    /// sets.
+    pub fn new(adm: AdmissibleSets) -> Self {
+        let n = adm.num_tables();
+        let total = adm.len();
+        ArenaMemo {
+            adm,
+            arena: Vec::new(),
+            spans: vec![(0, 0); total],
+            singles: vec![Vec::new(); n],
+        }
+    }
+
+    /// The admissible-set index this memo is laid out by.
+    pub fn admissible(&self) -> &AdmissibleSets {
+        &self.adm
+    }
+
+    /// Entries of the set at dense index `idx` (hot-path lookup without a
+    /// second `index_of`).
+    #[inline]
+    pub fn entries_at(&self, idx: usize) -> &[PlanEntry] {
+        let (s, l) = self.spans[idx];
+        &self.arena[s as usize..(s as usize + l as usize)]
+    }
+}
+
+impl MemoStore for ArenaMemo {
+    #[inline]
+    fn entries(&self, set: TableSet) -> &[PlanEntry] {
+        if set.len() == 1 {
+            return &self.singles[set.min_table().expect("non-empty")];
+        }
+        match self.adm.index_of(set) {
+            Some(i) => self.entries_at(i),
+            None => &[],
+        }
+    }
+
+    #[inline]
+    fn single_entries(&self, t: usize) -> &[PlanEntry] {
+        &self.singles[t]
+    }
+
+    fn single_slot_mut(&mut self, t: usize) -> &mut Vec<PlanEntry> {
+        &mut self.singles[t]
+    }
+
+    fn stored_sets(&self) -> u64 {
+        let sets = self.spans.iter().filter(|&&(_, l)| l > 0).count();
+        let singles = self.singles.iter().filter(|s| !s.is_empty()).count();
+        (sets + singles) as u64
+    }
+
+    fn total_entries(&self) -> u64 {
+        // Every arena entry belongs to exactly one span (slots are written
+        // once, already pruned), so the arena length is the entry total.
+        let singles: usize = self.singles.iter().map(Vec::len).sum();
+        (self.arena.len() + singles) as u64
+    }
+}
+
+/// Shared read-only context of one kernel run.
+struct Ctx<'a> {
+    space: PlanSpace,
+    objective: Objective,
+    constraints: &'a ConstraintSet,
+    pruning: &'a PruningPolicy,
+}
+
+/// Per-thread working state: estimator, enumeration scratch, the
+/// struct-of-arrays candidate batch, and the output staging buffer the
+/// thread's slots are built into before the in-order merge.
+struct Scratch<'q> {
+    est: CardinalityEstimator<'q>,
+    parts: Vec<u64>,
+    group_bounds: Vec<(usize, usize)>,
+    batch: CostBatch,
+    cands: Vec<PlanEntry>,
+    winners: Vec<u32>,
+    out: Vec<PlanEntry>,
+    /// Finished slots staged in `out`: (dense index, start, len).
+    built: Vec<(u32, u32, u32)>,
+    splits_tried: u64,
+    plans_generated: u64,
+}
+
+impl<'q> Scratch<'q> {
+    fn new(query: &'q Query) -> Self {
+        Scratch {
+            est: CardinalityEstimator::new(query),
+            parts: Vec::new(),
+            group_bounds: Vec::new(),
+            batch: CostBatch::new(),
+            cands: Vec::new(),
+            winners: Vec::new(),
+            out: Vec::new(),
+            built: Vec::new(),
+            splits_tried: 0,
+            plans_generated: 0,
+        }
+    }
+}
+
+/// Generates every candidate joining `left` with `right` into the
+/// struct-of-arrays batch (phase A of the per-set build). Same pair and
+/// operator order as the reference kernel's `combine_operands`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn collect_pair(
+    left: TableSet,
+    right: TableSet,
+    left_entries: &[PlanEntry],
+    right_entries: &[PlanEntry],
+    est: &mut CardinalityEstimator<'_>,
+    batch: &mut CostBatch,
+    cands: &mut Vec<PlanEntry>,
+    plans_generated: &mut u64,
+) {
+    for (li, le) in left_entries.iter().enumerate() {
+        for (ri, re) in right_entries.iter().enumerate() {
+            for op in JOIN_OPS {
+                let Some(app) = op.apply(est, left, right, le.order, re.order) else {
+                    continue;
+                };
+                let cost = le.cost.add(&re.cost).add(&app.cost);
+                *plans_generated += 1;
+                cands.push(PlanEntry::join(
+                    op,
+                    left,
+                    li as u32,
+                    right,
+                    ri as u32,
+                    cost,
+                    app.output_order,
+                ));
+                batch.push(cost, app.output_order);
+            }
+        }
+    }
+}
+
+/// Phase A: collects the full candidate burst for `set` into the scratch
+/// batch, enumerating splits exactly as the reference kernel does
+/// (including its `splits_tried` accounting).
+fn collect_candidates(ctx: &Ctx<'_>, memo: &ArenaMemo, set: TableSet, s: &mut Scratch<'_>) {
+    match ctx.space {
+        PlanSpace::Linear => {
+            for u in set.iter() {
+                if !ctx.constraints.may_join_last(u, set) {
+                    continue;
+                }
+                let rest = set.remove(u);
+                s.splits_tried += 1;
+                collect_pair(
+                    rest,
+                    TableSet::singleton(u),
+                    memo.entries(rest),
+                    memo.single_entries(u),
+                    &mut s.est,
+                    &mut s.batch,
+                    &mut s.cands,
+                    &mut s.plans_generated,
+                );
+            }
+        }
+        PlanSpace::Bushy => {
+            bushy_split_setup(
+                set,
+                ctx.constraints,
+                &memo.adm,
+                &mut s.parts,
+                &mut s.group_bounds,
+            );
+            let Scratch {
+                est,
+                parts,
+                group_bounds,
+                batch,
+                cands,
+                splits_tried,
+                plans_generated,
+                ..
+            } = s;
+            for_each_bushy_left(parts, group_bounds, |lbits| {
+                if lbits == 0 || lbits == set.bits() {
+                    return;
+                }
+                let left = TableSet(lbits);
+                let right = set.difference(left);
+                let left_entries = memo.entries(left);
+                if left_entries.is_empty() {
+                    return;
+                }
+                let right_entries = memo.entries(right);
+                if right_entries.is_empty() {
+                    return;
+                }
+                *splits_tried += 1;
+                collect_pair(
+                    left,
+                    right,
+                    left_entries,
+                    right_entries,
+                    est,
+                    batch,
+                    cands,
+                    plans_generated,
+                );
+            });
+        }
+    }
+}
+
+/// Builds the slots for one contiguous chunk of same-cardinality sets into
+/// the scratch staging buffer. Reads only strictly smaller sets from the
+/// arena, so chunks of one level can run concurrently.
+fn process_chunk(ctx: &Ctx<'_>, memo: &ArenaMemo, chunk: &[u32], s: &mut Scratch<'_>) {
+    for &idx in chunk {
+        let set = memo.adm.set_at(idx as usize);
+        s.batch.clear();
+        s.cands.clear();
+        collect_candidates(ctx, memo, set, s);
+        let slot_start = s.out.len();
+        match ctx.objective {
+            Objective::Single => {
+                // Phase B, batched: one pass over the SoA times decides the
+                // burst; only per-order-class minima hit the scalar insert.
+                s.winners.clear();
+                s.batch.single_objective_winners(&mut s.winners);
+                let Scratch {
+                    winners,
+                    cands,
+                    out,
+                    ..
+                } = s;
+                for &w in winners.iter() {
+                    ctx.pruning
+                        .try_insert_range(out, slot_start, cands[w as usize]);
+                }
+            }
+            Objective::Multi { .. } => {
+                // Pareto pruning has no single-number reduction; keep the
+                // scalar sequential path.
+                let Scratch { cands, out, .. } = s;
+                for c in cands.iter() {
+                    ctx.pruning.try_insert_range(out, slot_start, *c);
+                }
+            }
+        }
+        let len = s.out.len() - slot_start;
+        s.built.push((
+            idx,
+            u32::try_from(slot_start).expect("staged entries fit u32"),
+            u32::try_from(len).expect("slot length fits u32"),
+        ));
+    }
+}
+
+/// Appends one scratch's staged slots to the arena and records their
+/// spans. Called in chunk order, which fixes the arena layout
+/// deterministically regardless of thread timing.
+fn merge_scratch(memo: &mut ArenaMemo, s: &mut Scratch<'_>, stats: &mut WorkerStats) {
+    let base = u32::try_from(memo.arena.len()).expect("arena entry count fits u32");
+    memo.arena.extend_from_slice(&s.out);
+    for &(idx, start, len) in &s.built {
+        memo.spans[idx as usize] = (base + start, len);
+    }
+    s.out.clear();
+    s.built.clear();
+    stats.splits_tried += s.splits_tried;
+    stats.plans_generated += s.plans_generated;
+    s.splits_tried = 0;
+    s.plans_generated = 0;
+}
+
+/// Don't fan a level out unless every thread gets at least this many sets
+/// (thread wake-up costs more than a few tiny slots).
+const MIN_SETS_PER_THREAD: usize = 2;
+
+/// Optimizes one partition with the arena memo, batched pruning, and
+/// optional intra-worker parallelism. Bit-identical to the slot-based
+/// reference kernel for every `policy` (see the module docs for why).
+pub fn optimize_partition_parallel(
+    query: &Query,
+    space: PlanSpace,
+    objective: Objective,
+    constraints: &ConstraintSet,
+    policy: ParallelPolicy,
+) -> PartitionOutcome {
+    let start = Instant::now();
+    let n = query.num_tables();
+    assert!(n >= 1, "query must join at least one table");
+    let pruning = PruningPolicy::new(objective, n);
+    let mut memo = ArenaMemo::new(AdmissibleSets::new(constraints));
+    let mut est = CardinalityEstimator::new(query);
+    let mut stats = WorkerStats::default();
+
+    // Seed scans for single tables (Algorithm 2, lines 9-11).
+    for t in 0..n {
+        let cost = ScanOp::Full.cost(&mut est, t);
+        pruning.try_insert(
+            memo.single_slot_mut(t),
+            PlanEntry::scan(t as u8, ScanOp::Full, cost),
+        );
+    }
+
+    // Group the admissible sets into ascending-cardinality levels. A set
+    // reads only strictly smaller sets, so the sets of one level are
+    // independent of each other; within a level, dense-index order is kept
+    // so the arena layout (and the candidate enumeration) is fixed.
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+    for idx in 0..memo.adm.len() {
+        let c = memo.adm.set_at(idx).len();
+        if c >= 2 {
+            levels[c].push(u32::try_from(idx).expect("dense index fits u32"));
+        }
+    }
+
+    let threads = policy.threads().max(1);
+    let ctx = Ctx {
+        space,
+        objective,
+        constraints,
+        pruning: &pruning,
+    };
+    let mut scratches: Vec<Scratch<'_>> = (0..threads).map(|_| Scratch::new(query)).collect();
+    let mut peak_threads = 1u64;
+
+    for level in &levels {
+        if level.is_empty() {
+            continue;
+        }
+        // The fan-out decision depends only on deterministic counts.
+        let t_eff = if level.len() >= threads * MIN_SETS_PER_THREAD {
+            threads
+        } else {
+            1
+        };
+        if t_eff <= 1 {
+            process_chunk(&ctx, &memo, level, &mut scratches[0]);
+            merge_scratch(&mut memo, &mut scratches[0], &mut stats);
+        } else {
+            let chunk_size = level.len().div_ceil(t_eff);
+            let memo_ref = &memo;
+            let ctx_ref = &ctx;
+            std::thread::scope(|scope| {
+                for (chunk, s) in level.chunks(chunk_size).zip(scratches.iter_mut()) {
+                    scope.spawn(move || process_chunk(ctx_ref, memo_ref, chunk, s));
+                }
+            });
+            peak_threads = peak_threads.max(level.chunks(chunk_size).count() as u64);
+            // Merge in chunk order: the arena layout never depends on
+            // which thread finished first.
+            for s in scratches.iter_mut() {
+                merge_scratch(&mut memo, s, &mut stats);
+            }
+        }
+    }
+
+    stats.threads_used = peak_threads;
+    finish(query, &memo, &mut est, &pruning, stats, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{optimize_partition_dense, optimize_serial};
+    use mpq_model::{WorkloadConfig, WorkloadGenerator};
+    use mpq_partition::{partition_constraints, Grouping};
+
+    fn query(n: usize, seed: u64) -> Query {
+        WorkloadGenerator::new(WorkloadConfig::paper_default(n), seed).next_query()
+    }
+
+    #[test]
+    fn arena_matches_dense_reference_serial() {
+        for seed in 0..4 {
+            let q = query(7, seed);
+            for space in [PlanSpace::Linear, PlanSpace::Bushy] {
+                let cs = ConstraintSet::unconstrained(Grouping::new(7, space));
+                let dense = optimize_partition_dense(&q, space, Objective::Single, &cs);
+                let arena = optimize_partition_parallel(
+                    &q,
+                    space,
+                    Objective::Single,
+                    &cs,
+                    ParallelPolicy::serial(),
+                );
+                assert_eq!(
+                    dense.plans[0].cost().time.to_bits(),
+                    arena.plans[0].cost().time.to_bits(),
+                    "seed {seed} {space:?}"
+                );
+                assert_eq!(dense.stats.splits_tried, arena.stats.splits_tried);
+                assert_eq!(dense.stats.plans_generated, arena.stats.plans_generated);
+                assert_eq!(dense.stats.stored_sets, arena.stats.stored_sets);
+                assert_eq!(dense.stats.total_entries, arena.stats.total_entries);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_matches_dense_on_constrained_partitions() {
+        for seed in 0..3 {
+            let q = query(8, seed + 20);
+            for space in [PlanSpace::Linear, PlanSpace::Bushy] {
+                // Bushy 8-table queries have two constraint groups → at
+                // most 4 partitions.
+                let m = match space {
+                    PlanSpace::Linear => 8,
+                    PlanSpace::Bushy => 4,
+                };
+                for id in [0u64, 3, m - 1] {
+                    let cs = partition_constraints(8, space, id, m);
+                    let dense = optimize_partition_dense(&q, space, Objective::Single, &cs);
+                    let arena = optimize_partition_parallel(
+                        &q,
+                        space,
+                        Objective::Single,
+                        &cs,
+                        ParallelPolicy::serial(),
+                    );
+                    assert_eq!(
+                        dense.plans[0].cost().time.to_bits(),
+                        arena.plans[0].cost().time.to_bits(),
+                        "seed {seed} {space:?} partition {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        for seed in 0..3 {
+            let q = query(8, seed + 40);
+            for space in [PlanSpace::Linear, PlanSpace::Bushy] {
+                let cs = ConstraintSet::unconstrained(Grouping::new(8, space));
+                let serial = optimize_partition_parallel(
+                    &q,
+                    space,
+                    Objective::Single,
+                    &cs,
+                    ParallelPolicy::serial(),
+                );
+                for t in [2usize, 4] {
+                    let par = optimize_partition_parallel(
+                        &q,
+                        space,
+                        Objective::Single,
+                        &cs,
+                        ParallelPolicy::with_threads(t),
+                    );
+                    assert_eq!(
+                        serial.plans[0].cost().time.to_bits(),
+                        par.plans[0].cost().time.to_bits(),
+                        "seed {seed} {space:?} threads {t}"
+                    );
+                    assert_eq!(serial.plans[0], par.plans[0], "tree must match");
+                    assert_eq!(serial.stats.splits_tried, par.stats.splits_tried);
+                    assert_eq!(serial.stats.total_entries, par.stats.total_entries);
+                    assert!(par.stats.threads_used >= 2, "fan-out should engage");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_objective_frontier_matches_dense() {
+        let q = query(6, 60);
+        let cs = ConstraintSet::unconstrained(Grouping::new(6, PlanSpace::Bushy));
+        let obj = Objective::Multi { alpha: 1.0 };
+        let dense = optimize_partition_dense(&q, PlanSpace::Bushy, obj, &cs);
+        for t in [1usize, 3] {
+            let arena = optimize_partition_parallel(
+                &q,
+                PlanSpace::Bushy,
+                obj,
+                &cs,
+                ParallelPolicy::with_threads(t),
+            );
+            assert_eq!(dense.plans.len(), arena.plans.len(), "threads {t}");
+            for (d, a) in dense.plans.iter().zip(arena.plans.iter()) {
+                assert_eq!(d.cost().time.to_bits(), a.cost().time.to_bits());
+                assert_eq!(d.cost().buffer.to_bits(), a.cost().buffer.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn single_table_and_pair_queries() {
+        for n in [1usize, 2] {
+            let q = query(n, 70 + n as u64);
+            let cs = ConstraintSet::unconstrained(Grouping::new(n, PlanSpace::Linear));
+            let out = optimize_partition_parallel(
+                &q,
+                PlanSpace::Linear,
+                Objective::Single,
+                &cs,
+                ParallelPolicy::with_threads(4),
+            );
+            assert_eq!(out.plans.len(), 1);
+            assert_eq!(out.plans[0].num_joins(), n - 1);
+            assert_eq!(out.stats.threads_used.max(1), out.stats.threads_used);
+        }
+    }
+
+    #[test]
+    fn serial_default_kernel_is_the_arena_kernel() {
+        // `optimize_serial` routes through the arena kernel; its stats must
+        // report the serial thread count.
+        let q = query(5, 80);
+        let out = optimize_serial(&q, PlanSpace::Linear, Objective::Single);
+        assert_eq!(out.stats.threads_used, 1);
+    }
+
+    #[test]
+    fn parallel_policy_accessors() {
+        assert_eq!(ParallelPolicy::default(), ParallelPolicy::serial());
+        assert!(!ParallelPolicy::serial().is_parallel());
+        assert_eq!(ParallelPolicy::with_threads(0).threads(), 1);
+        let p = ParallelPolicy::with_threads(4);
+        assert!(p.is_parallel());
+        assert_eq!(p.threads(), 4);
+    }
+}

@@ -13,6 +13,7 @@
 //! boolean in the return value tells the caller which path was taken so
 //! shard-local hit/miss accounting stays exact.
 
+use crate::arena::{optimize_partition_parallel, ParallelPolicy};
 use crate::topdown::optimize_partition_topdown;
 use crate::worker::{optimize_partition_id, optimize_serial, PartitionOutcome};
 use crate::WorkerStats;
@@ -103,6 +104,49 @@ pub fn optimize_partition_id_cached(
         return (hit_outcome(plans), true);
     }
     let out = optimize_partition_id(query, space, objective, part_id, partitions);
+    cache.insert(key, out.plans.clone());
+    (out, false)
+}
+
+/// [`optimize_partition_id_cached`] with an intra-worker
+/// [`ParallelPolicy`]. The cache key is deliberately the same as the
+/// serial bottom-up key: the parallel kernel is bit-identical to the
+/// serial one, so entries may be shared freely across thread counts — a
+/// hit produced at any parallelism is byte-identical to recomputation at
+/// any other.
+pub fn optimize_partition_id_cached_parallel(
+    query: &Query,
+    space: PlanSpace,
+    objective: Objective,
+    part_id: u64,
+    partitions: u64,
+    policy: ParallelPolicy,
+    cache: &mut PlanCache,
+) -> (PartitionOutcome, bool) {
+    if !policy.is_parallel() {
+        // Serial policy: exactly the existing path (itself routed through
+        // the arena kernel).
+        return optimize_partition_id_cached(query, space, objective, part_id, partitions, cache);
+    }
+    let run = |query: &Query| {
+        let constraints = partition_constraints(query.num_tables(), space, part_id, partitions);
+        optimize_partition_parallel(query, space, objective, &constraints, policy)
+    };
+    if !cache.is_enabled() {
+        return (run(query), false);
+    }
+    let key = partition_cache_key(
+        query,
+        ENGINE_BOTTOM_UP,
+        space,
+        objective,
+        part_id,
+        partitions,
+    );
+    if let Some(plans) = cache.get(&key) {
+        return (hit_outcome(plans), true);
+    }
+    let out = run(query);
     cache.insert(key, out.plans.clone());
     (out, false)
 }

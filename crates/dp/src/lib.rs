@@ -18,9 +18,12 @@
 //! in the same order", Section 6.2); [`optimize_serial`] exposes exactly
 //! that.
 //!
-//! Two memo layouts are provided (see [`memo`]): the **dense** mixed-radix
-//! layout (flat array, no hashing — the default) and a **hash-map** layout
-//! kept as an ablation baseline.
+//! Three memo layouts are provided: the **arena** layout ([`arena`] — one
+//! contiguous entry array with per-set spans, batched pruning, optional
+//! intra-worker parallelism via [`ParallelPolicy`]; the default), the
+//! **dense** mixed-radix slot layout ([`memo`] — the pre-arena reference
+//! kernel and differential baseline), and a **hash-map** layout kept as an
+//! ablation baseline.
 //!
 //! [`cached`] wraps the partition optimizers in the cross-query memo
 //! cache (`mpq_plan::cache`): repeated subproblems — same canonical query
@@ -29,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod cached;
 pub mod memo;
 pub mod naive;
@@ -38,11 +42,12 @@ pub mod stats;
 pub mod topdown;
 pub mod worker;
 
+pub use arena::{optimize_partition_parallel, ArenaMemo, ParallelPolicy};
 pub use cached::{
-    optimize_partition_id_cached, optimize_partition_topdown_cached, optimize_serial_cached,
-    push_scope, PlanCache,
+    optimize_partition_id_cached, optimize_partition_id_cached_parallel,
+    optimize_partition_topdown_cached, optimize_serial_cached, push_scope, PlanCache,
 };
-pub use memo::{DenseMemo, HashMemo, MemoStore};
+pub use memo::{DenseMemo, HashMemo, MemoStore, SlotMemo};
 pub use naive::{exhaustive_frontier, exhaustive_linear_best_time};
 pub use parametric::{
     interpolate, merge_parametric, optimize_parametric, optimize_parametric_partition, pick_for,
@@ -52,6 +57,6 @@ pub use reconstruct::reconstruct_plan;
 pub use stats::WorkerStats;
 pub use topdown::optimize_partition_topdown;
 pub use worker::{
-    compute_entries_for_set, optimize_partition, optimize_partition_id, optimize_partition_with,
-    optimize_serial, PartitionOutcome,
+    compute_entries_for_set, optimize_partition, optimize_partition_dense, optimize_partition_id,
+    optimize_partition_with, optimize_serial, PartitionOutcome,
 };

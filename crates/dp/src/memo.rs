@@ -15,6 +15,11 @@
 //!   multiplicative hasher. Kept as the ablation baseline
 //!   (`ablation_memo` bench) and as the layout the SMA baseline uses for
 //!   its replicated memo (SMA has no constraint structure to index by).
+//!
+//! A third, arena-backed layout ([`crate::ArenaMemo`]) lives in
+//! [`crate::arena`]; it implements only the read-side [`MemoStore`]
+//! interface because its slots are write-once spans of one shared entry
+//! arena rather than per-set `Vec`s ([`SlotMemo`]).
 
 use mpq_model::TableSet;
 use mpq_partition::AdmissibleSets;
@@ -53,19 +58,11 @@ type SetHashBuilder = BuildHasherDefault<SetHasher>;
 
 static EMPTY_SLOT: Vec<PlanEntry> = Vec::new();
 
-/// Common interface of the memo layouts.
+/// Common read/seed interface of the memo layouts.
 pub trait MemoStore {
     /// Plan entries stored for `set`. Singleton sets resolve to the scan
     /// entries; unknown or empty sets resolve to an empty slice.
     fn entries(&self, set: TableSet) -> &[PlanEntry];
-
-    /// Moves the slot for a non-singleton `set` out of the memo (the DP
-    /// takes a slot, inserts into it while reading child slots, and puts it
-    /// back — sidestepping aliasing between the slot and its children).
-    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry>;
-
-    /// Returns a slot taken with [`MemoStore::take_slot`].
-    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>);
 
     /// Scan entries for single table `t`.
     fn single_entries(&self, t: usize) -> &[PlanEntry];
@@ -79,6 +76,20 @@ pub trait MemoStore {
 
     /// Total number of stored entries.
     fn total_entries(&self) -> u64;
+}
+
+/// Memo layouts that hand whole slots in and out as owned `Vec`s. The
+/// slot-based DP takes a slot, inserts into it while reading child slots,
+/// and puts it back — sidestepping aliasing between the slot and its
+/// children. The arena memo ([`crate::ArenaMemo`]) does not implement this
+/// trait: its slots are immutable spans of one shared arena, written once
+/// in bulk.
+pub trait SlotMemo: MemoStore {
+    /// Moves the slot for a non-singleton `set` out of the memo.
+    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry>;
+
+    /// Returns a slot taken with [`SlotMemo::take_slot`].
+    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>);
 }
 
 /// Flat-array memo addressed by the dense mixed-radix index.
@@ -129,16 +140,6 @@ impl MemoStore for DenseMemo {
         }
     }
 
-    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry> {
-        let i = self.adm.index_of(set).expect("slot for admissible set");
-        std::mem::take(&mut self.slots[i])
-    }
-
-    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>) {
-        let i = self.adm.index_of(set).expect("slot for admissible set");
-        self.slots[i] = slot;
-    }
-
     #[inline]
     fn single_entries(&self, t: usize) -> &[PlanEntry] {
         &self.singles[t]
@@ -158,6 +159,18 @@ impl MemoStore for DenseMemo {
         let a: usize = self.slots.iter().map(Vec::len).sum();
         let b: usize = self.singles.iter().map(Vec::len).sum();
         (a + b) as u64
+    }
+}
+
+impl SlotMemo for DenseMemo {
+    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry> {
+        let i = self.adm.index_of(set).expect("slot for admissible set");
+        std::mem::take(&mut self.slots[i])
+    }
+
+    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>) {
+        let i = self.adm.index_of(set).expect("slot for admissible set");
+        self.slots[i] = slot;
     }
 }
 
@@ -205,16 +218,6 @@ impl MemoStore for HashMemo {
         }
     }
 
-    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry> {
-        self.map.remove(&set.bits()).unwrap_or_default()
-    }
-
-    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>) {
-        if !slot.is_empty() {
-            self.map.insert(set.bits(), slot);
-        }
-    }
-
     #[inline]
     fn single_entries(&self, t: usize) -> &[PlanEntry] {
         &self.singles[t]
@@ -234,6 +237,18 @@ impl MemoStore for HashMemo {
         let a: usize = self.map.values().map(Vec::len).sum();
         let b: usize = self.singles.iter().map(Vec::len).sum();
         (a + b) as u64
+    }
+}
+
+impl SlotMemo for HashMemo {
+    fn take_slot(&mut self, set: TableSet) -> Vec<PlanEntry> {
+        self.map.remove(&set.bits()).unwrap_or_default()
+    }
+
+    fn put_slot(&mut self, set: TableSet, slot: Vec<PlanEntry>) {
+        if !slot.is_empty() {
+            self.map.insert(set.bits(), slot);
+        }
     }
 }
 

@@ -18,7 +18,7 @@
 //! an optimal plan for every θ endpoint and a near-optimal one across the
 //! range; [`pick_for`] selects from the set at run time once θ is known.
 
-use crate::memo::{DenseMemo, MemoStore};
+use crate::memo::{DenseMemo, MemoStore, SlotMemo};
 use crate::stats::WorkerStats;
 use mpq_cost::{CardinalityEstimator, CostVector, Objective, ScanOp, JOIN_OPS};
 use mpq_model::{Query, TableSet};

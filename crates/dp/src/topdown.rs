@@ -15,14 +15,13 @@
 //! admissible-set count (which the `partition_work_not_above_bottom_up`
 //! test demonstrates).
 
-use crate::memo::{HashMemo, MemoStore};
-use crate::reconstruct::reconstruct_plan;
+use crate::memo::{HashMemo, MemoStore, SlotMemo};
 use crate::stats::WorkerStats;
-use crate::worker::PartitionOutcome;
-use mpq_cost::{CardinalityEstimator, Objective, ScanOp, JOIN_OPS};
+use crate::worker::{combine_operands, finish, PartitionOutcome};
+use mpq_cost::{CardinalityEstimator, Objective, ScanOp};
 use mpq_model::{Query, TableSet};
 use mpq_partition::{AdmissibleSets, ConstraintSet, PlanSpace};
-use mpq_plan::{Plan, PlanEntry, PruningPolicy};
+use mpq_plan::{PlanEntry, PruningPolicy};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -62,23 +61,37 @@ pub fn optimize_partition_topdown(
         &mut expanded,
         &mut stats,
     );
-    let entries: Vec<PlanEntry> = memo.entries(full).to_vec();
-    let mut plans: Vec<Plan> = entries
-        .iter()
-        .map(|e| reconstruct_plan(&memo, &mut est, full, e))
-        .collect();
-    if n == 1 {
-        plans = memo
-            .single_entries(0)
-            .iter()
-            .map(|e| reconstruct_plan(&memo, &mut est, TableSet::singleton(0), e))
-            .collect();
+    finish(query, &memo, &mut est, &policy, stats, start)
+}
+
+/// Invokes `f` for every admissible split of `set`, in the enumeration
+/// order of the bottom-up worker. Iterator-style so callers can walk the
+/// splits twice (recursion pass, combine pass) without materializing them.
+fn for_each_split<F: FnMut(TableSet, TableSet)>(
+    space: PlanSpace,
+    set: TableSet,
+    constraints: &ConstraintSet,
+    adm: &AdmissibleSets,
+    mut f: F,
+) {
+    match space {
+        PlanSpace::Linear => {
+            for u in set.iter() {
+                if constraints.may_join_last(u, set) {
+                    f(set.remove(u), TableSet::singleton(u));
+                }
+            }
+        }
+        PlanSpace::Bushy => {
+            for l in set.proper_subsets() {
+                let r = set.difference(l);
+                if (l.len() == 1 || adm.is_admissible(l)) && (r.len() == 1 || adm.is_admissible(r))
+                {
+                    f(l, r);
+                }
+            }
+        }
     }
-    policy.final_prune(&mut plans);
-    stats.stored_sets = memo.stored_sets();
-    stats.total_entries = memo.total_entries();
-    stats.optimize_micros = start.elapsed().as_micros() as u64;
-    PartitionOutcome { plans, stats }
 }
 
 /// Recursively materializes the optimal entries for `set`, expanding each
@@ -99,24 +112,11 @@ fn expand(
     if set.len() < 2 || !expanded.insert(set.bits()) {
         return;
     }
-    // Enumerate admissible splits of `set`.
-    let splits: Vec<(TableSet, TableSet)> = match space {
-        PlanSpace::Linear => set
-            .iter()
-            .filter(|&u| constraints.may_join_last(u, set))
-            .map(|u| (set.remove(u), TableSet::singleton(u)))
-            .collect(),
-        PlanSpace::Bushy => set
-            .proper_subsets()
-            .filter(|&l| {
-                let r = set.difference(l);
-                (l.len() == 1 || adm.is_admissible(l)) && (r.len() == 1 || adm.is_admissible(r))
-            })
-            .map(|l| (l, set.difference(l)))
-            .collect(),
-    };
-    // Recurse first (children must be final before we combine).
-    for &(l, r) in &splits {
+    // Recursion pass: children must be final before we combine. The split
+    // walk is repeated below instead of materialized — split enumeration
+    // is cheap next to plan generation, and this keeps the expansion
+    // allocation-free.
+    for_each_split(space, set, constraints, adm, |l, r| {
         expand(
             query,
             space,
@@ -141,30 +141,23 @@ fn expand(
             expanded,
             stats,
         );
-    }
+    });
+    // Combine pass: the slot is taken out of the memo, so the child entry
+    // slices can be read straight from the memo without cloning.
     let mut slot = memo.take_slot(set);
-    for &(l, r) in &splits {
+    for_each_split(space, set, constraints, adm, |l, r| {
         stats.splits_tried += 1;
-        // Clone out the child entry lists so the memo can be read freely;
-        // entry lists are tiny (pruned).
-        let left_entries: Vec<PlanEntry> = memo.entries(l).to_vec();
-        let right_entries: Vec<PlanEntry> = memo.entries(r).to_vec();
-        for (li, le) in left_entries.iter().enumerate() {
-            for (ri, re) in right_entries.iter().enumerate() {
-                for op in JOIN_OPS {
-                    let Some(app) = op.apply(est, l, r, le.order, re.order) else {
-                        continue;
-                    };
-                    let cost = le.cost.add(&re.cost).add(&app.cost);
-                    stats.plans_generated += 1;
-                    policy.try_insert(
-                        &mut slot,
-                        PlanEntry::join(op, l, li as u32, r, ri as u32, cost, app.output_order),
-                    );
-                }
-            }
-        }
-    }
+        combine_operands(
+            l,
+            r,
+            memo.entries(l),
+            memo.entries(r),
+            est,
+            policy,
+            &mut slot,
+            stats,
+        );
+    });
     memo.put_slot(set, slot);
 }
 

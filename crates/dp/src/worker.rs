@@ -20,7 +20,8 @@
 //!   (`try_splits_bushy_filtered`) is kept for the `ablation_splits`
 //!   benchmark.
 
-use crate::memo::{DenseMemo, MemoStore};
+use crate::arena::{optimize_partition_parallel, ParallelPolicy};
+use crate::memo::{DenseMemo, MemoStore, SlotMemo};
 use crate::reconstruct::reconstruct_plan;
 use crate::stats::WorkerStats;
 use mpq_cost::{CardinalityEstimator, Objective, ScanOp, JOIN_OPS};
@@ -41,8 +42,25 @@ pub struct PartitionOutcome {
 }
 
 /// Optimizes the partition described by `constraints` using the default
-/// dense memo.
+/// arena memo (serial; see [`crate::arena`] for the parallel entry point).
 pub fn optimize_partition(
+    query: &Query,
+    space: PlanSpace,
+    objective: Objective,
+    constraints: &ConstraintSet,
+) -> PartitionOutcome {
+    optimize_partition_parallel(
+        query,
+        space,
+        objective,
+        constraints,
+        ParallelPolicy::serial(),
+    )
+}
+
+/// The pre-arena reference kernel: dense slot memo, scalar pruning. Kept
+/// as the differential-testing baseline and the `ablation_memo` contender.
+pub fn optimize_partition_dense(
     query: &Query,
     space: PlanSpace,
     objective: Objective,
@@ -74,9 +92,9 @@ pub fn optimize_serial(query: &Query, space: PlanSpace, objective: Objective) ->
     optimize_partition(query, space, objective, &constraints)
 }
 
-/// Runs the dynamic program against a caller-provided memo (used by the
-/// memo-layout ablation and by tests).
-pub fn optimize_partition_with<M: MemoStore>(
+/// Runs the dynamic program against a caller-provided slot memo (used by
+/// the memo-layout ablation and by tests).
+pub fn optimize_partition_with<M: SlotMemo>(
     query: &Query,
     space: PlanSpace,
     objective: Objective,
@@ -101,8 +119,6 @@ pub fn optimize_partition_with<M: MemoStore>(
     // Scratch buffers reused across sets (no allocation in the hot loop).
     let mut parts: Vec<u64> = Vec::new();
     let mut group_bounds: Vec<(usize, usize)> = Vec::new();
-    let mut lefts: Vec<u64> = Vec::new();
-    let mut lefts_next: Vec<u64> = Vec::new();
 
     // Ascending dense-index order visits every admissible subset of a set
     // before the set itself, so iterating indices replaces the explicit
@@ -126,16 +142,17 @@ pub fn optimize_partition_with<M: MemoStore>(
                 );
             }
             PlanSpace::Bushy => {
-                enumerate_bushy_lefts(
+                bushy_split_setup(set, constraints, adm, &mut parts, &mut group_bounds);
+                try_splits_bushy(
                     set,
-                    constraints,
-                    adm,
-                    &mut parts,
-                    &mut group_bounds,
-                    &mut lefts,
-                    &mut lefts_next,
+                    &parts,
+                    &group_bounds,
+                    memo,
+                    &mut est,
+                    &policy,
+                    &mut slot,
+                    &mut stats,
                 );
-                try_splits_bushy(set, &lefts, memo, &mut est, &policy, &mut slot, &mut stats);
             }
         }
         memo.put_slot(set, slot);
@@ -146,7 +163,7 @@ pub fn optimize_partition_with<M: MemoStore>(
 
 /// Reconstructs the complete plans, applies the worker-side final prune
 /// and fills in the memory counters.
-fn finish<M: MemoStore>(
+pub(crate) fn finish<M: MemoStore>(
     query: &Query,
     memo: &M,
     est: &mut CardinalityEstimator<'_>,
@@ -173,6 +190,7 @@ fn finish<M: MemoStore>(
     stats.stored_sets = memo.stored_sets();
     stats.total_entries = memo.total_entries();
     stats.optimize_micros = start.elapsed().as_micros() as u64;
+    stats.threads_used = stats.threads_used.max(1);
     PartitionOutcome { plans, stats }
 }
 
@@ -182,7 +200,7 @@ fn finish<M: MemoStore>(
 /// join operator.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn combine_operands(
+pub(crate) fn combine_operands(
     left: TableSet,
     right: TableSet,
     left_entries: &[PlanEntry],
@@ -301,18 +319,20 @@ pub fn compute_entries_for_set<M: MemoStore>(
     slot
 }
 
-/// Builds all admissible left operands of `set` into `lefts` as the
-/// Cartesian product of per-group admissible split parts (Algorithm 5,
-/// lines 15-32). `lefts` includes the empty and full set; the caller
-/// skips those.
-fn enumerate_bushy_lefts(
+/// Upper bound on per-group factors of the bushy split product: groups
+/// hold at least two tables, so an n ≤ 64 query has at most 32 groups.
+pub(crate) const MAX_GROUPS: usize = 32;
+
+/// Gathers the per-group admissible split parts of `set` (Algorithm 5,
+/// lines 15-24) into `parts`, with `group_bounds` delimiting each group's
+/// patterns. Groups disjoint from `set` contribute only the empty pattern
+/// and are dropped from the product.
+pub(crate) fn bushy_split_setup(
     set: TableSet,
     constraints: &ConstraintSet,
     adm: &AdmissibleSets,
     parts: &mut Vec<u64>,
     group_bounds: &mut Vec<(usize, usize)>,
-    lefts: &mut Vec<u64>,
-    lefts_next: &mut Vec<u64>,
 ) {
     parts.clear();
     group_bounds.clear();
@@ -320,51 +340,86 @@ fn enumerate_bushy_lefts(
         let start = parts.len();
         adm.admissible_split_parts(constraints, g, set, parts);
         let end = parts.len();
-        // Groups disjoint from `set` contribute only the empty pattern.
         if end - start > 1 || (end - start == 1 && parts[start] != 0) {
             group_bounds.push((start, end));
         } else {
             parts.truncate(start);
         }
     }
-    lefts.clear();
-    lefts.push(0);
-    for &(s, e) in group_bounds.iter() {
-        lefts_next.clear();
-        for &l in lefts.iter() {
-            for &p in &parts[s..e] {
-                lefts_next.push(l | p);
-            }
-        }
-        std::mem::swap(lefts, lefts_next);
+}
+
+/// Walks every admissible left operand of the Cartesian product described
+/// by `parts`/`group_bounds` (Algorithm 5, lines 25-32) without
+/// materializing the product: a fixed-size odometer over the group digits,
+/// last group varying fastest — the exact order the old materialized
+/// enumeration produced. Prefix-OR accumulators make each step O(changed
+/// digits). The walk includes the empty and full pattern; callers skip
+/// those.
+pub(crate) fn for_each_bushy_left<F: FnMut(u64)>(
+    parts: &[u64],
+    group_bounds: &[(usize, usize)],
+    mut f: F,
+) {
+    let k = group_bounds.len();
+    if k == 0 {
+        f(0);
+        return;
     }
-    debug_assert!(lefts.iter().all(|&l| TableSet(l).is_subset_of(set)));
+    assert!(k <= MAX_GROUPS, "more than {MAX_GROUPS} split groups");
+    let mut pos = [0usize; MAX_GROUPS];
+    let mut acc = [0u64; MAX_GROUPS + 1];
+    for d in 0..k {
+        acc[d + 1] = acc[d] | parts[group_bounds[d].0];
+    }
+    loop {
+        f(acc[k]);
+        // Increment the odometer: last digit first, carrying left.
+        let mut d = k;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            let (s, e) = group_bounds[d];
+            pos[d] += 1;
+            if s + pos[d] < e {
+                break;
+            }
+            pos[d] = 0;
+        }
+        for i in d..k {
+            acc[i + 1] = acc[i] | parts[group_bounds[i].0 + pos[i]];
+        }
+    }
 }
 
 /// `TrySplits[Bushy]` (Algorithm 5, lines 33-39): join every admissible
 /// left operand with its complement.
+#[allow(clippy::too_many_arguments)]
 fn try_splits_bushy<M: MemoStore>(
     set: TableSet,
-    lefts: &[u64],
+    parts: &[u64],
+    group_bounds: &[(usize, usize)],
     memo: &M,
     est: &mut CardinalityEstimator<'_>,
     policy: &PruningPolicy,
     slot: &mut Vec<PlanEntry>,
     stats: &mut WorkerStats,
 ) {
-    for &lbits in lefts {
+    for_each_bushy_left(parts, group_bounds, |lbits| {
         if lbits == 0 || lbits == set.bits() {
-            continue;
+            return;
         }
         let left = TableSet(lbits);
+        debug_assert!(left.is_subset_of(set));
         let right = set.difference(left);
         let left_entries = memo.entries(left);
         if left_entries.is_empty() {
-            continue;
+            return;
         }
         let right_entries = memo.entries(right);
         if right_entries.is_empty() {
-            continue;
+            return;
         }
         stats.splits_tried += 1;
         combine_operands(
@@ -377,7 +432,7 @@ fn try_splits_bushy<M: MemoStore>(
             slot,
             stats,
         );
-    }
+    });
 }
 
 /// Ablation variant of the bushy split enumeration: enumerate *all*

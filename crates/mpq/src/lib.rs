@@ -44,6 +44,7 @@ pub mod optimizer;
 pub mod service;
 
 pub use message::{MasterMessage, WorkerMsg, WorkerReply};
+pub use mpq_dp::ParallelPolicy;
 pub use optimizer::{
     MpqConfig, MpqError, MpqMetrics, MpqOptimizer, MpqOutcome, RetryPolicy, StealPolicy,
 };

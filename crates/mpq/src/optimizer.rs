@@ -15,7 +15,7 @@
 use crate::service::MpqService;
 use mpq_cluster::{ClusterError, DecodeError, FaultPlan, LatencyModel, NetworkSnapshot, QueryId};
 use mpq_cost::Objective;
-use mpq_dp::WorkerStats;
+use mpq_dp::{ParallelPolicy, WorkerStats};
 use mpq_model::Query;
 use mpq_partition::{effective_workers, PlanSpace};
 use mpq_plan::Plan;
@@ -266,6 +266,12 @@ pub struct MpqConfig {
     /// what it computed itself. `0` (the default) disables caching, which
     /// is bit-for-bit the pre-cache behavior.
     pub cache_bytes: usize,
+    /// Intra-worker parallelism: how many threads each worker may spread
+    /// its partition's independent admissible sets across (see
+    /// `mpq_dp::ParallelPolicy`). The default is serial; any setting
+    /// produces bit-identical plans and counters (wall-clock aside), so
+    /// this is purely a per-node speed knob.
+    pub parallel: ParallelPolicy,
 }
 
 /// Measurements of one optimization run, matching the series the paper

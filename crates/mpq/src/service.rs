@@ -44,7 +44,7 @@ use mpq_cluster::{
     WireListener, WorkerCtx, WorkerLogic,
 };
 use mpq_cost::Objective;
-use mpq_dp::{optimize_partition_id_cached, PlanCache, WorkerStats};
+use mpq_dp::{optimize_partition_id_cached_parallel, ParallelPolicy, PlanCache, WorkerStats};
 use mpq_model::Query;
 use mpq_partition::{effective_workers, PlanSpace};
 use mpq_plan::{CacheWeight, Plan, PruningPolicy};
@@ -113,13 +113,17 @@ pub(crate) struct MpqWorker {
     /// Compute slowdown factor (1 = full speed); see
     /// [`MpqConfig::slow_worker`](crate::MpqConfig).
     slow_factor: u32,
+    /// Intra-worker thread budget for the DP kernel; see
+    /// [`MpqConfig::parallel`](crate::MpqConfig).
+    parallel: ParallelPolicy,
 }
 
 impl MpqWorker {
-    pub(crate) fn new(cache_bytes: usize, slow_factor: u32) -> MpqWorker {
+    pub(crate) fn new(cache_bytes: usize, slow_factor: u32, parallel: ParallelPolicy) -> MpqWorker {
         MpqWorker {
             cache: PlanCache::new(cache_bytes),
             slow_factor: slow_factor.max(1),
+            parallel,
         }
     }
 }
@@ -158,12 +162,13 @@ impl WorkerLogic for MpqWorker {
             .map(|(i, p)| (i as u64, p))
         {
             let t0 = Instant::now();
-            let (out, hit) = optimize_partition_id_cached(
+            let (out, hit) = optimize_partition_id_cached_parallel(
                 &msg.query,
                 msg.space,
                 msg.objective,
                 part_id,
                 msg.total_partitions,
+                self.parallel,
                 &mut self.cache,
             );
             if self.slow_factor > 1 {
@@ -189,6 +194,7 @@ impl WorkerLogic for MpqWorker {
             stats.optimize_micros += out.stats.optimize_micros;
             stats.stored_sets = stats.stored_sets.max(out.stats.stored_sets);
             stats.total_entries = stats.total_entries.max(out.stats.total_entries);
+            stats.threads_used = stats.threads_used.max(out.stats.threads_used);
             // Progress piggyback: after every `progress_every` completed
             // partitions, but never for the final one (the reply itself
             // signals completion).
@@ -381,7 +387,7 @@ impl MpqService {
                 Some((slow, factor)) if slow == w => factor,
                 _ => 1,
             };
-            MpqWorker::new(config.cache_bytes, slow_factor)
+            MpqWorker::new(config.cache_bytes, slow_factor, config.parallel)
         })
         .map_err(MpqError::Cluster)?;
         MpqService::with_transport(Box::new(cluster), config)
@@ -1272,8 +1278,12 @@ fn live_workers(cluster: &dyn Transport) -> Vec<usize> {
 /// the in-process cluster drives (with an own-rate clock, i.e. no
 /// slow-worker injection — real deployments get real stragglers), so a
 /// socket master observes byte-identical protocol behavior.
-pub fn serve_socket_worker(listener: &WireListener, cache_bytes: usize) -> std::io::Result<()> {
-    mpq_cluster::serve_worker(listener, MpqWorker::new(cache_bytes, 1))
+pub fn serve_socket_worker(
+    listener: &WireListener,
+    cache_bytes: usize,
+    parallel: ParallelPolicy,
+) -> std::io::Result<()> {
+    mpq_cluster::serve_worker(listener, MpqWorker::new(cache_bytes, 1, parallel))
 }
 
 /// Accumulates a reply's counters into a worker's running stats (a worker
@@ -1284,6 +1294,7 @@ fn accumulate(into: &mut WorkerStats, s: &WorkerStats) {
     into.optimize_micros += s.optimize_micros;
     into.stored_sets = into.stored_sets.max(s.stored_sets);
     into.total_entries = into.total_entries.max(s.total_entries);
+    into.threads_used = into.threads_used.max(s.threads_used);
 }
 
 #[cfg(test)]
@@ -1842,10 +1853,15 @@ mod tests {
                 && (1..8).all(|m| s.action(1, m) == FaultAction::Deliver)
         })
         .expect("some seed drops exactly worker 1's first task output");
+        // Factor 20 (not 3): the victim must still be visibly mid-range
+        // when worker 1 goes idle, or the steal pass has nothing to split
+        // and the session races to completion without the steal this test
+        // exists to observe — at small factors that race flakes under
+        // parallel test load.
         let config = MpqConfig {
             faults,
             steal: StealPolicy::balanced(),
-            slow_worker: Some((0, 3)),
+            slow_worker: Some((0, 20)),
             retry: RetryPolicy::with_timeout(64, Duration::from_millis(15)),
             ..MpqConfig::default()
         };

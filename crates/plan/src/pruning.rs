@@ -91,10 +91,33 @@ impl PruningPolicy {
     /// existing entries the new one supersedes. Returns whether the entry
     /// was kept.
     pub fn try_insert(&self, entries: &mut Vec<PlanEntry>, new: PlanEntry) -> bool {
-        if entries.iter().any(|e| self.rejects(e, &new)) {
+        self.try_insert_range(entries, 0, new)
+    }
+
+    /// [`PruningPolicy::try_insert`] restricted to the slot occupying
+    /// `entries[start..]`: entries below `start` are neither consulted nor
+    /// touched. This is the insertion primitive of the arena memo, where
+    /// the slot under construction is the tail of one shared entry array
+    /// and everything before `start` belongs to already-finalized sets.
+    pub fn try_insert_range(
+        &self,
+        entries: &mut Vec<PlanEntry>,
+        start: usize,
+        new: PlanEntry,
+    ) -> bool {
+        if entries[start..].iter().any(|e| self.rejects(e, &new)) {
             return false;
         }
-        entries.retain(|e| !self.removes(&new, e));
+        // In-place compaction of the tail (order-preserving), i.e.
+        // `retain` scoped to `entries[start..]`.
+        let mut keep = start;
+        for i in start..entries.len() {
+            if !self.removes(&new, &entries[i]) {
+                entries.swap(keep, i);
+                keep += 1;
+            }
+        }
+        entries.truncate(keep);
         entries.push(new);
         true
     }
@@ -297,5 +320,52 @@ mod tests {
     fn single_objective_insert_alpha_is_one() {
         let p = PruningPolicy::new(Objective::Single, 20);
         assert_eq!(p.insert_alpha(), 1.0);
+    }
+
+    #[test]
+    fn range_insert_ignores_the_frozen_prefix() {
+        let p = PruningPolicy::new(Objective::Single, 4);
+        // A frozen prefix entry cheaper than everything: it must neither
+        // reject the newcomer nor be removed by it.
+        let mut arena = vec![entry(1.0, 0.0, Order::None)];
+        assert!(p.try_insert_range(&mut arena, 1, entry(10.0, 0.0, Order::None)));
+        assert!(p.try_insert_range(&mut arena, 1, entry(5.0, 0.0, Order::None)));
+        assert!(!p.try_insert_range(&mut arena, 1, entry(7.0, 0.0, Order::None)));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena[0].cost.time, 1.0, "prefix untouched");
+        assert_eq!(arena[1].cost.time, 5.0);
+    }
+
+    #[test]
+    fn range_insert_matches_whole_slot_semantics() {
+        // Against an empty prefix, `try_insert_range(.., 0, ..)` and
+        // `try_insert` are the same function; spot-check order handling.
+        let p = PruningPolicy::new(Objective::Single, 4);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let stream = [
+            entry(10.0, 0.0, Order::None),
+            entry(15.0, 0.0, Order::OnAttribute(2)),
+            entry(8.0, 0.0, Order::OnAttribute(2)),
+            entry(9.0, 0.0, Order::None),
+        ];
+        for e in stream {
+            assert_eq!(p.try_insert(&mut a, e), p.try_insert_range(&mut b, 0, e));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_removal_preserves_survivor_order() {
+        let p = PruningPolicy::new(Objective::Multi { alpha: 1.0 }, 2);
+        let mut slot = Vec::new();
+        assert!(p.try_insert_range(&mut slot, 0, entry(10.0, 100.0, Order::None)));
+        assert!(p.try_insert_range(&mut slot, 0, entry(100.0, 10.0, Order::None)));
+        assert!(p.try_insert_range(&mut slot, 0, entry(50.0, 50.0, Order::None)));
+        // Dominates only the middle entry: the survivors keep their
+        // relative order, the newcomer appends.
+        assert!(p.try_insert_range(&mut slot, 0, entry(90.0, 9.0, Order::None)));
+        let times: Vec<f64> = slot.iter().map(|e| e.cost.time).collect();
+        assert_eq!(times, vec![10.0, 50.0, 90.0]);
     }
 }

@@ -1,0 +1,545 @@
+//! `bench-check` — regression gate over the committed `BENCH_*.json`
+//! baselines.
+//!
+//! The perf-tracked bench targets (`kernels`, `fig2`, `throughput`) emit
+//! machine-readable reports; the copies committed at the repo root are
+//! the **recorded perf trajectory**. This subcommand compares a fresh run
+//! against those baselines:
+//!
+//! * a baseline file with no current counterpart **fails** (the bench was
+//!   dropped or renamed without updating the trajectory);
+//! * a metric whose median regressed by more than [`FAIL_RATIO`] (2×)
+//!   **fails** — such a cliff is never noise on these workloads;
+//! * a regression beyond [`WARN_RATIO`] only **warns**: shared CI runners
+//!   jitter, and a hard gate tighter than 2× would page on weather;
+//! * a baseline metric missing from the current report warns; brand-new
+//!   current metrics are listed informationally (commit a new baseline).
+//!
+//! "Regressed" respects each metric's recorded direction: latencies
+//! (`"better": "lower"`) fail upward, throughputs (`"better": "higher"`)
+//! fail downward. The JSON parser below is hand-rolled for exactly the
+//! schema `mpq_bench::report` writes — this crate stays dependency-free.
+
+use std::path::Path;
+
+/// Median ratio (worse/better direction-adjusted) above which a metric
+/// hard-fails the check.
+pub const FAIL_RATIO: f64 = 2.0;
+/// Ratio above which a metric is reported as a warning.
+pub const WARN_RATIO: f64 = 1.35;
+
+/// One finding of the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Finding {
+    /// Regression beyond [`FAIL_RATIO`]; fails the run.
+    Fail(String),
+    /// Regression beyond [`WARN_RATIO`], or bookkeeping drift.
+    Warn(String),
+    /// Informational (new metrics, per-metric ratios).
+    Note(String),
+}
+
+impl Finding {
+    fn is_fail(&self) -> bool {
+        matches!(self, Finding::Fail(_))
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::Fail(m) => write!(f, "FAIL  {m}"),
+            Finding::Warn(m) => write!(f, "warn  {m}"),
+            Finding::Note(m) => write!(f, "      {m}"),
+        }
+    }
+}
+
+/// One parsed metric row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    pub id: String,
+    pub lower_is_better: bool,
+    pub median: f64,
+}
+
+/// One parsed `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    pub bench: String,
+    pub metrics: Vec<Metric>,
+}
+
+/// Compares one current report against its baseline.
+pub fn compare_reports(baseline: &Report, current: &Report) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for base in &baseline.metrics {
+        let Some(cur) = current.metrics.iter().find(|m| m.id == base.id) else {
+            findings.push(Finding::Warn(format!(
+                "{}: metric `{}` missing from the current run",
+                baseline.bench, base.id
+            )));
+            continue;
+        };
+        // Direction-adjusted: >1 always means "worse than baseline".
+        let ratio = if base.lower_is_better {
+            cur.median / base.median
+        } else {
+            base.median / cur.median
+        };
+        if !ratio.is_finite() || ratio <= 0.0 {
+            findings.push(Finding::Warn(format!(
+                "{}: metric `{}` has a degenerate ratio ({} vs {})",
+                baseline.bench, base.id, cur.median, base.median
+            )));
+        } else if ratio > FAIL_RATIO {
+            findings.push(Finding::Fail(format!(
+                "{}: `{}` regressed {ratio:.2}x (baseline median {}, current {})",
+                baseline.bench, base.id, base.median, cur.median
+            )));
+        } else if ratio > WARN_RATIO {
+            findings.push(Finding::Warn(format!(
+                "{}: `{}` slower by {ratio:.2}x (baseline median {}, current {})",
+                baseline.bench, base.id, base.median, cur.median
+            )));
+        } else {
+            findings.push(Finding::Note(format!(
+                "{}: `{}` ok ({ratio:.2}x of baseline)",
+                baseline.bench, base.id
+            )));
+        }
+    }
+    for cur in &current.metrics {
+        if !baseline.metrics.iter().any(|m| m.id == cur.id) {
+            findings.push(Finding::Note(format!(
+                "{}: new metric `{}` (no baseline; commit an updated BENCH file to track it)",
+                baseline.bench, cur.id
+            )));
+        }
+    }
+    findings
+}
+
+/// Runs the whole check: every `BENCH_*.json` under `baseline_dir` must
+/// have a current counterpart, and no metric may hard-regress. Returns
+/// the findings and whether the check passed.
+pub fn run(baseline_dir: &Path, current_dir: &Path) -> (Vec<Finding>, bool) {
+    let mut findings = Vec::new();
+    let baselines = bench_files(baseline_dir);
+    if baselines.is_empty() {
+        findings.push(Finding::Fail(format!(
+            "no BENCH_*.json baselines found under {}",
+            baseline_dir.display()
+        )));
+    }
+    for name in baselines {
+        let base = match load_report(&baseline_dir.join(&name)) {
+            Ok(r) => r,
+            Err(e) => {
+                findings.push(Finding::Fail(format!("{name}: unreadable baseline: {e}")));
+                continue;
+            }
+        };
+        let cur_path = current_dir.join(&name);
+        if !cur_path.is_file() {
+            findings.push(Finding::Fail(format!(
+                "{name}: baseline exists but the current run produced no such report \
+                 (looked in {})",
+                current_dir.display()
+            )));
+            continue;
+        }
+        match load_report(&cur_path) {
+            Ok(cur) => findings.extend(compare_reports(&base, &cur)),
+            Err(e) => findings.push(Finding::Fail(format!("{name}: unreadable current: {e}"))),
+        }
+    }
+    let ok = !findings.iter().any(Finding::is_fail);
+    (findings, ok)
+}
+
+/// Sorted `BENCH_*.json` file names directly under `dir`.
+fn bench_files(dir: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            if name.starts_with("BENCH_") && name.ends_with(".json") && entry.path().is_file() {
+                out.push(name);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Loads and parses one report file.
+pub fn load_report(path: &Path) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_report(&text)
+}
+
+/// Parses the `mpq_bench::report` schema out of its JSON text.
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let value = Json::parse(text)?;
+    let bench = value
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `bench`")?
+        .to_string();
+    let mut metrics = Vec::new();
+    let rows = value
+        .get("metrics")
+        .and_then(Json::as_array)
+        .ok_or("missing array field `metrics`")?;
+    for row in rows {
+        let id = row
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("metric without string `id`")?
+            .to_string();
+        let median = row
+            .get("median")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("metric `{id}` without numeric `median`"))?;
+        // Older reports may omit `better`; latency semantics are the
+        // safe default.
+        let lower_is_better = row.get("better").and_then(Json::as_str) != Some("higher");
+        metrics.push(Metric {
+            id,
+            lower_is_better,
+            median,
+        });
+    }
+    Ok(Report { bench, metrics })
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — exactly enough for the report schema.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (no number/string edge cases beyond what the
+/// reporter emits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", char::from(want), *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{word}` at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect_byte(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unsupported escape `\\{}`", char::from(other))),
+                }
+            }
+            _ => {
+                // Collect the full UTF-8 sequence starting at this byte.
+                let start = *pos - 1;
+                let mut end = *pos;
+                while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                let s = std::str::from_utf8(&b[start..end]).map_err(|_| "invalid UTF-8")?;
+                out.push_str(s);
+                *pos = end;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number bytes")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn report(bench: &str, rows: &[(&str, bool, f64)]) -> Report {
+        Report {
+            bench: bench.to_string(),
+            metrics: rows
+                .iter()
+                .map(|&(id, lower, median)| Metric {
+                    id: id.to_string(),
+                    lower_is_better: lower,
+                    median,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_reporter_schema() {
+        let text = r#"{
+  "bench": "kernels",
+  "git_rev": "abc1234",
+  "full_scale": false,
+  "config": { "samples": "11" },
+  "metrics": [
+    { "id": "dp_arena_linear16_l4", "unit": "ms", "better": "lower", "median": 12.5, "p95": 13.1, "samples": 11 },
+    { "id": "resident_qps_w4", "unit": "qps", "better": "higher", "median": 800.0, "p95": 750.0, "samples": 20 }
+  ]
+}"#;
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.bench, "kernels");
+        assert_eq!(r.metrics.len(), 2);
+        assert!(r.metrics[0].lower_is_better);
+        assert_eq!(r.metrics[0].median, 12.5);
+        assert!(!r.metrics[1].lower_is_better);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse(r#"{"a": }"#).is_err());
+        assert!(Json::parse(r#"{"a": 1} trailing"#).is_err());
+        assert!(parse_report(r#"{"metrics": []}"#).is_err(), "no bench name");
+        assert!(
+            parse_report(r#"{"bench": "x"}"#).is_err(),
+            "no metrics array"
+        );
+    }
+
+    #[test]
+    fn within_noise_is_clean() {
+        let base = report("kernels", &[("a", true, 10.0)]);
+        let cur = report("kernels", &[("a", true, 12.0)]);
+        let findings = compare_reports(&base, &cur);
+        assert!(findings.iter().all(|f| matches!(f, Finding::Note(_))));
+    }
+
+    #[test]
+    fn slowdown_beyond_warn_ratio_warns() {
+        let base = report("kernels", &[("a", true, 10.0)]);
+        let cur = report("kernels", &[("a", true, 15.0)]);
+        let findings = compare_reports(&base, &cur);
+        assert!(matches!(findings[0], Finding::Warn(_)), "{findings:?}");
+    }
+
+    #[test]
+    fn regression_beyond_fail_ratio_fails() {
+        let base = report("kernels", &[("a", true, 10.0)]);
+        let cur = report("kernels", &[("a", true, 21.0)]);
+        let findings = compare_reports(&base, &cur);
+        assert!(findings[0].is_fail(), "{findings:?}");
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        let base = report("throughput", &[("qps", false, 1000.0)]);
+        // Throughput up 3x: an improvement, not a failure.
+        let up = report("throughput", &[("qps", false, 3000.0)]);
+        assert!(compare_reports(&base, &up)
+            .iter()
+            .all(|f| matches!(f, Finding::Note(_))));
+        // Throughput down 3x: a hard failure.
+        let down = report("throughput", &[("qps", false, 300.0)]);
+        assert!(compare_reports(&base, &down)[0].is_fail());
+    }
+
+    #[test]
+    fn missing_and_new_metrics_are_soft() {
+        let base = report("kernels", &[("gone", true, 10.0)]);
+        let cur = report("kernels", &[("fresh", true, 10.0)]);
+        let findings = compare_reports(&base, &cur);
+        assert!(matches!(findings[0], Finding::Warn(_)), "missing → warn");
+        assert!(matches!(findings[1], Finding::Note(_)), "new → note");
+    }
+
+    #[test]
+    fn end_to_end_over_directories() {
+        let dir = std::env::temp_dir().join(format!("bench_check_{}", std::process::id()));
+        let baseline = dir.join("baseline");
+        let current = dir.join("current");
+        std::fs::create_dir_all(&baseline).unwrap();
+        std::fs::create_dir_all(&current).unwrap();
+        let doc = |median: f64| {
+            format!(
+                r#"{{"bench":"kernels","metrics":[{{"id":"a","unit":"ms","better":"lower","median":{median},"p95":{median},"samples":3}}]}}"#
+            )
+        };
+        std::fs::write(baseline.join("BENCH_kernels.json"), doc(10.0)).unwrap();
+        std::fs::write(current.join("BENCH_kernels.json"), doc(11.0)).unwrap();
+        let (findings, ok) = run(&baseline, &current);
+        assert!(ok, "{findings:?}");
+
+        // Dropping the current report is a hard failure.
+        std::fs::remove_file(current.join("BENCH_kernels.json")).unwrap();
+        let (findings, ok) = run(&baseline, &current);
+        assert!(!ok);
+        assert!(findings.iter().any(Finding::is_fail));
+
+        // An empty baseline directory is a hard failure too.
+        let (_, ok) = run(&current, &baseline);
+        assert!(!ok);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

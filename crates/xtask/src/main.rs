@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run -p xtask -- lint            # all rules, exit 1 on any violation
 //! cargo run -p xtask -- lint --root D   # lint another tree (fixture debugging)
+//! cargo run -p xtask -- bench-check --current D [--baseline D]
+//!                                       # compare BENCH_*.json against baselines
 //! ```
 //!
 //! Three rules, each guarding an invariant the test suites *prove* but
@@ -26,10 +28,15 @@
 //! The analyzer is token-level (see [`lexer`]) — it understands strings,
 //! comments, and `#[cfg(test)]`/`mod tests` scoping, which is exactly
 //! enough to make these rules precise without a full parser.
+//!
+//! A fourth gate, **bench-check** ([`bench_check`]), is dynamic rather
+//! than static: it compares freshly-emitted `BENCH_*.json` reports
+//! against the committed baselines and fails on >2× median regressions.
 
 #![forbid(unsafe_code)]
 
 mod allowlist;
+mod bench_check;
 mod lexer;
 mod rules;
 
@@ -137,14 +144,20 @@ pub fn run_lint(root: &Path) -> Vec<Violation> {
     violations
 }
 
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--root DIR]\n       \
+     cargo run -p xtask -- bench-check --current DIR [--baseline DIR]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root = workspace_root();
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
     let mut cmd = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "lint" => cmd = Some("lint"),
+            "bench-check" => cmd = Some("bench-check"),
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -152,28 +165,66 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--baseline" => match it.next() {
+                Some(dir) => baseline = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--baseline needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--current" => match it.next() {
+                Some(dir) => current = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--current needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!(
-                    "unknown argument `{other}`\n\nusage: cargo run -p xtask -- lint [--root DIR]"
-                );
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    if cmd != Some("lint") {
-        eprintln!("usage: cargo run -p xtask -- lint [--root DIR]");
-        return ExitCode::FAILURE;
-    }
-    let violations = run_lint(&root);
-    for v in &violations {
-        println!("{v}");
-    }
-    if violations.is_empty() {
-        println!("xtask lint: clean (panic-freedom, wire conformance, clock-freedom)");
-        ExitCode::SUCCESS
-    } else {
-        println!("xtask lint: {} violation(s)", violations.len());
-        ExitCode::FAILURE
+    match cmd {
+        Some("lint") => {
+            let violations = run_lint(&root);
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("xtask lint: clean (panic-freedom, wire conformance, clock-freedom)");
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some("bench-check") => {
+            let baseline = baseline.unwrap_or_else(|| root.clone());
+            let Some(current) = current else {
+                eprintln!("bench-check needs --current DIR (where the fresh BENCH_*.json live)");
+                return ExitCode::FAILURE;
+            };
+            let (findings, ok) = bench_check::run(&baseline, &current);
+            for f in &findings {
+                println!("{f}");
+            }
+            if ok {
+                println!(
+                    "xtask bench-check: no hard regressions (fail threshold {}x, warn {}x)",
+                    bench_check::FAIL_RATIO,
+                    bench_check::WARN_RATIO
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask bench-check: hard regression(s) found");
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -81,6 +81,8 @@ serve options:
   --clients C       concurrent in-flight submissions        (default 8, must be > 0)
   --backend B       serial|topdown|mpq|sma                  (default mpq)
   --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)
+  --parallel N      intra-worker DP threads on the MPQ backend (default 1;
+                    results are bit-identical for every N)
   --steal           straggler-adaptive work redistribution on the MPQ backend
   --steal-lag R     lag ratio triggering a steal (default 2, > 1; implies --steal)
   --steal-min N     unstarted partitions to split a range (default 2, > 0; implies --steal)
@@ -91,7 +93,8 @@ worker options:
   --listen ADDR     address to serve one master on (host:port or unix:/path;
                     TCP port 0 picks a free port, printed on stdout)
   --backend B       mpq|sma                                 (default mpq)
-  --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)";
+  --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)
+  --parallel N      intra-worker DP threads (mpq backend)   (default 1)";
 
 struct Options {
     tables: usize,
@@ -107,6 +110,7 @@ struct Options {
     backend: Backend,
     cache_bytes: usize,
     steal: StealPolicy,
+    parallel: ParallelPolicy,
     listen: Option<String>,
     connect: Vec<String>,
 }
@@ -127,6 +131,7 @@ impl Options {
             backend: Backend::Mpq,
             cache_bytes: 0,
             steal: StealPolicy::DISABLED,
+            parallel: ParallelPolicy::serial(),
             listen: None,
             connect: Vec::new(),
         };
@@ -171,6 +176,13 @@ impl Options {
                 "--queries" => o.queries = parse_num(&value("--queries")?)?,
                 "--clients" => o.clients = parse_num(&value("--clients")?)?,
                 "--cache-bytes" => o.cache_bytes = parse_num(&value("--cache-bytes")?)?,
+                "--parallel" => {
+                    let threads: usize = parse_num(&value("--parallel")?)?;
+                    if threads == 0 {
+                        return Err("--parallel must be at least 1".into());
+                    }
+                    o.parallel = ParallelPolicy::with_threads(threads);
+                }
                 "--steal" => o.steal.enabled = true,
                 "--steal-lag" => {
                     let ratio: f64 = value("--steal-lag")?
@@ -313,6 +325,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         workers: o.workers as usize,
         mpq: MpqConfig {
             latency: LatencyModel::cluster_like(),
+            parallel: o.parallel,
             ..MpqConfig::default()
         },
         sma: SmaConfig {
@@ -539,7 +552,7 @@ fn cmd_worker(o: &Options) -> Result<(), String> {
     use std::io::Write;
     let _ = std::io::stdout().flush();
     let served = match o.backend {
-        Backend::Mpq => pqopt::mpq::serve_socket_worker(&listener, o.cache_bytes),
+        Backend::Mpq => pqopt::mpq::serve_socket_worker(&listener, o.cache_bytes, o.parallel),
         Backend::Sma => pqopt::sma::serve_socket_worker(&listener, o.cache_bytes),
         Backend::SerialDp | Backend::TopDown => {
             return Err("worker requires a cluster backend (--backend mpq|sma)".into())

@@ -83,7 +83,7 @@ pub mod prelude {
     };
     pub use mpq_cluster::{ClusterError, FaultPlan, LatencyModel, NetworkMetrics, QueryId};
     pub use mpq_cost::{CostVector, Objective};
-    pub use mpq_dp::{optimize_partition, optimize_serial, PartitionOutcome};
+    pub use mpq_dp::{optimize_partition, optimize_serial, ParallelPolicy, PartitionOutcome};
     pub use mpq_exec::{execute, DataConfig, Database};
     pub use mpq_heuristics::{greedy_min_result, IterativeImprovement, SimulatedAnnealing};
     pub use mpq_model::{
