@@ -12,15 +12,36 @@
 //!   batch of queries in flight concurrently — the number the ROADMAP's
 //!   "heavy traffic" north star cares about.
 //!
-//! Latency is zero so the comparison isolates the architectural overhead
-//! (thread spawn/join and lost pipelining), not simulated network delays.
-//! Emits `BENCH_throughput.json` (queries/sec, higher is better).
+//! Latency is zero in that comparison so it isolates the architectural
+//! overhead (thread spawn/join and lost pipelining), not simulated
+//! network delays.
+//!
+//! A second section measures **in-flight coalescing vs cache-only** on
+//! open-loop Zipf arrivals through the [`OptimizerService`] facade:
+//! bursts of `BURST` submissions are all in flight before any result is
+//! redeemed, so at high repetition rates duplicates arrive *while their
+//! twin is still optimizing* — too early for the result cache, which only
+//! helps after the first session completes. Coalescing merges those
+//! in-flight duplicates onto one backend optimization. This section runs
+//! under [`mpq_bench::experiment_latency`] (cluster-like delays) so each
+//! *avoided* session saves its real messaging cost:
+//!
+//! * `cacheonly_qps_rep{P}`: facade with caches but no coalescing, at a
+//!   repetition rate of `P`%;
+//! * `coalesce_qps_rep{P}`: same stream with `coalesce = true`.
+//!
+//! Asserts the ISSUE 9 acceptance bar: coalescing beats cache-only at
+//! ≥ 80% repetition. Emits `BENCH_throughput.json` (queries/sec, higher
+//! is better).
 
 use mpq_algo::{MpqConfig, MpqOptimizer, MpqService};
 use mpq_bench::BenchReport;
 use mpq_cost::Objective;
 use mpq_model::{Query, WorkloadConfig, WorkloadGenerator};
 use mpq_partition::PlanSpace;
+use pqopt::prelude::{Backend, OptimizerService, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -28,6 +49,16 @@ const BATCH: u64 = 8;
 const TABLES: usize = 8;
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 const ROUNDS: usize = 20;
+
+// Coalescing section: open-loop Zipf arrivals through the facade.
+const HOT_SET: usize = 4;
+const ZIPF_S: f64 = 1.1;
+const STREAM_LEN: usize = 32;
+const BURST: usize = 16;
+const COALESCE_TABLES: usize = 7;
+const COALESCE_WORKERS: usize = 4;
+const REPETITION_RATES: [f64; 3] = [0.5, 0.8, 0.95];
+const COALESCE_ROUNDS: usize = 5;
 
 fn workload() -> Vec<Query> {
     (0..BATCH)
@@ -78,6 +109,133 @@ fn qps_samples<F: FnMut()>(mut round: F) -> Vec<f64> {
         .collect()
 }
 
+/// Zipf CDF over ranks `1..=HOT_SET` with exponent `ZIPF_S`.
+fn zipf_cdf() -> Vec<f64> {
+    let weights: Vec<f64> = (1..=HOT_SET)
+        .map(|r| 1.0 / (r as f64).powf(ZIPF_S))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// A Zipf-skewed open-loop stream: repetition-rate fraction of positions
+/// revisit a hot query (rank drawn from the Zipf CDF), the rest are
+/// unique colds that keep arriving forever.
+fn zipf_stream(repetition: f64, seed: u64) -> Vec<Query> {
+    let hot: Vec<Query> = (0..HOT_SET)
+        .map(|i| {
+            WorkloadGenerator::new(
+                WorkloadConfig::paper_default(COALESCE_TABLES),
+                1_000 + i as u64,
+            )
+            .next_query()
+        })
+        .collect();
+    let cdf = zipf_cdf();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cold_gen = WorkloadGenerator::new(
+        WorkloadConfig::paper_default(COALESCE_TABLES),
+        900_000 + seed,
+    );
+    (0..STREAM_LEN)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < repetition {
+                let u: f64 = rng.random_range(0.0..1.0);
+                let rank = cdf.iter().position(|&c| u <= c).unwrap_or(HOT_SET - 1);
+                hot[rank].clone()
+            } else {
+                cold_gen.next_query()
+            }
+        })
+        .collect()
+}
+
+/// Open-loop arrival: `BURST` submissions are in flight before the first
+/// redemption, so duplicates land while their twin is still optimizing.
+fn facade_stream(service: &mut OptimizerService, queries: &[Query]) {
+    for chunk in queries.chunks(BURST) {
+        let handles: Vec<_> = chunk
+            .iter()
+            .map(|q| {
+                service
+                    .submit(black_box(q), PlanSpace::Linear, Objective::Single)
+                    .expect("submit")
+            })
+            .collect();
+        for handle in handles {
+            let _ = black_box(service.wait(handle).expect("session completes"));
+        }
+    }
+}
+
+fn facade_service(coalesce: bool) -> OptimizerService {
+    let mut config = ServiceConfig::new(Backend::Mpq, COALESCE_WORKERS);
+    config.mpq.latency = mpq_bench::experiment_latency();
+    config.coalesce = coalesce;
+    OptimizerService::spawn(config).expect("facade spawns")
+}
+
+/// Per-round qps samples for one facade mode over one stream.
+fn facade_qps(coalesce: bool, stream: &[Query]) -> Vec<f64> {
+    let mut service = facade_service(coalesce);
+    facade_stream(&mut service, stream); // warmup
+    let samples = (0..COALESCE_ROUNDS)
+        .map(|_| {
+            let t0 = Instant::now();
+            facade_stream(&mut service, stream);
+            STREAM_LEN as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    service.shutdown();
+    samples
+}
+
+/// The coalescing-vs-cache-only section; returns the report metrics and
+/// asserts the acceptance bar at 80% repetition.
+fn coalesce_section(report: &mut BenchReport) {
+    println!(
+        "\n== coalescing vs cache-only (queries/sec, open-loop Zipf stream of {STREAM_LEN} x \
+         {COALESCE_TABLES}-table, bursts of {BURST}, s = {ZIPF_S}, {COALESCE_WORKERS} workers) =="
+    );
+    println!(
+        "{:>11} {:>12} {:>12} {:>9}",
+        "repetition", "cache-only", "coalesce", "speedup"
+    );
+    let mut speedup_at_80 = 0.0;
+    for repetition in REPETITION_RATES {
+        let stream = zipf_stream(repetition, 7);
+        let cacheonly = facade_qps(false, &stream);
+        let coalesce = facade_qps(true, &stream);
+        let cacheonly_qps = mpq_bench::median(&mut cacheonly.clone());
+        let coalesce_qps = mpq_bench::median(&mut coalesce.clone());
+        let speedup = coalesce_qps / cacheonly_qps;
+        if repetition == 0.8 {
+            speedup_at_80 = speedup;
+        }
+        println!(
+            "{:>10.0}% {:>12.0} {:>12.0} {:>8.2}x",
+            repetition * 100.0,
+            cacheonly_qps,
+            coalesce_qps,
+            speedup
+        );
+        let tag = (repetition * 100.0).round() as u32;
+        report.metric_higher(&format!("cacheonly_qps_rep{tag}"), "qps", &cacheonly);
+        report.metric_higher(&format!("coalesce_qps_rep{tag}"), "qps", &coalesce);
+    }
+    assert!(
+        speedup_at_80 > 1.0,
+        "acceptance bar: coalescing must beat cache-only at 80% repetition, got {speedup_at_80:.2}x"
+    );
+}
+
 fn main() {
     let queries = workload();
     let mut report = BenchReport::new("throughput");
@@ -109,5 +267,10 @@ fn main() {
         report.metric_higher(&format!("spawn_qps_w{workers}"), "qps", &spawn);
         report.metric_higher(&format!("resident_qps_w{workers}"), "qps", &resident);
     }
+    report
+        .config("stream_len", STREAM_LEN as u64)
+        .config("burst", BURST as u64)
+        .config("coalesce_workers", COALESCE_WORKERS as u64);
+    coalesce_section(&mut report);
     report.write();
 }

@@ -194,6 +194,16 @@ pub enum MpqError {
         /// What was wrong with the request.
         reason: &'static str,
     },
+    /// The service's in-flight budget ([`MpqConfig::max_in_flight`]) is
+    /// spent: `in_flight` sessions are already admitted against a limit
+    /// of `limit`. Backpressure, not failure — retry after redeeming a
+    /// handle, or park with `submit_wait`.
+    Overloaded {
+        /// Sessions in flight when the submission was refused.
+        in_flight: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for MpqError {
@@ -220,6 +230,11 @@ impl fmt::Display for MpqError {
                  (already redeemed, or from a different service)"
             ),
             MpqError::BadRequest { reason } => write!(f, "malformed submission: {reason}"),
+            MpqError::Overloaded { in_flight, limit } => write!(
+                f,
+                "service overloaded: {in_flight} session(s) in flight at the admission \
+                 limit of {limit}"
+            ),
         }
     }
 }
@@ -272,6 +287,12 @@ pub struct MpqConfig {
     /// produces bit-identical plans and counters (wall-clock aside), so
     /// this is purely a per-node speed knob.
     pub parallel: ParallelPolicy,
+    /// Admission limit: how many sessions may be in flight (submitted but
+    /// not yet finished) at once. Submissions beyond the limit are
+    /// refused with a typed [`MpqError::Overloaded`] instead of being
+    /// queued silently. `0` (the default) means unlimited — bit-for-bit
+    /// the pre-admission behavior.
+    pub max_in_flight: usize,
 }
 
 /// Measurements of one optimization run, matching the series the paper

@@ -352,6 +352,9 @@ pub struct MpqService {
     cluster: Box<dyn Transport>,
     retry: RetryPolicy,
     steal: StealPolicy,
+    /// Admission limit (0 = unlimited); see
+    /// [`MpqConfig::max_in_flight`](crate::MpqConfig).
+    max_in_flight: usize,
     /// This instance's identity, stamped into every handle it mints.
     service: u64,
     next_id: u64,
@@ -414,6 +417,7 @@ impl MpqService {
             cluster: transport,
             retry: config.retry,
             steal: config.steal,
+            max_in_flight: config.max_in_flight,
             service: mpq_cluster::mint_service_instance(),
             next_id: 0,
             sessions: BTreeMap::new(),
@@ -516,6 +520,16 @@ impl MpqService {
             });
         }
         self.reap_abandoned();
+        // Admission: refuse past the in-flight budget *before* any task
+        // message goes out, so a refused submission leaves zero state
+        // behind. Reaping first means dropped-but-unreaped handles never
+        // count against the caller.
+        if self.max_in_flight > 0 && self.sessions.len() >= self.max_in_flight {
+            return Err(MpqError::Overloaded {
+                in_flight: self.sessions.len(),
+                limit: self.max_in_flight,
+            });
+        }
         let id = QueryId(self.next_id);
         self.next_id += 1;
         let ranges = assignment.len();
@@ -651,41 +665,73 @@ impl MpqService {
             if !self.sessions.contains_key(&handle.id.0) {
                 return Err(MpqError::UnknownHandle { id: handle.id });
             }
-            match self.retry.timeout {
-                Some(t) => {
-                    match self.cluster.recv_timeout(t) {
-                        Ok((worker, qid, payload)) => self.route(worker, qid, payload),
-                        Err(ClusterError::Timeout { .. }) => {}
-                        Err(err) => self.fail_all(err),
-                    }
-                    self.check_suspicions();
+            self.drive_scheduler_once();
+        }
+    }
+
+    /// Blocking submit: parks via the clock-free evidence loop whenever
+    /// the admission limit refuses the query, driving the in-flight
+    /// sessions until capacity frees, then submits. Every non-`Overloaded`
+    /// outcome (success or typed failure) is returned as-is, so this is
+    /// exactly [`MpqService::submit`] plus backpressure parking.
+    pub fn submit_wait(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+    ) -> Result<QueryHandle, MpqError> {
+        loop {
+            match self.submit(query, space, objective) {
+                Err(MpqError::Overloaded { .. }) => {
+                    // Overloaded implies at least one session in flight
+                    // (the limit is >= 1), and every in-flight session
+                    // finishes or fails under the same evidence passes
+                    // that drive `wait` — so capacity frees eventually.
+                    self.drive_scheduler_once();
                 }
-                None => {
-                    // No timer: drain everything already queued before
-                    // consulting evidence — a reply sitting in the
-                    // channel beats any suspicion about its sender (a
-                    // worker may legitimately crash *after* its
-                    // completing reply). Only on an empty queue does the
-                    // clock-free evidence pass run; without it, a worker
-                    // that crashed before replying would deadlock this
-                    // wait even though its death is already provable.
-                    // The park itself is a coarse heartbeat, not an
-                    // unbounded block: a worker dying *while* the master
-                    // is parked is noticed by the next evidence pass
-                    // within one heartbeat.
-                    match self.cluster.try_recv() {
-                        Ok((worker, qid, payload)) => self.route(worker, qid, payload),
-                        Err(ClusterError::Timeout { .. }) => {
-                            if !self.check_suspicions() {
-                                match self.cluster.recv_timeout(EVIDENCE_HEARTBEAT) {
-                                    Ok((worker, qid, payload)) => self.route(worker, qid, payload),
-                                    Err(ClusterError::Timeout { .. }) => {}
-                                    Err(err) => self.fail_all(err),
-                                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One pass of the blocking scheduler: receive/route with the
+    /// configured timeout, or — with no timer — drain the queue first and
+    /// fall back to the clock-free evidence pass.
+    fn drive_scheduler_once(&mut self) {
+        match self.retry.timeout {
+            Some(t) => {
+                match self.cluster.recv_timeout(t) {
+                    Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                    Err(ClusterError::Timeout { .. }) => {}
+                    Err(err) => self.fail_all(err),
+                }
+                self.check_suspicions();
+            }
+            None => {
+                // No timer: drain everything already queued before
+                // consulting evidence — a reply sitting in the
+                // channel beats any suspicion about its sender (a
+                // worker may legitimately crash *after* its
+                // completing reply). Only on an empty queue does the
+                // clock-free evidence pass run; without it, a worker
+                // that crashed before replying would deadlock this
+                // wait even though its death is already provable.
+                // The park itself is a coarse heartbeat, not an
+                // unbounded block: a worker dying *while* the master
+                // is parked is noticed by the next evidence pass
+                // within one heartbeat.
+                match self.cluster.try_recv() {
+                    Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                    Err(ClusterError::Timeout { .. }) => {
+                        if !self.check_suspicions() {
+                            match self.cluster.recv_timeout(EVIDENCE_HEARTBEAT) {
+                                Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+                                Err(ClusterError::Timeout { .. }) => {}
+                                Err(err) => self.fail_all(err),
                             }
                         }
-                        Err(err) => self.fail_all(err),
                     }
+                    Err(err) => self.fail_all(err),
                 }
             }
         }

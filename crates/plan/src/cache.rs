@@ -45,7 +45,13 @@ pub const COST_MODEL_VERSION: u64 = 1;
 /// A collision-proof cache key: a 64-bit hash for bucketing plus the full
 /// canonical byte string for equality (hash collisions degrade to misses,
 /// never to wrong values).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Keys are totally ordered (hash first, then canonical bytes) and
+/// hashable, so they double as map keys outside the [`MemoCache`] — the
+/// service layer's in-flight coalescing tables key coalitions by exactly
+/// this canonical identity, reusing "identical query" as the cache
+/// defines it rather than re-deriving it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CacheKey {
     hash: u64,
     bytes: Vec<u8>,
@@ -55,6 +61,12 @@ impl CacheKey {
     /// The key's bucket hash.
     pub fn hash(&self) -> u64 {
         self.hash
+    }
+
+    /// The full canonical byte string (the equality witness behind the
+    /// hash).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
     }
 }
 

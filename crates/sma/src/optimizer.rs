@@ -42,6 +42,12 @@ pub struct SmaConfig {
     /// state at each level is identical across sessions. `0` (the
     /// default) disables caching.
     pub cache_bytes: usize,
+    /// Admission limit: how many sessions may be in flight (submitted but
+    /// not yet finished) at once. Submissions beyond the limit are
+    /// refused with a typed [`SmaError::Overloaded`] — before any `Init`
+    /// broadcast, so a refused query pins no replicas. `0` (the default)
+    /// means unlimited — bit-for-bit the pre-admission behavior.
+    pub max_in_flight: usize,
 }
 
 /// Typed failure of one SMA optimization run.
@@ -103,6 +109,16 @@ pub enum SmaError {
         /// What was wrong with the request.
         reason: &'static str,
     },
+    /// The service's in-flight budget ([`SmaConfig::max_in_flight`]) is
+    /// spent: `in_flight` sessions are already admitted against a limit
+    /// of `limit`. Backpressure, not failure — retry after redeeming a
+    /// handle, or park with `submit_wait`.
+    Overloaded {
+        /// Sessions in flight when the submission was refused.
+        in_flight: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
 }
 
 impl SmaError {
@@ -122,7 +138,8 @@ impl SmaError {
             | SmaError::Protocol { .. }
             | SmaError::Cluster(_)
             | SmaError::UnknownHandle { .. }
-            | SmaError::BadRequest { .. } => None,
+            | SmaError::BadRequest { .. }
+            | SmaError::Overloaded { .. } => None,
         }
     }
 }
@@ -160,6 +177,11 @@ impl fmt::Display for SmaError {
                  (already redeemed, or from a different service)"
             ),
             SmaError::BadRequest { reason } => write!(f, "malformed request: {reason}"),
+            SmaError::Overloaded { in_flight, limit } => write!(
+                f,
+                "service overloaded: {in_flight} session(s) in flight at the admission \
+                 limit of {limit}"
+            ),
         }
     }
 }

@@ -322,6 +322,9 @@ impl Session {
 pub struct SmaService {
     cluster: Box<dyn Transport>,
     recv_timeout: Option<Duration>,
+    /// Admission limit (0 = unlimited); see
+    /// [`SmaConfig::max_in_flight`](crate::SmaConfig).
+    max_in_flight: usize,
     /// This instance's identity, stamped into every handle it mints.
     service: u64,
     next_id: u64,
@@ -370,6 +373,7 @@ impl SmaService {
         Ok(SmaService {
             cluster: transport,
             recv_timeout: config.recv_timeout,
+            max_in_flight: config.max_in_flight,
             service: mpq_cluster::mint_service_instance(),
             next_id: 0,
             sessions: BTreeMap::new(),
@@ -404,6 +408,16 @@ impl SmaService {
         objective: Objective,
     ) -> Result<QueryHandle, SmaError> {
         self.reap_abandoned();
+        // Admission: refuse past the in-flight budget *before* the `Init`
+        // broadcast, so a refused submission pins no replicas anywhere.
+        // Reaping first means dropped-but-unreaped handles never count
+        // against the caller.
+        if self.max_in_flight > 0 && self.sessions.len() >= self.max_in_flight {
+            return Err(SmaError::Overloaded {
+                in_flight: self.sessions.len(),
+                limit: self.max_in_flight,
+            });
+        }
         let id = QueryId(self.next_id);
         self.next_id += 1;
         let n = query.num_tables();
@@ -498,17 +512,48 @@ impl SmaService {
             if !self.sessions.contains_key(&handle.id.0) {
                 return Err(SmaError::UnknownHandle { id: handle.id });
             }
-            let received = match self.recv_timeout {
-                Some(t) => self.cluster.recv_timeout(t),
-                None => self.cluster.recv(),
-            };
-            match received {
-                Ok((worker, qid, payload)) => self.route(worker, qid, payload),
-                Err(ClusterError::Timeout { .. }) => {}
-                Err(err) => self.fail_all(err),
-            }
-            self.check_suspicions();
+            self.drive_scheduler_once();
         }
+    }
+
+    /// Blocking submit: parks on the blocking receive loop whenever the
+    /// admission limit refuses the query, driving the in-flight sessions'
+    /// rounds until capacity frees, then submits. Every non-`Overloaded`
+    /// outcome (success or typed failure) is returned as-is, so this is
+    /// exactly [`SmaService::submit`] plus backpressure parking.
+    pub fn submit_wait(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+    ) -> Result<QueryHandle, SmaError> {
+        loop {
+            match self.submit(query, space, objective) {
+                Err(SmaError::Overloaded { .. }) => {
+                    // Overloaded implies at least one session in flight
+                    // (the limit is >= 1); its level-synchronized rounds
+                    // finish or fail under the same receive passes that
+                    // drive `wait`, so capacity frees eventually.
+                    self.drive_scheduler_once();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One pass of the blocking scheduler: receive/route one reply (with
+    /// the configured stall timeout, if any), then run the suspicion pass.
+    fn drive_scheduler_once(&mut self) {
+        let received = match self.recv_timeout {
+            Some(t) => self.cluster.recv_timeout(t),
+            None => self.cluster.recv(),
+        };
+        match received {
+            Ok((worker, qid, payload)) => self.route(worker, qid, payload),
+            Err(ClusterError::Timeout { .. }) => {}
+            Err(err) => self.fail_all(err),
+        }
+        self.check_suspicions();
     }
 
     /// Shuts the resident cluster down, joining every worker thread.

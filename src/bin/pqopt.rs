@@ -81,6 +81,13 @@ serve options:
   --clients C       concurrent in-flight submissions        (default 8, must be > 0)
   --backend B       serial|topdown|mpq|sma                  (default mpq)
   --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)
+  --max-in-flight N admission limit: most sessions the backend keeps in flight;
+                    further submissions park until capacity frees
+                    (must be > 0 when given; default unlimited)
+  --repeat P        percent of the serve stream drawn from a small hot set of
+                    repeated queries (0-100, default 0)
+  --coalesce        coalesce identical in-flight submissions onto one backend
+                    optimization (needs --clients >= 2 and --repeat >= 1)
   --parallel N      intra-worker DP threads on the MPQ backend (default 1;
                     results are bit-identical for every N)
   --steal           straggler-adaptive work redistribution on the MPQ backend
@@ -96,6 +103,7 @@ worker options:
   --cache-bytes N   cross-query memo-cache budget in bytes  (default 0 = disabled)
   --parallel N      intra-worker DP threads (mpq backend)   (default 1)";
 
+#[derive(Debug)]
 struct Options {
     tables: usize,
     graph: JoinGraph,
@@ -111,6 +119,9 @@ struct Options {
     cache_bytes: usize,
     steal: StealPolicy,
     parallel: ParallelPolicy,
+    max_in_flight: usize,
+    coalesce: bool,
+    repeat: usize,
     listen: Option<String>,
     connect: Vec<String>,
 }
@@ -132,6 +143,9 @@ impl Options {
             cache_bytes: 0,
             steal: StealPolicy::DISABLED,
             parallel: ParallelPolicy::serial(),
+            max_in_flight: 0,
+            coalesce: false,
+            repeat: 0,
             listen: None,
             connect: Vec::new(),
         };
@@ -182,6 +196,24 @@ impl Options {
                         return Err("--parallel must be at least 1".into());
                     }
                     o.parallel = ParallelPolicy::with_threads(threads);
+                }
+                "--max-in-flight" => {
+                    let limit: usize = parse_num(&value("--max-in-flight")?)?;
+                    if limit == 0 {
+                        // `0` is the library's internal "unlimited"
+                        // sentinel; on the CLI, omitting the flag says
+                        // that, so an explicit zero is a usage error.
+                        return Err("--max-in-flight must be at least 1".into());
+                    }
+                    o.max_in_flight = limit;
+                }
+                "--coalesce" => o.coalesce = true,
+                "--repeat" => {
+                    let percent: usize = parse_num(&value("--repeat")?)?;
+                    if percent > 100 {
+                        return Err("--repeat is a percentage (0-100)".into());
+                    }
+                    o.repeat = percent;
                 }
                 "--steal" => o.steal.enabled = true,
                 "--steal-lag" => {
@@ -235,6 +267,21 @@ impl Options {
         }
         if o.clients == 0 {
             return Err("--clients must be at least 1".into());
+        }
+        // Coalescing elides identical *concurrent* submissions: with one
+        // client or a repetition-free stream there is nothing it could
+        // ever merge, so asking for it is a usage error, not a silent
+        // no-op run.
+        if o.coalesce && o.clients < 2 {
+            return Err(
+                "--coalesce needs --clients >= 2 (coalescing merges concurrent submissions)".into(),
+            );
+        }
+        if o.coalesce && o.repeat == 0 {
+            return Err(
+                "--coalesce needs --repeat >= 1 (a repetition-free stream has nothing to coalesce)"
+                    .into(),
+            );
         }
         Ok(o)
     }
@@ -318,8 +365,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         return cmd_serve_sockets(o);
     }
     let clients = o.clients;
-    let mut gen = WorkloadGenerator::new(WorkloadConfig::with_graph(o.tables, o.graph), o.seed);
-    let queries: Vec<Query> = (0..o.queries).map(|_| gen.next_query()).collect();
+    let queries = serve_workload(o);
     let config = ServiceConfig {
         backend: o.backend,
         workers: o.workers as usize,
@@ -334,13 +380,16 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         },
         cache_bytes: o.cache_bytes,
         steal: o.steal,
+        max_in_flight: o.max_in_flight,
+        coalesce: o.coalesce,
     };
     println!(
-        "serving {} queries ({} tables, {:?} graph) on backend `{}`, {} workers, {} clients, \
-         cache {} bytes, steal {}",
+        "serving {} queries ({} tables, {:?} graph, {}% repeated) on backend `{}`, {} workers, \
+         {} clients, cache {} bytes, steal {}, in-flight limit {}, coalescing {}",
         queries.len(),
         o.tables,
         o.graph,
+        o.repeat,
         o.backend.name(),
         o.workers,
         clients,
@@ -349,7 +398,13 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             format!("on (lag {}x, min {})", o.steal.lag_ratio, o.steal.min_steal)
         } else {
             "off".to_string()
-        }
+        },
+        if o.max_in_flight > 0 {
+            o.max_in_flight.to_string()
+        } else {
+            "unlimited".to_string()
+        },
+        if o.coalesce { "on" } else { "off" },
     );
 
     // Resident mode: one service for the whole stream, `clients` queries
@@ -360,6 +415,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     let resident_results = run_resident(&mut service, &queries, clients, o)?;
     let resident = t0.elapsed();
     let cache = service.cache_stats();
+    let coalesce = service.coalesce_stats();
     service.shutdown();
     if o.cache_bytes > 0 {
         println!(
@@ -369,6 +425,12 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             cache.misses,
             cache.hit_rate() * 100.0,
             cache.bytes_saved
+        );
+    }
+    if o.coalesce {
+        println!(
+            "coalescing: {} session(s) shared a flight, {} backend optimization(s) saved",
+            coalesce.coalesced_sessions, coalesce.saved_optimizations
         );
     }
 
@@ -431,8 +493,57 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Generates the serve workload: `--queries` queries where `--repeat`
+/// percent of the stream positions (striped deterministically) repeat a
+/// small hot set, and the rest are fresh random queries. At `--repeat 0`
+/// this is exactly the pre-repetition stream.
+fn serve_workload(o: &Options) -> Vec<Query> {
+    let config = || WorkloadConfig::with_graph(o.tables, o.graph);
+    let mut cold = WorkloadGenerator::new(config(), o.seed);
+    if o.repeat == 0 {
+        return (0..o.queries).map(|_| cold.next_query()).collect();
+    }
+    // A small hot set, disjoint from the cold stream by seed. Hot ranks
+    // are drawn Zipf-skewed (s = 1.1) from a seeded generator, so the
+    // same hot query recurs in quick succession — with `--coalesce`,
+    // those duplicates overlap in flight and share one optimization.
+    let hot: Vec<Query> = (0..4)
+        .map(|i| WorkloadGenerator::new(config(), 1_000 + i).next_query())
+        .collect();
+    let cdf: Vec<f64> = {
+        let weights: Vec<f64> = (1..=hot.len())
+            .map(|r| 1.0 / (r as f64).powf(1.1))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w / total;
+                Some(*acc)
+            })
+            .collect()
+    };
+    let mut state = o.seed ^ 0x9E37_79B9_7F4A_7C15;
+    (0..o.queries)
+        .map(|i| {
+            if i % 100 < o.repeat {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                let rank = cdf.iter().position(|&c| u <= c).unwrap_or(hot.len() - 1);
+                hot[rank].clone()
+            } else {
+                cold.next_query()
+            }
+        })
+        .collect()
+}
+
 /// Streams the workload through `service` with up to `clients`
-/// submissions in flight, returning the plans in query order.
+/// submissions in flight, returning the plans in query order. With an
+/// admission limit set, submissions park at the limit (`submit_wait`) so
+/// a limit below `--clients` exercises backpressure instead of failing.
 fn run_resident(
     service: &mut OptimizerService,
     queries: &[Query],
@@ -444,9 +555,13 @@ fn run_resident(
     let mut next = 0usize;
     while next < queries.len() || !in_flight.is_empty() {
         while next < queries.len() && in_flight.len() < clients {
-            let handle = service
-                .submit(&queries[next], o.space, o.objective)
-                .map_err(|e| format!("submit failed: {e}"))?;
+            let q = &queries[next];
+            let handle = if o.max_in_flight > 0 {
+                service.submit_wait(q, o.space, o.objective)
+            } else {
+                service.submit(q, o.space, o.objective)
+            }
+            .map_err(|e| format!("submit failed: {e}"))?;
             in_flight.push_back((next, handle));
             next += 1;
         }
@@ -481,8 +596,7 @@ fn parse_addrs(specs: &[String]) -> Result<Vec<pqopt::cluster::WorkerAddr>, Stri
 /// cannot pass silently.
 fn cmd_serve_sockets(o: &Options) -> Result<(), String> {
     let addrs = parse_addrs(&o.connect)?;
-    let mut gen = WorkloadGenerator::new(WorkloadConfig::with_graph(o.tables, o.graph), o.seed);
-    let queries: Vec<Query> = (0..o.queries).map(|_| gen.next_query()).collect();
+    let queries = serve_workload(o);
     let config = ServiceConfig {
         backend: o.backend,
         workers: addrs.len(),
@@ -490,6 +604,8 @@ fn cmd_serve_sockets(o: &Options) -> Result<(), String> {
         sma: SmaConfig::default(),
         cache_bytes: o.cache_bytes,
         steal: o.steal,
+        max_in_flight: o.max_in_flight,
+        coalesce: o.coalesce,
     };
     println!(
         "serving {} queries ({} tables, {:?} graph) on backend `{}` over {} socket workers, \
@@ -506,7 +622,14 @@ fn cmd_serve_sockets(o: &Options) -> Result<(), String> {
         .map_err(|e| format!("service connect failed: {e}"))?;
     let results = run_resident(&mut service, &queries, o.clients, o)?;
     let elapsed = t0.elapsed();
+    let coalesce = service.coalesce_stats();
     service.shutdown();
+    if o.coalesce {
+        println!(
+            "coalescing: {} session(s) shared a flight, {} backend optimization(s) saved",
+            coalesce.coalesced_sessions, coalesce.saved_optimizations
+        );
+    }
     if o.objective == Objective::Single {
         for (i, query) in queries.iter().enumerate() {
             let reference = optimize_serial(query, o.space, o.objective).plans[0]
@@ -655,4 +778,78 @@ fn cmd_partitions(o: &Options) -> Result<(), String> {
         println!("  partition {id:>3}: {}", desc.join(", "));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    /// `--max-in-flight 0` is the library's internal "unlimited" sentinel;
+    /// on the CLI an explicit zero is a usage error (mirrors `--queries 0`).
+    #[test]
+    fn serve_rejects_zero_max_in_flight() {
+        let err = parse(&["--max-in-flight", "0"]).unwrap_err();
+        assert!(err.contains("--max-in-flight"), "{err}");
+    }
+
+    #[test]
+    fn serve_accepts_admission_and_coalescing_flags() {
+        let o = parse(&[
+            "--max-in-flight",
+            "4",
+            "--coalesce",
+            "--clients",
+            "8",
+            "--repeat",
+            "80",
+        ])
+        .unwrap();
+        assert_eq!(o.max_in_flight, 4);
+        assert!(o.coalesce);
+        assert_eq!(o.repeat, 80);
+    }
+
+    /// Coalescing without its prerequisites — concurrency and repetition —
+    /// could never merge anything; both misuses are typed usage errors.
+    #[test]
+    fn coalesce_requires_concurrency_and_repetition() {
+        let err = parse(&["--coalesce", "--clients", "1", "--repeat", "50"]).unwrap_err();
+        assert!(err.contains("--clients"), "{err}");
+        let err = parse(&["--coalesce", "--clients", "4"]).unwrap_err();
+        assert!(err.contains("--repeat"), "{err}");
+    }
+
+    #[test]
+    fn repeat_is_a_percentage() {
+        let err = parse(&["--repeat", "101"]).unwrap_err();
+        assert!(err.contains("0-100"), "{err}");
+        assert!(parse(&["--repeat", "100"]).is_ok());
+    }
+
+    /// The hot-set striping injects exactly the requested repetition
+    /// ratio (on a stream length divisible by 100) and is deterministic.
+    #[test]
+    fn serve_workload_honors_the_repeat_knob() {
+        let mut o = parse(&["--queries", "100", "--repeat", "80", "--tables", "6"]).unwrap();
+        let stream = serve_workload(&o);
+        let hot: Vec<Query> = (0..4)
+            .map(|i| {
+                WorkloadGenerator::new(WorkloadConfig::with_graph(o.tables, o.graph), 1_000 + i)
+                    .next_query()
+            })
+            .collect();
+        let repeated = stream.iter().filter(|q| hot.contains(q)).count();
+        assert_eq!(repeated, 80);
+        assert_eq!(stream, serve_workload(&o), "stream is deterministic");
+        o.repeat = 0;
+        let cold = serve_workload(&o);
+        assert!(cold.iter().all(|q| !hot.contains(q)));
+    }
 }

@@ -76,7 +76,8 @@ pub use mpq_sma as sma;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::service::{
-        Backend, Optimizer, OptimizerService, ServiceConfig, ServiceError, ServiceHandle,
+        Backend, CoalesceStats, Optimizer, OptimizerService, ServiceConfig, ServiceError,
+        ServiceHandle,
     };
     pub use mpq_algo::{
         MpqConfig, MpqError, MpqOptimizer, MpqOutcome, MpqService, RetryPolicy, StealPolicy,

@@ -10,11 +10,32 @@
 //! the serial bottom-up DP, the memoized top-down enumerator, parallel
 //! MPQ and the SMA baseline. There is exactly one code path per backend;
 //! single-query and streaming callers differ only in when they wait.
+//!
+//! Two service-scale disciplines sit on top of the multiplexer:
+//!
+//! * **Admission control** ([`ServiceConfig::max_in_flight`]): a bounded
+//!   in-flight budget. Submissions beyond it return a typed
+//!   [`ServiceError::Overloaded`] — backpressure the caller can see —
+//!   while [`OptimizerService::submit_wait`] parks on the backends'
+//!   clock-free evidence loop until capacity frees. The single-node
+//!   backends complete every query at submission, so their in-flight
+//!   count never exceeds zero and admission never refuses them.
+//! * **In-flight coalescing** ([`ServiceConfig::coalesce`]): concurrent
+//!   submissions whose canonical [`CacheKey`] identity matches — cost
+//!   model version, statistics epoch and bits, predicate signature, plan
+//!   space and objective, exactly as the cross-query memo cache defines
+//!   "identical" — share one *leader* optimization. Followers get their
+//!   own [`ServiceHandle`] redeeming the leader's result bit-identically
+//!   (clones of the same plan list). The flight owns the single backend
+//!   ticket, so dropping any member — leader included — merely detaches
+//!   it; the oldest surviving member is implicitly the new leader, and
+//!   only when the whole coalition is dropped is the flight reaped
+//!   through the regular abandoned-handle machinery.
 
 // A server facade must never abort on caller error: every unwrap/expect
 // on this path is either removed or individually justified.
 
-use crate::dp::{optimize_partition_topdown_cached, optimize_serial_cached, PlanCache};
+use crate::dp::{optimize_partition_topdown_cached, optimize_serial_cached, push_scope, PlanCache};
 use crate::mpq::{MpqConfig, MpqError, MpqService, StealPolicy};
 use crate::plan::Plan;
 use crate::sma::{SmaConfig, SmaError, SmaService};
@@ -22,7 +43,7 @@ use mpq_cluster::AbandonedList;
 use mpq_cost::Objective;
 use mpq_model::Query;
 use mpq_partition::PlanSpace;
-use mpq_plan::CacheStats;
+use mpq_plan::{query_signature, CacheKey, CacheStats};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -89,6 +110,19 @@ pub struct ServiceConfig {
     /// overrides the MPQ engine config's own `steal` policy, so one knob
     /// governs the service uniformly.
     pub steal: StealPolicy,
+    /// **Admission limit**: most sessions the cluster backends keep in
+    /// flight at once. Submissions beyond it fail with
+    /// [`ServiceError::Overloaded`]. `0` (the default) means unlimited —
+    /// bit-for-bit the pre-admission behavior. When non-zero, this
+    /// overrides the engine configs' own `max_in_flight`. Coalesced
+    /// followers join an already-admitted flight and therefore never
+    /// consume admission budget.
+    pub max_in_flight: usize,
+    /// **In-flight coalescing**: when enabled, concurrent submissions
+    /// with the same canonical identity (see the module docs) share one
+    /// backend optimization. Disabled by default — bit-for-bit the
+    /// uncoalesced behavior.
+    pub coalesce: bool,
 }
 
 impl ServiceConfig {
@@ -118,6 +152,22 @@ impl ServiceConfig {
             ..ServiceConfig::new(backend, workers)
         }
     }
+
+    /// Same service with a bounded in-flight budget (`0` = unlimited).
+    pub fn with_admission(backend: Backend, workers: usize, max_in_flight: usize) -> ServiceConfig {
+        ServiceConfig {
+            max_in_flight,
+            ..ServiceConfig::new(backend, workers)
+        }
+    }
+
+    /// Same service with in-flight coalescing of identical submissions.
+    pub fn with_coalescing(backend: Backend, workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            coalesce: true,
+            ..ServiceConfig::new(backend, workers)
+        }
+    }
 }
 
 /// Typed failure of one service request. Handle-lifecycle misuse —
@@ -137,6 +187,16 @@ pub enum ServiceError {
     UnknownHandle,
     /// The handle was minted by a service running a different backend.
     BackendMismatch,
+    /// The service's in-flight budget ([`ServiceConfig::max_in_flight`])
+    /// is spent: `in_flight` sessions are live at the admission `limit`.
+    /// Retry after redeeming or dropping a handle, or park on
+    /// [`OptimizerService::submit_wait`] instead.
+    Overloaded {
+        /// Sessions in flight when the submission was refused.
+        in_flight: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -152,6 +212,11 @@ impl fmt::Display for ServiceError {
             ServiceError::BackendMismatch => {
                 write!(f, "handle was minted by a service of a different backend")
             }
+            ServiceError::Overloaded { in_flight, limit } => write!(
+                f,
+                "service overloaded: {in_flight} session(s) in flight at the \
+                 admission limit of {limit}"
+            ),
         }
     }
 }
@@ -161,7 +226,9 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Mpq(e) => Some(e),
             ServiceError::Sma(e) => Some(e),
-            ServiceError::UnknownHandle | ServiceError::BackendMismatch => None,
+            ServiceError::UnknownHandle
+            | ServiceError::BackendMismatch
+            | ServiceError::Overloaded { .. } => None,
         }
     }
 }
@@ -169,9 +236,13 @@ impl std::error::Error for ServiceError {
 impl From<MpqError> for ServiceError {
     fn from(e: MpqError) -> Self {
         match e {
-            // Handle misuse is a service-level contract, not a backend
-            // failure: surface it uniformly across backends.
+            // Handle misuse and admission refusals are service-level
+            // contracts, not backend failures: surface them uniformly
+            // across backends.
             MpqError::UnknownHandle { .. } => ServiceError::UnknownHandle,
+            MpqError::Overloaded { in_flight, limit } => {
+                ServiceError::Overloaded { in_flight, limit }
+            }
             e => ServiceError::Mpq(e),
         }
     }
@@ -181,6 +252,9 @@ impl From<SmaError> for ServiceError {
     fn from(e: SmaError) -> Self {
         match e {
             SmaError::UnknownHandle { .. } => ServiceError::UnknownHandle,
+            SmaError::Overloaded { in_flight, limit } => {
+                ServiceError::Overloaded { in_flight, limit }
+            }
             e => ServiceError::Sma(e),
         }
     }
@@ -201,6 +275,28 @@ enum Ticket {
     Immediate(ImmediateHandle),
     Mpq(crate::mpq::QueryHandle),
     Sma(crate::sma::QueryHandle),
+    /// Membership in a coalesced flight; the flight — not the member —
+    /// owns the backend ticket the coalition shares.
+    Coalesced(CoalescedHandle),
+}
+
+/// Membership ticket of one coalesced submission. Dropping it unredeemed
+/// detaches this member only: the flight keeps running for the rest of
+/// the coalition, and the oldest survivor is implicitly the leader. Only
+/// when the last member detaches is the backend ticket itself dropped,
+/// which reaps the flight through the regular abandoned-handle machinery
+/// (for SMA that aborts the session and frees its replicas).
+#[derive(Debug)]
+struct CoalescedHandle {
+    member: u64,
+    service: u64,
+    abandoned: AbandonedList,
+}
+
+impl Drop for CoalescedHandle {
+    fn drop(&mut self) {
+        self.abandoned.push(self.member);
+    }
 }
 
 /// Parked-result ticket of the single-node engines. Dropping it
@@ -224,6 +320,111 @@ impl Drop for ImmediateHandle {
 pub struct OptimizerService {
     backend: Backend,
     engine: Engine,
+    /// In-flight coalescing state; `None` when disabled. Kept beside
+    /// `engine` (not inside it) so flight bookkeeping and backend calls
+    /// can borrow independently.
+    coalescer: Option<Coalescer>,
+}
+
+/// Counters of the service's in-flight coalescing (all zero while
+/// disabled). A coalition of `K` identical in-flight submissions counts
+/// `K` coalesced sessions and `K - 1` saved optimizations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Sessions that shared a flight with at least one other session —
+    /// the leader counts as soon as its flight gains its first follower.
+    pub coalesced_sessions: u64,
+    /// Backend optimizations avoided: one per follower that joined an
+    /// in-flight leader instead of submitting its own session.
+    pub saved_optimizations: u64,
+}
+
+/// One coalesced flight: a coalition of members sharing a single backend
+/// ticket and, once resolved, a single result cloned to each member.
+struct Flight {
+    /// Canonical identity the coalition formed on; removed from the open
+    /// index at resolution, so flights are joinable only while unresolved.
+    key: CacheKey,
+    /// The one backend ticket the coalition shares; taken (and dropped)
+    /// at resolution or when the whole coalition detaches.
+    ticket: Option<Ticket>,
+    /// The leader's outcome once resolved, cloned to each member.
+    result: Option<Result<Vec<Plan>, ServiceError>>,
+    /// Undelivered members, oldest first — `members[0]` is the leader.
+    members: Vec<u64>,
+    /// Whether this flight's leader was already counted into
+    /// [`CoalesceStats::coalesced_sessions`] (set on the first join).
+    counted: bool,
+}
+
+/// Flight table of a coalescing service; see the module docs.
+struct Coalescer {
+    /// This instance's identity, stamped into every membership ticket.
+    service: u64,
+    next_member: u64,
+    next_flight: u64,
+    /// Unresolved (= joinable) flights by canonical identity.
+    open: BTreeMap<CacheKey, u64>,
+    /// Member → flight, removed at delivery or detach.
+    flight_of: BTreeMap<u64, u64>,
+    flights: BTreeMap<u64, Flight>,
+    /// Members whose handle was dropped unredeemed, detached on the next
+    /// service call.
+    abandoned: AbandonedList,
+    stats: CoalesceStats,
+}
+
+impl Coalescer {
+    fn new() -> Coalescer {
+        Coalescer {
+            service: mpq_cluster::mint_service_instance(),
+            next_member: 0,
+            next_flight: 0,
+            open: BTreeMap::new(),
+            flight_of: BTreeMap::new(),
+            flights: BTreeMap::new(),
+            abandoned: AbandonedList::new(),
+            stats: CoalesceStats::default(),
+        }
+    }
+
+    /// Mints a membership ticket bound to flight `fid`.
+    fn mint_member(&mut self, fid: u64) -> CoalescedHandle {
+        let member = self.next_member;
+        self.next_member += 1;
+        self.flight_of.insert(member, fid);
+        CoalescedHandle {
+            member,
+            service: self.service,
+            abandoned: self.abandoned.clone(),
+        }
+    }
+
+    /// Stores a flight's result and closes it to new joiners.
+    fn resolve(&mut self, fid: u64, result: Result<Vec<Plan>, ServiceError>) {
+        if let Some(flight) = self.flights.get_mut(&fid) {
+            flight.result = Some(result);
+            self.open.remove(&flight.key);
+        }
+    }
+
+    /// Hands `member` its clone of the flight's result — exactly once —
+    /// and drops the flight state once every member has been served.
+    fn deliver(&mut self, fid: u64, member: u64) -> Result<Vec<Plan>, ServiceError> {
+        let Some(flight) = self.flights.get_mut(&fid) else {
+            return Err(ServiceError::UnknownHandle);
+        };
+        let result = match &flight.result {
+            Some(result) => result.clone(),
+            None => return Err(ServiceError::UnknownHandle),
+        };
+        flight.members.retain(|&m| m != member);
+        self.flight_of.remove(&member);
+        if flight.members.is_empty() {
+            self.flights.remove(&fid);
+        }
+        result
+    }
 }
 
 /// The two single-node backends an [`Engine::Immediate`] can run. A
@@ -290,6 +491,11 @@ impl OptimizerService {
         if config.steal.enabled {
             mpq.steal = config.steal;
         }
+        // And for the admission limit.
+        if config.max_in_flight > 0 {
+            mpq.max_in_flight = config.max_in_flight;
+            sma.max_in_flight = config.max_in_flight;
+        }
         let engine = match config.backend {
             Backend::SerialDp => Engine::immediate(ImmediateBackend::SerialDp, config.cache_bytes),
             Backend::TopDown => Engine::immediate(ImmediateBackend::TopDown, config.cache_bytes),
@@ -299,6 +505,7 @@ impl OptimizerService {
         Ok(OptimizerService {
             backend: config.backend,
             engine,
+            coalescer: config.coalesce.then(Coalescer::new),
         })
     }
 
@@ -322,6 +529,10 @@ impl OptimizerService {
         if config.steal.enabled {
             mpq.steal = config.steal;
         }
+        if config.max_in_flight > 0 {
+            mpq.max_in_flight = config.max_in_flight;
+            sma.max_in_flight = config.max_in_flight;
+        }
         let engine = match config.backend {
             Backend::SerialDp | Backend::TopDown => {
                 return Err(ServiceError::Mpq(MpqError::BadRequest {
@@ -342,6 +553,7 @@ impl OptimizerService {
         Ok(OptimizerService {
             backend: config.backend,
             engine,
+            coalescer: config.coalesce.then(Coalescer::new),
         })
     }
 
@@ -352,85 +564,68 @@ impl OptimizerService {
 
     /// Submits one optimization request and returns immediately with a
     /// handle; cluster backends dispatch their task messages before
-    /// returning, single-node backends solve the query on the spot.
+    /// returning, single-node backends solve the query on the spot. With
+    /// coalescing enabled, a submission identical to an unresolved flight
+    /// joins it instead of reaching the backend.
     pub fn submit(
         &mut self,
         query: &Query,
         space: PlanSpace,
         objective: Objective,
     ) -> Result<ServiceHandle, ServiceError> {
-        let ticket = match &mut self.engine {
-            Engine::Immediate {
-                backend,
-                service,
-                next_id,
-                done,
-                cache,
-                abandoned,
-            } => {
-                reap_immediate(done, abandoned);
-                let plans = match backend {
-                    ImmediateBackend::SerialDp => {
-                        optimize_serial_cached(query, space, objective, cache)
-                            .0
-                            .plans
-                    }
-                    ImmediateBackend::TopDown => {
-                        optimize_partition_topdown_cached(query, space, objective, 0, 1, cache)
-                            .0
-                            .plans
-                    }
-                };
-                let id = *next_id;
-                *next_id += 1;
-                done.insert(id, plans);
-                while done.len() > MAX_PARKED_RESULTS {
-                    done.pop_first();
-                }
-                Ticket::Immediate(ImmediateHandle {
-                    id,
-                    service: *service,
-                    abandoned: abandoned.clone(),
-                })
+        match self.coalescer.take() {
+            Some(mut c) => {
+                let out = self.submit_coalesced(&mut c, query, space, objective, false);
+                self.coalescer = Some(c);
+                out
             }
-            Engine::Mpq(svc) => Ticket::Mpq(svc.submit(query, space, objective)?),
-            Engine::Sma(svc) => Ticket::Sma(svc.submit(query, space, objective)?),
-        };
-        Ok(ServiceHandle { ticket })
+            None => {
+                let ticket = submit_backend(&mut self.engine, query, space, objective, false)?;
+                Ok(ServiceHandle { ticket })
+            }
+        }
+    }
+
+    /// Like [`submit`](OptimizerService::submit), but instead of failing
+    /// with [`ServiceError::Overloaded`] at the admission limit it parks
+    /// on the backend's clock-free evidence loop — draining completions
+    /// and suspicion checks — until capacity frees, then submits. On the
+    /// single-node backends (which never refuse) this is plain `submit`.
+    pub fn submit_wait(
+        &mut self,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+    ) -> Result<ServiceHandle, ServiceError> {
+        match self.coalescer.take() {
+            Some(mut c) => {
+                let out = self.submit_coalesced(&mut c, query, space, objective, true);
+                self.coalescer = Some(c);
+                out
+            }
+            None => {
+                let ticket = submit_backend(&mut self.engine, query, space, objective, true)?;
+                Ok(ServiceHandle { ticket })
+            }
+        }
     }
 
     /// Non-blocking check; returns the plans once the request has
-    /// finished. A result is delivered exactly once per handle.
+    /// finished. A result is delivered exactly once per handle. Polling
+    /// any member of a coalesced flight drives the shared backend ticket;
+    /// once resolved, every member redeems a clone of the same result.
     pub fn poll(&mut self, handle: &ServiceHandle) -> Option<Result<Vec<Plan>, ServiceError>> {
-        match (&mut self.engine, &handle.ticket) {
-            (
-                Engine::Immediate {
-                    service,
-                    done,
-                    abandoned,
-                    ..
-                },
-                Ticket::Immediate(h),
-            ) => {
-                if h.service != *service {
-                    // A handle from another service instance: its raw id
-                    // may collide with one of ours, so reject it before
-                    // any lookup.
-                    return Some(Err(ServiceError::UnknownHandle));
-                }
-                reap_immediate(done, abandoned);
-                done.remove(&h.id).map(Ok)
-            }
-            (Engine::Mpq(svc), Ticket::Mpq(h)) => {
-                svc.poll(h).map(|r| r.map(|o| o.plans).map_err(Into::into))
-            }
-            (Engine::Sma(svc), Ticket::Sma(h)) => {
-                svc.poll(h).map(|r| r.map(|o| o.plans).map_err(Into::into))
-            }
-            // A handle minted by a service of another backend: caller
-            // misuse, answered typed — a server facade never aborts on it.
-            _ => Some(Err(ServiceError::BackendMismatch)),
+        if let Ticket::Coalesced(h) = &handle.ticket {
+            let Some(mut c) = self.coalescer.take() else {
+                // A coalesced handle presented to a service that never
+                // coalesces: necessarily foreign.
+                return Some(Err(ServiceError::UnknownHandle));
+            };
+            let out = self.poll_member(&mut c, h.member, h.service);
+            self.coalescer = Some(c);
+            return out;
         }
+        engine_poll(&mut self.engine, &handle.ticket)
     }
 
     /// Blocks until the request finishes (driving every other in-flight
@@ -438,33 +633,229 @@ impl OptimizerService {
     /// plan(s): one plan for single-objective runs, the Pareto frontier
     /// otherwise.
     pub fn wait(&mut self, handle: ServiceHandle) -> Result<Vec<Plan>, ServiceError> {
-        match (&mut self.engine, handle.ticket) {
-            (
-                Engine::Immediate {
-                    service,
-                    done,
-                    abandoned,
-                    ..
-                },
-                Ticket::Immediate(h),
-            ) => {
-                if h.service != *service {
-                    // See poll: foreign handles are rejected before any
-                    // lookup — a colliding raw id must not redeem another
-                    // service's result.
-                    return Err(ServiceError::UnknownHandle);
-                }
-                reap_immediate(done, abandoned);
-                // A missing id means the result was already delivered
-                // through `poll`: typed, not a panic.
-                done.remove(&h.id).ok_or(ServiceError::UnknownHandle)
-            }
-            (Engine::Mpq(svc), Ticket::Mpq(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
-            (Engine::Sma(svc), Ticket::Sma(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
-            // A handle minted by a service of another backend: caller
-            // misuse, answered typed — a server facade never aborts on it.
-            _ => Err(ServiceError::BackendMismatch),
+        if let Ticket::Coalesced(h) = &handle.ticket {
+            let (member, service) = (h.member, h.service);
+            let Some(mut c) = self.coalescer.take() else {
+                return Err(ServiceError::UnknownHandle);
+            };
+            let out = self.wait_member(&mut c, member, service);
+            self.coalescer = Some(c);
+            // `handle` drops here; its abandoned-list entry is a no-op
+            // because the member was already delivered or rejected.
+            return out;
         }
+        engine_wait(&mut self.engine, handle.ticket)
+    }
+
+    /// Sessions the backend currently has in flight (submitted but not
+    /// yet finished). The single-node backends complete at submission, so
+    /// they always report zero; parked-but-unredeemed results never count.
+    pub fn in_flight(&self) -> usize {
+        match &self.engine {
+            Engine::Immediate { .. } => 0,
+            Engine::Mpq(svc) => svc.in_flight(),
+            Engine::Sma(svc) => svc.in_flight(),
+        }
+    }
+
+    /// Counters of the service's in-flight coalescing (all zero while
+    /// disabled).
+    pub fn coalesce_stats(&self) -> CoalesceStats {
+        self.coalescer.as_ref().map(|c| c.stats).unwrap_or_default()
+    }
+
+    /// Coalesced flights currently tracked (resolved-but-unredeemed ones
+    /// included); zero while coalescing is disabled. Test introspection.
+    pub fn open_flights(&self) -> usize {
+        self.coalescer
+            .as_ref()
+            .map(|c| c.flights.len())
+            .unwrap_or(0)
+    }
+
+    /// The cluster backends' network metrics snapshot (message/fault/
+    /// steal/cache counters); `None` on the single-node backends, which
+    /// have no network.
+    pub fn network_snapshot(&self) -> Option<mpq_cluster::NetworkSnapshot> {
+        match &self.engine {
+            Engine::Immediate { .. } => None,
+            Engine::Mpq(svc) => Some(svc.metrics().snapshot()),
+            Engine::Sma(svc) => Some(svc.metrics().snapshot()),
+        }
+    }
+
+    /// The canonical identity submissions coalesce on: the cross-query
+    /// memo cache's query signature (cost model version, statistics epoch
+    /// and bits, predicate signature) scoped by plan space and objective.
+    fn flight_key(query: &Query, space: PlanSpace, objective: Objective) -> CacheKey {
+        let mut builder = query_signature(query);
+        push_scope(&mut builder, space, objective);
+        builder.finish()
+    }
+
+    /// Coalescing submit: join an unresolved identical flight, or lead a
+    /// new one through the backend (honoring admission; `park` selects
+    /// `submit_wait` semantics for the leader).
+    fn submit_coalesced(
+        &mut self,
+        c: &mut Coalescer,
+        query: &Query,
+        space: PlanSpace,
+        objective: Objective,
+        park: bool,
+    ) -> Result<ServiceHandle, ServiceError> {
+        self.detach_abandoned(c);
+        let key = Self::flight_key(query, space, objective);
+        if let Some(&fid) = c.open.get(&key) {
+            if let Some(flight) = c.flights.get_mut(&fid) {
+                // Join: no backend submission, so no admission budget is
+                // consumed and the follower can never be refused.
+                if !flight.counted {
+                    flight.counted = true;
+                    // The leader is counted retroactively: it only became
+                    // part of a coalition now.
+                    c.stats.coalesced_sessions += 1;
+                }
+                c.stats.coalesced_sessions += 1;
+                c.stats.saved_optimizations += 1;
+                let handle = c.mint_member(fid);
+                if let Some(flight) = c.flights.get_mut(&fid) {
+                    flight.members.push(handle.member);
+                }
+                return Ok(ServiceHandle {
+                    ticket: Ticket::Coalesced(handle),
+                });
+            }
+        }
+        // Lead a new flight. An admission refusal propagates typed and
+        // leaves no flight state behind.
+        let ticket = submit_backend(&mut self.engine, query, space, objective, park)?;
+        let fid = c.next_flight;
+        c.next_flight += 1;
+        let handle = c.mint_member(fid);
+        c.open.insert(key.clone(), fid);
+        c.flights.insert(
+            fid,
+            Flight {
+                key,
+                ticket: Some(ticket),
+                result: None,
+                members: vec![handle.member],
+                counted: false,
+            },
+        );
+        Ok(ServiceHandle {
+            ticket: Ticket::Coalesced(handle),
+        })
+    }
+
+    /// Detaches members whose handles were dropped unredeemed. A flight
+    /// whose whole coalition detached is reaped: its backend ticket is
+    /// dropped (queueing the session for the backend's own reaping, which
+    /// frees parked results — and, for SMA, aborts the session so its
+    /// replicas are freed) and the backend is poked to reap immediately.
+    fn detach_abandoned(&mut self, c: &mut Coalescer) {
+        let mut reaped = false;
+        for member in c.abandoned.drain() {
+            let Some(fid) = c.flight_of.remove(&member) else {
+                // Already delivered; the drop of a redeemed handle is a
+                // no-op.
+                continue;
+            };
+            let Some(flight) = c.flights.get_mut(&fid) else {
+                continue;
+            };
+            flight.members.retain(|&m| m != member);
+            if flight.members.is_empty() {
+                if let Some(flight) = c.flights.remove(&fid) {
+                    c.open.remove(&flight.key);
+                    // Dropping the backend ticket (if the flight was still
+                    // unresolved) pushes it onto the backend's abandoned
+                    // list.
+                    drop(flight.ticket);
+                    reaped = true;
+                }
+            }
+        }
+        if reaped {
+            reap_engine(&mut self.engine);
+        }
+    }
+
+    /// Resolves the member's flight if its result arrived, delivering one
+    /// clone; `None` while the flight is still in progress.
+    fn poll_member(
+        &mut self,
+        c: &mut Coalescer,
+        member: u64,
+        service: u64,
+    ) -> Option<Result<Vec<Plan>, ServiceError>> {
+        if service != c.service {
+            // A membership ticket from another service instance: reject
+            // before any lookup (raw member ids may collide).
+            return Some(Err(ServiceError::UnknownHandle));
+        }
+        self.detach_abandoned(c);
+        let fid = match c.flight_of.get(&member) {
+            Some(&fid) => fid,
+            // Already delivered (poll-then-wait, double-poll): typed.
+            None => return Some(Err(ServiceError::UnknownHandle)),
+        };
+        let resolved = match c.flights.get(&fid) {
+            Some(flight) => flight.result.is_some(),
+            None => return Some(Err(ServiceError::UnknownHandle)),
+        };
+        if !resolved {
+            // Take the shared ticket out to drive the backend without
+            // holding a borrow on the flight table.
+            let ticket = c.flights.get_mut(&fid).and_then(|f| f.ticket.take())?;
+            match engine_poll(&mut self.engine, &ticket) {
+                None => {
+                    // Still in progress: the ticket goes back unspent.
+                    if let Some(flight) = c.flights.get_mut(&fid) {
+                        flight.ticket = Some(ticket);
+                    }
+                    return None;
+                }
+                Some(result) => {
+                    // The ticket is spent; dropping it queues a no-op reap
+                    // entry on the backend.
+                    drop(ticket);
+                    c.resolve(fid, result);
+                }
+            }
+        }
+        Some(c.deliver(fid, member))
+    }
+
+    /// Blocks on the member's flight, delivering one clone of its result.
+    fn wait_member(
+        &mut self,
+        c: &mut Coalescer,
+        member: u64,
+        service: u64,
+    ) -> Result<Vec<Plan>, ServiceError> {
+        if service != c.service {
+            return Err(ServiceError::UnknownHandle);
+        }
+        self.detach_abandoned(c);
+        let fid = match c.flight_of.get(&member) {
+            Some(&fid) => fid,
+            None => return Err(ServiceError::UnknownHandle),
+        };
+        let resolved = match c.flights.get(&fid) {
+            Some(flight) => flight.result.is_some(),
+            None => return Err(ServiceError::UnknownHandle),
+        };
+        if !resolved {
+            let ticket = match c.flights.get_mut(&fid).and_then(|f| f.ticket.take()) {
+                Some(ticket) => ticket,
+                None => return Err(ServiceError::UnknownHandle),
+            };
+            let result = engine_wait(&mut self.engine, ticket);
+            c.resolve(fid, result);
+        }
+        c.deliver(fid, member)
     }
 
     /// Shuts the service down, joining any resident worker threads.
@@ -504,6 +895,146 @@ fn cluster_cache_stats(s: mpq_cluster::NetworkSnapshot) -> CacheStats {
 fn reap_immediate(done: &mut BTreeMap<u64, Vec<Plan>>, abandoned: &AbandonedList) {
     for id in abandoned.drain() {
         done.remove(&id);
+    }
+}
+
+/// Pokes the engine's own abandoned-handle reaping (frees session state
+/// and parked results; for SMA it also aborts sessions to free replicas).
+fn reap_engine(engine: &mut Engine) {
+    match engine {
+        Engine::Immediate {
+            done, abandoned, ..
+        } => reap_immediate(done, abandoned),
+        Engine::Mpq(svc) => svc.reap_abandoned(),
+        Engine::Sma(svc) => svc.reap_abandoned(),
+    }
+}
+
+/// One backend submission, returning the engine-level ticket. `park`
+/// selects the cluster backends' `submit_wait` (block at the admission
+/// limit instead of refusing); the single-node backends solve the query
+/// on the spot either way and never refuse.
+fn submit_backend(
+    engine: &mut Engine,
+    query: &Query,
+    space: PlanSpace,
+    objective: Objective,
+    park: bool,
+) -> Result<Ticket, ServiceError> {
+    Ok(match engine {
+        Engine::Immediate {
+            backend,
+            service,
+            next_id,
+            done,
+            cache,
+            abandoned,
+        } => {
+            reap_immediate(done, abandoned);
+            let plans = match backend {
+                ImmediateBackend::SerialDp => {
+                    optimize_serial_cached(query, space, objective, cache)
+                        .0
+                        .plans
+                }
+                ImmediateBackend::TopDown => {
+                    optimize_partition_topdown_cached(query, space, objective, 0, 1, cache)
+                        .0
+                        .plans
+                }
+            };
+            let id = *next_id;
+            *next_id += 1;
+            done.insert(id, plans);
+            while done.len() > MAX_PARKED_RESULTS {
+                done.pop_first();
+            }
+            Ticket::Immediate(ImmediateHandle {
+                id,
+                service: *service,
+                abandoned: abandoned.clone(),
+            })
+        }
+        Engine::Mpq(svc) => Ticket::Mpq(if park {
+            svc.submit_wait(query, space, objective)?
+        } else {
+            svc.submit(query, space, objective)?
+        }),
+        Engine::Sma(svc) => Ticket::Sma(if park {
+            svc.submit_wait(query, space, objective)?
+        } else {
+            svc.submit(query, space, objective)?
+        }),
+    })
+}
+
+/// Non-blocking engine-level poll of one ticket (shared by plain handles
+/// and coalesced flights' inner tickets).
+fn engine_poll(engine: &mut Engine, ticket: &Ticket) -> Option<Result<Vec<Plan>, ServiceError>> {
+    match (engine, ticket) {
+        (
+            Engine::Immediate {
+                service,
+                done,
+                abandoned,
+                ..
+            },
+            Ticket::Immediate(h),
+        ) => {
+            if h.service != *service {
+                // A handle from another service instance: its raw id
+                // may collide with one of ours, so reject it before
+                // any lookup.
+                return Some(Err(ServiceError::UnknownHandle));
+            }
+            reap_immediate(done, abandoned);
+            done.remove(&h.id).map(Ok)
+        }
+        (Engine::Mpq(svc), Ticket::Mpq(h)) => {
+            svc.poll(h).map(|r| r.map(|o| o.plans).map_err(Into::into))
+        }
+        (Engine::Sma(svc), Ticket::Sma(h)) => {
+            svc.poll(h).map(|r| r.map(|o| o.plans).map_err(Into::into))
+        }
+        // A coalesced membership ticket reaching the engine directly means
+        // it was minted by some other (coalescing) service: foreign.
+        (_, Ticket::Coalesced(_)) => Some(Err(ServiceError::UnknownHandle)),
+        // A handle minted by a service of another backend: caller
+        // misuse, answered typed — a server facade never aborts on it.
+        _ => Some(Err(ServiceError::BackendMismatch)),
+    }
+}
+
+/// Blocking engine-level redemption of one ticket (shared by plain
+/// handles and coalesced flights' inner tickets).
+fn engine_wait(engine: &mut Engine, ticket: Ticket) -> Result<Vec<Plan>, ServiceError> {
+    match (engine, ticket) {
+        (
+            Engine::Immediate {
+                service,
+                done,
+                abandoned,
+                ..
+            },
+            Ticket::Immediate(h),
+        ) => {
+            if h.service != *service {
+                // See poll: foreign handles are rejected before any
+                // lookup — a colliding raw id must not redeem another
+                // service's result.
+                return Err(ServiceError::UnknownHandle);
+            }
+            reap_immediate(done, abandoned);
+            // A missing id means the result was already delivered
+            // through `poll`: typed, not a panic.
+            done.remove(&h.id).ok_or(ServiceError::UnknownHandle)
+        }
+        (Engine::Mpq(svc), Ticket::Mpq(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
+        (Engine::Sma(svc), Ticket::Sma(h)) => svc.wait(h).map(|o| o.plans).map_err(Into::into),
+        (_, Ticket::Coalesced(_)) => Err(ServiceError::UnknownHandle),
+        // A handle minted by a service of another backend: caller
+        // misuse, answered typed — a server facade never aborts on it.
+        _ => Err(ServiceError::BackendMismatch),
     }
 }
 
@@ -749,6 +1280,275 @@ mod tests {
             .expect("optimize");
         assert!(rel_eq(plans[0].cost().time, reference));
         svc.shutdown();
+    }
+
+    /// Admission: at the limit the service refuses typed, with the exact
+    /// occupancy in the error; redeeming a handle frees budget and a
+    /// retried submission is not lost.
+    #[test]
+    fn admission_refuses_at_the_limit_then_recovers() {
+        for backend in [Backend::Mpq, Backend::Sma] {
+            let mut svc = OptimizerService::spawn(ServiceConfig::with_admission(backend, 3, 2))
+                .expect("spawn");
+            let q1 = query(5, 20);
+            let q2 = query(6, 21);
+            let q3 = query(5, 22);
+            let a = svc
+                .submit(&q1, PlanSpace::Linear, Objective::Single)
+                .expect("first");
+            let b = svc
+                .submit(&q2, PlanSpace::Linear, Objective::Single)
+                .expect("second");
+            assert_eq!(svc.in_flight(), 2, "backend {}", backend.name());
+            match svc.submit(&q3, PlanSpace::Linear, Objective::Single) {
+                Err(ServiceError::Overloaded { in_flight, limit }) => {
+                    assert_eq!((in_flight, limit), (2, 2), "backend {}", backend.name());
+                }
+                other => panic!(
+                    "backend {}: expected Overloaded, got {other:?}",
+                    backend.name()
+                ),
+            }
+            // The refusal left no state behind: redeeming one frees one slot.
+            svc.wait(a).expect("first completes");
+            let c = svc
+                .submit(&q3, PlanSpace::Linear, Objective::Single)
+                .expect("retry after Overloaded succeeds");
+            let reference = optimize_serial(&q3, PlanSpace::Linear, Objective::Single).plans[0]
+                .cost()
+                .time;
+            let plans = svc.wait(c).expect("retried session completes");
+            assert!(rel_eq(plans[0].cost().time, reference));
+            svc.wait(b).expect("second completes");
+            svc.shutdown();
+        }
+    }
+
+    /// `submit_wait` parks at the limit instead of refusing, and never
+    /// exceeds the budget.
+    #[test]
+    fn submit_wait_parks_until_capacity_frees() {
+        let mut svc = OptimizerService::spawn(ServiceConfig::with_admission(Backend::Mpq, 3, 1))
+            .expect("spawn");
+        let q1 = query(5, 23);
+        let q2 = query(6, 24);
+        let a = svc
+            .submit_wait(&q1, PlanSpace::Linear, Objective::Single)
+            .expect("first");
+        // The budget is spent; submit_wait must drive the first session to
+        // completion before admitting the second.
+        let b = svc
+            .submit_wait(&q2, PlanSpace::Linear, Objective::Single)
+            .expect("second parks, then admits");
+        assert!(svc.in_flight() <= 1, "budget never exceeded");
+        svc.wait(b).expect("second completes");
+        svc.wait(a).expect("first parked result redeems");
+        svc.shutdown();
+    }
+
+    /// The single-node backends complete at submission, so no admission
+    /// limit can ever refuse them.
+    #[test]
+    fn immediate_backends_never_refuse() {
+        for backend in [Backend::SerialDp, Backend::TopDown] {
+            let mut svc = OptimizerService::spawn(ServiceConfig::with_admission(backend, 1, 1))
+                .expect("spawn");
+            let q = query(5, 25);
+            let handles: Vec<ServiceHandle> = (0..5)
+                .map(|_| {
+                    svc.submit(&q, PlanSpace::Linear, Objective::Single)
+                        .expect("immediate backends always admit")
+                })
+                .collect();
+            assert_eq!(svc.in_flight(), 0);
+            for handle in handles {
+                svc.wait(handle).expect("parked result redeems");
+            }
+            svc.shutdown();
+        }
+    }
+
+    /// Coalescing: K identical in-flight submissions cost one backend
+    /// optimization, every member redeems the same bits, and the counters
+    /// prove the coalition (`K` coalesced sessions, `K - 1` saved).
+    #[test]
+    fn coalesced_members_redeem_one_identical_result() {
+        for backend in Backend::ALL {
+            let mut svc =
+                OptimizerService::spawn(ServiceConfig::with_coalescing(backend, 3)).expect("spawn");
+            let q = query(6, 26);
+            let handles: Vec<ServiceHandle> = (0..4)
+                .map(|_| {
+                    svc.submit(&q, PlanSpace::Linear, Objective::Single)
+                        .expect("submit")
+                })
+                .collect();
+            assert!(
+                svc.in_flight() <= 1,
+                "backend {}: one backend session for the whole coalition",
+                backend.name()
+            );
+            assert_eq!(svc.open_flights(), 1, "backend {}", backend.name());
+            let mut results = Vec::new();
+            for handle in handles {
+                results.push(svc.wait(handle).expect("member redeems"));
+            }
+            for r in &results[1..] {
+                assert_eq!(
+                    r,
+                    &results[0],
+                    "backend {}: members get the same bits",
+                    backend.name()
+                );
+            }
+            let stats = svc.coalesce_stats();
+            assert_eq!(stats.coalesced_sessions, 4, "backend {}", backend.name());
+            assert_eq!(stats.saved_optimizations, 3, "backend {}", backend.name());
+            assert_eq!(
+                svc.open_flights(),
+                0,
+                "flight state is freed after delivery"
+            );
+            svc.shutdown();
+        }
+    }
+
+    /// Distinct queries never coalesce; same query under a different
+    /// objective or plan space does not either (the flight key scopes by
+    /// both, exactly like the memo cache).
+    #[test]
+    fn coalescing_respects_the_canonical_identity() {
+        let mut svc = OptimizerService::spawn(ServiceConfig::with_coalescing(Backend::SerialDp, 1))
+            .expect("spawn");
+        let q1 = query(5, 27);
+        let q2 = query(5, 28);
+        let a = svc
+            .submit(&q1, PlanSpace::Linear, Objective::Single)
+            .expect("a");
+        let b = svc
+            .submit(&q2, PlanSpace::Linear, Objective::Single)
+            .expect("b");
+        let c = svc
+            .submit(&q1, PlanSpace::Bushy, Objective::Single)
+            .expect("c");
+        assert_eq!(
+            svc.open_flights(),
+            3,
+            "three distinct identities, three flights"
+        );
+        assert_eq!(svc.coalesce_stats().saved_optimizations, 0);
+        for handle in [a, b, c] {
+            svc.wait(handle).expect("redeems");
+        }
+        svc.shutdown();
+    }
+
+    /// Dropping the leader mid-flight promotes the oldest follower: the
+    /// flight keeps running and the follower redeems the exact result.
+    #[test]
+    fn dropped_leader_promotes_follower() {
+        let mut svc = OptimizerService::spawn(ServiceConfig::with_coalescing(Backend::Mpq, 3))
+            .expect("spawn");
+        let q = query(6, 29);
+        let leader = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("leader");
+        let follower = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("follower");
+        drop(leader);
+        let reference = optimize_serial(&q, PlanSpace::Linear, Objective::Single).plans[0]
+            .cost()
+            .time;
+        let plans = svc.wait(follower).expect("promoted follower redeems");
+        assert!(rel_eq(plans[0].cost().time, reference));
+        assert_eq!(svc.open_flights(), 0);
+        svc.shutdown();
+    }
+
+    /// Dropping every member reaps the flight: the shared backend ticket
+    /// is released and the backend session is freed, not orphaned.
+    #[test]
+    fn dropped_coalition_reaps_the_flight() {
+        for backend in [Backend::Mpq, Backend::Sma] {
+            let mut svc =
+                OptimizerService::spawn(ServiceConfig::with_coalescing(backend, 3)).expect("spawn");
+            let q = query(6, 30);
+            let handles: Vec<ServiceHandle> = (0..3)
+                .map(|_| {
+                    svc.submit(&q, PlanSpace::Linear, Objective::Single)
+                        .expect("submit")
+                })
+                .collect();
+            assert_eq!(svc.open_flights(), 1);
+            drop(handles);
+            // The next service call detaches the members, drops the shared
+            // ticket, and pokes the backend's own reaping.
+            let other = query(5, 31);
+            let live = svc
+                .submit(&other, PlanSpace::Linear, Objective::Single)
+                .expect("service still serves after the coalition vanished");
+            assert_eq!(
+                svc.open_flights(),
+                1,
+                "backend {}: only the live flight remains",
+                backend.name()
+            );
+            svc.wait(live).expect("live session completes");
+            assert_eq!(svc.open_flights(), 0, "backend {}", backend.name());
+            assert_eq!(
+                svc.in_flight(),
+                0,
+                "backend {}: no orphaned session",
+                backend.name()
+            );
+            svc.shutdown();
+        }
+    }
+
+    /// Coalesced handle misuse is typed like every other handle: double
+    /// redemption and foreign services yield `UnknownHandle`.
+    #[test]
+    fn coalesced_handle_misuse_is_typed() {
+        let mut svc = OptimizerService::spawn(ServiceConfig::with_coalescing(Backend::SerialDp, 1))
+            .expect("spawn");
+        let q = query(5, 32);
+        let handle = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        let mut polled = false;
+        for _ in 0..10_000 {
+            match svc.poll(&handle) {
+                Some(r) => {
+                    r.expect("completes");
+                    polled = true;
+                    break;
+                }
+                None => std::thread::sleep(std::time::Duration::from_micros(100)),
+            }
+        }
+        assert!(polled);
+        assert_eq!(svc.wait(handle), Err(ServiceError::UnknownHandle));
+        // A coalesced handle presented to a non-coalescing service, and to
+        // a different coalescing instance.
+        let mut coalescing =
+            OptimizerService::spawn(ServiceConfig::with_coalescing(Backend::SerialDp, 1))
+                .expect("spawn");
+        let mut plain =
+            OptimizerService::spawn(ServiceConfig::new(Backend::SerialDp, 1)).expect("spawn");
+        let foreign = coalescing
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        assert_eq!(plain.poll(&foreign), Some(Err(ServiceError::UnknownHandle)));
+        let own = svc
+            .submit(&q, PlanSpace::Linear, Objective::Single)
+            .expect("submit");
+        assert_eq!(svc.poll(&foreign), Some(Err(ServiceError::UnknownHandle)));
+        assert!(svc.wait(own).is_ok(), "own handle still redeems");
+        assert_eq!(plain.wait(foreign), Err(ServiceError::UnknownHandle));
+        svc.shutdown();
+        coalescing.shutdown();
+        plain.shutdown();
     }
 
     #[test]

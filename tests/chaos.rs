@@ -533,3 +533,122 @@ fn dropped_reply_is_counted_and_recovered() {
         "a dropped reply forces a re-issue"
     );
 }
+
+/// Coalesced sessions under chaos (ISSUE 9 satellite): a coalescing
+/// facade service over a faulty resident cluster — crashes that persist
+/// across sessions, dropped replies, stragglers — must still hand every
+/// member of every coalition exactly the fault-free serial-DP cost.
+/// Twelve submissions over three distinct queries are all in flight at
+/// once (three flights of four members each) and are redeemed in reverse
+/// submission order, so followers redeem before their leaders; the
+/// coalesce counters must prove the full coalitions, and the aggregate
+/// fault ledger must show the plan actually fired while honoring the
+/// survivor floor.
+#[test]
+fn coalesced_sessions_under_faults_match_serial() {
+    use pqopt::prelude::{Backend, OptimizerService, ServiceConfig};
+    const DISTINCT: u64 = 3;
+    const MEMBERS: u64 = 4;
+    let faults = FaultPlan {
+        seed: 11,
+        crash_prob: 0.3,
+        crash_after_reply_prob: 0.5,
+        drop_prob: 0.15,
+        straggle_prob: 0.1,
+        straggle_us: 30_000,
+        min_survivors: 1,
+    };
+    let mut config = ServiceConfig::with_coalescing(Backend::Mpq, 4);
+    config.mpq.faults = faults;
+    config.mpq.retry = chaos_retry();
+    let mut svc = OptimizerService::spawn(config).expect("service spawns");
+    let distinct: Vec<Query> = (0..DISTINCT)
+        .map(|i| query(4 + i as usize, i * 31 + 5))
+        .collect();
+    let mut submitted = Vec::new();
+    for _ in 0..MEMBERS {
+        for (qi, q) in distinct.iter().enumerate() {
+            let handle = svc
+                .submit(q, PlanSpace::Linear, Objective::Single)
+                .expect("submit routes around dead workers");
+            submitted.push((qi, handle));
+        }
+    }
+    assert_eq!(
+        svc.open_flights(),
+        DISTINCT as usize,
+        "identical submissions coalesce even under faults"
+    );
+    for (qi, handle) in submitted.into_iter().rev() {
+        let plans = svc
+            .wait(handle)
+            .expect("every member recovers with >= 1 survivor");
+        let reference = optimize_serial(&distinct[qi], PlanSpace::Linear, Objective::Single).plans
+            [0]
+        .cost()
+        .time;
+        assert!(
+            rel_eq(plans[0].cost().time, reference),
+            "coalesced member of query {qi} diverged: {} vs {}",
+            plans[0].cost().time,
+            reference
+        );
+    }
+    let stats = svc.coalesce_stats();
+    assert_eq!(
+        (stats.coalesced_sessions, stats.saved_optimizations),
+        (DISTINCT * MEMBERS, DISTINCT * (MEMBERS - 1)),
+        "the counters must prove {DISTINCT} coalitions of {MEMBERS} under faults"
+    );
+    let s = svc
+        .network_snapshot()
+        .expect("cluster backends expose metrics");
+    assert!(
+        s.faults_injected() >= 1,
+        "the fault plan must actually fire: {s:?}"
+    );
+    assert!(s.crashes < 4, "min_survivors must hold across the stream");
+    assert_eq!(svc.open_flights(), 0, "no flight survives full redemption");
+    svc.shutdown();
+}
+
+/// Failure side of the coalesced lifecycle: when the backend session
+/// behind a flight fails (SMA fails fast on worker loss), every member
+/// of the coalition receives the same **typed** error — the failure is
+/// cloned to the whole coalition, never delivered to one member and
+/// lost for the rest.
+#[test]
+fn coalesced_backend_failure_reaches_every_member() {
+    use pqopt::prelude::{Backend, OptimizerService, ServiceConfig, ServiceError};
+    let mut config = ServiceConfig::with_coalescing(Backend::Sma, 3);
+    config.sma.faults = FaultPlan::crash_on_first_task(3, 1);
+    config.sma.recv_timeout = Some(Duration::from_millis(20));
+    let mut svc = OptimizerService::spawn(config).expect("service spawns");
+    let q = query(6, 77);
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            svc.submit(&q, PlanSpace::Linear, Objective::Single)
+                .expect("submit succeeds before the crash is observed")
+        })
+        .collect();
+    let errors: Vec<ServiceError> = handles
+        .into_iter()
+        .map(|h| {
+            svc.wait(h)
+                .expect_err("SMA fails fast on worker loss for every member")
+        })
+        .collect();
+    for e in &errors {
+        assert!(
+            matches!(e, ServiceError::Sma(SmaError::WorkerLost { .. })),
+            "expected a typed WorkerLost for each member, got {e}"
+        );
+    }
+    assert_eq!(
+        errors[1], errors[0],
+        "every member receives the same failure"
+    );
+    assert_eq!(errors[2], errors[0]);
+    assert_eq!(svc.open_flights(), 0, "failed flights are freed too");
+    svc.shutdown();
+}

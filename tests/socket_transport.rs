@@ -232,6 +232,101 @@ fn single_node_backends_refuse_the_socket_plane() {
     }
 }
 
+/// Coalesced sessions over the real wire under a real fault (ISSUE 9
+/// satellite): three coalitions of three members each are in flight when
+/// a worker process is SIGKILLed. The survivors must complete every
+/// flight, every member must redeem plans bit-identical to the
+/// fault-free in-process reference (redemption in reverse order, so
+/// followers redeem before leaders), and the counters must prove that
+/// the nine sessions cost three backend optimizations.
+#[cfg(unix)]
+#[test]
+fn coalesced_sessions_over_real_sockets_survive_a_worker_kill() {
+    const MEMBERS: usize = 3;
+    let distinct = batch(3);
+    let mut workers = spawn_workers("mpq", "coalesce", 3);
+    let mut config = mpq_socket_config(3);
+    config.coalesce = true;
+    let mut service = OptimizerService::connect(config, &addrs(&workers)).expect("connect");
+    let mut handles = Vec::new();
+    for _ in 0..MEMBERS {
+        for (qi, q) in distinct.iter().enumerate() {
+            let handle = service
+                .submit(q, PlanSpace::Linear, Objective::Single)
+                .expect("submit");
+            handles.push((qi, handle));
+        }
+    }
+    assert_eq!(
+        service.open_flights(),
+        distinct.len(),
+        "identical submissions coalesce over the wire"
+    );
+    // SIGKILL a worker while every flight is up: its socket drops
+    // mid-session and the shared backend sessions must be re-issued.
+    workers[0].child.kill().expect("kill worker 0");
+    let mut results: Vec<Vec<Vec<Plan>>> = distinct.iter().map(|_| Vec::new()).collect();
+    for (qi, handle) in handles.into_iter().rev() {
+        results[qi].push(
+            service
+                .wait(handle)
+                .expect("survivors complete every coalition"),
+        );
+    }
+    let stats = service.coalesce_stats();
+    assert_eq!(
+        (stats.coalesced_sessions, stats.saved_optimizations),
+        (9, 6),
+        "three coalitions of three, one optimization each"
+    );
+    assert_eq!(service.open_flights(), 0);
+    service.shutdown();
+    let reference = in_process_reference(&distinct, 3);
+    for (qi, members) in results.iter().enumerate() {
+        assert_eq!(members.len(), MEMBERS);
+        for plans in members {
+            assert_eq!(
+                plans, &reference[qi],
+                "query {qi}: a coalesced member diverged from the fault-free reference"
+            );
+        }
+    }
+}
+
+/// The admission limit configured on the facade reaches the socket plane
+/// too: the third concurrent submission refuses typed at a limit of two,
+/// and `submit_wait` parks instead.
+#[cfg(unix)]
+#[test]
+fn admission_limit_holds_over_real_sockets() {
+    let workers = spawn_workers("mpq", "admit", 2);
+    let mut config = mpq_socket_config(2);
+    config.max_in_flight = 2;
+    let mut service = OptimizerService::connect(config, &addrs(&workers)).expect("connect");
+    let queries = batch(3);
+    let a = service
+        .submit(&queries[0], PlanSpace::Linear, Objective::Single)
+        .expect("first admits");
+    let b = service
+        .submit(&queries[1], PlanSpace::Linear, Objective::Single)
+        .expect("second admits");
+    match service.submit(&queries[2], PlanSpace::Linear, Objective::Single) {
+        Err(ServiceError::Overloaded { in_flight, limit }) => {
+            assert_eq!((in_flight, limit), (2, 2));
+        }
+        other => panic!("expected Overloaded over the wire, got {other:?}"),
+    }
+    let c = service
+        .submit_wait(&queries[2], PlanSpace::Linear, Objective::Single)
+        .expect("submit_wait parks until capacity frees");
+    for handle in [a, b, c] {
+        service
+            .wait(handle)
+            .expect("every admitted session completes");
+    }
+    service.shutdown();
+}
+
 /// `pqopt worker` itself refuses single-node backends: the process exits
 /// nonzero instead of listening for traffic it could never serve.
 #[test]
