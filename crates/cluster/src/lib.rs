@@ -50,8 +50,8 @@ pub use fault::{FaultAction, FaultPlan, FaultSchedule, WorkerFaults};
 pub use latency::LatencyModel;
 pub use metrics::{NetworkMetrics, NetworkSnapshot, WorkerCounters};
 pub use runtime::{
-    mint_service_instance, AbandonedList, BatchError, Cluster, ClusterError, Control, WorkerCtx,
-    WorkerLogic,
+    mint_service_instance, AbandonedList, BatchError, Cluster, ClusterError, Control, ReplyPark,
+    WorkerCtx, WorkerLogic,
 };
 pub use transport::{
     frame_with_prefix, serve_worker, FrameBuffer, Hello, SocketTransport, Transport, WireListener,

@@ -63,12 +63,52 @@ impl AbandonedList {
         }
     }
 
-    /// Takes every queued id, leaving the list empty.
+    /// Takes every queued id, leaving the list empty. The returned order
+    /// is push order, which depends on handle-drop timing — use
+    /// [`AbandonedList::drain_ordered`] when the reaping order must be
+    /// reproducible.
     pub fn drain(&self) -> Vec<u64> {
         match self.0.lock() {
             Ok(mut list) => std::mem::take(&mut *list),
             Err(_) => Vec::new(),
         }
+    }
+
+    /// Takes every queued id in **canonical order** (ascending session
+    /// id, duplicates preserved). Push order depends on when each handle
+    /// happened to be dropped — an accident of caller timing — so
+    /// services reap in this order instead, making the drop lifecycle
+    /// replayable under the schedule-space model checker.
+    pub fn drain_ordered(&self) -> Vec<u64> {
+        let mut ids = self.drain();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Takes every queued id in a **seeded deterministic order**: the
+    /// canonical ascending order permuted by a splitmix-driven
+    /// Fisher–Yates shuffle of `seed`. The model checker uses this to
+    /// *explore* reaping orders reproducibly; `seed == 0` is the identity
+    /// permutation (canonical order).
+    pub fn drain_seeded(&self, seed: u64) -> Vec<u64> {
+        let mut ids = self.drain_ordered();
+        if seed == 0 || ids.len() < 2 {
+            return ids;
+        }
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64: full-period, dependency-free.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..ids.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            ids.swap(i, j);
+        }
+        ids
     }
 }
 
@@ -188,7 +228,12 @@ impl WorkerCtx {
     /// stream provides its own latency, so none is simulated, and fault
     /// injection (a [`FaultPlan`] concern) does not apply: real transports
     /// get real faults.
-    pub(crate) fn for_stream(
+    ///
+    /// Public so alternative transports outside this crate — notably the
+    /// schedule-space model checker, which runs worker logic inline and
+    /// captures its frames in memory — can drive a [`WorkerLogic`]
+    /// through the same context the socket transport uses.
+    pub fn for_stream(
         worker_id: usize,
         metrics: Arc<NetworkMetrics>,
         writer: Box<dyn std::io::Write + Send>,
@@ -203,8 +248,11 @@ impl WorkerCtx {
     }
 
     /// Re-tags the context with the session of the message about to be
-    /// handled, so replies are framed correctly.
-    pub(crate) fn set_current_query(&mut self, query: QueryId) {
+    /// handled, so replies are framed correctly. Public for the same
+    /// reason as [`WorkerCtx::for_stream`]: an external transport that
+    /// dispatches messages to worker logic itself must tag the context
+    /// before each [`WorkerLogic::on_message`] call.
+    pub fn set_current_query(&mut self, query: QueryId) {
         self.current_query = query;
     }
 
@@ -316,18 +364,21 @@ where
 /// other than the one a session-routed receive asked for. A `Mutex`
 /// (never contended — the master protocol is single-threaded) keeps the
 /// receive methods on `&self`; a `BTreeMap` keeps untargeted draining
-/// deterministic (lowest session id first). Shared by [`Cluster`] and the
-/// socket transport so both demultiplex identically.
+/// deterministic (lowest session id first). Shared by [`Cluster`], the
+/// socket transport, and (via its public surface) external transports
+/// such as the schedule-space model checker, so all demultiplex
+/// identically.
 #[derive(Default)]
-pub(crate) struct ReplyPark(Mutex<BTreeMap<u64, VecDeque<(usize, Bytes)>>>);
+pub struct ReplyPark(Mutex<BTreeMap<u64, VecDeque<(usize, Bytes)>>>);
 
 impl ReplyPark {
-    pub(crate) fn new() -> ReplyPark {
+    /// An empty park.
+    pub fn new() -> ReplyPark {
         ReplyPark::default()
     }
 
     /// Parks one reply for session `query` until its owner asks.
-    pub(crate) fn park(&self, query: QueryId, worker: usize, payload: Bytes) {
+    pub fn park(&self, query: QueryId, worker: usize, payload: Bytes) {
         // Recover from poisoning: the map holds plain owned data, so a
         // panicked holder cannot have left it logically inconsistent.
         self.0
@@ -339,7 +390,7 @@ impl ReplyPark {
     }
 
     /// The oldest parked reply owned by `query`, if any.
-    pub(crate) fn take(&self, query: QueryId) -> Option<(usize, Bytes)> {
+    pub fn take(&self, query: QueryId) -> Option<(usize, Bytes)> {
         let mut parked = self
             .0
             .lock()
@@ -352,8 +403,24 @@ impl ReplyPark {
         reply
     }
 
+    /// Visits every parked reply in deterministic order (ascending
+    /// session id, FIFO within a session) without consuming anything.
+    /// External transports — the schedule-space model checker — fold the
+    /// park into a state fingerprint with this.
+    pub fn for_each(&self, mut f: impl FnMut(QueryId, usize, &Bytes)) {
+        let parked = self
+            .0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (&qid, queue) in parked.iter() {
+            for (worker, payload) in queue {
+                f(QueryId(qid), *worker, payload);
+            }
+        }
+    }
+
     /// The oldest parked reply of the lowest-numbered session, if any.
-    pub(crate) fn take_any(&self) -> Option<(usize, QueryId, Bytes)> {
+    pub fn take_any(&self) -> Option<(usize, QueryId, Bytes)> {
         let mut parked = self
             .0
             .lock()

@@ -1,0 +1,139 @@
+//! The stateless DFS explorer over the controller's choice points.
+//!
+//! Like loom/shuttle, the explorer never snapshots program state: it
+//! re-executes the scenario from its initial state following a recorded
+//! choice prefix, then lets every decision beyond the prefix default to
+//! choice 0. Each completed run contributes one fully-determined
+//! schedule; its decision log tells the explorer where alternatives
+//! existed, and each untried `(state signature, choice)` pair becomes a
+//! new prefix to run.
+//!
+//! The signature (transport state ⊕ master-visible event history — see
+//! [`Decision::signature`](crate::Decision)) deduplicates: the master,
+//! the driver program, and the hosted worker logic are deterministic
+//! functions of what they have observed, so two runs that reach the same
+//! signature are in the same global state and taking the same choice
+//! from both explores the same subtree. Combined with the transport's
+//! partial-order reduction over commuting worker steps, this keeps the
+//! exhaustive sweep at small scope (2–3 workers, 1–2 sessions)
+//! tractable.
+
+use crate::scenario::{RunOutcome, Scenario};
+use std::collections::HashSet;
+
+/// A schedule that broke an invariant, with everything needed to replay
+/// and read it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What broke, in one line.
+    pub invariant: String,
+    /// The exact choice list that reproduces the failure
+    /// (`pqopt_model replay --scenario <name> --choices <this>`).
+    pub schedule: Vec<usize>,
+    /// The rendered decision trace: one `action (chosen/enabled)` line
+    /// per decision point.
+    pub trace: Vec<String>,
+}
+
+/// What an exhaustive sweep of one scenario found.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// The scenario swept.
+    pub scenario: String,
+    /// Completed runs, each following a distinct schedule.
+    pub schedules: usize,
+    /// The longest decision sequence any run produced.
+    pub max_depth: usize,
+    /// Distinct `(signature, choice)` branch points expanded.
+    pub branch_points: usize,
+    /// Whether the sweep stopped at the schedule cap with work left
+    /// (the scope was *not* exhausted).
+    pub truncated: bool,
+    /// The first invariant violation found, if any (the sweep stops on
+    /// it).
+    pub violation: Option<Violation>,
+}
+
+/// Exhaustively explores `scenario`'s schedule space.
+///
+/// `depth` bounds how deep alternatives are enumerated (decisions past
+/// it follow the default choice — runs still complete, their tails are
+/// just not branched). `max_schedules` caps the number of runs; hitting
+/// it sets [`ExploreReport::truncated`].
+pub fn explore(scenario: &Scenario, depth: usize, max_schedules: usize) -> ExploreReport {
+    explore_por(scenario, depth, max_schedules, true)
+}
+
+/// [`explore`] with the partial-order reduction switchable (soundness
+/// self-tests compare reduced and unreduced sweeps).
+pub fn explore_por(
+    scenario: &Scenario,
+    depth: usize,
+    max_schedules: usize,
+    por: bool,
+) -> ExploreReport {
+    let mut report = ExploreReport {
+        scenario: scenario.name.to_string(),
+        schedules: 0,
+        max_depth: 0,
+        branch_points: 0,
+        truncated: false,
+        violation: None,
+    };
+    // DFS over prefixes: pop the most recently discovered alternative
+    // first, so exploration digs before it widens (counterexamples with
+    // several cooperating choices surface early).
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut seen: HashSet<(u64, usize)> = HashSet::new();
+    while let Some(prefix) = stack.pop() {
+        if report.schedules >= max_schedules {
+            report.truncated = true;
+            break;
+        }
+        let outcome = crate::scenario::run_scenario_por(scenario, &prefix, por);
+        report.schedules += 1;
+        report.max_depth = report.max_depth.max(outcome.decisions.len());
+        if let Some(invariant) = outcome.violation.clone() {
+            report.violation = Some(Violation {
+                invariant,
+                schedule: outcome.schedule.clone(),
+                trace: render_trace(&outcome),
+            });
+            break;
+        }
+        // Enumerate the untried alternatives this run exposed, deepest
+        // first so the stack pops them shallow-first within this run.
+        let first_free = prefix.len();
+        let horizon = outcome.decisions.len().min(depth);
+        for i in (first_free..horizon).rev() {
+            let d = outcome.decisions[i];
+            for alt in 0..d.enabled {
+                if alt == d.chosen {
+                    continue;
+                }
+                if seen.insert((d.signature, alt)) {
+                    report.branch_points += 1;
+                    let mut next = outcome.schedule[..i].to_vec();
+                    next.push(alt);
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Renders a run's decision log as one readable line per decision.
+pub fn render_trace(outcome: &RunOutcome) -> Vec<String> {
+    outcome
+        .decisions
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            format!(
+                "#{i:<3} {} (choice {}/{}, sig {:016x})",
+                d.action, d.chosen, d.enabled, d.signature
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,196 @@
+//! `pqopt_model` — the schedule-space model checker's CLI.
+//!
+//! ```text
+//! pqopt_model list
+//! pqopt_model check [--depth N] [--schedules N] [--scenario NAME] [--seed-violation]
+//! pqopt_model replay --scenario NAME --choices 3,0,1,...
+//! ```
+//!
+//! `check` sweeps every scenario in the default suite (or one named
+//! scenario) and exits nonzero on the first invariant violation,
+//! printing the violated invariant, the decision trace, and the exact
+//! `replay` command that reproduces it. `--seed-violation` adds the
+//! seeded liveness-hole fixture to the sweep — the negative control
+//! that must make the checker fail.
+
+#![forbid(unsafe_code)]
+
+use pqopt_model::{explore, find_scenario, fixture_scenario, run_scenario, Scenario};
+use std::process::ExitCode;
+
+/// Alternatives are enumerated over the first this-many decisions of
+/// each run (deeper decisions follow the default choice). Chosen so the
+/// default sweep explores well past 10k distinct schedules while
+/// staying PR-budget fast.
+const DEFAULT_DEPTH: usize = 40;
+/// Per-scenario cap on executed schedules.
+const DEFAULT_SCHEDULES: usize = 20_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("list") => {
+            for s in pqopt_model::default_suite() {
+                println!("{:<24} {}", s.name, s.about);
+            }
+            let f = fixture_scenario();
+            println!(
+                "{:<24} {} (fixture; not in the default sweep)",
+                f.name, f.about
+            );
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut depth = DEFAULT_DEPTH;
+            let mut schedules = DEFAULT_SCHEDULES;
+            let mut only: Option<String> = None;
+            let mut seed_violation = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--depth" => match it.next().map(str::parse) {
+                        Some(Ok(n)) => depth = n,
+                        _ => return usage("--depth needs a number"),
+                    },
+                    "--schedules" => match it.next().map(str::parse) {
+                        Some(Ok(n)) => schedules = n,
+                        _ => return usage("--schedules needs a number"),
+                    },
+                    "--scenario" => match it.next() {
+                        Some(name) => only = Some(name.to_string()),
+                        None => return usage("--scenario needs a name"),
+                    },
+                    "--seed-violation" => seed_violation = true,
+                    other => return usage(&format!("unknown flag {other}")),
+                }
+            }
+            let suite: Vec<Scenario> = match &only {
+                Some(name) => match find_scenario(name) {
+                    Some(s) => vec![s],
+                    None => return usage(&format!("unknown scenario {name}")),
+                },
+                None => {
+                    let mut suite = pqopt_model::default_suite();
+                    if seed_violation {
+                        suite.push(fixture_scenario());
+                    }
+                    suite
+                }
+            };
+            check(&suite, depth, schedules)
+        }
+        Some("replay") => {
+            let mut name: Option<String> = None;
+            let mut choices: Vec<usize> = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--scenario" => match it.next() {
+                        Some(n) => name = Some(n.to_string()),
+                        None => return usage("--scenario needs a name"),
+                    },
+                    "--choices" => match it.next() {
+                        Some(list) => match parse_choices(list) {
+                            Ok(c) => choices = c,
+                            Err(e) => return usage(&e),
+                        },
+                        None => return usage("--choices needs a comma-separated list"),
+                    },
+                    other => return usage(&format!("unknown flag {other}")),
+                }
+            }
+            let Some(name) = name else {
+                return usage("replay needs --scenario NAME");
+            };
+            let Some(scenario) = find_scenario(&name) else {
+                return usage(&format!("unknown scenario {name}"));
+            };
+            replay(&scenario, &choices)
+        }
+        _ => usage("expected a subcommand: list | check | replay"),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("pqopt_model: {problem}");
+    eprintln!("usage: pqopt_model list");
+    eprintln!(
+        "       pqopt_model check [--depth N] [--schedules N] [--scenario NAME] [--seed-violation]"
+    );
+    eprintln!("       pqopt_model replay --scenario NAME --choices 0,1,2,...");
+    ExitCode::from(2)
+}
+
+fn parse_choices(list: &str) -> Result<Vec<usize>, String> {
+    if list.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    list.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad choice index {tok:?}"))
+        })
+        .collect()
+}
+
+fn check(suite: &[Scenario], depth: usize, schedules: usize) -> ExitCode {
+    let mut total = 0usize;
+    for scenario in suite {
+        let report = explore(scenario, depth, schedules);
+        total += report.schedules;
+        let coverage = if report.truncated {
+            "capped"
+        } else {
+            "exhausted at this depth"
+        };
+        match &report.violation {
+            None => {
+                println!(
+                    "ok    {:<24} {:>6} schedules, depth {:>3}, {:>6} branch points ({coverage})",
+                    report.scenario, report.schedules, report.max_depth, report.branch_points
+                );
+            }
+            Some(v) => {
+                println!(
+                    "FAIL  {:<24} after {} schedules",
+                    report.scenario, report.schedules
+                );
+                println!("invariant violated: {}", v.invariant);
+                println!("decision trace:");
+                for line in &v.trace {
+                    println!("  {line}");
+                }
+                let choices: Vec<String> = v.schedule.iter().map(usize::to_string).collect();
+                println!(
+                    "replay: cargo run -q --release -p pqopt_model -- replay \
+                     --scenario {} --choices {}",
+                    report.scenario,
+                    choices.join(",")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("all invariants hold over {total} distinct schedules");
+    ExitCode::SUCCESS
+}
+
+fn replay(scenario: &Scenario, choices: &[usize]) -> ExitCode {
+    let outcome = run_scenario(scenario, choices);
+    for line in pqopt_model::explore::render_trace(&outcome) {
+        println!("  {line}");
+    }
+    match &outcome.violation {
+        Some(v) => {
+            println!("invariant violated: {v}");
+            ExitCode::FAILURE
+        }
+        None => {
+            println!(
+                "schedule completed clean ({} decisions)",
+                outcome.decisions.len()
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}

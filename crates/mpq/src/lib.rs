@@ -48,4 +48,4 @@ pub use mpq_dp::ParallelPolicy;
 pub use optimizer::{
     MpqConfig, MpqError, MpqMetrics, MpqOptimizer, MpqOutcome, RetryPolicy, StealPolicy,
 };
-pub use service::{serve_socket_worker, MpqService, QueryHandle};
+pub use service::{serve_socket_worker, worker_logic, MpqService, QueryHandle};

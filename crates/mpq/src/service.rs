@@ -128,6 +128,15 @@ impl MpqWorker {
     }
 }
 
+/// One boxed MPQ worker node's logic, for callers that host worker nodes
+/// behind their own [`Transport`] rather than a [`Cluster`] or socket —
+/// the schedule-space model checker dispatches messages to these inline.
+/// Equivalent to what [`MpqService::spawn`] installs on each thread, with
+/// full compute speed and a single-threaded DP kernel.
+pub fn worker_logic(cache_bytes: usize) -> Box<dyn WorkerLogic> {
+    Box::new(MpqWorker::new(cache_bytes, 1, ParallelPolicy::serial()))
+}
+
 impl WorkerLogic for MpqWorker {
     fn on_message(&mut self, _query: QueryId, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
         let msg = match MasterMessage::from_bytes(&payload) {
@@ -750,7 +759,10 @@ impl MpqService {
     /// reply router's unknown-session path. Called on every scheduler
     /// entry; public so long-idle callers can reap eagerly.
     pub fn reap_abandoned(&mut self) {
-        for id in self.abandoned.drain() {
+        // Canonical (ascending-id) order: push order depends on when each
+        // handle happened to be dropped, and the reaping order must be
+        // replayable under the schedule-space model checker.
+        for id in self.abandoned.drain_ordered() {
             self.sessions.remove(&id);
             self.done.remove(&id);
         }

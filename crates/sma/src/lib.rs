@@ -36,4 +36,4 @@ pub mod service;
 
 pub use message::{SlotUpdate, SmaMasterMsg, SmaReply};
 pub use optimizer::{SmaConfig, SmaError, SmaMetrics, SmaOptimizer, SmaOutcome};
-pub use service::{serve_socket_worker, QueryHandle, SmaService};
+pub use service::{serve_socket_worker, worker_logic, QueryHandle, SmaService};

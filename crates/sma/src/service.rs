@@ -119,6 +119,14 @@ impl SmaWorker {
     }
 }
 
+/// One boxed SMA worker node's logic, for callers that host worker nodes
+/// behind their own [`Transport`] rather than a [`Cluster`] or socket —
+/// the schedule-space model checker dispatches messages to these inline.
+/// Equivalent to what [`SmaService::spawn`] installs on each thread.
+pub fn worker_logic(cache_bytes: usize) -> Box<dyn WorkerLogic> {
+    Box::new(SmaWorker::new(cache_bytes))
+}
+
 impl WorkerLogic for SmaWorker {
     fn on_message(&mut self, query: QueryId, payload: Bytes, ctx: &mut WorkerCtx) -> Control {
         let msg = match SmaMasterMsg::from_bytes(&payload) {
@@ -567,7 +575,10 @@ impl SmaService {
     /// (via `Abort`). Called on every scheduler entry; public so
     /// long-idle callers can reap eagerly.
     pub fn reap_abandoned(&mut self) {
-        for id in self.abandoned.drain() {
+        // Canonical (ascending-id) order: push order depends on when each
+        // handle happened to be dropped, and the reaping order must be
+        // replayable under the schedule-space model checker.
+        for id in self.abandoned.drain_ordered() {
             if self.sessions.remove(&id).is_some() {
                 abort_session(self.cluster.as_ref(), QueryId(id));
             }

@@ -1,0 +1,18 @@
+//! Fixture: the seeded unhandled-tag violation. `CtrlMsg::Status` is
+//! encodable, decodable (wire-conformance is silent) and sent — but the
+//! dispatch swallows it with a catch-all, so a received `Status` is
+//! silently dropped. The rule must name exactly that variant.
+
+pub fn dispatch(payload: &[u8]) -> u64 {
+    match CtrlMsg::from_bytes(payload) {
+        Ok(CtrlMsg::Ping) => 1,
+        Ok(CtrlMsg::Halt { reason }) => reason as u64,
+        _ => 0,
+    }
+}
+
+pub fn send_all(link: &mut Link) {
+    link.send(CtrlMsg::Ping.to_bytes());
+    link.send(CtrlMsg::Halt { reason: 2 }.to_bytes());
+    link.send(CtrlMsg::Status(7).to_bytes());
+}

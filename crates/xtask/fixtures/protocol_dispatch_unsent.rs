@@ -1,0 +1,17 @@
+//! Fixture: the dead-surface violation. Every variant has a handler,
+//! but nothing ever constructs `CtrlMsg::Halt` — its arm is
+//! unreachable protocol surface.
+
+pub fn dispatch(payload: &[u8]) -> u64 {
+    match CtrlMsg::from_bytes(payload) {
+        Ok(CtrlMsg::Ping) => 1,
+        Ok(CtrlMsg::Halt { reason }) => reason as u64,
+        Ok(CtrlMsg::Status(seq)) => seq,
+        Err(_) => 0,
+    }
+}
+
+pub fn send_some(link: &mut Link) {
+    link.send(CtrlMsg::Ping.to_bytes());
+    link.send(CtrlMsg::Status(7).to_bytes());
+}

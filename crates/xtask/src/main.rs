@@ -3,11 +3,17 @@
 //! ```text
 //! cargo run -p xtask -- lint            # all rules, exit 1 on any violation
 //! cargo run -p xtask -- lint --root D   # lint another tree (fixture debugging)
+//! cargo run -p xtask -- lint --check-stale
+//!                                       # also fail on allowlist entries whose
+//!                                       # file no longer exists
 //! cargo run -p xtask -- bench-check --current D [--baseline D]
 //!                                       # compare BENCH_*.json against baselines
+//! cargo run -p xtask -- model-check [--depth N] [--schedules N] [...]
+//!                                       # exhaustive schedule-space model check
+//!                                       # (delegates to the pqopt_model binary)
 //! ```
 //!
-//! Three rules, each guarding an invariant the test suites *prove* but
+//! Four rules, each guarding an invariant the test suites *prove* but
 //! nothing previously *gated*:
 //!
 //! 1. **panic-freedom** (`rules::panics`) — no `unwrap`/`expect`/
@@ -24,6 +30,12 @@
 //!    audited timer allowlist (`crates/xtask/allow/clocks.allow`), so
 //!    the "recovery decisions are evidence-based, never wall-clock"
 //!    discipline cannot silently regress.
+//! 4. **protocol-dispatch** (`rules::protocol`) — the semantic
+//!    send-site/handler graph: every variant of the tagged session
+//!    enums (`WorkerMsg`, `SmaMasterMsg`, `SmaReply`) has an explicit
+//!    non-catch-all handler arm in the master/worker dispatch *and* a
+//!    send site that constructs it — decodable-but-ignored and
+//!    dead-surface variants both fail.
 //!
 //! The analyzer is token-level (see [`lexer`]) — it understands strings,
 //! comments, and `#[cfg(test)]`/`mod tests` scoping, which is exactly
@@ -141,23 +153,93 @@ pub fn run_lint(root: &Path) -> Vec<Violation> {
     violations.extend(rules::panics::check(root));
     violations.extend(rules::wire::check(root));
     violations.extend(rules::clocks::check(root));
+    violations.extend(rules::protocol::check(root));
     violations
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--root DIR]\n       \
-     cargo run -p xtask -- bench-check --current DIR [--baseline DIR]";
+/// `--check-stale`: every entry of every allowlist under
+/// `crates/xtask/allow/` must name a file that still exists. Entries
+/// that merely stopped suppressing are caught per-rule
+/// ([`allowlist::Allowlist::stale_entries`]); this catches the harder
+/// rot where the whole file was deleted or renamed and the entry would
+/// silently shadow a future file of the same name.
+pub fn check_stale_allowlists(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let allow_dir = root.join("crates/xtask/allow");
+    let Ok(entries) = std::fs::read_dir(&allow_dir) else {
+        return violations; // no allowlists, nothing to rot
+    };
+    let mut files: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| {
+            let p = e.path();
+            (p.extension().is_some_and(|x| x == "allow"))
+                .then(|| format!("crates/xtask/allow/{}", e.file_name().to_string_lossy()))
+        })
+        .collect();
+    files.sort();
+    for rel in files {
+        let (allow, parse_violations) = allowlist::Allowlist::load(root, &rel);
+        violations.extend(parse_violations);
+        for entry in &allow.entries {
+            if !root.join(&entry.path).is_file() {
+                violations.push(Violation {
+                    rule: "allowlist",
+                    file: allow.source.clone(),
+                    line: entry.line,
+                    message: format!(
+                        "entry names a file that no longer exists: {} | {} | {}",
+                        entry.path, entry.needle, entry.justification
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--root DIR] [--check-stale]\n       \
+     cargo run -p xtask -- bench-check --current DIR [--baseline DIR]\n       \
+     cargo run -p xtask -- model-check [--depth N] [--schedules N] [--scenario NAME] \
+[--seed-violation]";
+
+/// `model-check`: delegate to the `pqopt_model` binary (release — the
+/// sweep is compute-bound), forwarding flags and the exit code. Kept as
+/// an xtask subcommand so CI and developers have one analysis
+/// entry point.
+fn run_model_check(rest: &[String]) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = std::process::Command::new(cargo)
+        .args(["run", "-q", "--release", "-p", "pqopt_model", "--", "check"])
+        .args(rest)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask model-check: cannot run pqopt_model: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `model-check` forwards its flags verbatim to the model checker.
+    if args.first().map(String::as_str) == Some("model-check") {
+        return run_model_check(&args[1..]);
+    }
     let mut root = workspace_root();
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
+    let mut check_stale = false;
     let mut cmd = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "lint" => cmd = Some("lint"),
             "bench-check" => cmd = Some("bench-check"),
+            "--check-stale" => check_stale = true,
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -187,12 +269,23 @@ fn main() -> ExitCode {
     }
     match cmd {
         Some("lint") => {
-            let violations = run_lint(&root);
+            let mut violations = run_lint(&root);
+            if check_stale {
+                violations.extend(check_stale_allowlists(&root));
+            }
             for v in &violations {
                 println!("{v}");
             }
             if violations.is_empty() {
-                println!("xtask lint: clean (panic-freedom, wire conformance, clock-freedom)");
+                println!(
+                    "xtask lint: clean (panic-freedom, wire conformance, clock-freedom, \
+                     protocol dispatch{})",
+                    if check_stale {
+                        ", allowlist staleness"
+                    } else {
+                        ""
+                    }
+                );
                 ExitCode::SUCCESS
             } else {
                 println!("xtask lint: {} violation(s)", violations.len());
@@ -248,6 +341,29 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+    }
+
+    /// `--check-stale` passes on the real tree (every allowlisted file
+    /// exists) and fires when an entry's file is gone.
+    #[test]
+    fn check_stale_passes_real_tree_and_fires_on_missing_files() {
+        let root = workspace_root();
+        let violations = check_stale_allowlists(&root);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        let dir = std::env::temp_dir().join(format!("xtask-stale-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("crates/xtask/allow")).unwrap();
+        std::fs::write(
+            dir.join("crates/xtask/allow/ghost.allow"),
+            "# entry for a file that does not exist\n\
+             crates/gone/src/lib.rs | some_line | was justified once\n",
+        )
+        .unwrap();
+        let violations = check_stale_allowlists(&dir);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].message.contains("no longer exists"));
+        assert!(violations[0].message.contains("crates/gone/src/lib.rs"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

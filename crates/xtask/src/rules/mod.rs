@@ -4,4 +4,5 @@
 
 pub mod clocks;
 pub mod panics;
+pub mod protocol;
 pub mod wire;

@@ -557,6 +557,48 @@ impl OptimizerService {
         })
     }
 
+    /// Builds the service over an already-connected message plane — any
+    /// [`Transport`](mpq_cluster::Transport) implementation, with worker
+    /// nodes hosted behind it. This is how the schedule-space model
+    /// checker places the whole facade (admission, coalescing, the MPQ or
+    /// SMA scheduler) under a controllable transport whose delivery order
+    /// it enumerates; [`OptimizerService::connect`] is the socket-backed
+    /// special case. Only the cluster backends make sense here — the
+    /// single-node backends never use a transport, so asking for them is
+    /// a typed error, not a silent fallback.
+    pub fn with_transport(
+        config: ServiceConfig,
+        transport: Box<dyn mpq_cluster::Transport>,
+    ) -> Result<OptimizerService, ServiceError> {
+        let mut mpq = config.mpq;
+        let mut sma = config.sma;
+        if config.cache_bytes > 0 {
+            mpq.cache_bytes = config.cache_bytes;
+            sma.cache_bytes = config.cache_bytes;
+        }
+        if config.steal.enabled {
+            mpq.steal = config.steal;
+        }
+        if config.max_in_flight > 0 {
+            mpq.max_in_flight = config.max_in_flight;
+            sma.max_in_flight = config.max_in_flight;
+        }
+        let engine = match config.backend {
+            Backend::SerialDp | Backend::TopDown => {
+                return Err(ServiceError::Mpq(MpqError::BadRequest {
+                    reason: "an external transport requires a cluster backend (mpq or sma)",
+                }))
+            }
+            Backend::Mpq => Engine::Mpq(MpqService::with_transport(transport, mpq)?),
+            Backend::Sma => Engine::Sma(SmaService::with_transport(transport, sma)?),
+        };
+        Ok(OptimizerService {
+            backend: config.backend,
+            engine,
+            coalescer: config.coalesce.then(Coalescer::new),
+        })
+    }
+
     /// The engine this service keeps resident.
     pub fn backend(&self) -> Backend {
         self.backend
@@ -756,7 +798,11 @@ impl OptimizerService {
     /// replicas are freed) and the backend is poked to reap immediately.
     fn detach_abandoned(&mut self, c: &mut Coalescer) {
         let mut reaped = false;
-        for member in c.abandoned.drain() {
+        // Canonical (ascending-member) order: push order depends on when
+        // each handle happened to be dropped, and leader-promotion under
+        // multi-member detach must replay identically under the
+        // schedule-space model checker.
+        for member in c.abandoned.drain_ordered() {
             let Some(fid) = c.flight_of.remove(&member) else {
                 // Already delivered; the drop of a redeemed handle is a
                 // no-op.
@@ -893,7 +939,7 @@ fn cluster_cache_stats(s: mpq_cluster::NetworkSnapshot) -> CacheStats {
 
 /// Drops parked results whose [`ImmediateHandle`] was dropped unredeemed.
 fn reap_immediate(done: &mut BTreeMap<u64, Vec<Plan>>, abandoned: &AbandonedList) {
-    for id in abandoned.drain() {
+    for id in abandoned.drain_ordered() {
         done.remove(&id);
     }
 }
